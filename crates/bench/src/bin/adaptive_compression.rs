@@ -1,0 +1,53 @@
+//! **Extension (paper §8 future work)**: adaptive compression — "the
+//! dynamic enabling or disabling of compression will then become possible".
+//!
+//! Runs plain TCP, fixed level-1 compression, and the adaptive driver on
+//! both of the paper's WANs. The adaptive driver should track the better
+//! fixed choice on each link: compression on the slow Amsterdam—Rennes
+//! path, plain on a fast path (where fixed compression is CPU-bound).
+
+use netgrid::StackSpec;
+use netgrid_bench::*;
+use std::time::Duration;
+
+fn main() {
+    let fast = Wan {
+        name: "fast-path",
+        capacity: 9e6,
+        rtt: Duration::from_millis(10), // low RTT: window not binding
+        loss: 0.0,
+        queue: 640 * 1024,
+    };
+    let mut slow = amsterdam_rennes();
+    slow.loss = 0.0; // isolate the compression trade-off from loss recovery
+
+    println!("Adaptive compression (paper §8 future work, AdOC-style policy)");
+    println!("{}", "=".repeat(72));
+    for wan in [slow, fast] {
+        println!(
+            "\n{} — capacity {:.1} MB/s, RTT {} ms:",
+            wan.name,
+            wan.capacity / 1e6,
+            wan.rtt.as_millis()
+        );
+        let mut results = Vec::new();
+        for (label, spec) in [
+            ("plain TCP", StackSpec::plain()),
+            ("fixed compression(1)", StackSpec::plain().with_compression(1)),
+            ("adaptive compression(1)", StackSpec::plain().with_adaptive_compression(1)),
+        ] {
+            let mut run = BwRun::new(wan.clone(), spec, 1 << 20);
+            run.total_bytes = 12 << 20;
+            let p = measure_bandwidth(&run);
+            println!("  {label:<28} {:>7} MB/s", fmt_mb(p.bandwidth));
+            results.push(p.bandwidth);
+        }
+        let best_fixed = results[0].max(results[1]);
+        println!(
+            "  adaptive reaches {:.0}% of the better fixed choice",
+            100.0 * results[2] / best_fixed
+        );
+    }
+    println!();
+    println!("expected: adaptive ~ compression on the slow link, ~ plain on the fast one");
+}

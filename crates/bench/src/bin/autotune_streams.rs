@@ -1,0 +1,55 @@
+//! **Extension (paper §8 future work)**: "parameter adaptation, like
+//! selection of the optimal number of parallel TCP streams \[20\] ... will
+//! then become possible."
+//!
+//! Sweeps the parallel-stream count on both of the paper's WANs (using
+//! `SendPort::connect_with_streams`, which overrides the receiver's
+//! registered count) and reports the measured optimum. The shape to expect:
+//! on the low-BDP Amsterdam—Rennes link a few streams suffice (they only
+//! mask loss); on the high-BDP Delft—Sophia link throughput climbs until
+//! the aggregate windows cover the path, then flattens — adding more
+//! streams past the optimum buys nothing and eventually hurts (queue
+//! contention).
+
+use netgrid::StackSpec;
+use netgrid_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = has_flag(&args, "--quick");
+    let counts: &[u16] = if quick { &[1, 4, 8] } else { &[1, 2, 4, 6, 8, 12, 16] };
+    println!("Parallel-stream autotuning sweep (64 KiB OS windows)");
+    println!("{}", "=".repeat(64));
+    for wan in [amsterdam_rennes(), delft_sophia()] {
+        println!(
+            "\n{} — capacity {:.1} MB/s, RTT {} ms, loss {:.2}%:",
+            wan.name,
+            wan.capacity / 1e6,
+            wan.rtt.as_millis(),
+            wan.loss * 100.0
+        );
+        let mut best = (0u16, 0f64);
+        for &n in counts {
+            let spec = if n == 1 { StackSpec::plain() } else { StackSpec::plain().with_streams(n) };
+            let mut run = BwRun::new(wan.clone(), spec, 512 * 1024);
+            run.total_bytes = if quick { 8 << 20 } else { 24 << 20 };
+            let p = measure_bandwidth(&run);
+            let marker = if p.bandwidth > best.1 {
+                best = (n, p.bandwidth);
+                " <-"
+            } else {
+                ""
+            };
+            println!("  {n:>3} streams: {:>7} MB/s{marker}", fmt_mb(p.bandwidth));
+        }
+        println!(
+            "  optimum: {} streams at {} MB/s ({:.0}% of capacity)",
+            best.0,
+            fmt_mb(best.1),
+            100.0 * best.1 / wan.capacity
+        );
+    }
+    println!();
+    println!("paper [20] (Vazhkudai et al.) predicted transfer parameters offline; here the");
+    println!("runtime can simply measure — the receive port accepts any stream count.");
+}

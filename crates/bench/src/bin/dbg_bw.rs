@@ -1,0 +1,108 @@
+//! Diagnostic: single bandwidth point with world/link stats dumped.
+use gridsim_net::{LinkDirId, Sim};
+use netgrid::StackSpec;
+use netgrid_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let streams: u16 = arg_value(&args, "--streams").map(|s| s.parse().unwrap()).unwrap_or(1);
+    let comp = has_flag(&args, "--comp");
+    let msg: usize = arg_value(&args, "--msg").map(|s| s.parse().unwrap()).unwrap_or(1 << 20);
+    let total: usize = arg_value(&args, "--total").map(|s| s.parse().unwrap()).unwrap_or(6 << 20);
+    let loss: f64 = arg_value(&args, "--loss").map(|s| s.parse().unwrap()).unwrap_or(0.0);
+
+    let mut spec = StackSpec::plain();
+    if streams > 1 {
+        spec = spec.with_streams(streams);
+    }
+    if comp {
+        spec = spec.with_compression(1);
+    }
+    let mut wan = if has_flag(&args, "--fast") { delft_sophia() } else { amsterdam_rennes() };
+    if arg_value(&args, "--loss").is_some() {
+        wan.loss = loss;
+    }
+
+    // Inline world so we can read link stats afterwards.
+    let mut run = BwRun::new(wan.clone(), spec.clone(), msg);
+    run.total_bytes = total;
+    let sim = Sim::new(run.seed);
+    let (env, ha, hb) = measurement_world(&sim, &run.wan, run.window);
+    let env = env.with_rates(run.rates);
+    let n_msgs = (run.total_bytes / run.msg_size).max(4);
+    let payload = gridzip::synth::grid_payload(run.msg_size, run.redundancy, run.seed);
+    let net = sim.net();
+
+    let t0 = std::sync::Arc::new(parking_lot::Mutex::new(None::<gridsim_net::SimTime>));
+    let te = std::sync::Arc::new(parking_lot::Mutex::new(None::<gridsim_net::SimTime>));
+    {
+        let env_b = env.clone();
+        let te = te.clone();
+        let spec = spec.clone();
+        sim.spawn("receiver", move || {
+            let node = netgrid::GridNode::join(&env_b, hb, "recv", netgrid::ConnectivityProfile::open()).unwrap();
+            let rp = node.create_receive_port("bw", spec).unwrap();
+            for _ in 0..n_msgs {
+                rp.receive().unwrap();
+            }
+            *te.lock() = Some(gridsim_net::ctx::now());
+        });
+    }
+    {
+        let env_a = env.clone();
+        let ts = t0.clone();
+        sim.spawn("sender", move || {
+            gridsim_net::ctx::sleep(std::time::Duration::from_millis(100));
+            let node = netgrid::GridNode::join(&env_a, ha, "send", netgrid::ConnectivityProfile::open()).unwrap();
+            let mut sp = node.create_send_port();
+            sp.connect("bw").unwrap();
+            *ts.lock() = Some(gridsim_net::ctx::now());
+            for _ in 0..n_msgs {
+                sp.send(&payload).unwrap();
+            }
+            sp.close().unwrap();
+        });
+    }
+    let outcome = sim.run_for(std::time::Duration::from_secs(120));
+    println!("outcome: {outcome:?} at {}", sim.now());
+    if t0.lock().is_none() || te.lock().is_none() {
+        println!("INCOMPLETE — dumping TCP state");
+        net.with(|w| {
+            for n in 0..w.node_count() {
+                let node = gridsim_net::NodeId(n);
+                let name = w.node(node).name.clone();
+                gridsim_tcp::stack::with_host(w, node, |h, _| {
+                    for (id, tcb) in &h.conns {
+                        println!("  {name} conn{:?}: {}", id, tcb.debug_summary());
+                    }
+                });
+            }
+        });
+        return;
+    }
+    let start = t0.lock().unwrap();
+    let end = te.lock().unwrap();
+    let secs = end.since(start).as_secs_f64();
+    let bytes = n_msgs * msg;
+    println!(
+        "spec={} msgs={} bytes={} time={:.3}s app_bw={:.3} MB/s",
+        spec.describe(),
+        n_msgs,
+        bytes,
+        secs,
+        bytes as f64 / secs / 1e6
+    );
+    net.with(|w| {
+        println!("world: {:?}", w.stats);
+        // Bottleneck uplink directions are links 0/1 (first connect call).
+        for i in 0..6 {
+            let s = w.link_stats(LinkDirId(i));
+            if s.tx_packets > 0 {
+                println!(
+                    "link[{i}]: pkts={} bytes={} lost={} qdrop={}",
+                    s.tx_packets, s.tx_bytes, s.lost_packets, s.queue_drops
+                );
+            }
+        }
+    });
+}

@@ -1,0 +1,171 @@
+//! **E10 — §2/§3.4 connection-establishment delay**: "methods without
+//! brokering are preferable over the ones requiring it, since the latter
+//! are likely to exhibit a higher connection establishment delay due to
+//! the negotiation phase."
+//!
+//! Measures the wall-clock (simulated) time of `SendPort::connect` for each
+//! establishment method on equivalent 10 ms-RTT paths.
+
+use gridsim_net::{topology, LinkParams, NatKind, Sim, SimTime, SockAddr};
+use gridsim_tcp::SimHost;
+use netgrid::{
+    spawn_name_service, spawn_proxy, spawn_relay, ConnectivityProfile, EstablishMethod, GridEnv,
+    GridNode, NatClass, StackSpec,
+};
+use netgrid_bench::*;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Scenario {
+    name: &'static str,
+    sites: Vec<topology::SiteSpec>,
+    sender_profile: ConnectivityProfile,
+    receiver_profile: ConnectivityProfile,
+    proxy_on_receiver_gw: bool,
+    expect: EstablishMethod,
+}
+
+fn measure(sc: &Scenario) -> (Duration, EstablishMethod) {
+    let sim = Sim::new(31);
+    let net = sim.net();
+    let (srv, sender, receiver, recv_gw_ip, recv_gw) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(w, &sc.sites);
+        let (srv, _) = grid.add_public_host(w, "services");
+        (
+            srv,
+            grid.sites[0].hosts[0],
+            grid.sites[1].hosts[0],
+            grid.sites[1].gateway_public_ip,
+            grid.sites[1].gateway,
+        )
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let env = GridEnv::new(net.clone(), SockAddr::new(hsrv.ip(), NS_PORT))
+        .with_relay(SockAddr::new(hsrv.ip(), RELAY_PORT));
+    {
+        let hsrv = hsrv.clone();
+        let net2 = net.clone();
+        let want_proxy = sc.proxy_on_receiver_gw;
+        sim.spawn("services", move || {
+            spawn_name_service(&hsrv, NS_PORT).unwrap();
+            spawn_relay(&hsrv, RELAY_PORT).unwrap();
+            if want_proxy {
+                let hgw = SimHost::new(&net2, recv_gw);
+                spawn_proxy(&hgw, SOCKS_PORT).unwrap();
+            }
+        });
+    }
+    sim.run();
+    let mut receiver_profile = sc.receiver_profile.clone();
+    if sc.proxy_on_receiver_gw {
+        receiver_profile = receiver_profile.with_proxy(SockAddr::new(recv_gw_ip, SOCKS_PORT));
+    }
+    let out: Arc<Mutex<Option<(SimTime, SimTime, EstablishMethod)>>> = Arc::new(Mutex::new(None));
+    {
+        let env = env.clone();
+        let host = SimHost::new(&net, receiver);
+        sim.spawn("recv", move || {
+            let node = GridNode::join(&env, host, "recv", receiver_profile).unwrap();
+            let rp = node.create_receive_port("delay", StackSpec::plain()).unwrap();
+            let _ = rp.receive();
+        });
+    }
+    {
+        let env = env.clone();
+        let host = SimHost::new(&net, sender);
+        let profile = sc.sender_profile.clone();
+        let out = Arc::clone(&out);
+        sim.spawn("send", move || {
+            gridsim_net::ctx::sleep(Duration::from_millis(200));
+            let node = GridNode::join(&env, host, "send", profile).unwrap();
+            let mut sp = node.create_send_port();
+            let t0 = gridsim_net::ctx::now();
+            let m = sp.connect("delay").unwrap();
+            let t1 = gridsim_net::ctx::now();
+            sp.send(b"done").unwrap();
+            let _ = sp.close();
+            *out.lock() = Some((t0, t1, m));
+        });
+    }
+    sim.run();
+    let (t0, t1, m) = out.lock().take().expect("connected");
+    (t1.since(t0), m)
+}
+
+fn main() {
+    let wan = LinkParams::mbps(4.0, Duration::from_millis(5));
+    let scenarios = vec![
+        Scenario {
+            name: "client/server (no brokering)",
+            sites: vec![
+                topology::SiteSpec::open("a", 1, wan),
+                topology::SiteSpec::open("b", 1, wan),
+            ],
+            sender_profile: ConnectivityProfile::open(),
+            receiver_profile: ConnectivityProfile::open(),
+            proxy_on_receiver_gw: false,
+            expect: EstablishMethod::ClientServer,
+        },
+        Scenario {
+            name: "TCP splicing (brokered via relay)",
+            sites: vec![
+                topology::SiteSpec::firewalled("a", 1, wan),
+                topology::SiteSpec::firewalled("b", 1, wan),
+            ],
+            sender_profile: ConnectivityProfile::firewalled(),
+            receiver_profile: ConnectivityProfile::firewalled(),
+            proxy_on_receiver_gw: false,
+            expect: EstablishMethod::Splicing,
+        },
+        Scenario {
+            name: "splicing + NAT port prediction",
+            sites: vec![
+                topology::SiteSpec::natted("a", 1, NatKind::SymmetricSequential, wan),
+                topology::SiteSpec::firewalled("b", 1, wan),
+            ],
+            sender_profile: ConnectivityProfile::natted(NatClass::SymmetricPredictable),
+            receiver_profile: ConnectivityProfile::firewalled(),
+            proxy_on_receiver_gw: false,
+            expect: EstablishMethod::Splicing,
+        },
+        Scenario {
+            name: "SOCKS proxy",
+            sites: vec![
+                topology::SiteSpec::natted("a", 1, NatKind::SymmetricRandom, wan),
+                topology::SiteSpec::firewalled("b", 1, wan),
+            ],
+            sender_profile: ConnectivityProfile::natted(NatClass::SymmetricRandom),
+            receiver_profile: ConnectivityProfile::firewalled(),
+            proxy_on_receiver_gw: true,
+            expect: EstablishMethod::Proxy,
+        },
+        Scenario {
+            name: "routed messages",
+            sites: vec![
+                topology::SiteSpec::natted("a", 1, NatKind::SymmetricRandom, wan),
+                topology::SiteSpec::firewalled("b", 1, wan),
+            ],
+            sender_profile: ConnectivityProfile::natted(NatClass::SymmetricRandom),
+            receiver_profile: ConnectivityProfile::firewalled(),
+            proxy_on_receiver_gw: false,
+            expect: EstablishMethod::Routed,
+        },
+    ];
+    println!("Connection establishment delay per method (10 ms RTT paths)");
+    println!("{}", "=".repeat(72));
+    println!("{:<36} | {:>12} | {:>10}", "scenario", "delay", "brokered");
+    println!("{}", "-".repeat(72));
+    for sc in &scenarios {
+        let (d, m) = measure(sc);
+        assert_eq!(m, sc.expect, "scenario '{}' used {m}", sc.name);
+        println!(
+            "{:<36} | {:>9.1} ms | {:>10}",
+            sc.name,
+            d.as_secs_f64() * 1e3,
+            if m.properties().needs_brokering { "yes" } else { "no" }
+        );
+    }
+    println!();
+    println!("paper §3.4: brokered methods pay a negotiation phase on top of the handshake");
+}

@@ -1,0 +1,180 @@
+//! **E9 — §3.4 relayed-method costs** (Table 1 discussion): "the relay
+//! itself is likely to be a bottleneck, lowering the achievable bandwidth.
+//! Since the relay adds a receipt/send on the route between the sender and
+//! the receiver, the use of a relay is also likely to raise the
+//! communication latency."
+//!
+//! Measures n concurrent node pairs transferring data (a) over direct
+//! client/server links and (b) forced through the relay (routed messages),
+//! plus the added latency of one relay hop.
+//!
+//! Usage: `relay_bottleneck [--pairs N]`
+
+use gridsim_net::{topology, LinkParams, Sim, SimTime, SockAddr};
+use gridsim_tcp::SimHost;
+use netgrid::{
+    spawn_name_service, spawn_relay, ConnectivityProfile, EstablishMethod, GridEnv, GridNode,
+    NatClass, StackSpec,
+};
+use netgrid_bench::*;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Run `pairs` transfers of `bytes` each; `force_routed` makes every pair
+/// unsplicable so the decision tree lands on routed messages.
+fn run(pairs: usize, bytes: usize, force_routed: bool) -> (f64, Duration, EstablishMethod) {
+    let sim = Sim::new(9);
+    let net = sim.net();
+    let wan = LinkParams::mbps(4.0, Duration::from_millis(5)).with_queue(1 << 20);
+    let mut specs = Vec::new();
+    for i in 0..pairs {
+        specs.push(topology::SiteSpec::open(&format!("s{i}"), 1, wan));
+        specs.push(topology::SiteSpec::open(&format!("r{i}"), 1, wan));
+    }
+    // The relay gets its own host with a finite uplink: its link is the
+    // shared resource every routed byte crosses twice (in and out).
+    let relay_uplink = LinkParams::mbps(8.0, Duration::from_millis(1)).with_queue(1 << 20);
+    let (srv, relay_host, send_hosts, recv_hosts) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(w, &specs);
+        let (srv, _) = grid.add_public_host(w, "services");
+        let (relay_host, _) = grid.add_public_host_with(w, "relay", relay_uplink);
+        let sends: Vec<_> = (0..pairs).map(|i| grid.sites[2 * i].hosts[0]).collect();
+        let recvs: Vec<_> = (0..pairs).map(|i| grid.sites[2 * i + 1].hosts[0]).collect();
+        (srv, relay_host, sends, recvs)
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let hrelay = SimHost::new(&net, relay_host);
+    let env = GridEnv::new(net.clone(), SockAddr::new(hsrv.ip(), NS_PORT))
+        .with_relay(SockAddr::new(hrelay.ip(), RELAY_PORT));
+    {
+        let hsrv = hsrv.clone();
+        sim.spawn("services", move || {
+            spawn_name_service(&hsrv, NS_PORT).unwrap();
+            spawn_relay(&hrelay, RELAY_PORT).unwrap();
+        });
+    }
+    sim.run();
+
+    // An unsplicable profile (random NAT, no proxy anywhere) forces routed
+    // messages for data links while remaining able to join.
+    let (send_profile, recv_profile) = if force_routed {
+        (
+            ConnectivityProfile::natted(NatClass::SymmetricRandom),
+            ConnectivityProfile {
+                firewall: netgrid::FirewallClass::Stateful,
+                nat: None,
+                private_addr: false,
+                socks_proxy: None,
+            },
+        )
+    } else {
+        (ConnectivityProfile::open(), ConnectivityProfile::open())
+    };
+
+    let t0 = Arc::new(Mutex::new(SimTime::ZERO));
+    let finished: Arc<Mutex<Vec<SimTime>>> = Arc::new(Mutex::new(Vec::new()));
+    let method = Arc::new(Mutex::new(None));
+    let ping_sent = Arc::new(Mutex::new(SimTime::ZERO));
+    let ping_recv = Arc::new(Mutex::new(SimTime::ZERO));
+    for (i, &recv_host) in recv_hosts.iter().enumerate() {
+        let env = env.clone();
+        let host = SimHost::new(&net, recv_host);
+        let profile = recv_profile.clone();
+        let finished = Arc::clone(&finished);
+        let ping_recv = Arc::clone(&ping_recv);
+        sim.spawn(format!("recv{i}"), move || {
+            let node = GridNode::join(&env, host, &format!("recv{i}"), profile).unwrap();
+            let rp = node.create_receive_port(&format!("sink{i}"), StackSpec::plain()).unwrap();
+            let mut got = 0usize;
+            let mut first = true;
+            while got < bytes {
+                got += rp.receive().unwrap().len();
+                if first && i == 0 {
+                    *ping_recv.lock() = gridsim_net::ctx::now();
+                    first = false;
+                }
+            }
+            finished.lock().push(gridsim_net::ctx::now());
+        });
+    }
+    for (i, &send_host) in send_hosts.iter().enumerate() {
+        let env = env.clone();
+        let host = SimHost::new(&net, send_host);
+        let profile = send_profile.clone();
+        let t0 = Arc::clone(&t0);
+        let method = Arc::clone(&method);
+        let ping_sent = Arc::clone(&ping_sent);
+        sim.spawn(format!("send{i}"), move || {
+            gridsim_net::ctx::sleep(Duration::from_millis(150));
+            let node = GridNode::join(&env, host, &format!("send{i}"), profile).unwrap();
+            let mut sp = node.create_send_port();
+            let m = sp.connect(&format!("sink{i}")).unwrap();
+            *method.lock() = Some(m);
+            if i == 0 {
+                // One small message first: delivery latency measured at the
+                // receiver.
+                *ping_sent.lock() = gridsim_net::ctx::now();
+                sp.send(&[1u8; 64]).unwrap();
+            }
+            *t0.lock() = gridsim_net::ctx::now();
+            let chunk = vec![0x7fu8; 64 * 1024];
+            let mut left = bytes - if i == 0 { 64 } else { 0 };
+            while left > 0 {
+                let n = chunk.len().min(left);
+                sp.send(&chunk[..n]).unwrap();
+                left -= n;
+            }
+            sp.close().unwrap();
+        });
+    }
+    sim.run();
+    let start = *t0.lock();
+    let ends = finished.lock();
+    let last = ends.iter().copied().max().unwrap();
+    let aggregate = (pairs * bytes) as f64 / last.since(start).as_secs_f64();
+    let m = method.lock().unwrap();
+    let lat = ping_recv.lock().since(*ping_sent.lock());
+    (aggregate, lat, m)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_pairs: usize = arg_value(&args, "--pairs").map(|s| s.parse().unwrap()).unwrap_or(4);
+    println!("Relay bottleneck: n pairs, 4 MB/s per site uplink, relay on the backbone");
+    println!("{}", "=".repeat(72));
+    println!(
+        "{:>6} | {:>18} | {:>18} | {:>8}",
+        "pairs", "direct aggregate", "routed aggregate", "ratio"
+    );
+    println!("{}", "-".repeat(72));
+    for pairs in 1..=max_pairs {
+        let bytes = 8 << 20;
+        let (direct, _, dm) = run(pairs, bytes, false);
+        let (routed, _, rm) = run(pairs, bytes, true);
+        assert_eq!(dm, EstablishMethod::ClientServer);
+        assert_eq!(rm, EstablishMethod::Routed);
+        println!(
+            "{pairs:>6} | {:>13} MB/s | {:>13} MB/s | {:>7.2}x",
+            fmt_mb(direct),
+            fmt_mb(routed),
+            direct / routed
+        );
+    }
+    let (_, direct_lat, _) = run(1, 1 << 20, false);
+    let (_, routed_lat, _) = run(1, 1 << 20, true);
+    println!();
+    println!(
+        "small-message latency: direct {:.2} ms, routed {:.2} ms (+{:.2} ms relay hop)",
+        direct_lat.as_secs_f64() * 1e3,
+        routed_lat.as_secs_f64() * 1e3,
+        (routed_lat.as_secs_f64() - direct_lat.as_secs_f64()) * 1e3
+    );
+    println!();
+    println!("paper §3.4: the relay \"is likely to be a bottleneck, lowering the achievable");
+    println!("bandwidth\" and \"likely to raise the communication latency\"");
+    println!();
+    println!("note: at low pair counts the relay can WIN on bandwidth — splitting one");
+    println!("window-limited TCP path into two half-RTT legs is the split-TCP/PEP effect;");
+    println!("the bottleneck emerges once the relay link saturates (pairs >= 3 above).");
+}

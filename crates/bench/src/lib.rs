@@ -1,0 +1,220 @@
+//! Shared measurement harness for the HPDC 2004 reproduction benchmarks.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` built on these helpers; see `DESIGN.md` §4 for the
+//! experiment index and `EXPERIMENTS.md` for paper-vs-measured results.
+
+use gridsim_net::{topology, LinkParams, Sim, SockAddr};
+use gridsim_tcp::{SimHost, TcpConfig};
+use netgrid::{
+    spawn_name_service, spawn_relay, ConnectivityProfile, CpuRates, EstablishMethod, GridEnv,
+    GridNode, StackSpec,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub const NS_PORT: u16 = 563;
+pub const RELAY_PORT: u16 = 600;
+pub const SOCKS_PORT: u16 = 1080;
+
+/// An emulated WAN path between two sites.
+#[derive(Clone, Debug)]
+pub struct Wan {
+    pub name: &'static str,
+    /// Path capacity in bytes per second.
+    pub capacity: f64,
+    /// Round-trip time (split across the two site uplinks).
+    pub rtt: Duration,
+    /// Per-packet loss probability on the bottleneck uplink.
+    pub loss: f64,
+    /// Bottleneck queue in bytes.
+    pub queue: u32,
+}
+
+/// The Amsterdam—Rennes link of Fig. 9: "capacity 1.6 MB/s, typical latency
+/// 30 ms". Loss calibrated so plain TCP lands near the paper's 56% of
+/// capacity.
+pub fn amsterdam_rennes() -> Wan {
+    Wan {
+        name: "Amsterdam-Rennes",
+        capacity: 1.6e6,
+        rtt: Duration::from_millis(30),
+        loss: 0.004,
+        // Room for several 64 KiB windows: era backbone routers buffered
+        // well beyond one flow's window (see DESIGN.md §5 ablations).
+        queue: 320 * 1024,
+    }
+}
+
+/// The Delft—Sophia link of Fig. 10: "capacity 9 MB/s, typical latency
+/// 43 ms". Low loss; the 64 KiB OS window is the binding constraint.
+pub fn delft_sophia() -> Wan {
+    Wan {
+        name: "Delft-Sophia",
+        capacity: 9e6,
+        rtt: Duration::from_millis(43),
+        loss: 0.0003,
+        queue: 640 * 1024,
+    }
+}
+
+/// Result of one bandwidth point.
+#[derive(Clone, Debug)]
+pub struct BwPoint {
+    pub label: String,
+    pub msg_size: usize,
+    /// Application-level goodput in bytes/sec.
+    pub bandwidth: f64,
+    pub method: EstablishMethod,
+}
+
+/// Options for a bandwidth run.
+#[derive(Clone)]
+pub struct BwRun {
+    pub wan: Wan,
+    pub spec: StackSpec,
+    pub msg_size: usize,
+    pub total_bytes: usize,
+    pub seed: u64,
+    pub rates: CpuRates,
+    /// OS socket buffer limit (the paper-era 64 KiB default).
+    pub window: u32,
+    /// Payload redundancy for the synthetic workload (compressibility).
+    pub redundancy: f64,
+}
+
+impl BwRun {
+    pub fn new(wan: Wan, spec: StackSpec, msg_size: usize) -> BwRun {
+        BwRun {
+            wan,
+            spec,
+            msg_size,
+            total_bytes: 6 << 20,
+            seed: 42,
+            rates: CpuRates::default(),
+            window: 64 * 1024,
+            redundancy: gridzip::synth::GRID_REDUNDANCY,
+        }
+    }
+}
+
+/// Build the standard two-site measurement world: sender site A, receiver
+/// site B, services on the public backbone. The bottleneck (capacity,
+/// loss, queue) sits on the sender uplink; delay is split across both.
+pub fn measurement_world(sim: &Sim, wan: &Wan, window: u32) -> (GridEnv, SimHost, SimHost) {
+    let net = sim.net();
+    let half_delay = wan.rtt / 4; // one-way = rtt/2, split over two uplinks
+    let bottleneck = LinkParams::new(wan.capacity, half_delay)
+        .with_loss(wan.loss)
+        .with_queue(wan.queue);
+    let fat = LinkParams::new(1e9, half_delay).with_queue(8 << 20);
+    let (srv, a, b) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(
+            w,
+            &[
+                topology::SiteSpec::open("send-site", 1, bottleneck),
+                topology::SiteSpec::open("recv-site", 1, fat),
+            ],
+        );
+        let (srv, _) = grid.add_public_host(w, "services");
+        (srv, grid.sites[0].hosts[0], grid.sites[1].hosts[0])
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let ha = SimHost::new(&net, a);
+    let hb = SimHost::new(&net, b);
+    let cfg = TcpConfig { send_buf: window, recv_buf: window, ..TcpConfig::default() };
+    ha.set_tcp_config(cfg);
+    hb.set_tcp_config(cfg);
+    let env = GridEnv::new(net, SockAddr::new(hsrv.ip(), NS_PORT))
+        .with_relay(SockAddr::new(hsrv.ip(), RELAY_PORT));
+    let hsrv2 = hsrv.clone();
+    sim.spawn("services", move || {
+        spawn_name_service(&hsrv2, NS_PORT).unwrap();
+        spawn_relay(&hsrv2, RELAY_PORT).unwrap();
+    });
+    sim.run();
+    (env, ha, hb)
+}
+
+/// Measure application goodput for one (wan, stack, message size) point.
+/// Returns bytes/sec of simulated time, from the sender's first message to
+/// the receiver's last.
+pub fn measure_bandwidth(run: &BwRun) -> BwPoint {
+    let sim = Sim::new(run.seed);
+    let (env, ha, hb) = measurement_world(&sim, &run.wan, run.window);
+    let env = env.with_rates(run.rates);
+    let n_msgs = (run.total_bytes / run.msg_size).max(4);
+    let payload = gridzip::synth::grid_payload(run.msg_size, run.redundancy, run.seed);
+
+    let t0 = Arc::new(Mutex::new(None::<gridsim_net::SimTime>));
+    let t_end = Arc::new(Mutex::new(None::<gridsim_net::SimTime>));
+    let method_slot = Arc::new(Mutex::new(None::<EstablishMethod>));
+
+    let env_b = env.clone();
+    let te = Arc::clone(&t_end);
+    let spec = run.spec.clone();
+    sim.spawn("receiver", move || {
+        let node = GridNode::join(&env_b, hb, "recv", ConnectivityProfile::open()).unwrap();
+        let rp = node.create_receive_port("bw", spec).unwrap();
+        for _ in 0..n_msgs {
+            let m = rp.receive().unwrap();
+            assert!(!m.is_empty());
+        }
+        *te.lock() = Some(gridsim_net::ctx::now());
+    });
+    let env_a = env.clone();
+    let ts = Arc::clone(&t0);
+    let ms = Arc::clone(&method_slot);
+    sim.spawn("sender", move || {
+        gridsim_net::ctx::sleep(Duration::from_millis(100));
+        let node = GridNode::join(&env_a, ha, "send", ConnectivityProfile::open()).unwrap();
+        let mut sp = node.create_send_port();
+        let method = sp.connect("bw").unwrap();
+        *ms.lock() = Some(method);
+        *ts.lock() = Some(gridsim_net::ctx::now());
+        for _ in 0..n_msgs {
+            sp.send(&payload).unwrap();
+        }
+        sp.close().unwrap();
+    });
+    sim.run();
+    let start = t0.lock().expect("sender started");
+    let end = t_end.lock().expect("receiver finished");
+    let secs = end.since(start).as_secs_f64();
+    let bytes = n_msgs * run.msg_size;
+    let m = method_slot.lock().expect("connected");
+    BwPoint {
+        label: run.spec.describe(),
+        msg_size: run.msg_size,
+        bandwidth: bytes as f64 / secs,
+        method: m,
+    }
+}
+
+/// Pretty-print helpers shared by the figure binaries.
+pub fn print_header(title: &str, wan: &Wan) {
+    println!("================================================================");
+    println!("{title}");
+    println!(
+        "WAN: {} — capacity {:.1} MB/s, RTT {} ms, loss {:.2}%  (OS window 64 KiB)",
+        wan.name,
+        wan.capacity / 1e6,
+        wan.rtt.as_millis(),
+        wan.loss * 100.0
+    );
+    println!("================================================================");
+}
+
+pub fn fmt_mb(bps: f64) -> String {
+    format!("{:5.2}", bps / 1e6)
+}
+
+/// Parse a `--flag value` style argument.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}

@@ -1,0 +1,59 @@
+use gridsim_net::{topology, LinkParams, NatKind, Sim, SockAddr};
+use gridsim_net::world::TraceKind;
+use gridsim_tcp::SimHost;
+use netgrid::*;
+use std::time::Duration;
+
+fn main() {
+    let sim = Sim::new(18);
+    let net = sim.net();
+    let wan = LinkParams::mbps(2.0, Duration::from_millis(10));
+    let (srv, a, b) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(
+            w,
+            &[
+                topology::SiteSpec::firewalled("ams", 1, wan),
+                topology::SiteSpec::natted("berlin", 1, NatKind::SymmetricSequential, wan),
+            ],
+        );
+        let (srv, _) = grid.add_public_host(w, "services");
+        (srv, grid.sites[0].hosts[0], grid.sites[1].hosts[0])
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let ha = SimHost::new(&net, a);
+    let hb = SimHost::new(&net, b);
+    let env = GridEnv::new(net.clone(), SockAddr::new(hsrv.ip(), 563))
+        .with_relay(SockAddr::new(hsrv.ip(), 600));
+    let hsrv2 = hsrv.clone();
+    sim.spawn("services", move || {
+        spawn_name_service(&hsrv2, 563).unwrap();
+        spawn_relay(&hsrv2, 600).unwrap();
+    });
+    sim.run();
+    net.with(|w| w.set_tracer(Box::new(|t, kind, pkt| {
+        if matches!(kind, TraceKind::DropFirewall | TraceKind::DropNat | TraceKind::DropNoRoute | TraceKind::DropNotLocal) {
+            println!("{t} {kind:?} {} -> {}", pkt.src, pkt.dst);
+        }
+    })));
+    // receiver = NATTED berlin
+    let env_b = env.clone();
+    sim.spawn("receiver", move || {
+        let node = GridNode::join(&env_b, hb, "recv", ConnectivityProfile::natted(NatClass::SymmetricPredictable)).unwrap();
+        let rp = node.create_receive_port("p", StackSpec::plain()).unwrap();
+        let m = rp.receive().unwrap();
+        println!("received {} bytes", m.len());
+    });
+    // sender = firewalled amsterdam
+    let env_a = env.clone();
+    sim.spawn("sender", move || {
+        gridsim_net::ctx::sleep(Duration::from_millis(200));
+        let node = GridNode::join(&env_a, ha, "send", ConnectivityProfile::firewalled()).unwrap();
+        let mut sp = node.create_send_port();
+        let m = sp.connect("p").unwrap();
+        println!("method: {m}");
+        sp.send(b"hello").unwrap();
+        sp.close().unwrap();
+    });
+    let out = sim.run_for(Duration::from_secs(120));
+    println!("{out:?} done at {}", sim.now());
+}

@@ -1,0 +1,248 @@
+//! Adaptive compression (paper §8 future work: "the dynamic enabling or
+//! disabling of compression will then become possible", referencing the
+//! AdOC library of §1).
+//!
+//! Policy, in the spirit of AdOC: per window of blocks, compare the time
+//! spent *waiting on the wire* (downstream `write` blocking — the signal
+//! that the network is the bottleneck) against the *CPU time* spent
+//! compressing. Wire-bound → compression pays; CPU-bound → send stored
+//! blocks. While stored, a periodic probe block keeps the compressibility
+//! estimate fresh so the driver can switch back. The on-wire format is the
+//! standard gridzip frame (each block carries its own stored/compressed
+//! flag), so the receiver is the ordinary decompressing reader.
+
+use gridzip::Compressor;
+use std::io::{self, Write};
+use std::time::Duration;
+
+use crate::cpu::HostCpu;
+
+/// Blocks per decision window.
+const WINDOW_BLOCKS: u32 = 8;
+/// While in stored mode, probe-compress one block out of this many.
+const PROBE_EVERY: u32 = 32;
+/// Hysteresis on the estimated per-block times before switching modes.
+const HYSTERESIS: f64 = 1.2;
+
+/// Counters exposed for tests and benchmarks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AdaptiveStats {
+    pub compressed_blocks: u64,
+    pub stored_blocks: u64,
+    pub mode_switches: u64,
+}
+
+/// A compression filter that turns itself on and off based on where the
+/// bottleneck is.
+pub struct AdaptiveCompressWriter<W: Write> {
+    inner: W,
+    comp: Compressor,
+    cpu: HostCpu,
+    rate: f64,
+    block: usize,
+    buf: Vec<u8>,
+    compressing: bool,
+    // Per-window accounting (simulated time).
+    wire_wait: Duration,
+    wire_bytes: u64,
+    blocks_in_window: u32,
+    blocks_since_probe: u32,
+    /// EWMA of the achieved compression ratio (orig / framed).
+    ratio_est: f64,
+    pub stats: AdaptiveStats,
+}
+
+impl<W: Write> AdaptiveCompressWriter<W> {
+    pub fn new(inner: W, level: u8, block: usize, cpu: HostCpu, rate: f64) -> Self {
+        AdaptiveCompressWriter {
+            inner,
+            comp: Compressor::new(level),
+            cpu,
+            rate,
+            block,
+            buf: Vec::with_capacity(block),
+            compressing: true, // optimistic start, like AdOC
+            wire_wait: Duration::ZERO,
+            wire_bytes: 0,
+            blocks_in_window: 0,
+            blocks_since_probe: 0,
+            ratio_est: 2.0,
+            stats: AdaptiveStats::default(),
+        }
+    }
+
+    /// Currently compressing?
+    pub fn is_compressing(&self) -> bool {
+        self.compressing
+    }
+
+    fn emit_block(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let probe = !self.compressing && self.blocks_since_probe >= PROBE_EVERY;
+        let do_compress = self.compressing || probe;
+        let mut framed = Vec::with_capacity(self.buf.len() + 16);
+        if do_compress {
+            let orig = self.buf.len();
+            self.cpu.consume(orig, self.rate);
+            gridzip::frame_block(&mut self.comp, &self.buf, &mut framed);
+            let ratio = orig as f64 / framed.len() as f64;
+            self.ratio_est = 0.75 * self.ratio_est + 0.25 * ratio;
+            self.stats.compressed_blocks += 1;
+            self.blocks_since_probe = 0;
+        } else {
+            // Stored block: flag 0, orig_len, payload_len, payload.
+            framed.push(0);
+            gridzip::varint::put(&mut framed, self.buf.len() as u64);
+            gridzip::varint::put(&mut framed, self.buf.len() as u64);
+            framed.extend_from_slice(&self.buf);
+            self.stats.stored_blocks += 1;
+            self.blocks_since_probe += 1;
+        }
+        self.buf.clear();
+        let t0 = gridsim_net::ctx::now();
+        self.inner.write_all(&framed)?;
+        self.wire_wait += gridsim_net::ctx::now().since(t0);
+        self.wire_bytes += framed.len() as u64;
+        self.blocks_in_window += 1;
+        if self.blocks_in_window >= WINDOW_BLOCKS {
+            self.decide();
+        }
+        Ok(())
+    }
+
+    /// Estimate per-block costs of both modes from this window's observed
+    /// wire drain rate, the known CPU rate and the running ratio estimate;
+    /// pick the cheaper mode (with hysteresis).
+    fn decide(&mut self) {
+        let wire_secs = self.wire_wait.as_secs_f64();
+        let block = self.block as f64;
+        // Observed wire drain rate over this window. A negligible wait
+        // means the wire is effectively free: storing wins outright.
+        let next = if wire_secs < 1e-6 {
+            false
+        } else {
+            let wire_rate = self.wire_bytes as f64 / wire_secs;
+            let t_store = block / wire_rate;
+            let t_comp = (block / self.rate).max(block / self.ratio_est / wire_rate);
+            if self.compressing {
+                // Keep compressing unless storing is clearly cheaper.
+                t_comp <= t_store * HYSTERESIS
+            } else {
+                // Switch on only when compression is clearly cheaper.
+                t_comp * HYSTERESIS <= t_store
+            }
+        };
+        if next != self.compressing {
+            self.compressing = next;
+            self.stats.mode_switches += 1;
+        }
+        self.wire_wait = Duration::ZERO;
+        self.wire_bytes = 0;
+        self.blocks_in_window = 0;
+    }
+}
+
+impl<W: Write> Write for AdaptiveCompressWriter<W> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        let mut rest = data;
+        while !rest.is_empty() {
+            let room = self.block - self.buf.len();
+            let n = room.min(rest.len());
+            self.buf.extend_from_slice(&rest[..n]);
+            rest = &rest[n..];
+            if self.buf.len() == self.block {
+                self.emit_block()?;
+            }
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.emit_block()?;
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{CpuModel, CpuRates};
+    use gridsim_net::{ctx, NodeId, Sim};
+    use std::io::Read;
+
+    /// A writer that models a wire draining at a fixed rate by sleeping in
+    /// simulated time.
+    struct ThrottledSink {
+        rate: f64,
+        data: Vec<u8>,
+    }
+
+    impl Write for ThrottledSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            ctx::sleep(Duration::from_secs_f64(buf.len() as f64 / self.rate));
+            self.data.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn run_adaptive(wire_rate: f64, payload: &[u8]) -> (AdaptiveStats, bool, Vec<u8>) {
+        let sim = Sim::new(5);
+        let cpu = HostCpu::new(CpuModel::new(), NodeId(0), CpuRates::default());
+        let payload = payload.to_vec();
+        let out = std::sync::Arc::new(parking_lot::Mutex::new(None));
+        let o2 = out.clone();
+        sim.spawn("writer", move || {
+            let sink = ThrottledSink { rate: wire_rate, data: Vec::new() };
+            let mut w = AdaptiveCompressWriter::new(sink, 1, 32 * 1024, cpu.clone(), cpu.rates.compress_l1);
+            w.write_all(&payload).unwrap();
+            w.flush().unwrap();
+            let mode = w.is_compressing();
+            let stats = w.stats;
+            *o2.lock() = Some((stats, mode, w.inner.data));
+        });
+        sim.run();
+        let x = out.lock().take().unwrap();
+        x
+    }
+
+    #[test]
+    fn slow_wire_keeps_compression_on() {
+        // 1 MB/s wire, 5.5 MB/s compression CPU: wire-bound.
+        let payload = gridzip::synth::grid_payload(2 << 20, 0.6, 1);
+        let (stats, mode, _) = run_adaptive(1e6, &payload);
+        assert!(mode, "should still be compressing on a slow wire");
+        assert!(
+            stats.compressed_blocks > stats.stored_blocks,
+            "mostly compressed: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn fast_wire_disables_compression() {
+        // 40 MB/s wire: CPU-bound; should switch to stored mode.
+        let payload = gridzip::synth::grid_payload(2 << 20, 0.6, 1);
+        let (stats, mode, _) = run_adaptive(40e6, &payload);
+        assert!(!mode, "should have turned compression off on a fast wire");
+        assert!(stats.stored_blocks > stats.compressed_blocks, "mostly stored: {stats:?}");
+        assert!(stats.mode_switches >= 1);
+    }
+
+    #[test]
+    fn output_is_always_decodable() {
+        // Whatever mode decisions were made, the receiver must reconstruct
+        // the exact payload.
+        for rate in [1e6, 8e6, 40e6] {
+            let payload = gridzip::synth::grid_payload(1 << 20, 0.5, 9);
+            let (_, _, framed) = run_adaptive(rate, &payload);
+            let mut r = gridzip::DecompressReader::new(std::io::Cursor::new(framed));
+            let mut back = Vec::new();
+            r.read_to_end(&mut back).unwrap();
+            assert_eq!(back, payload, "rate {rate}");
+        }
+    }
+}

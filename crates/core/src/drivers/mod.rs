@@ -1,0 +1,410 @@
+//! Driver stacks: the paper's link utilization methods (§4), composed
+//! exactly as NetIbis composes filtering drivers over networking drivers
+//! (Fig. 6).
+//!
+//! Layering, top (application) to bottom (wire), mirroring the paper's
+//! "compression over secured parallel streams":
+//!
+//! ```text
+//! message framing (ports)           — SendPort/ReceivePort, port.rs
+//!   └ compression filter            — gridzip blocks + CPU cost   (§4.3)
+//!       └ parallel-stream driver    — round-robin block striping  (§4.2)
+//!       │     └ GTLS per stream     — encryption filter           (§4.4)
+//!       │           └ TCP_Block     — user-space aggregation +
+//!       │                             TCP_NODELAY                 (§4.1)
+//!       └ (streams = 1: plain TCP_Block, optionally under GTLS)
+//! ```
+//!
+//! Establishment and utilization stay orthogonal: the stack builders accept
+//! any [`RawLink`] — native TCP from any establishment method, or a routed
+//! relay stream.
+
+pub mod adaptive;
+pub mod blockio;
+pub mod stripe;
+
+use gridsim_net::SockAddr;
+use gridsim_tcp::TcpStream;
+use gridcrypt::{SecureConfig, SecureStream};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{self, Read, Write};
+
+use crate::cpu::HostCpu;
+use crate::relay::RoutedStream;
+use crate::wire::{FrameReader, FrameWriter};
+
+pub use adaptive::{AdaptiveCompressWriter, AdaptiveStats};
+pub use blockio::{CpuRead, CpuWrite};
+pub use stripe::{StripeReader, StripeWriter};
+
+/// A raw, established link: either a native TCP socket (client/server,
+/// spliced, or proxied — Table 1's "native TCP" rows) or a relay-routed
+/// stream.
+#[derive(Clone)]
+pub enum RawLink {
+    Tcp(TcpStream),
+    Routed(RoutedStream),
+}
+
+impl RawLink {
+    /// Human-readable description of the peer.
+    pub fn peer_desc(&self) -> String {
+        match self {
+            RawLink::Tcp(s) => format!("tcp:{}", s.peer_addr()),
+            RawLink::Routed(s) => format!("routed:node-{}", s.peer()),
+        }
+    }
+
+    /// The remote address, for native TCP links.
+    pub fn peer_addr(&self) -> Option<SockAddr> {
+        match self {
+            RawLink::Tcp(s) => Some(s.peer_addr()),
+            RawLink::Routed(_) => None,
+        }
+    }
+
+    /// Signal end-of-stream to the peer.
+    pub fn shutdown_write(&self) -> io::Result<()> {
+        match self {
+            RawLink::Tcp(s) => s.shutdown_write(),
+            RawLink::Routed(s) => s.shutdown_write(),
+        }
+    }
+}
+
+impl Read for RawLink {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            RawLink::Tcp(s) => s.read_some(buf),
+            RawLink::Routed(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for RawLink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            RawLink::Tcp(s) => s.write_some(buf),
+            RawLink::Routed(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Configuration of a driver stack — what NetIbis reads from its
+/// configuration file / runtime properties. The receive port declares it;
+/// senders learn it from the name service, so both endpoints always
+/// assemble matching stacks (the paper's "driver assembly consistency").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StackSpec {
+    /// Number of parallel TCP streams (1 = plain).
+    pub streams: u16,
+    /// Aggregation block size for TCP_Block and the striping unit.
+    pub block_size: u32,
+    /// Compression filter with this gridzip level.
+    pub compress: Option<u8>,
+    /// Adaptive compression (paper §8 future work): toggle the compressor
+    /// on and off at runtime depending on where the bottleneck is.
+    pub adaptive: bool,
+    /// GTLS encryption filter on every stream.
+    pub secure: bool,
+}
+
+impl Default for StackSpec {
+    fn default() -> Self {
+        StackSpec { streams: 1, block_size: 32 * 1024, compress: None, adaptive: false, secure: false }
+    }
+}
+
+impl StackSpec {
+    pub fn plain() -> StackSpec {
+        StackSpec::default()
+    }
+
+    pub fn with_streams(mut self, n: u16) -> Self {
+        assert!(n >= 1, "at least one stream");
+        self.streams = n;
+        self
+    }
+
+    pub fn with_compression(mut self, level: u8) -> Self {
+        self.compress = Some(level.clamp(1, 9));
+        self
+    }
+
+    /// Compression that turns itself off when CPU-bound (AdOC-style).
+    pub fn with_adaptive_compression(mut self, level: u8) -> Self {
+        self.compress = Some(level.clamp(1, 9));
+        self.adaptive = true;
+        self
+    }
+
+    pub fn with_security(mut self) -> Self {
+        self.secure = true;
+        self
+    }
+
+    pub fn with_block_size(mut self, bytes: u32) -> Self {
+        assert!(bytes > 0);
+        self.block_size = bytes;
+        self
+    }
+
+    /// Short description, e.g. `"4 streams + zlib(1) + gtls"`.
+    pub fn describe(&self) -> String {
+        let mut parts = vec![if self.streams == 1 {
+            "plain TCP".to_string()
+        } else {
+            format!("{} streams", self.streams)
+        }];
+        if let Some(l) = self.compress {
+            if self.adaptive {
+                parts.push(format!("adaptive compression(level {l})"));
+            } else {
+                parts.push(format!("compression(level {l})"));
+            }
+        }
+        if self.secure {
+            parts.push("gtls".to_string());
+        }
+        parts.join(" + ")
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        FrameWriter::new()
+            .u64(self.streams as u64)
+            .u64(self.block_size as u64)
+            .u8(self.compress.map(|l| l + 1).unwrap_or(0))
+            .u8(self.secure as u8)
+            .u8(self.adaptive as u8)
+            .into_bytes()
+    }
+
+    pub fn decode(bytes: &[u8]) -> io::Result<StackSpec> {
+        let mut r = FrameReader::new(bytes);
+        let streams = r.u64()? as u16;
+        let block_size = r.u64()? as u32;
+        let compress = match r.u8()? {
+            0 => None,
+            l => Some(l - 1),
+        };
+        let secure = r.u8()? != 0;
+        let adaptive = r.u8()? != 0;
+        if streams == 0 || block_size == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad stack spec"));
+        }
+        Ok(StackSpec { streams, block_size, compress, adaptive, secure })
+    }
+}
+
+/// Security material for GTLS stacks.
+#[derive(Clone)]
+pub struct SecurityContext {
+    pub config: SecureConfig,
+    /// Deterministic seed for handshake randomness (a simulation stand-in
+    /// for OS entropy).
+    pub seed: u64,
+}
+
+/// One assembled, per-stream wire: TCP/routed, possibly under GTLS.
+enum WireStream {
+    Plain(RawLink),
+    Secure(Box<SecureStream<RawLink>>),
+}
+
+impl Read for WireStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            WireStream::Plain(s) => s.read(buf),
+            WireStream::Secure(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for WireStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            WireStream::Plain(s) => s.write(buf),
+            WireStream::Secure(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            WireStream::Plain(s) => s.flush(),
+            WireStream::Secure(s) => s.flush(),
+        }
+    }
+}
+
+/// The assembled sender side of a connection.
+pub type SenderStack = Box<dyn Write + Send>;
+/// The assembled receiver side of a connection.
+pub type ReceiverStack = Box<dyn Read + Send>;
+
+fn secure_wires(
+    links: Vec<RawLink>,
+    spec: &StackSpec,
+    cpu: &HostCpu,
+    sec: Option<&SecurityContext>,
+    is_initiator: bool,
+) -> io::Result<Vec<WireStream>> {
+    let mut wires = Vec::with_capacity(links.len());
+    for (i, link) in links.into_iter().enumerate() {
+        if spec.secure {
+            let sc = sec.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "stack requires a security context")
+            })?;
+            // Handshake cost: two X25519 ops + hashes, ≈ a few ms of 2004
+            // CPU; charged as 64 KiB of crypto work.
+            cpu.consume(64 * 1024, cpu.rates.crypt);
+            let mut rng = StdRng::seed_from_u64(sc.seed ^ (i as u64) << 32 | is_initiator as u64);
+            let s = if is_initiator {
+                SecureStream::client(link, &sc.config, &mut rng)?
+            } else {
+                SecureStream::server(link, &sc.config, &mut rng)?
+            };
+            wires.push(WireStream::Secure(Box::new(s)));
+        } else {
+            wires.push(WireStream::Plain(link));
+        }
+    }
+    Ok(wires)
+}
+
+/// Assemble the sender stack over established raw links.
+/// `links.len()` must equal `spec.streams`.
+pub fn build_sender(
+    links: Vec<RawLink>,
+    spec: &StackSpec,
+    cpu: HostCpu,
+    sec: Option<&SecurityContext>,
+) -> io::Result<SenderStack> {
+    assert_eq!(links.len(), spec.streams as usize, "link count must match spec.streams");
+    let block = spec.block_size as usize;
+    let mut wires = secure_wires(links, spec, &cpu, sec, true)?;
+    // Per-stream crypto cost wrapper.
+    let crypt_rate = cpu.rates.crypt;
+    let base: Box<dyn Write + Send> = if wires.len() == 1 {
+        let w = wires.pop().unwrap();
+        let w: Box<dyn Write + Send> = if spec.secure {
+            Box::new(CpuWrite::new(w, cpu.clone(), crypt_rate))
+        } else {
+            Box::new(w)
+        };
+        // TCP_Block: user-space aggregation with explicit flush (§4.1).
+        Box::new(io::BufWriter::with_capacity(block, w))
+    } else {
+        let wires: Vec<Box<dyn Write + Send>> = wires
+            .into_iter()
+            .map(|w| -> Box<dyn Write + Send> {
+                if spec.secure {
+                    Box::new(CpuWrite::new(w, cpu.clone(), crypt_rate))
+                } else {
+                    Box::new(w)
+                }
+            })
+            .collect();
+        Box::new(StripeWriter::new(wires, block, cpu.clone(), cpu.rates.copy))
+    };
+    match spec.compress {
+        Some(level) if spec.adaptive => {
+            let rate = cpu.rates.compress_at_level(level);
+            Ok(Box::new(AdaptiveCompressWriter::new(base, level, block, cpu, rate)))
+        }
+        Some(level) => {
+            let rate = cpu.rates.compress_at_level(level);
+            let cw = gridzip::CompressWriter::with_block_size(base, level, block);
+            Ok(Box::new(CpuWrite::new(cw, cpu, rate)))
+        }
+        None => Ok(base),
+    }
+}
+
+/// Assemble the receiver stack over accepted raw links (same order as the
+/// sender's streams).
+pub fn build_receiver(
+    links: Vec<RawLink>,
+    spec: &StackSpec,
+    cpu: HostCpu,
+    sec: Option<&SecurityContext>,
+    sched: &gridsim_net::SchedHandle,
+) -> io::Result<ReceiverStack> {
+    assert_eq!(links.len(), spec.streams as usize, "link count must match spec.streams");
+    let block = spec.block_size as usize;
+    let mut wires = secure_wires(links, spec, &cpu, sec, false)?;
+    let crypt_rate = cpu.rates.crypt;
+    let base: Box<dyn Read + Send> = if wires.len() == 1 {
+        let w = wires.pop().unwrap();
+        let w: Box<dyn Read + Send> = if spec.secure {
+            Box::new(CpuRead::new(w, cpu.clone(), crypt_rate))
+        } else {
+            Box::new(w)
+        };
+        Box::new(io::BufReader::with_capacity(block, ReadAdapter(w)))
+    } else {
+        let wires: Vec<Box<dyn Read + Send>> = wires
+            .into_iter()
+            .map(|w| -> Box<dyn Read + Send> {
+                if spec.secure {
+                    Box::new(CpuRead::new(w, cpu.clone(), crypt_rate))
+                } else {
+                    Box::new(w)
+                }
+            })
+            .collect();
+        Box::new(StripeReader::new(wires, sched))
+    };
+    match spec.compress {
+        Some(_) => {
+            let rate = cpu.rates.decompress;
+            let cr = CpuRead::new(ReadAdapter(base), cpu, rate);
+            Ok(Box::new(gridzip::DecompressReader::new(cr)))
+        }
+        None => Ok(base),
+    }
+}
+
+/// Newtype so `Box<dyn Read + Send>` itself implements `Read` by value.
+struct ReadAdapter(Box<dyn Read + Send>);
+
+impl Read for ReadAdapter {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.0.read(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_encode_decode_roundtrip() {
+        let specs = [
+            StackSpec::plain(),
+            StackSpec::plain().with_streams(8),
+            StackSpec::plain().with_compression(1),
+            StackSpec::plain().with_streams(4).with_compression(9).with_security(),
+            StackSpec::plain().with_block_size(4096),
+        ];
+        for s in specs {
+            assert_eq!(StackSpec::decode(&s.encode()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn spec_describe_is_informative() {
+        let s = StackSpec::plain().with_streams(4).with_compression(1).with_security();
+        let d = s.describe();
+        assert!(d.contains("4 streams") && d.contains("level 1") && d.contains("gtls"), "{d}");
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        assert!(StackSpec::decode(&[]).is_err());
+        let zero_streams = FrameWriter::new().u64(0).u64(1024).u8(0).u8(0).into_bytes();
+        assert!(StackSpec::decode(&zero_streams).is_err());
+    }
+}

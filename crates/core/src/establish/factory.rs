@@ -1,0 +1,52 @@
+//! Socket factories (paper §5.2, Fig. 8): "when a networking driver needs
+//! to establish a connection, it delegates this to a socket factory which
+//! builds the connection using the decision tree".
+//!
+//! Two factories exist, exactly as in NetIbis:
+//!
+//! * [`BootstrapSocketFactory`] — builds connections *without* any
+//!   pre-existing link: plain client/server TCP, optionally through the
+//!   site's SOCKS proxy (for strict sites). Used for name-service and
+//!   relay connections.
+//! * The **brokered** factory is the method-fallback loop in
+//!   [`crate::node::GridNode`]: it negotiates over service links (splicing
+//!   endpoints, NAT predictions) and therefore lives with the node runtime
+//!   that owns those links.
+
+use gridsim_net::SockAddr;
+use gridsim_tcp::{SimHost, TcpStream};
+use std::io;
+
+use crate::socks::socks_connect;
+
+/// Builds bootstrap connections: direct TCP when the site allows outbound,
+/// through the configured SOCKS proxy otherwise.
+#[derive(Clone)]
+pub struct BootstrapSocketFactory {
+    host: SimHost,
+    via_proxy: Option<SockAddr>,
+}
+
+impl BootstrapSocketFactory {
+    pub fn new(host: SimHost, via_proxy: Option<SockAddr>) -> BootstrapSocketFactory {
+        BootstrapSocketFactory { host, via_proxy }
+    }
+
+    /// The host this factory dials from.
+    pub fn host(&self) -> &SimHost {
+        &self.host
+    }
+
+    /// Does this factory tunnel through a proxy?
+    pub fn proxied(&self) -> bool {
+        self.via_proxy.is_some()
+    }
+
+    /// Open a bootstrap connection to a public service.
+    pub fn connect(&self, addr: SockAddr) -> io::Result<TcpStream> {
+        match self.via_proxy {
+            Some(proxy) => socks_connect(&self.host, proxy, addr),
+            None => self.host.connect(addr),
+        }
+    }
+}

@@ -1,0 +1,780 @@
+//! The grid node runtime: identity, registration, service links, and the
+//! integrated connection establishment that the paper contributes —
+//! client/server, TCP splicing with NAT port prediction, SOCKS proxies and
+//! relay-routed messages behind one API, chosen by the Figure-4 decision
+//! tree with runtime fallback.
+
+use gridsim_net::{Net, SchedHandle, SockAddr};
+use gridsim_tcp::{ConnectOpts, SimHost, TcpConfig, TcpStream};
+use gridcrypt::SecureConfig;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use crate::cpu::{CpuModel, CpuRates, HostCpu};
+use crate::drivers::{build_sender, RawLink, SecurityContext, StackSpec};
+use crate::establish::{choose_methods, EstablishMethod, LinkPurpose};
+use crate::nameservice::{GridId, NsClient, PortRecord};
+use crate::port::{ReceivePort, ReceivePortInner, SendConnection, SendPort};
+use crate::profile::{ConnectivityProfile, FirewallClass, NatClass};
+use crate::relay::{RelayClient, RelayDelegate, RoutedStream};
+use crate::socks::socks_connect;
+use crate::wire::{read_frame, FrameReader, FrameWriter};
+
+/// First local port used for receive-port data listeners.
+const DATA_PORT_BASE: u16 = 20_000;
+/// First local port used for spliced connections (distinct from the
+/// ephemeral range 10000+, data listeners 20000+, NAT mappings 40000+).
+const SPLICE_PORT_BASE: u16 = 31_000;
+
+/// Shared environment of one grid deployment: where the name service and
+/// relay live, plus the security and CPU models.
+#[derive(Clone)]
+pub struct GridEnv {
+    pub net: Net,
+    pub ns_addr: SockAddr,
+    pub relay_addr: Option<SockAddr>,
+    /// The virtual organization's shared secret, for GTLS stacks.
+    pub psk: Vec<u8>,
+    pub cpu: CpuModel,
+    pub rates: CpuRates,
+}
+
+impl GridEnv {
+    pub fn new(net: Net, ns_addr: SockAddr) -> GridEnv {
+        GridEnv {
+            net,
+            ns_addr,
+            relay_addr: None,
+            psk: b"netgrid-vo-secret".to_vec(),
+            cpu: CpuModel::new(),
+            rates: CpuRates::default(),
+        }
+    }
+
+    pub fn with_relay(mut self, relay: SockAddr) -> Self {
+        self.relay_addr = Some(relay);
+        self
+    }
+
+    pub fn with_psk(mut self, psk: impl Into<Vec<u8>>) -> Self {
+        self.psk = psk.into();
+        self
+    }
+
+    pub fn with_rates(mut self, rates: CpuRates) -> Self {
+        self.rates = rates;
+        self
+    }
+}
+
+/// Handed to receive ports so their accept paths can build stacks.
+pub struct NodeCtx {
+    pub cpu: HostCpu,
+    pub sched: SchedHandle,
+    pub psk: Vec<u8>,
+    pub seed_base: u64,
+}
+
+impl NodeCtx {
+    /// Security context for a stack, if the spec asks for one.
+    pub fn security(&self, spec: &StackSpec) -> Option<SecurityContext> {
+        spec.secure.then(|| SecurityContext {
+            config: SecureConfig::new(self.psk.clone()),
+            seed: self.seed_base,
+        })
+    }
+}
+
+pub(crate) struct NodeInner {
+    env: GridEnv,
+    host: SimHost,
+    name: String,
+    id: GridId,
+    profile: ConnectivityProfile,
+    ns: NsClient,
+    relay: Option<RelayClient>,
+    cpu: HostCpu,
+    ports: Mutex<HashMap<String, Arc<ReceivePortInner>>>,
+    next_data_port: AtomicU64,
+    next_splice_port: AtomicU64,
+    next_channel: AtomicU64,
+    seed_base: u64,
+    /// Serializes NAT-mapping-creating operations on this node so that
+    /// splicing port predictions hold: a symmetric NAT allocates one
+    /// external port per outbound flow, so any concurrent connection
+    /// between "predict" and "SYN" would shift the counter.
+    nat_gate: NatGate,
+    /// Responder-side splice negotiations awaiting the initiator's GO.
+    pending_splices: Mutex<HashMap<u64, PendingSplice>>,
+}
+
+struct PendingSplice {
+    port: Arc<ReceivePortInner>,
+    my_ports: Vec<u16>,
+    total: u16,
+    /// This negotiation holds the NAT gate until GO/ABORT.
+    holds_gate: bool,
+}
+
+/// A FIFO gate (non-RAII mutex) that can be held across separate service
+/// handler invocations.
+#[derive(Default)]
+struct NatGate {
+    state: Mutex<(bool, std::collections::VecDeque<gridsim_net::Waker>)>,
+}
+
+impl NatGate {
+    fn acquire(&self) {
+        loop {
+            {
+                let mut st = self.state.lock();
+                if !st.0 {
+                    st.0 = true;
+                    return;
+                }
+                st.1.push_back(gridsim_net::ctx::waker());
+            }
+            gridsim_net::ctx::park("nat gate");
+        }
+    }
+    fn release(&self) {
+        let mut st = self.state.lock();
+        st.0 = false;
+        if let Some(w) = st.1.pop_front() {
+            w.wake();
+        }
+    }
+}
+
+/// A node participating in the grid.
+#[derive(Clone)]
+pub struct GridNode {
+    inner: Arc<NodeInner>,
+}
+
+impl GridNode {
+    /// Join the grid: register with the name service and connect the
+    /// service link to the relay (if one is configured). Must run inside a
+    /// simulated task on the node's host.
+    pub fn join(
+        env: &GridEnv,
+        host: SimHost,
+        name: &str,
+        profile: ConnectivityProfile,
+    ) -> io::Result<GridNode> {
+        // A strictly firewalled site reaches public services only through
+        // its own proxy.
+        let via_proxy = if profile.firewall == FirewallClass::Strict {
+            profile.socks_proxy
+        } else {
+            None
+        };
+        let ns = NsClient::new(host.clone(), env.ns_addr, via_proxy);
+        let id = ns.register(name, &profile)?;
+        let relay = match env.relay_addr {
+            Some(addr) => Some(RelayClient::connect(&host, addr, via_proxy, id)?),
+            None => None,
+        };
+        let seed_base = env.net.with(|w| rand::Rng::random::<u64>(w.rng()));
+        let cpu = HostCpu::new(env.cpu.clone(), host.node(), env.rates);
+        let inner = Arc::new(NodeInner {
+            env: env.clone(),
+            host,
+            name: name.to_string(),
+            id,
+            profile,
+            ns,
+            relay: relay.clone(),
+            cpu,
+            ports: Mutex::new(HashMap::new()),
+            next_data_port: AtomicU64::new(DATA_PORT_BASE as u64),
+            next_splice_port: AtomicU64::new(SPLICE_PORT_BASE as u64),
+            next_channel: AtomicU64::new(1),
+            seed_base,
+            nat_gate: NatGate::default(),
+            pending_splices: Mutex::new(HashMap::new()),
+        });
+        let node = GridNode { inner };
+        if let Some(r) = relay {
+            r.set_delegate(Arc::new(NodeDelegate { inner: Arc::downgrade(&node.inner) }));
+        }
+        Ok(node)
+    }
+
+    /// Join with an automatically detected connectivity profile (paper §8
+    /// future work): the node classifies its own NAT via STUN-style probes
+    /// and tests inbound reachability with a name-service connect-back.
+    /// Sites that require a SOCKS proxy must still use [`GridNode::join`]
+    /// with an explicit profile (a strictly-proxied node cannot probe).
+    pub fn join_auto(env: &GridEnv, host: SimHost, name: &str) -> io::Result<GridNode> {
+        let ns = NsClient::new(host.clone(), env.ns_addr, None);
+        let profile = ns.detect_profile()?;
+        Self::join(env, host, name, profile)
+    }
+
+    pub fn id(&self) -> GridId {
+        self.inner.id
+    }
+
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    pub fn profile(&self) -> &ConnectivityProfile {
+        &self.inner.profile
+    }
+
+    pub fn host(&self) -> &SimHost {
+        &self.inner.host
+    }
+
+    pub fn ns(&self) -> &NsClient {
+        &self.inner.ns
+    }
+
+    pub fn cpu(&self) -> &HostCpu {
+        &self.inner.cpu
+    }
+
+    fn ctx(&self) -> NodeCtx {
+        NodeCtx {
+            cpu: self.inner.cpu.clone(),
+            sched: self.inner.env.net.sched().clone(),
+            psk: self.inner.env.psk.clone(),
+            seed_base: self.inner.seed_base,
+        }
+    }
+
+    fn alloc_channel(&self) -> u64 {
+        (self.inner.id << 24) | self.inner.next_channel.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Run `f` while holding the NAT gate (no-op on un-NATted nodes).
+    fn nat_gated<R>(&self, f: impl FnOnce() -> R) -> R {
+        if self.inner.profile.nat.is_some() {
+            self.inner.nat_gate.acquire();
+            let r = f();
+            self.inner.nat_gate.release();
+            r
+        } else {
+            f()
+        }
+    }
+
+    fn alloc_splice_ports(&self, n: u16) -> Vec<u16> {
+        (0..n)
+            .map(|_| self.inner.next_splice_port.fetch_add(1, Ordering::Relaxed) as u16)
+            .collect()
+    }
+
+    // ------------------------------------------------------------ ports
+
+    /// Create a named receive port with the given driver-stack spec. The
+    /// spec is registered in the name service, so senders assemble the
+    /// matching stack automatically.
+    pub fn create_receive_port(&self, name: &str, spec: StackSpec) -> io::Result<ReceivePort> {
+        let data_port = self.inner.next_data_port.fetch_add(1, Ordering::Relaxed) as u16;
+        let listener = self.inner.host.listen(data_port)?;
+        let listen_addr = SockAddr::new(self.inner.host.ip(), data_port);
+        self.nat_gated(|| {
+            self.inner.ns.register_port(self.inner.id, name, Some(listen_addr), &spec.encode())
+        })?;
+        let inner = ReceivePortInner::new(name.to_string(), spec);
+        self.inner.ports.lock().insert(name.to_string(), Arc::clone(&inner));
+        // Accept loop: native-TCP connections (client/server and proxied).
+        let port = Arc::clone(&inner);
+        let node = self.clone();
+        let sched = self.inner.env.net.sched().clone();
+        let sched2 = sched.clone();
+        sched.spawn_daemon(format!("rp-accept-{name}"), move || loop {
+            let Ok(stream) = listener.accept() else { break };
+            let port = Arc::clone(&port);
+            let node = node.clone();
+            sched2.spawn_daemon("rp-incoming", move || {
+                let _ = node.handle_incoming_tcp(&port, stream);
+            });
+        });
+        Ok(ReceivePort { node: self.clone(), inner })
+    }
+
+    /// Create a send port (connect it with [`SendPort::connect`]).
+    pub fn create_send_port(&self) -> SendPort {
+        SendPort::new(self.clone())
+    }
+
+    pub(crate) fn forget_port(&self, name: &str) {
+        self.inner.ports.lock().remove(name);
+    }
+
+    /// Read the stream preamble and register the link with the port.
+    fn handle_incoming_tcp(&self, port: &Arc<ReceivePortInner>, stream: TcpStream) -> io::Result<()> {
+        stream.set_nodelay(true)?;
+        let mut r = stream.clone();
+        let frame = read_frame(&mut r)?;
+        let mut fr = FrameReader::new(&frame);
+        let channel = fr.u64()?;
+        let idx = fr.u64()? as u16;
+        let total = fr.u64()? as u16;
+        port.add_raw_link(&self.ctx(), channel, idx, total, RawLink::Tcp(stream))
+    }
+
+    // ------------------------------------------------- establishment
+
+    /// Establish a data connection to a named receive port, following the
+    /// decision tree with runtime fallback. Used by [`SendPort::connect`].
+    /// `streams_override` replaces the registered stream count (receive
+    /// ports accept any count — the stream preamble is authoritative),
+    /// which is what stream-count autotuning builds on.
+    pub(crate) fn establish_connection(
+        &self,
+        port_name: &str,
+        streams_override: Option<u16>,
+    ) -> io::Result<SendConnection> {
+        let (rec, peer_profile, _peer_name) =
+            self.nat_gated(|| self.inner.ns.lookup_port(port_name))?;
+        let mut spec = StackSpec::decode(&rec.stack)?;
+        if let Some(n) = streams_override {
+            spec.streams = n.max(1);
+        }
+        let methods = choose_methods(&self.inner.profile, &peer_profile, LinkPurpose::Data);
+        let channel = self.alloc_channel();
+        let mut last_err =
+            io::Error::new(io::ErrorKind::NotFound, "no establishment method applicable");
+        for method in methods {
+            match self.try_method(method, &rec, &peer_profile, &spec, channel) {
+                Ok((links, total)) => {
+                    let spec_eff = StackSpec { streams: total, ..spec.clone() };
+                    let ctx = self.ctx();
+                    let sec = ctx.security(&spec_eff);
+                    let writer =
+                        build_sender(links, &spec_eff, self.inner.cpu.clone(), sec.as_ref())?;
+                    return Ok(SendConnection {
+                        writer,
+                        method,
+                        peer_port: port_name.to_string(),
+                        channel,
+                    });
+                }
+                Err(e) => {
+                    if std::env::var("NETGRID_DEBUG").is_ok() {
+                        eprintln!("[netgrid] method {method} failed: {e}");
+                    }
+                    last_err = e;
+                }
+            }
+        }
+        Err(io::Error::new(
+            last_err.kind(),
+            format!("all establishment methods failed for '{port_name}': {last_err}"),
+        ))
+    }
+
+    /// Attempt one establishment method; returns the raw links in stream
+    /// order plus the effective stream count.
+    fn try_method(
+        &self,
+        method: EstablishMethod,
+        rec: &PortRecord,
+        peer_profile: &ConnectivityProfile,
+        spec: &StackSpec,
+        channel: u64,
+    ) -> io::Result<(Vec<RawLink>, u16)> {
+        match method {
+            EstablishMethod::ClientServer => {
+                let listener = rec.listener.ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::AddrNotAvailable, "port has no listener")
+                })?;
+                let mut links = Vec::with_capacity(spec.streams as usize);
+                for idx in 0..spec.streams {
+                    let s = self.nat_gated(|| self.inner.host.connect(listener))?;
+                    self.send_preamble(&s, channel, idx, spec.streams)?;
+                    links.push(RawLink::Tcp(s));
+                }
+                Ok((links, spec.streams))
+            }
+            EstablishMethod::Proxy => {
+                let listener = rec.listener.ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::AddrNotAvailable, "port has no listener")
+                })?;
+                // Use the target's site proxy to reach inward; fall back to
+                // our own proxy for a strictly firewalled initiator.
+                let proxy = if !peer_profile.accepts_inbound() {
+                    peer_profile.socks_proxy
+                } else {
+                    self.inner.profile.socks_proxy
+                }
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::AddrNotAvailable, "no SOCKS proxy available")
+                })?;
+                let mut links = Vec::with_capacity(spec.streams as usize);
+                for idx in 0..spec.streams {
+                    let s = self.nat_gated(|| socks_connect(&self.inner.host, proxy, listener))?;
+                    self.send_preamble(&s, channel, idx, spec.streams)?;
+                    links.push(RawLink::Tcp(s));
+                }
+                Ok((links, spec.streams))
+            }
+            EstablishMethod::Splicing => {
+                // NAT port prediction races with any concurrent outbound
+                // traffic on the same site (each connection consumes
+                // mappings); like real NAT-traversal systems, retry with a
+                // staggered backoff before falling back down the tree.
+                let mut last = None;
+                for attempt in 0..3u32 {
+                    if attempt > 0 {
+                        let stagger = Duration::from_millis(200 * attempt as u64 + (channel % 7) * 50);
+                        gridsim_net::ctx::sleep(stagger);
+                    }
+                    match self.splice_initiate(rec, spec, channel) {
+                        Ok(links) => return Ok((links, spec.streams)),
+                        Err(e) => last = Some(e),
+                    }
+                }
+                Err(last.expect("at least one attempt"))
+            }
+            EstablishMethod::Routed => {
+                let relay = self.relay()?;
+                let stream = relay.open_stream(rec.owner, &rec.name, channel)?;
+                Ok((vec![RawLink::Routed(stream)], 1))
+            }
+        }
+    }
+
+    fn relay(&self) -> io::Result<&RelayClient> {
+        self.inner.relay.as_ref().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::AddrNotAvailable, "no relay configured (needed for brokering/routing)")
+        })
+    }
+
+    fn send_preamble(&self, s: &TcpStream, channel: u64, idx: u16, total: u16) -> io::Result<()> {
+        s.set_nodelay(true)?;
+        let mut w = s.clone();
+        FrameWriter::new()
+            .u64(channel)
+            .u64(idx as u64)
+            .u64(total as u64)
+            .send(&mut w)
+    }
+
+    /// TCP configuration used for spliced connects: bounded retries so a
+    /// failed prediction falls through to a retry or the next method in a
+    /// few seconds.
+    fn splice_cfg(&self) -> TcpConfig {
+        TcpConfig { syn_retries: 2, ..self.inner.host.tcp_config() }
+    }
+
+    /// Compute the public endpoints peers must dial for our upcoming
+    /// connects from `local_ports` (paper §6's NAT port prediction).
+    fn predict_endpoints(&self, local_ports: &[u16]) -> io::Result<Vec<SockAddr>> {
+        match self.inner.profile.nat {
+            None => Ok(local_ports
+                .iter()
+                .map(|&p| SockAddr::new(self.inner.host.ip(), p))
+                .collect()),
+            Some(NatClass::Cone) => {
+                // One probe per port: the cone mapping persists for any
+                // destination.
+                local_ports
+                    .iter()
+                    .map(|&p| self.inner.ns.probe_observed(Some(p), false))
+                    .collect()
+            }
+            Some(NatClass::SymmetricPredictable) => {
+                // One probe from an ephemeral port reveals the allocation
+                // counter; our next `n` outbound connections (in order)
+                // will take the following ports.
+                let observed = self.inner.ns.probe_observed(None, false)?;
+                Ok((0..local_ports.len() as u16)
+                    .map(|i| SockAddr::new(observed.ip, observed.port + 1 + i))
+                    .collect())
+            }
+            Some(NatClass::SymmetricRandom) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unpredictable NAT: splicing not possible",
+            )),
+        }
+    }
+
+    /// Initiator side of brokered TCP splicing (paper Fig. 7), three
+    /// messages over the service link:
+    ///
+    /// 1. `SPLICE_REQ {channel, port, total}` — the responder predicts its
+    ///    public endpoints (holding its NAT gate if NATted) and replies.
+    /// 2. The initiator predicts its own endpoints and **emits its SYNs
+    ///    before releasing its NAT gate** — the predict→SYN window is
+    ///    therefore race-free on this side.
+    /// 3. `SPLICE_GO {channel, initiator endpoints}` — the responder
+    ///    connects (and releases its gate).
+    fn splice_initiate(
+        &self,
+        rec: &PortRecord,
+        spec: &StackSpec,
+        channel: u64,
+    ) -> io::Result<Vec<RawLink>> {
+        let relay = self.relay()?.clone();
+        let total = spec.streams;
+        // 1. Request: responder allocates + predicts.
+        let req = FrameWriter::new()
+            .u8(svc::SPLICE_REQ)
+            .u64(channel)
+            .str(&rec.name)
+            .u64(total as u64)
+            .into_bytes();
+        let rsp = relay.service_request(rec.owner, &req)?;
+        let mut r = FrameReader::new(&rsp);
+        if r.u8()? != 1 {
+            let msg = r.str().unwrap_or_default();
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("splice refused: {msg}"),
+            ));
+        }
+        let n = r.u64()? as usize;
+        if n != total as usize {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "endpoint count mismatch"));
+        }
+        let peer_eps: Vec<SockAddr> = (0..n).map(|_| r.addr()).collect::<io::Result<_>>()?;
+
+        // 2. Predict and emit SYNs under the NAT gate.
+        let natted = self.inner.profile.nat.is_some();
+        if natted {
+            self.inner.nat_gate.acquire();
+        }
+        let launched = (|| -> io::Result<(Vec<TcpStream>, Vec<SockAddr>)> {
+            let my_ports = self.alloc_splice_ports(total);
+            let my_eps = self.predict_endpoints(&my_ports)?;
+            let cfg = self.splice_cfg();
+            let mut streams = Vec::with_capacity(total as usize);
+            for (&lp, &ep) in my_ports.iter().zip(&peer_eps) {
+                streams.push(self.inner.host.connect_start(
+                    ep,
+                    ConnectOpts { local_port: Some(lp), cfg: Some(cfg) },
+                )?);
+            }
+            Ok((streams, my_eps))
+        })();
+        if natted {
+            self.inner.nat_gate.release();
+        }
+        let (streams, my_eps) = match launched {
+            Ok(x) => x,
+            Err(e) => {
+                // Tell the responder to abandon the negotiation (it may be
+                // holding its NAT gate).
+                let abort =
+                    FrameWriter::new().u8(svc::SPLICE_ABORT).u64(channel).into_bytes();
+                let _ = relay.service_request(rec.owner, &abort);
+                return Err(e);
+            }
+        };
+
+        // 3. GO: the responder connects towards us.
+        let mut go = FrameWriter::new()
+            .u8(svc::SPLICE_GO)
+            .u64(channel)
+            .u64(my_eps.len() as u64);
+        for ep in &my_eps {
+            go = go.addr(*ep);
+        }
+        let go_rsp = relay.service_request(rec.owner, &go.into_bytes())?;
+        let mut r = FrameReader::new(&go_rsp);
+        if r.u8()? != 1 {
+            return Err(io::Error::new(io::ErrorKind::ConnectionRefused, "splice GO refused"));
+        }
+
+        // Wait for establishment, then send the stream preambles.
+        let mut links = Vec::with_capacity(streams.len());
+        for (idx, stream) in streams.into_iter().enumerate() {
+            stream.wait_established()?;
+            self.send_preamble(&stream, channel, idx as u16, total)?;
+            links.push(RawLink::Tcp(stream));
+        }
+        Ok(links)
+    }
+
+    // -------------------------------------------- responder-side splice
+
+    /// Handle `SPLICE_REQ`: allocate ports, predict endpoints (taking the
+    /// NAT gate, held until GO/ABORT), reply with the predictions.
+    fn handle_splice_request(&self, _from: GridId, r: &mut FrameReader<'_>) -> io::Result<Vec<u8>> {
+        let channel = r.u64()?;
+        let port_name = r.str()?;
+        let total = r.u64()? as u16;
+        if total == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad splice request"));
+        }
+        let port = self
+            .inner
+            .ports
+            .lock()
+            .get(&port_name)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "unknown receive port"))?;
+        if !self.inner.profile.splice_capable() {
+            return Err(io::Error::new(io::ErrorKind::Unsupported, "this side cannot splice"));
+        }
+        let natted = self.inner.profile.nat.is_some();
+        if natted {
+            self.inner.nat_gate.acquire();
+        }
+        let predicted = (|| -> io::Result<(Vec<u16>, Vec<SockAddr>)> {
+            let my_ports = self.alloc_splice_ports(total);
+            let eps = self.predict_endpoints(&my_ports)?;
+            Ok((my_ports, eps))
+        })();
+        let (my_ports, my_endpoints) = match predicted {
+            Ok(x) => x,
+            Err(e) => {
+                if natted {
+                    self.inner.nat_gate.release();
+                }
+                return Err(e);
+            }
+        };
+        self.inner.pending_splices.lock().insert(
+            channel,
+            PendingSplice { port, my_ports, total, holds_gate: natted },
+        );
+        let mut w = FrameWriter::new().u8(1).u64(my_endpoints.len() as u64);
+        for ep in &my_endpoints {
+            w = w.addr(*ep);
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Handle `SPLICE_GO`: emit our SYNs towards the initiator's endpoints
+    /// (mappings land on the predicted ports because the gate was held
+    /// since REQ), then release the gate.
+    fn handle_splice_go(&self, _from: GridId, r: &mut FrameReader<'_>) -> io::Result<Vec<u8>> {
+        let channel = r.u64()?;
+        let n = r.u64()? as usize;
+        let peer_eps: Vec<SockAddr> = (0..n).map(|_| r.addr()).collect::<io::Result<_>>()?;
+        let pending = self
+            .inner
+            .pending_splices
+            .lock()
+            .remove(&channel)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no pending splice"))?;
+        let result = (|| -> io::Result<()> {
+            if peer_eps.len() != pending.total as usize || peer_eps.len() != pending.my_ports.len()
+            {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "endpoint count mismatch"));
+            }
+            let cfg = self.splice_cfg();
+            let sched = self.inner.env.net.sched().clone();
+            for (i, (&lp, &ep)) in pending.my_ports.iter().zip(&peer_eps).enumerate() {
+                let stream = self
+                    .inner
+                    .host
+                    .connect_start(ep, ConnectOpts { local_port: Some(lp), cfg: Some(cfg) })?;
+                let node = self.clone();
+                let port = Arc::clone(&pending.port);
+                sched.spawn_daemon(format!("splice-accept-{i}"), move || {
+                    if stream.wait_established().is_err() {
+                        return;
+                    }
+                    let _ = node.handle_spliced_stream(&port, stream);
+                });
+            }
+            Ok(())
+        })();
+        if pending.holds_gate {
+            self.inner.nat_gate.release();
+        }
+        result.map(|()| FrameWriter::new().u8(1).into_bytes())
+    }
+
+    /// Handle `SPLICE_ABORT`: drop the pending negotiation and free the gate.
+    fn handle_splice_abort(&self, r: &mut FrameReader<'_>) -> io::Result<Vec<u8>> {
+        let channel = r.u64()?;
+        if let Some(p) = self.inner.pending_splices.lock().remove(&channel) {
+            if p.holds_gate {
+                self.inner.nat_gate.release();
+            }
+        }
+        Ok(FrameWriter::new().u8(1).into_bytes())
+    }
+
+    fn handle_spliced_stream(
+        &self,
+        port: &Arc<ReceivePortInner>,
+        stream: TcpStream,
+    ) -> io::Result<()> {
+        // Same as an accepted connection: read the initiator's preamble.
+        self.handle_incoming_tcp(port, stream)
+    }
+}
+
+/// Service-message opcodes (carried in SVC_REQ payloads).
+mod svc {
+    pub const SPLICE_REQ: u8 = 1;
+    pub const SPLICE_GO: u8 = 2;
+    pub const SPLICE_ABORT: u8 = 3;
+}
+
+/// The relay delegate: routes service requests and routed-link opens into
+/// the node runtime.
+struct NodeDelegate {
+    inner: Weak<NodeInner>,
+}
+
+impl NodeDelegate {
+    fn node(&self) -> Option<GridNode> {
+        self.inner.upgrade().map(|inner| GridNode { inner })
+    }
+}
+
+impl RelayDelegate for NodeDelegate {
+    fn on_service_request(&self, from: GridId, payload: &[u8]) -> Vec<u8> {
+        let Some(node) = self.node() else {
+            return FrameWriter::new().u8(0).str("node gone").into_bytes();
+        };
+        let mut r = FrameReader::new(payload);
+        let result = match r.u8() {
+            Ok(svc::SPLICE_REQ) => node.handle_splice_request(from, &mut r),
+            Ok(svc::SPLICE_GO) => node.handle_splice_go(from, &mut r),
+            Ok(svc::SPLICE_ABORT) => node.handle_splice_abort(&mut r),
+            _ => Err(io::Error::new(io::ErrorKind::InvalidData, "unknown service request")),
+        };
+        match result {
+            Ok(rsp) => rsp,
+            Err(e) => FrameWriter::new().u8(0).str(&e.to_string()).into_bytes(),
+        }
+    }
+
+    fn on_open(
+        &self,
+        _from: GridId,
+        port_name: &str,
+        channel: u64,
+        stream: RoutedStream,
+    ) -> Result<(), String> {
+        let Some(node) = self.node() else { return Err("node gone".into()) };
+        let port = node
+            .inner
+            .ports
+            .lock()
+            .get(port_name)
+            .cloned()
+            .ok_or_else(|| format!("unknown receive port '{port_name}'"))?;
+        port.add_raw_link(&node.ctx(), channel, 0, 1, RawLink::Routed(stream))
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Block the calling task until `cond` holds or `timeout` elapses; polls at
+/// the given interval. A pragmatic helper for tests and examples.
+pub fn wait_until(timeout: Duration, poll: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = gridsim_net::ctx::now() + timeout;
+    while gridsim_net::ctx::now() < deadline {
+        if cond() {
+            return true;
+        }
+        gridsim_net::ctx::sleep(poll);
+    }
+    cond()
+}

@@ -1,0 +1,366 @@
+//! Send and receive ports: the IPL's "one elementary communication
+//! abstraction, unidirectional message channels" (paper §5).
+//!
+//! A [`SendPort`] connects to one or more named [`ReceivePort`]s (group
+//! communication duplicates messages across connections); each connection
+//! carries FIFO-ordered messages over a driver stack assembled per the
+//! receive port's [`StackSpec`]. Message boundaries are explicit: data is
+//! aggregated until `finish()` flushes the stack — the user-space
+//! aggregation + explicit flush of paper §4.1.
+
+use gridsim_net::SimQueue;
+use gridzip::varint;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+use crate::drivers::{build_receiver, RawLink, ReceiverStack, SenderStack, StackSpec};
+use crate::establish::EstablishMethod;
+use crate::node::{GridNode, NodeCtx};
+
+/// Upper bound on a single message (sanity against corrupt frames).
+pub const MAX_MESSAGE: u64 = 256 << 20;
+
+/// A received message with typed readers.
+pub struct ReadMessage {
+    /// The sender's channel id (unique per logical connection).
+    pub channel: u64,
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl ReadMessage {
+    pub(crate) fn new(channel: u64, data: Vec<u8>) -> ReadMessage {
+        ReadMessage { channel, data, pos: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    pub fn remaining(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    pub fn read_bytes(&mut self, n: usize) -> io::Result<&[u8]> {
+        if self.pos + n > self.data.len() {
+            return Err(io::ErrorKind::UnexpectedEof.into());
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn read_u64(&mut self) -> io::Result<u64> {
+        let (v, used) = varint::get(&self.data[self.pos..])
+            .ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?;
+        self.pos += used;
+        Ok(v)
+    }
+
+    pub fn read_u32(&mut self) -> io::Result<u32> {
+        let v = self.read_u64()?;
+        u32::try_from(v).map_err(|_| io::ErrorKind::InvalidData.into())
+    }
+
+    pub fn read_str(&mut self) -> io::Result<String> {
+        let n = self.read_u64()? as usize;
+        let b = self.read_bytes(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| io::ErrorKind::InvalidData.into())
+    }
+
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+/// A message under construction on a send port. Writes accumulate in a
+/// buffer; `finish()` frames and flushes it to every connection.
+pub struct WriteMessage<'a> {
+    port: &'a mut SendPort,
+    buf: Vec<u8>,
+}
+
+impl WriteMessage<'_> {
+    pub fn write_bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        varint::put(&mut self.buf, v);
+        self
+    }
+
+    pub fn write_u32(&mut self, v: u32) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Frame the message and flush it down every connection's stack. This
+    /// is the explicit flush of §4.1: nothing hits the wire until a full
+    /// buffer or this call.
+    pub fn finish(self) -> io::Result<usize> {
+        let len = self.buf.len();
+        self.port.send_framed(&self.buf)?;
+        Ok(len)
+    }
+}
+
+pub(crate) struct SendConnection {
+    pub writer: SenderStack,
+    pub method: EstablishMethod,
+    pub peer_port: String,
+    pub channel: u64,
+}
+
+/// The sending endpoint of a message channel.
+pub struct SendPort {
+    pub(crate) node: GridNode,
+    pub(crate) conns: Vec<SendConnection>,
+}
+
+impl SendPort {
+    pub(crate) fn new(node: GridNode) -> SendPort {
+        SendPort { node, conns: Vec::new() }
+    }
+
+    /// Connect to the named receive port, trying establishment methods in
+    /// the decision-tree order; returns the method that succeeded.
+    pub fn connect(&mut self, port_name: &str) -> io::Result<EstablishMethod> {
+        let conn = self.node.establish_connection(port_name, None)?;
+        let method = conn.method;
+        self.conns.push(conn);
+        Ok(method)
+    }
+
+    /// Connect with an explicit parallel-stream count, overriding the
+    /// stream count the receive port registered (paper §8 future work:
+    /// "selection of the optimal number of parallel TCP streams" — see the
+    /// `autotune_streams` benchmark).
+    pub fn connect_with_streams(
+        &mut self,
+        port_name: &str,
+        streams: u16,
+    ) -> io::Result<EstablishMethod> {
+        let conn = self.node.establish_connection(port_name, Some(streams))?;
+        let method = conn.method;
+        self.conns.push(conn);
+        Ok(method)
+    }
+
+    /// Number of live connections (group communication sends to all).
+    pub fn connection_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Establishment method of connection `i`.
+    pub fn method_of(&self, i: usize) -> Option<EstablishMethod> {
+        self.conns.get(i).map(|c| c.method)
+    }
+
+    /// (peer port name, method, channel id) per connection — diagnostics.
+    pub fn connections(&self) -> Vec<(String, EstablishMethod, u64)> {
+        self.conns
+            .iter()
+            .map(|c| (c.peer_port.clone(), c.method, c.channel))
+            .collect()
+    }
+
+    /// Start a new message.
+    pub fn message(&mut self) -> WriteMessage<'_> {
+        WriteMessage { port: self, buf: Vec::new() }
+    }
+
+    /// One-shot convenience: send `data` as a single message.
+    pub fn send(&mut self, data: &[u8]) -> io::Result<()> {
+        let mut m = self.message();
+        m.write_bytes(data);
+        m.finish()?;
+        Ok(())
+    }
+
+    fn send_framed(&mut self, payload: &[u8]) -> io::Result<()> {
+        if self.conns.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::NotConnected, "send port not connected"));
+        }
+        let mut hdr = Vec::with_capacity(8);
+        varint::put(&mut hdr, payload.len() as u64);
+        for c in &mut self.conns {
+            c.writer.write_all(&hdr)?;
+            c.writer.write_all(payload)?;
+            c.writer.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flush and close all connections (graceful: peers see EOF after the
+    /// last message).
+    pub fn close(mut self) -> io::Result<()> {
+        for c in &mut self.conns {
+            c.writer.flush()?;
+        }
+        self.conns.clear();
+        Ok(())
+    }
+}
+
+/// Shared state of a receive port, reachable from accept paths.
+pub struct ReceivePortInner {
+    pub name: String,
+    pub spec: StackSpec,
+    msgq: SimQueue<ReadMessage>,
+    /// Streams collected per channel until a connection is complete.
+    pending: Mutex<HashMap<u64, PendingChannel>>,
+    connections: Mutex<u64>,
+}
+
+struct PendingChannel {
+    links: Vec<Option<RawLink>>,
+    received: usize,
+}
+
+impl ReceivePortInner {
+    pub(crate) fn new(name: String, spec: StackSpec) -> Arc<ReceivePortInner> {
+        Arc::new(ReceivePortInner {
+            name,
+            spec,
+            msgq: SimQueue::bounded(64),
+            pending: Mutex::new(HashMap::new()),
+            connections: Mutex::new(0),
+        })
+    }
+
+    /// Register one raw link of a (possibly multi-stream) incoming
+    /// connection; assembles and starts the receiver stack when all streams
+    /// have arrived.
+    pub(crate) fn add_raw_link(
+        self: &Arc<Self>,
+        ctx: &NodeCtx,
+        channel: u64,
+        idx: u16,
+        total: u16,
+        link: RawLink,
+    ) -> io::Result<()> {
+        if total == 0 || idx >= total {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad stream preamble"));
+        }
+        let ready = {
+            let mut pending = self.pending.lock();
+            let entry = pending.entry(channel).or_insert_with(|| PendingChannel {
+                links: (0..total).map(|_| None).collect(),
+                received: 0,
+            });
+            if entry.links.len() != total as usize {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "stream count mismatch"));
+            }
+            let slot = &mut entry.links[idx as usize];
+            if slot.is_some() {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "duplicate stream index"));
+            }
+            *slot = Some(link);
+            entry.received += 1;
+            if entry.received == total as usize {
+                let entry = pending.remove(&channel).expect("entry exists");
+                Some(entry.links.into_iter().map(|l| l.expect("all present")).collect::<Vec<_>>())
+            } else {
+                None
+            }
+        };
+        if let Some(links) = ready {
+            // Routed links arrive as a single stream regardless of the
+            // spec; the preamble's `total` is authoritative.
+            let spec = StackSpec { streams: total, ..self.spec.clone() };
+            let stack =
+                build_receiver(links, &spec, ctx.cpu.clone(), ctx.security(&spec).as_ref(), &ctx.sched)?;
+            *self.connections.lock() += 1;
+            let me = Arc::clone(self);
+            ctx.sched.spawn_daemon(format!("rp-pump-{}-{}", self.name, channel), move || {
+                me.pump(channel, stack);
+            });
+        }
+        Ok(())
+    }
+
+    fn pump(&self, channel: u64, mut stack: ReceiverStack) {
+        loop {
+            let len = match varint::read_from(&mut stack) {
+                Ok(l) if l <= MAX_MESSAGE => l as usize,
+                _ => break, // EOF or corrupt
+            };
+            let mut data = vec![0u8; len];
+            if stack.read_exact(&mut data).is_err() {
+                break;
+            }
+            if self.msgq.push(ReadMessage::new(channel, data)).is_err() {
+                break; // port closed
+            }
+        }
+        *self.connections.lock() -= 1;
+    }
+
+    /// Messages waiting.
+    pub fn queued(&self) -> usize {
+        self.msgq.len()
+    }
+
+    pub fn connection_count(&self) -> u64 {
+        *self.connections.lock()
+    }
+}
+
+/// The receiving endpoint of a message channel.
+pub struct ReceivePort {
+    pub(crate) node: GridNode,
+    pub(crate) inner: Arc<ReceivePortInner>,
+}
+
+impl ReceivePort {
+    /// The port's registered name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Block (in simulated time) for the next message from any connection.
+    pub fn receive(&self) -> io::Result<ReadMessage> {
+        self.inner
+            .msgq
+            .pop()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "receive port closed"))
+    }
+
+    /// Non-blocking variant.
+    pub fn try_receive(&self) -> Option<ReadMessage> {
+        self.inner.msgq.try_pop()
+    }
+
+    /// Live incoming connections.
+    pub fn connection_count(&self) -> u64 {
+        self.inner.connection_count()
+    }
+
+    /// Messages waiting in the queue (non-blocking snapshot).
+    pub fn queued(&self) -> usize {
+        self.inner.queued()
+    }
+
+    /// Close the port: wakes blocked receivers and unregisters the name.
+    pub fn close(self) {
+        self.inner.msgq.close();
+        let _ = self.node.ns().unregister_port(&self.inner.name);
+        self.node.forget_port(&self.inner.name);
+    }
+}

@@ -1,0 +1,603 @@
+//! Routed messages through an application-level relay (paper §3.3,
+//! Figure 3): every node opens one outbound connection to a relay on a
+//! public gateway; the relay forwards frames to their final recipient.
+//!
+//! The relay connection carries three things, multiplexed:
+//!
+//! * **service requests/responses** — the brokering channel for connection
+//!   establishment (paper Fig. 7: "the data link uses TCP splicing with
+//!   brokering through the service link"),
+//! * **routed link streams** — last-resort data links ([`RoutedStream`],
+//!   a byte stream tunneled frame-by-frame through the relay),
+//! * nothing else: the relay never inspects inner payloads.
+//!
+//! Because every frame crosses the relay host, routed links share its
+//! connection capacity — the bottleneck Table 1 warns about and bench E9
+//! measures.
+
+use gridsim_net::{SchedHandle, SimMutex, SimQueue, SockAddr};
+use gridsim_tcp::{SimHost, TcpStream};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::establish::factory::BootstrapSocketFactory;
+use crate::nameservice::GridId;
+use crate::wire::{read_frame, FrameReader, FrameWriter};
+
+/// Maximum payload per routed DATA frame.
+pub const ROUTED_CHUNK: usize = 8 * 1024;
+/// Buffered chunks per routed stream before backpressure.
+const STREAM_QUEUE: usize = 32;
+
+mod relay_op {
+    pub const HELLO: u8 = 1;
+    pub const SEND: u8 = 2;
+    pub const RECV: u8 = 3;
+    pub const NOPEER: u8 = 4;
+}
+
+mod inner_op {
+    pub const SVC_REQ: u8 = 1;
+    pub const SVC_RSP: u8 = 2;
+    pub const OPEN: u8 = 3;
+    pub const OPEN_OK: u8 = 4;
+    pub const OPEN_ERR: u8 = 5;
+    pub const DATA: u8 = 6;
+    pub const FIN: u8 = 7;
+}
+
+// ---------------------------------------------------------------- server
+
+/// Spawn the relay server on `host`, listening on `port`.
+pub fn spawn_relay(host: &SimHost, port: u16) -> io::Result<()> {
+    let listener = host.listen(port)?;
+    let conns: Arc<Mutex<HashMap<GridId, SimMutex<TcpStream>>>> = Arc::new(Mutex::new(HashMap::new()));
+    let sched = host.net().sched().clone();
+    let sched2 = sched.clone();
+    sched.spawn_daemon("relay-accept", move || loop {
+        let Ok(conn) = listener.accept() else { break };
+        let conns = Arc::clone(&conns);
+        sched2.spawn_daemon("relay-conn", move || {
+            let _ = serve_relay_conn(&conns, conn);
+        });
+    });
+    Ok(())
+}
+
+fn serve_relay_conn(
+    conns: &Mutex<HashMap<GridId, SimMutex<TcpStream>>>,
+    conn: TcpStream,
+) -> io::Result<()> {
+    let mut reader = conn.clone();
+    // First frame must be HELLO.
+    let hello = read_frame(&mut reader)?;
+    let mut r = FrameReader::new(&hello);
+    if r.u8()? != relay_op::HELLO {
+        return Err(io::ErrorKind::InvalidData.into());
+    }
+    let id = r.u64()?;
+    conns.lock().insert(id, SimMutex::new(conn.clone()));
+    let result = (|| -> io::Result<()> {
+        loop {
+            let frame = read_frame(&mut reader)?;
+            let mut r = FrameReader::new(&frame);
+            match r.u8()? {
+                relay_op::SEND => {
+                    let to = r.u64()?;
+                    let inner = r.bytes()?;
+                    let target = conns.lock().get(&to).cloned();
+                    match target {
+                        Some(t) => {
+                            // Forward; the write blocks under backpressure,
+                            // which is exactly the relay-bottleneck
+                            // behaviour of the paper's §3.4.
+                            let mut w = t.lock();
+                            FrameWriter::new()
+                                .u8(relay_op::RECV)
+                                .u64(id)
+                                .bytes(inner)
+                                .send(&mut *w)?;
+                        }
+                        None => {
+                            let back = conns.lock().get(&id).cloned();
+                            if let Some(b) = back {
+                                let mut w = b.lock();
+                                FrameWriter::new()
+                                    .u8(relay_op::NOPEER)
+                                    .u64(to)
+                                    .send(&mut *w)?;
+                            }
+                        }
+                    }
+                }
+                _ => return Err(io::ErrorKind::InvalidData.into()),
+            }
+        }
+    })();
+    conns.lock().remove(&id);
+    result
+}
+
+// ---------------------------------------------------------------- client
+
+/// Callbacks from the relay client into the node runtime.
+pub trait RelayDelegate: Send + Sync {
+    /// Handle a service (brokering) request; return the response payload.
+    fn on_service_request(&self, from: GridId, payload: &[u8]) -> Vec<u8>;
+    /// An incoming routed link targeting `port_name`.
+    fn on_open(&self, from: GridId, port_name: &str, channel: u64, stream: RoutedStream)
+        -> Result<(), String>;
+}
+
+struct Pending {
+    to: GridId,
+    result: Option<io::Result<Vec<u8>>>,
+    waker: Option<gridsim_net::Waker>,
+}
+
+struct OpenWait {
+    to: GridId,
+    result: Option<Result<(), String>>,
+    waker: Option<gridsim_net::Waker>,
+}
+
+struct RcInner {
+    id: GridId,
+    writer: SimMutex<TcpStream>,
+    pending: Mutex<HashMap<u64, Pending>>,
+    open_waits: Mutex<HashMap<u64, OpenWait>>,
+    next_req: AtomicU64,
+    next_sid: AtomicU64,
+    /// Streams opened by a peer towards us, keyed by (peer, peer's sid).
+    inbound: Mutex<HashMap<(GridId, u64), RoutedStream>>,
+    /// Streams we opened, keyed by (peer, our sid).
+    outbound: Mutex<HashMap<(GridId, u64), RoutedStream>>,
+    delegate: Mutex<Option<Arc<dyn RelayDelegate>>>,
+    sched: SchedHandle,
+}
+
+/// A node's connection to the relay.
+#[derive(Clone)]
+pub struct RelayClient {
+    inner: Arc<RcInner>,
+}
+
+impl RelayClient {
+    /// Connect to the relay (optionally through a site SOCKS proxy), say
+    /// hello, and start the receive pump.
+    pub fn connect(
+        host: &SimHost,
+        relay_addr: SockAddr,
+        via_proxy: Option<SockAddr>,
+        id: GridId,
+    ) -> io::Result<RelayClient> {
+        let stream =
+            BootstrapSocketFactory::new(host.clone(), via_proxy).connect(relay_addr)?;
+        let mut w = stream.clone();
+        FrameWriter::new().u8(relay_op::HELLO).u64(id).send(&mut w)?;
+        let inner = Arc::new(RcInner {
+            id,
+            writer: SimMutex::new(stream.clone()),
+            pending: Mutex::new(HashMap::new()),
+            open_waits: Mutex::new(HashMap::new()),
+            next_req: AtomicU64::new(1),
+            next_sid: AtomicU64::new(1),
+            inbound: Mutex::new(HashMap::new()),
+            outbound: Mutex::new(HashMap::new()),
+            delegate: Mutex::new(None),
+            sched: host.net().sched().clone(),
+        });
+        let client = RelayClient { inner };
+        let pump = client.clone();
+        host.net().sched().spawn_daemon(format!("relay-pump-{id}"), move || {
+            pump.pump(stream);
+        });
+        Ok(client)
+    }
+
+    pub fn id(&self) -> GridId {
+        self.inner.id
+    }
+
+    /// Install the node-runtime callbacks.
+    pub fn set_delegate(&self, d: Arc<dyn RelayDelegate>) {
+        *self.inner.delegate.lock() = Some(d);
+    }
+
+    /// Send one inner frame to `to` through the relay.
+    fn send_inner(&self, to: GridId, inner: Vec<u8>) -> io::Result<()> {
+        let mut w = self.inner.writer.lock();
+        FrameWriter::new().u8(relay_op::SEND).u64(to).bytes(&inner).send(&mut *w)
+    }
+
+    /// Blocking service request/response — the brokering channel.
+    pub fn service_request(&self, to: GridId, payload: &[u8]) -> io::Result<Vec<u8>> {
+        let req_id = self.inner.next_req.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .pending
+            .lock()
+            .insert(req_id, Pending { to, result: None, waker: None });
+        let frame = FrameWriter::new()
+            .u8(inner_op::SVC_REQ)
+            .u64(req_id)
+            .bytes(payload)
+            .into_bytes();
+        self.send_inner(to, frame)?;
+        loop {
+            {
+                let mut p = self.inner.pending.lock();
+                let slot = p.get_mut(&req_id).expect("pending slot");
+                if let Some(result) = slot.result.take() {
+                    p.remove(&req_id);
+                    return result;
+                }
+                slot.waker = Some(gridsim_net::ctx::waker());
+            }
+            gridsim_net::ctx::park("relay svc rsp");
+        }
+    }
+
+    /// Open a routed byte stream to `port_name` on node `to`.
+    pub fn open_stream(&self, to: GridId, port_name: &str, channel: u64) -> io::Result<RoutedStream> {
+        let sid = self.inner.next_sid.fetch_add(1, Ordering::Relaxed);
+        let stream = RoutedStream::new(self.clone(), to, sid, true);
+        self.inner.outbound.lock().insert((to, sid), stream.clone());
+        self.inner
+            .open_waits
+            .lock()
+            .insert(sid, OpenWait { to, result: None, waker: None });
+        let frame = FrameWriter::new()
+            .u8(inner_op::OPEN)
+            .u64(sid)
+            .str(port_name)
+            .u64(channel)
+            .into_bytes();
+        self.send_inner(to, frame)?;
+        loop {
+            {
+                let mut ow = self.inner.open_waits.lock();
+                let slot = ow.get_mut(&sid).expect("open wait slot");
+                if let Some(result) = slot.result.take() {
+                    ow.remove(&sid);
+                    return match result {
+                        Ok(()) => Ok(stream),
+                        Err(msg) => {
+                            self.inner.outbound.lock().remove(&(to, sid));
+                            Err(io::Error::new(io::ErrorKind::ConnectionRefused, msg))
+                        }
+                    };
+                }
+                slot.waker = Some(gridsim_net::ctx::waker());
+            }
+            gridsim_net::ctx::park("relay open");
+        }
+    }
+
+    /// The receive pump: dispatch frames from the relay.
+    fn pump(&self, stream: TcpStream) {
+        let mut reader = stream;
+        while let Ok(frame) = read_frame(&mut reader) {
+            if self.dispatch(&frame).is_err() {
+                break;
+            }
+        }
+        // Relay connection gone: fail everything.
+        for slot in self.inner.pending.lock().values_mut() {
+            if slot.result.is_none() {
+                slot.result = Some(Err(io::ErrorKind::ConnectionReset.into()));
+            }
+            if let Some(w) = slot.waker.take() {
+                w.wake();
+            }
+        }
+        for slot in self.inner.open_waits.lock().values_mut() {
+            if slot.result.is_none() {
+                slot.result = Some(Err("relay connection lost".into()));
+            }
+            if let Some(w) = slot.waker.take() {
+                w.wake();
+            }
+        }
+        for s in self.inner.inbound.lock().values() {
+            s.inner.rx.close();
+        }
+        for s in self.inner.outbound.lock().values() {
+            s.inner.rx.close();
+        }
+    }
+
+    fn dispatch(&self, frame: &[u8]) -> io::Result<()> {
+        let mut r = FrameReader::new(frame);
+        match r.u8()? {
+            relay_op::NOPEER => {
+                let to = r.u64()?;
+                let mut p = self.inner.pending.lock();
+                for slot in p.values_mut() {
+                    if slot.to == to && slot.result.is_none() {
+                        slot.result = Some(Err(io::Error::new(
+                            io::ErrorKind::NotFound,
+                            format!("relay: no peer {to}"),
+                        )));
+                        if let Some(w) = slot.waker.take() {
+                            w.wake();
+                        }
+                    }
+                }
+                drop(p);
+                let mut ow = self.inner.open_waits.lock();
+                for slot in ow.values_mut() {
+                    if slot.to == to && slot.result.is_none() {
+                        slot.result = Some(Err(format!("relay: no peer {to}")));
+                        if let Some(w) = slot.waker.take() {
+                            w.wake();
+                        }
+                    }
+                }
+                Ok(())
+            }
+            relay_op::RECV => {
+                let from = r.u64()?;
+                let inner = r.bytes()?;
+                self.dispatch_inner(from, inner)
+            }
+            _ => Err(io::ErrorKind::InvalidData.into()),
+        }
+    }
+
+    fn dispatch_inner(&self, from: GridId, inner: &[u8]) -> io::Result<()> {
+        let mut r = FrameReader::new(inner);
+        match r.u8()? {
+            inner_op::SVC_REQ => {
+                let req_id = r.u64()?;
+                let payload = r.bytes()?.to_vec();
+                let delegate = self.inner.delegate.lock().clone();
+                let me = self.clone();
+                self.inner.sched.spawn_daemon("svc-handler", move || {
+                    let rsp = match delegate {
+                        Some(d) => (1u8, d.on_service_request(from, &payload)),
+                        None => (0u8, b"no service handler".to_vec()),
+                    };
+                    let frame = FrameWriter::new()
+                        .u8(inner_op::SVC_RSP)
+                        .u64(req_id)
+                        .u8(rsp.0)
+                        .bytes(&rsp.1)
+                        .into_bytes();
+                    let _ = me.send_inner(from, frame);
+                });
+                Ok(())
+            }
+            inner_op::SVC_RSP => {
+                let req_id = r.u64()?;
+                let ok = r.u8()?;
+                let payload = r.bytes()?.to_vec();
+                let mut p = self.inner.pending.lock();
+                if let Some(slot) = p.get_mut(&req_id) {
+                    slot.result = Some(if ok == 1 {
+                        Ok(payload)
+                    } else {
+                        Err(io::Error::other(
+                            String::from_utf8_lossy(&payload).into_owned(),
+                        ))
+                    });
+                    if let Some(w) = slot.waker.take() {
+                        w.wake();
+                    }
+                }
+                Ok(())
+            }
+            inner_op::OPEN => {
+                let sid = r.u64()?;
+                let port_name = r.str()?;
+                let channel = r.u64()?;
+                let stream = RoutedStream::new(self.clone(), from, sid, false);
+                let delegate = self.inner.delegate.lock().clone();
+                let result = match delegate {
+                    Some(d) => {
+                        self.inner.inbound.lock().insert((from, sid), stream.clone());
+                        // The delegate may block (stack handshakes); run it
+                        // in its own task after acknowledging.
+                        let me = self.clone();
+                        let st2 = stream;
+                        self.inner.sched.spawn_daemon("routed-open", move || {
+                            if let Err(msg) = d.on_open(from, &port_name, channel, st2) {
+                                let _ = me.send_inner(
+                                    from,
+                                    FrameWriter::new()
+                                        .u8(inner_op::OPEN_ERR)
+                                        .u64(sid)
+                                        .str(&msg)
+                                        .into_bytes(),
+                                );
+                            }
+                        });
+                        Ok(())
+                    }
+                    None => Err("no delegate".to_string()),
+                };
+                let reply = match result {
+                    Ok(()) => FrameWriter::new().u8(inner_op::OPEN_OK).u64(sid).into_bytes(),
+                    Err(m) => {
+                        FrameWriter::new().u8(inner_op::OPEN_ERR).u64(sid).str(&m).into_bytes()
+                    }
+                };
+                self.send_inner(from, reply)
+            }
+            inner_op::OPEN_OK => {
+                let sid = r.u64()?;
+                let mut ow = self.inner.open_waits.lock();
+                if let Some(slot) = ow.get_mut(&sid) {
+                    slot.result = Some(Ok(()));
+                    if let Some(w) = slot.waker.take() {
+                        w.wake();
+                    }
+                }
+                Ok(())
+            }
+            inner_op::OPEN_ERR => {
+                let sid = r.u64()?;
+                let msg = r.str()?;
+                let mut ow = self.inner.open_waits.lock();
+                if let Some(slot) = ow.get_mut(&sid) {
+                    slot.result = Some(Err(msg));
+                    if let Some(w) = slot.waker.take() {
+                        w.wake();
+                    }
+                } else {
+                    // Error for an already-open stream: close it.
+                    drop(ow);
+                    if let Some(s) = self.inner.outbound.lock().get(&(from, sid)) {
+                        s.inner.rx.close();
+                    }
+                }
+                Ok(())
+            }
+            inner_op::DATA => {
+                let opened_by_sender = r.u8()? == 1;
+                let sid = r.u64()?;
+                let chunk = r.bytes()?.to_vec();
+                let stream = if opened_by_sender {
+                    self.inner.inbound.lock().get(&(from, sid)).cloned()
+                } else {
+                    self.inner.outbound.lock().get(&(from, sid)).cloned()
+                };
+                if let Some(s) = stream {
+                    // push blocks under backpressure, stalling the pump —
+                    // and therefore the relay TCP connection. Crude but
+                    // faithful to a single multiplexed relay link.
+                    let _ = s.inner.rx.push(chunk);
+                }
+                Ok(())
+            }
+            inner_op::FIN => {
+                let opened_by_sender = r.u8()? == 1;
+                let sid = r.u64()?;
+                let stream = if opened_by_sender {
+                    self.inner.inbound.lock().remove(&(from, sid))
+                } else {
+                    self.inner.outbound.lock().remove(&(from, sid))
+                };
+                if let Some(s) = stream {
+                    s.inner.rx.close();
+                }
+                Ok(())
+            }
+            _ => Err(io::ErrorKind::InvalidData.into()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- stream
+
+struct RsInner {
+    client: RelayClient,
+    peer: GridId,
+    sid: u64,
+    /// Did this node open the stream? Determines the direction bit.
+    opener: bool,
+    rx: SimQueue<Vec<u8>>,
+    cursor: Mutex<(Vec<u8>, usize)>,
+    fin_sent: Mutex<bool>,
+}
+
+/// A byte stream tunneled through the relay ("routed messages" link).
+/// Cloneable; implements `Read`/`Write` like a socket.
+#[derive(Clone)]
+pub struct RoutedStream {
+    inner: Arc<RsInner>,
+}
+
+impl RoutedStream {
+    fn new(client: RelayClient, peer: GridId, sid: u64, opener: bool) -> RoutedStream {
+        RoutedStream {
+            inner: Arc::new(RsInner {
+                client,
+                peer,
+                sid,
+                opener,
+                rx: SimQueue::bounded(STREAM_QUEUE),
+                cursor: Mutex::new((Vec::new(), 0)),
+                fin_sent: Mutex::new(false),
+            }),
+        }
+    }
+
+    pub fn peer(&self) -> GridId {
+        self.inner.peer
+    }
+
+    /// Signal end of stream to the peer.
+    pub fn shutdown_write(&self) -> io::Result<()> {
+        let mut sent = self.inner.fin_sent.lock();
+        if *sent {
+            return Ok(());
+        }
+        *sent = true;
+        let frame = FrameWriter::new()
+            .u8(inner_op::FIN)
+            .u8(self.inner.opener as u8)
+            .u64(self.inner.sid)
+            .into_bytes();
+        self.inner.client.send_inner(self.inner.peer, frame)
+    }
+}
+
+impl Read for RoutedStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            {
+                let mut cur = self.inner.cursor.lock();
+                if cur.1 < cur.0.len() {
+                    let n = buf.len().min(cur.0.len() - cur.1);
+                    buf[..n].copy_from_slice(&cur.0[cur.1..cur.1 + n]);
+                    cur.1 += n;
+                    return Ok(n);
+                }
+            }
+            // Refill (may park — no lock held).
+            match self.inner.rx.pop() {
+                Some(chunk) => {
+                    let mut cur = self.inner.cursor.lock();
+                    *cur = (chunk, 0);
+                }
+                None => return Ok(0),
+            }
+        }
+    }
+}
+
+impl Write for RoutedStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        for chunk in buf.chunks(ROUTED_CHUNK) {
+            let frame = FrameWriter::new()
+                .u8(inner_op::DATA)
+                .u8(self.inner.opener as u8)
+                .u64(self.inner.sid)
+                .bytes(chunk)
+                .into_bytes();
+            self.inner.client.send_inner(self.inner.peer, frame)?;
+        }
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for RsInner {
+    fn drop(&mut self) {
+        // Best-effort FIN; ignore failures during teardown.
+        let sent = *self.fin_sent.lock();
+        if !sent && gridsim_net::ctx::in_task() {
+            let frame = FrameWriter::new()
+                .u8(inner_op::FIN)
+                .u8(self.opener as u8)
+                .u64(self.sid)
+                .into_bytes();
+            let _ = self.client.send_inner(self.peer, frame);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Wire encoding helpers for the netgrid control protocols (name service,
+//! relay, service messages): length-prefixed frames of varint-encoded
+//! fields. All control protocols are versioned by a magic byte per frame
+//! kind rather than per connection, keeping parsing stateless.
+
+use gridsim_net::{Ip, SockAddr};
+use gridzip::varint;
+use std::io::{self, Read, Write};
+
+/// Maximum accepted control frame, to bound allocations from bad peers.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// An encoder for one frame.
+#[derive(Default)]
+pub struct FrameWriter {
+    buf: Vec<u8>,
+}
+
+impl FrameWriter {
+    pub fn new() -> FrameWriter {
+        FrameWriter { buf: Vec::with_capacity(64) }
+    }
+
+    pub fn u8(mut self, v: u8) -> Self {
+        self.buf.push(v);
+        self
+    }
+
+    pub fn u64(mut self, v: u64) -> Self {
+        varint::put(&mut self.buf, v);
+        self
+    }
+
+    pub fn bytes(mut self, v: &[u8]) -> Self {
+        varint::put(&mut self.buf, v.len() as u64);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    pub fn str(self, v: &str) -> Self {
+        self.bytes(v.as_bytes())
+    }
+
+    pub fn addr(mut self, a: SockAddr) -> Self {
+        varint::put(&mut self.buf, a.ip.0 as u64);
+        varint::put(&mut self.buf, a.port as u64);
+        self
+    }
+
+    pub fn opt_addr(self, a: Option<SockAddr>) -> Self {
+        match a {
+            Some(a) => self.u8(1).addr(a),
+            None => self.u8(0),
+        }
+    }
+
+    /// Write the frame (`[varint len][payload]`) to `w` and flush.
+    pub fn send<W: Write>(self, w: &mut W) -> io::Result<()> {
+        let mut hdr = Vec::with_capacity(4);
+        varint::put(&mut hdr, self.buf.len() as u64);
+        w.write_all(&hdr)?;
+        w.write_all(&self.buf)?;
+        w.flush()
+    }
+
+    /// The raw payload (for embedding in other frames).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Read one length-prefixed frame.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    let len = varint::read_from(r)? as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "control frame too large"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Cursor-style decoder over a frame payload.
+pub struct FrameReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn bad(msg: &'static str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl<'a> FrameReader<'a> {
+    pub fn new(buf: &'a [u8]) -> FrameReader<'a> {
+        FrameReader { buf, pos: 0 }
+    }
+
+    pub fn u8(&mut self) -> io::Result<u8> {
+        let v = *self.buf.get(self.pos).ok_or_else(|| bad("truncated u8"))?;
+        self.pos += 1;
+        Ok(v)
+    }
+
+    pub fn u64(&mut self) -> io::Result<u64> {
+        let (v, n) = varint::get(&self.buf[self.pos..]).ok_or_else(|| bad("truncated varint"))?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    pub fn bytes(&mut self) -> io::Result<&'a [u8]> {
+        let len = self.u64()? as usize;
+        if self.pos + len > self.buf.len() {
+            return Err(bad("truncated bytes"));
+        }
+        let s = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+
+    pub fn str(&mut self) -> io::Result<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| bad("invalid utf-8"))
+    }
+
+    pub fn addr(&mut self) -> io::Result<SockAddr> {
+        let ip = self.u64()? as u32;
+        let port = self.u64()?;
+        if port > u16::MAX as u64 {
+            return Err(bad("port out of range"));
+        }
+        Ok(SockAddr::new(Ip(ip), port as u16))
+    }
+
+    pub fn opt_addr(&mut self) -> io::Result<Option<SockAddr>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.addr()?)),
+            _ => Err(bad("bad option tag")),
+        }
+    }
+
+    /// Remaining undecoded payload.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let r = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        r
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_field_kinds() {
+        let addr = SockAddr::new(Ip::new(131, 1, 0, 10), 7777);
+        let mut wire = Vec::new();
+        FrameWriter::new()
+            .u8(7)
+            .u64(123456789)
+            .str("hello-port")
+            .addr(addr)
+            .opt_addr(None)
+            .opt_addr(Some(addr))
+            .bytes(b"\x00\x01\x02")
+            .send(&mut wire)
+            .unwrap();
+        let mut cur = io::Cursor::new(wire);
+        let frame = read_frame(&mut cur).unwrap();
+        let mut r = FrameReader::new(&frame);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u64().unwrap(), 123456789);
+        assert_eq!(r.str().unwrap(), "hello-port");
+        assert_eq!(r.addr().unwrap(), addr);
+        assert_eq!(r.opt_addr().unwrap(), None);
+        assert_eq!(r.opt_addr().unwrap(), Some(addr));
+        assert_eq!(r.bytes().unwrap(), b"\x00\x01\x02");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_fields_error_cleanly() {
+        let mut wire = Vec::new();
+        FrameWriter::new().str("abcdef").send(&mut wire).unwrap();
+        let frame = read_frame(&mut io::Cursor::new(wire)).unwrap();
+        let mut r = FrameReader::new(&frame[..3]);
+        assert!(r.str().is_err());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut wire = Vec::new();
+        varint::put(&mut wire, (MAX_FRAME + 1) as u64);
+        assert!(read_frame(&mut io::Cursor::new(wire)).is_err());
+    }
+
+    #[test]
+    fn multiple_frames_in_sequence() {
+        let mut wire = Vec::new();
+        FrameWriter::new().u64(1).send(&mut wire).unwrap();
+        FrameWriter::new().u64(2).send(&mut wire).unwrap();
+        let mut cur = io::Cursor::new(wire);
+        let f1 = read_frame(&mut cur).unwrap();
+        let f2 = read_frame(&mut cur).unwrap();
+        assert_eq!(FrameReader::new(&f1).u64().unwrap(), 1);
+        assert_eq!(FrameReader::new(&f2).u64().unwrap(), 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Tests of the automated connectivity-profile discovery (paper §8 future
+//! work): a node must classify its own position — open, firewalled, or the
+//! NAT behaviour taxonomy — from network probes alone, and `join_auto`
+//! must then drive the same decision-tree outcomes as an explicit profile.
+
+use gridsim_net::{topology, LinkParams, NatKind, Sim, SockAddr};
+use gridsim_tcp::SimHost;
+use netgrid::{
+    spawn_name_service, spawn_relay, ConnectivityProfile, EstablishMethod, FirewallClass, GridEnv,
+    GridNode, NatClass, NsClient, StackSpec,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+const NS: u16 = 563;
+const RELAY: u16 = 600;
+
+fn single_site(sim: &Sim, spec: topology::SiteSpec) -> (SockAddr, SimHost) {
+    let net = sim.net();
+    let (srv, host) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(w, &[spec]);
+        let (srv, _) = grid.add_public_host(w, "services");
+        (srv, grid.sites[0].hosts[0])
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let ns_addr = SockAddr::new(hsrv.ip(), NS);
+    sim.spawn("services", move || {
+        spawn_name_service(&hsrv, NS).unwrap();
+    });
+    sim.run();
+    (ns_addr, SimHost::new(&net, host))
+}
+
+fn detect(sim: &Sim, ns_addr: SockAddr, host: SimHost) -> ConnectivityProfile {
+    let out = Arc::new(Mutex::new(None));
+    let o = Arc::clone(&out);
+    sim.spawn("probe", move || {
+        let ns = NsClient::new(host, ns_addr, None);
+        *o.lock() = Some(ns.detect_profile().unwrap());
+    });
+    sim.run();
+    let p = out.lock().take().unwrap();
+    p
+}
+
+#[test]
+fn detects_open_host() {
+    let wan = LinkParams::mbps(2.0, Duration::from_millis(5));
+    let sim = Sim::new(61);
+    let (ns, host) = single_site(&sim, topology::SiteSpec::open("open", 1, wan));
+    let p = detect(&sim, ns, host);
+    assert_eq!(p.firewall, FirewallClass::None);
+    assert_eq!(p.nat, None);
+    assert!(!p.private_addr);
+}
+
+#[test]
+fn detects_stateful_firewall() {
+    let wan = LinkParams::mbps(2.0, Duration::from_millis(5));
+    let sim = Sim::new(62);
+    let (ns, host) = single_site(&sim, topology::SiteSpec::firewalled("fw", 1, wan));
+    let p = detect(&sim, ns, host);
+    assert_eq!(p.firewall, FirewallClass::Stateful);
+    assert_eq!(p.nat, None);
+}
+
+#[test]
+fn detects_nat_classes() {
+    let wan = LinkParams::mbps(2.0, Duration::from_millis(5));
+    for (kind, expect) in [
+        (NatKind::FullCone, NatClass::Cone),
+        (NatKind::RestrictedCone, NatClass::Cone),
+        (NatKind::SymmetricSequential, NatClass::SymmetricPredictable),
+        (NatKind::SymmetricRandom, NatClass::SymmetricRandom),
+    ] {
+        let sim = Sim::new(63);
+        let (ns, host) = single_site(&sim, topology::SiteSpec::natted("nat", 1, kind, wan));
+        let p = detect(&sim, ns, host);
+        assert_eq!(p.nat, Some(expect), "NAT kind {kind:?}");
+        assert!(p.private_addr);
+    }
+}
+
+/// End to end: two auto-profiled nodes behind firewalls still splice.
+#[test]
+fn join_auto_firewalled_pair_splices() {
+    let sim = Sim::new(64);
+    let net = sim.net();
+    let wan = LinkParams::mbps(2.0, Duration::from_millis(8));
+    let (srv, a, b) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(
+            w,
+            &[
+                topology::SiteSpec::firewalled("x", 1, wan),
+                topology::SiteSpec::firewalled("y", 1, wan),
+            ],
+        );
+        let (srv, _) = grid.add_public_host(w, "services");
+        (srv, grid.sites[0].hosts[0], grid.sites[1].hosts[0])
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let env = GridEnv::new(net.clone(), SockAddr::new(hsrv.ip(), NS))
+        .with_relay(SockAddr::new(hsrv.ip(), RELAY));
+    sim.spawn("services", move || {
+        spawn_name_service(&hsrv, NS).unwrap();
+        spawn_relay(&hsrv, RELAY).unwrap();
+    });
+    sim.run();
+
+    let delivered = Arc::new(Mutex::new(None));
+    {
+        let env = env.clone();
+        let host = SimHost::new(&net, b);
+        let delivered = Arc::clone(&delivered);
+        sim.spawn("recv", move || {
+            let node = GridNode::join_auto(&env, host, "auto-recv").unwrap();
+            assert_eq!(node.profile().firewall, FirewallClass::Stateful);
+            let rp = node.create_receive_port("auto-sink", StackSpec::plain()).unwrap();
+            *delivered.lock() = Some(rp.receive().unwrap().into_vec());
+        });
+    }
+    {
+        let env = env.clone();
+        let host = SimHost::new(&net, a);
+        sim.spawn("send", move || {
+            // Detection probes take a few seconds (firewall probe timeout);
+            // wait for the receiver to be registered.
+            gridsim_net::ctx::sleep(Duration::from_secs(8));
+            let node = GridNode::join_auto(&env, host, "auto-send").unwrap();
+            assert_eq!(node.profile().firewall, FirewallClass::Stateful);
+            let mut sp = node.create_send_port();
+            let method = sp.connect("auto-sink").unwrap();
+            assert_eq!(method, EstablishMethod::Splicing);
+            sp.send(b"auto-profiled").unwrap();
+            sp.close().unwrap();
+        });
+    }
+    sim.run();
+    assert_eq!(delivered.lock().take().as_deref(), Some(&b"auto-profiled"[..]));
+}

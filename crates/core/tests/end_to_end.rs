@@ -1,0 +1,570 @@
+//! End-to-end tests of the netgrid runtime over simulated grids: every
+//! establishment method, every utilization method, and their combinations.
+
+use gridsim_net::{topology, FirewallPolicy, Ip, LinkParams, NatKind, Sim, SockAddr, Trust};
+use gridsim_tcp::SimHost;
+use netgrid::{
+    spawn_name_service, spawn_proxy, spawn_relay, ConnectivityProfile, EstablishMethod, GridEnv,
+    GridNode, NatClass, StackSpec,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const NS_PORT: u16 = 563;
+const RELAY_PORT: u16 = 600;
+const SOCKS_PORT: u16 = 1080;
+
+/// Two open public hosts + public services host, all on a fast WAN.
+fn open_world(sim: &Sim) -> (GridEnv, SimHost, SimHost) {
+    let net = sim.net();
+    let (srv, a, b) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(
+            w,
+            &[
+                topology::SiteSpec::open("site-a", 1, LinkParams::mbps(2.0, Duration::from_millis(10))),
+                topology::SiteSpec::open("site-b", 1, LinkParams::mbps(2.0, Duration::from_millis(10))),
+            ],
+        );
+        let (srv, _ip) = grid.add_public_host(w, "services");
+        (srv, grid.sites[0].hosts[0], grid.sites[1].hosts[0])
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let ha = SimHost::new(&net, a);
+    let hb = SimHost::new(&net, b);
+    let ns_addr = SockAddr::new(hsrv.ip(), NS_PORT);
+    let relay_addr = SockAddr::new(hsrv.ip(), RELAY_PORT);
+    let env = GridEnv::new(net, ns_addr).with_relay(relay_addr);
+    let hsrv2 = hsrv.clone();
+    sim.spawn("services", move || {
+        spawn_name_service(&hsrv2, NS_PORT).unwrap();
+        spawn_relay(&hsrv2, RELAY_PORT).unwrap();
+    });
+    sim.run(); // let services come up at t=0
+    (env, ha, hb)
+}
+
+/// Send `n_msgs` messages of `msg_len` bytes from a to b over a fresh
+/// send/receive port pair with the given spec; assert delivery and return
+/// the establishment method used.
+fn roundtrip(
+    sim: &Sim,
+    env: &GridEnv,
+    ha: SimHost,
+    hb: SimHost,
+    spec: StackSpec,
+    port_name: &'static str,
+    profile_a: ConnectivityProfile,
+    profile_b: ConnectivityProfile,
+) -> EstablishMethod {
+    let env_a = env.clone();
+    let env_b = env.clone();
+    let recv = sim.spawn("receiver", move || {
+        let node = GridNode::join(&env_b, hb, &format!("{port_name}-recv"), profile_b).unwrap();
+        let rp = node.create_receive_port(port_name, spec).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            let mut m = rp.receive().unwrap();
+            let s = m.read_str().unwrap();
+            let payload_len = m.read_u64().unwrap() as usize;
+            let payload = m.read_bytes(payload_len).unwrap();
+            assert!(payload.iter().all(|&b| b == 0x5a));
+            got.push(s);
+        }
+        got
+    });
+    let send = sim.spawn("sender", move || {
+        // Give the receiver a moment to register its port.
+        gridsim_net::ctx::sleep(Duration::from_millis(200));
+        let node = GridNode::join(&env_a, ha, &format!("{port_name}-send"), profile_a).unwrap();
+        let mut sp = node.create_send_port();
+        let method = sp.connect(port_name).unwrap();
+        for i in 0..3 {
+            let mut m = sp.message();
+            m.write_str(&format!("msg-{i}"));
+            let payload = vec![0x5au8; 10_000];
+            m.write_u64(payload.len() as u64);
+            m.write_bytes(&payload);
+            m.finish().unwrap();
+        }
+        sp.close().unwrap();
+        method
+    });
+    sim.run();
+    assert!(recv.is_finished(), "receiver should have finished");
+    let out = Arc::new(parking_lot::Mutex::new(None));
+    let o = out.clone();
+    sim.spawn("collect", move || {
+        let msgs = recv.join();
+        assert_eq!(msgs, vec!["msg-0", "msg-1", "msg-2"]);
+        *o.lock() = Some(send.join());
+    });
+    sim.run();
+    let m = out.lock().take().unwrap();
+    m
+}
+
+#[test]
+fn open_world_uses_client_server_plain() {
+    let sim = Sim::new(11);
+    let (env, ha, hb) = open_world(&sim);
+    let m = roundtrip(
+        &sim,
+        &env,
+        ha,
+        hb,
+        StackSpec::plain(),
+        "plain",
+        ConnectivityProfile::open(),
+        ConnectivityProfile::open(),
+    );
+    assert_eq!(m, EstablishMethod::ClientServer);
+}
+
+#[test]
+fn parallel_streams_stack() {
+    let sim = Sim::new(12);
+    let (env, ha, hb) = open_world(&sim);
+    let m = roundtrip(
+        &sim,
+        &env,
+        ha,
+        hb,
+        StackSpec::plain().with_streams(4),
+        "striped",
+        ConnectivityProfile::open(),
+        ConnectivityProfile::open(),
+    );
+    assert_eq!(m, EstablishMethod::ClientServer);
+}
+
+#[test]
+fn compressed_stack() {
+    let sim = Sim::new(13);
+    let (env, ha, hb) = open_world(&sim);
+    let m = roundtrip(
+        &sim,
+        &env,
+        ha,
+        hb,
+        StackSpec::plain().with_compression(1),
+        "compressed",
+        ConnectivityProfile::open(),
+        ConnectivityProfile::open(),
+    );
+    assert_eq!(m, EstablishMethod::ClientServer);
+}
+
+#[test]
+fn secure_stack() {
+    let sim = Sim::new(14);
+    let (env, ha, hb) = open_world(&sim);
+    let m = roundtrip(
+        &sim,
+        &env,
+        ha,
+        hb,
+        StackSpec::plain().with_security(),
+        "secure",
+        ConnectivityProfile::open(),
+        ConnectivityProfile::open(),
+    );
+    assert_eq!(m, EstablishMethod::ClientServer);
+}
+
+#[test]
+fn full_stack_compression_over_secured_parallel_streams() {
+    // The paper's flagship composition (§1: "data compression over parallel
+    // TCP streams", §4: "compression over secured parallel streams").
+    let sim = Sim::new(15);
+    let (env, ha, hb) = open_world(&sim);
+    let m = roundtrip(
+        &sim,
+        &env,
+        ha,
+        hb,
+        StackSpec::plain().with_streams(4).with_compression(1).with_security(),
+        "full",
+        ConnectivityProfile::open(),
+        ConnectivityProfile::open(),
+    );
+    assert_eq!(m, EstablishMethod::ClientServer);
+}
+
+/// Two firewalled sites, services on the public backbone.
+fn firewalled_world(sim: &Sim) -> (GridEnv, SimHost, SimHost) {
+    let net = sim.net();
+    let wan = LinkParams::mbps(2.0, Duration::from_millis(10));
+    let (srv, a, b) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(
+            w,
+            &[
+                topology::SiteSpec::firewalled("vu", 1, wan),
+                topology::SiteSpec::firewalled("rennes", 1, wan),
+            ],
+        );
+        let (srv, _) = grid.add_public_host(w, "services");
+        (srv, grid.sites[0].hosts[0], grid.sites[1].hosts[0])
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let ha = SimHost::new(&net, a);
+    let hb = SimHost::new(&net, b);
+    let env = GridEnv::new(net, SockAddr::new(hsrv.ip(), NS_PORT))
+        .with_relay(SockAddr::new(hsrv.ip(), RELAY_PORT));
+    let hsrv2 = hsrv.clone();
+    sim.spawn("services", move || {
+        spawn_name_service(&hsrv2, NS_PORT).unwrap();
+        spawn_relay(&hsrv2, RELAY_PORT).unwrap();
+    });
+    sim.run();
+    (env, ha, hb)
+}
+
+#[test]
+fn double_firewall_uses_splicing() {
+    // Paper §6: "In the presence of firewalls, NetIbis chooses routed
+    // messages for service links and TCP splicing for data links."
+    let sim = Sim::new(16);
+    let (env, ha, hb) = firewalled_world(&sim);
+    let m = roundtrip(
+        &sim,
+        &env,
+        ha,
+        hb,
+        StackSpec::plain(),
+        "spliced",
+        ConnectivityProfile::firewalled(),
+        ConnectivityProfile::firewalled(),
+    );
+    assert_eq!(m, EstablishMethod::Splicing);
+}
+
+#[test]
+fn double_firewall_splicing_with_parallel_streams() {
+    // §6: "Connections through firewalls were always successful with
+    // splicing, also in combination with parallel streams."
+    let sim = Sim::new(17);
+    let (env, ha, hb) = firewalled_world(&sim);
+    let m = roundtrip(
+        &sim,
+        &env,
+        ha,
+        hb,
+        StackSpec::plain().with_streams(4),
+        "spliced4",
+        ConnectivityProfile::firewalled(),
+        ConnectivityProfile::firewalled(),
+    );
+    assert_eq!(m, EstablishMethod::Splicing);
+}
+
+/// Sender behind predictable symmetric NAT, receiver behind firewall.
+#[test]
+fn predictable_nat_splices_with_port_prediction() {
+    let sim = Sim::new(18);
+    let net = sim.net();
+    let wan = LinkParams::mbps(2.0, Duration::from_millis(10));
+    let (srv, a, b) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(
+            w,
+            &[
+                topology::SiteSpec::natted("siegen", 1, NatKind::SymmetricSequential, wan),
+                topology::SiteSpec::firewalled("vu", 1, wan),
+            ],
+        );
+        let (srv, _) = grid.add_public_host(w, "services");
+        (srv, grid.sites[0].hosts[0], grid.sites[1].hosts[0])
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let ha = SimHost::new(&net, a);
+    let hb = SimHost::new(&net, b);
+    let env = GridEnv::new(net, SockAddr::new(hsrv.ip(), NS_PORT))
+        .with_relay(SockAddr::new(hsrv.ip(), RELAY_PORT));
+    let hsrv2 = hsrv.clone();
+    sim.spawn("services", move || {
+        spawn_name_service(&hsrv2, NS_PORT).unwrap();
+        spawn_relay(&hsrv2, RELAY_PORT).unwrap();
+    });
+    sim.run();
+    let m = roundtrip(
+        &sim,
+        &env,
+        ha,
+        hb,
+        StackSpec::plain(),
+        "nat-spliced",
+        ConnectivityProfile::natted(NatClass::SymmetricPredictable),
+        ConnectivityProfile::firewalled(),
+    );
+    assert_eq!(m, EstablishMethod::Splicing);
+}
+
+/// Broken (random) NAT: splicing is skipped; the receiver site's SOCKS
+/// proxy carries the connection — the paper's §6 fallback.
+#[test]
+fn random_nat_falls_back_to_socks_proxy() {
+    let sim = Sim::new(19);
+    let net = sim.net();
+    let wan = LinkParams::mbps(2.0, Duration::from_millis(10));
+    let (srv, a, b, proxy_gw) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(
+            w,
+            &[
+                topology::SiteSpec::natted("broken", 1, NatKind::SymmetricRandom, wan),
+                topology::SiteSpec::firewalled("vu", 1, wan),
+            ],
+        );
+        let (srv, _) = grid.add_public_host(w, "services");
+        (srv, grid.sites[0].hosts[0], grid.sites[1].hosts[0], grid.sites[1].gateway)
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let ha = SimHost::new(&net, a);
+    let hb = SimHost::new(&net, b);
+    // The VU site operates a SOCKS proxy on its gateway.
+    let hgw = SimHost::new(&net, proxy_gw);
+    let proxy_addr = SockAddr::new(net.with(|w| w.node(proxy_gw).addrs[1]), SOCKS_PORT);
+    let env = GridEnv::new(net, SockAddr::new(hsrv.ip(), NS_PORT))
+        .with_relay(SockAddr::new(hsrv.ip(), RELAY_PORT));
+    let hsrv2 = hsrv.clone();
+    sim.spawn("services", move || {
+        spawn_name_service(&hsrv2, NS_PORT).unwrap();
+        spawn_relay(&hsrv2, RELAY_PORT).unwrap();
+        spawn_proxy(&hgw, SOCKS_PORT).unwrap();
+    });
+    sim.run();
+    let m = roundtrip(
+        &sim,
+        &env,
+        ha,
+        hb,
+        StackSpec::plain(),
+        "proxied",
+        ConnectivityProfile::natted(NatClass::SymmetricRandom),
+        ConnectivityProfile::firewalled().with_proxy(proxy_addr),
+    );
+    assert_eq!(m, EstablishMethod::Proxy);
+}
+
+/// No proxy anywhere, broken NAT: the relay carries the data (routed
+/// messages, the last resort).
+#[test]
+fn last_resort_is_routed_messages() {
+    let sim = Sim::new(20);
+    let net = sim.net();
+    let wan = LinkParams::mbps(2.0, Duration::from_millis(10));
+    let (srv, a, b) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(
+            w,
+            &[
+                topology::SiteSpec::natted("broken", 1, NatKind::SymmetricRandom, wan),
+                topology::SiteSpec::firewalled("vu", 1, wan),
+            ],
+        );
+        let (srv, _) = grid.add_public_host(w, "services");
+        (srv, grid.sites[0].hosts[0], grid.sites[1].hosts[0])
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let ha = SimHost::new(&net, a);
+    let hb = SimHost::new(&net, b);
+    let env = GridEnv::new(net, SockAddr::new(hsrv.ip(), NS_PORT))
+        .with_relay(SockAddr::new(hsrv.ip(), RELAY_PORT));
+    let hsrv2 = hsrv.clone();
+    sim.spawn("services", move || {
+        spawn_name_service(&hsrv2, NS_PORT).unwrap();
+        spawn_relay(&hsrv2, RELAY_PORT).unwrap();
+    });
+    sim.run();
+    let m = roundtrip(
+        &sim,
+        &env,
+        ha,
+        hb,
+        StackSpec::plain(),
+        "routed",
+        ConnectivityProfile::natted(NatClass::SymmetricRandom),
+        ConnectivityProfile::firewalled(),
+    );
+    assert_eq!(m, EstablishMethod::Routed);
+}
+
+/// Routed links still support compression and security (native-TCP-only
+/// methods are the striping ones).
+#[test]
+fn routed_with_compression_and_security() {
+    let sim = Sim::new(21);
+    let net = sim.net();
+    let wan = LinkParams::mbps(2.0, Duration::from_millis(10));
+    let (srv, a, b) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(
+            w,
+            &[
+                topology::SiteSpec::natted("broken", 1, NatKind::SymmetricRandom, wan),
+                topology::SiteSpec::firewalled("vu", 1, wan),
+            ],
+        );
+        let (srv, _) = grid.add_public_host(w, "services");
+        (srv, grid.sites[0].hosts[0], grid.sites[1].hosts[0])
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let ha = SimHost::new(&net, a);
+    let hb = SimHost::new(&net, b);
+    let env = GridEnv::new(net, SockAddr::new(hsrv.ip(), NS_PORT))
+        .with_relay(SockAddr::new(hsrv.ip(), RELAY_PORT));
+    let hsrv2 = hsrv.clone();
+    sim.spawn("services", move || {
+        spawn_name_service(&hsrv2, NS_PORT).unwrap();
+        spawn_relay(&hsrv2, RELAY_PORT).unwrap();
+    });
+    sim.run();
+    let m = roundtrip(
+        &sim,
+        &env,
+        ha,
+        hb,
+        StackSpec::plain().with_compression(1).with_security(),
+        "routed-full",
+        ConnectivityProfile::natted(NatClass::SymmetricRandom),
+        ConnectivityProfile::firewalled(),
+    );
+    assert_eq!(m, EstablishMethod::Routed);
+}
+
+/// NAT behaviour discovery (future-work extension): the node can detect
+/// its NAT class via two name-service probes.
+#[test]
+fn nat_detection_classifies_correctly() {
+    for (kind, expect) in [
+        (NatKind::FullCone, Some(NatClass::Cone)),
+        (NatKind::PortRestricted, Some(NatClass::Cone)),
+        (NatKind::SymmetricSequential, Some(NatClass::SymmetricPredictable)),
+        (NatKind::SymmetricRandom, Some(NatClass::SymmetricRandom)),
+    ] {
+        let sim = Sim::new(22);
+        let net = sim.net();
+        let wan = LinkParams::mbps(2.0, Duration::from_millis(5));
+        let (srv, a) = net.with(|w| {
+            let mut grid = gridsim_net::topology::Grid::build(
+                w,
+                &[topology::SiteSpec::natted("nat", 1, kind, wan)],
+            );
+            let (srv, _) = grid.add_public_host(w, "services");
+            (srv, grid.sites[0].hosts[0])
+        });
+        let hsrv = SimHost::new(&net, srv);
+        let ha = SimHost::new(&net, a);
+        let ns_addr = SockAddr::new(hsrv.ip(), NS_PORT);
+        let hsrv2 = hsrv.clone();
+        sim.spawn("services", move || {
+            spawn_name_service(&hsrv2, NS_PORT).unwrap();
+        });
+        sim.run();
+        let done = sim.spawn("probe", move || {
+            let ns = netgrid::NsClient::new(ha, ns_addr, None);
+            ns.detect_nat(9100).unwrap()
+        });
+        sim.run();
+        let out = Arc::new(parking_lot::Mutex::new(None));
+        let o = out.clone();
+        sim.spawn("collect", move || {
+            *o.lock() = Some(done.join());
+        });
+        sim.run();
+        assert_eq!(out.lock().take().unwrap(), expect, "kind {kind:?}");
+    }
+    // No NAT at all: detection says None.
+    let sim = Sim::new(23);
+    let net = sim.net();
+    let (srv, a) = net.with(|w| {
+        let a = w.add_host("open", vec![Ip::new(131, 5, 0, 10)]);
+        let srv = w.add_host("services", vec![Ip::new(131, 0, 0, 10)]);
+        let p = LinkParams::mbps(2.0, Duration::from_millis(5));
+        let (ia, is) = w.connect_with(a, Trust::Inside, srv, Trust::Inside, p, p);
+        w.default_route(a, ia);
+        w.default_route(srv, is);
+        (srv, a)
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let ha = SimHost::new(&net, a);
+    let ns_addr = SockAddr::new(hsrv.ip(), NS_PORT);
+    let hsrv2 = hsrv.clone();
+    sim.spawn("services", move || {
+        spawn_name_service(&hsrv2, NS_PORT).unwrap();
+    });
+    sim.run();
+    let done = sim.spawn("probe", move || {
+        let ns = netgrid::NsClient::new(ha, ns_addr, None);
+        assert_eq!(ns.detect_nat(9100).unwrap(), None);
+    });
+    sim.run();
+    assert!(done.is_finished());
+}
+
+/// One send port, two receive ports on different nodes: group
+/// communication duplicates messages (paper §5: "one send port might be
+/// connected to multiple receive ports").
+#[test]
+fn one_to_many_send_port() {
+    let sim = Sim::new(24);
+    let net = sim.net();
+    let wan = LinkParams::mbps(2.0, Duration::from_millis(10));
+    let (srv, a, b, c) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(
+            w,
+            &[
+                topology::SiteSpec::open("x", 1, wan),
+                topology::SiteSpec::open("y", 1, wan),
+                topology::SiteSpec::open("z", 1, wan),
+            ],
+        );
+        let (srv, _) = grid.add_public_host(w, "services");
+        (
+            srv,
+            grid.sites[0].hosts[0],
+            grid.sites[1].hosts[0],
+            grid.sites[2].hosts[0],
+        )
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let env = GridEnv::new(net.clone(), SockAddr::new(hsrv.ip(), NS_PORT));
+    let hsrv2 = hsrv.clone();
+    sim.spawn("services", move || {
+        spawn_name_service(&hsrv2, NS_PORT).unwrap();
+    });
+    sim.run();
+    let mut receivers = Vec::new();
+    for (i, host_node) in [b, c].into_iter().enumerate() {
+        let env = env.clone();
+        let host = SimHost::new(&net, host_node);
+        receivers.push(sim.spawn(format!("recv{i}"), move || {
+            let node =
+                GridNode::join(&env, host, &format!("r{i}"), ConnectivityProfile::open()).unwrap();
+            let rp = node
+                .create_receive_port(if i == 0 { "multi-0" } else { "multi-1" }, StackSpec::plain())
+                .unwrap();
+            let m = rp.receive().unwrap();
+            m.into_vec()
+        }));
+    }
+    let env2 = env.clone();
+    let ha = SimHost::new(&net, a);
+    sim.spawn("sender", move || {
+        gridsim_net::ctx::sleep(Duration::from_millis(300));
+        let node = GridNode::join(&env2, ha, "s", ConnectivityProfile::open()).unwrap();
+        let mut sp = node.create_send_port();
+        sp.connect("multi-0").unwrap();
+        sp.connect("multi-1").unwrap();
+        assert_eq!(sp.connection_count(), 2);
+        sp.send(b"broadcast!").unwrap();
+        sp.close().unwrap();
+    });
+    sim.run();
+    let out = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let o = out.clone();
+    sim.spawn("collect", move || {
+        for r in receivers {
+            o.lock().push(r.join());
+        }
+    });
+    sim.run();
+    let got = out.lock().clone();
+    assert_eq!(got, vec![b"broadcast!".to_vec(), b"broadcast!".to_vec()]);
+}

@@ -1,0 +1,258 @@
+//! Component tests of the grid services over the simulator: name service,
+//! relay, and SOCKS proxy, exercised directly (below the GridNode layer).
+
+use gridsim_net::{topology, Ip, LinkParams, Sim, SockAddr, Trust};
+use gridsim_tcp::SimHost;
+use netgrid::relay::{RelayClient, RelayDelegate, RoutedStream};
+use netgrid::{socks_connect, spawn_name_service, spawn_proxy, spawn_relay, ConnectivityProfile, NsClient};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Three public hosts on a star: a, b, and a services host.
+fn star(sim: &Sim) -> (SimHost, SimHost, SimHost) {
+    let net = sim.net();
+    let (a, b, s) = net.with(|w| {
+        let r = w.add_gateway(
+            "hub",
+            Ip::new(131, 0, 0, 1),
+            Ip::new(131, 0, 0, 1),
+            gridsim_net::FirewallPolicy::Open,
+            None,
+        );
+        let mk = |w: &mut gridsim_net::World, name: &str, ip: Ip, r| {
+            let h = w.add_host(name, vec![ip]);
+            let p = LinkParams::mbps(4.0, Duration::from_millis(2));
+            let (hi, ri) = w.connect_with(h, Trust::Inside, r, Trust::Inside, p, p);
+            w.default_route(h, hi);
+            w.route(r, ip, 32, ri);
+            h
+        };
+        let a = mk(w, "a", Ip::new(131, 1, 0, 10), r);
+        let b = mk(w, "b", Ip::new(131, 2, 0, 10), r);
+        let s = mk(w, "s", Ip::new(131, 3, 0, 10), r);
+        (a, b, s)
+    });
+    (SimHost::new(&net, a), SimHost::new(&net, b), SimHost::new(&net, s))
+}
+
+#[test]
+fn name_service_crud() {
+    let sim = Sim::new(70);
+    let (ha, _hb, hs) = star(&sim);
+    let ns_addr = SockAddr::new(hs.ip(), 563);
+    sim.spawn("ns", move || spawn_name_service(&hs, 563).unwrap());
+    sim.run();
+    let done = sim.spawn("client", move || {
+        let ns = NsClient::new(ha.clone(), ns_addr, None);
+        let id = ns.register("node-a", &ConnectivityProfile::open()).unwrap();
+        assert!(id > 0);
+        // Port registration + lookup.
+        let listen = SockAddr::new(ha.ip(), 20000);
+        ns.register_port(id, "my-port", Some(listen), b"specbytes").unwrap();
+        let (rec, profile, name) = ns.lookup_port("my-port").unwrap();
+        assert_eq!(rec.owner, id);
+        assert_eq!(rec.listener, Some(listen));
+        assert_eq!(rec.stack, b"specbytes");
+        assert_eq!(profile, ConnectivityProfile::open());
+        assert_eq!(name, "node-a");
+        // Duplicate port name rejected.
+        assert!(ns.register_port(id, "my-port", None, b"").is_err());
+        // Listing.
+        assert_eq!(ns.list_ports().unwrap(), vec!["my-port".to_string()]);
+        // Node lookup.
+        let (nname, _nprofile) = ns.lookup_node(id).unwrap();
+        assert_eq!(nname, "node-a");
+        // Unregister.
+        ns.unregister_port("my-port").unwrap();
+        assert!(ns.lookup_port("my-port").is_err());
+        // Unknown lookups fail cleanly.
+        assert!(ns.lookup_port("nope").is_err());
+        assert!(ns.lookup_node(999).is_err());
+        // Observed address: no NAT here, so it is our own.
+        let obs = ns.probe_observed(None, false).unwrap();
+        assert_eq!(obs.ip, ha.ip());
+    });
+    sim.run();
+    assert!(done.is_finished());
+}
+
+struct EchoDelegate;
+
+impl RelayDelegate for EchoDelegate {
+    fn on_service_request(&self, _from: u64, payload: &[u8]) -> Vec<u8> {
+        let mut v = payload.to_vec();
+        v.reverse();
+        v
+    }
+    fn on_open(&self, _from: u64, port_name: &str, _channel: u64, stream: RoutedStream) -> Result<(), String> {
+        if port_name != "echo" {
+            return Err(format!("unknown port {port_name}"));
+        }
+        // Echo everything back, then close.
+        gridsim_net::ctx::handle().spawn_daemon("echo-pump", move || {
+            let mut s = stream.clone();
+            let mut buf = [0u8; 4096];
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        let mut w = stream.clone();
+                        if w.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            let _ = stream.shutdown_write();
+        });
+        Ok(())
+    }
+}
+
+#[test]
+fn relay_service_requests_and_routed_streams() {
+    let sim = Sim::new(71);
+    let (ha, hb, hs) = star(&sim);
+    let relay_addr = SockAddr::new(hs.ip(), 600);
+    sim.spawn("relay", move || spawn_relay(&hs, 600).unwrap());
+    sim.run();
+    let done = sim.spawn("driver", move || {
+        let ca = RelayClient::connect(&ha, relay_addr, None, 1).unwrap();
+        let cb = RelayClient::connect(&hb, relay_addr, None, 2).unwrap();
+        cb.set_delegate(Arc::new(EchoDelegate));
+        // HELLO registration is asynchronous at the relay; give it a beat
+        // (GridNode::join naturally precedes any request by much more).
+        gridsim_net::ctx::sleep(Duration::from_millis(50));
+        // Service request: reversed payload comes back.
+        let rsp = ca.service_request(2, b"abcdef").unwrap();
+        assert_eq!(rsp, b"fedcba");
+        // Unknown peer: NOPEER error, not a hang.
+        let err = ca.service_request(99, b"x").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        // Routed stream: echo.
+        let mut stream = ca.open_stream(2, "echo", 7).unwrap();
+        stream.write_all(b"through the relay").unwrap();
+        stream.shutdown_write().unwrap();
+        let mut back = Vec::new();
+        stream.read_to_end(&mut back).unwrap();
+        assert_eq!(back, b"through the relay");
+        // Unknown port: open fails.
+        assert!(ca.open_stream(2, "missing", 8).is_err());
+        // Two concurrent streams on the same relay connection stay isolated.
+        let s1 = ca.open_stream(2, "echo", 9).unwrap();
+        let s2 = ca.open_stream(2, "echo", 10).unwrap();
+        let h1 = gridsim_net::ctx::handle().spawn("s1", move || {
+            let mut s = s1;
+            s.write_all(&[1u8; 20_000]).unwrap();
+            s.shutdown_write().unwrap();
+            let mut b = Vec::new();
+            s.read_to_end(&mut b).unwrap();
+            b
+        });
+        let h2 = gridsim_net::ctx::handle().spawn("s2", move || {
+            let mut s = s2;
+            s.write_all(&[2u8; 20_000]).unwrap();
+            s.shutdown_write().unwrap();
+            let mut b = Vec::new();
+            s.read_to_end(&mut b).unwrap();
+            b
+        });
+        assert!(h1.join().iter().all(|&b| b == 1));
+        assert!(h2.join().iter().all(|&b| b == 2));
+    });
+    sim.run();
+    assert!(done.is_finished());
+}
+
+#[test]
+fn socks_proxy_connect_and_refusal() {
+    let sim = Sim::new(72);
+    let (ha, hb, hs) = star(&sim);
+    let proxy_addr = SockAddr::new(hs.ip(), 1080);
+    let hb2 = hb.clone();
+    sim.spawn("services", move || {
+        spawn_proxy(&hs, 1080).unwrap();
+        // Echo server on b.
+        let l = hb2.listen(7000).unwrap();
+        gridsim_net::ctx::handle().spawn_daemon("echo", move || loop {
+            let Ok(s) = l.accept() else { break };
+            gridsim_net::ctx::handle().spawn_daemon("echo-conn", move || {
+                let mut buf = [0u8; 1024];
+                loop {
+                    match s.read_some(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            if s.write_all_blocking(&buf[..n]).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                }
+            });
+        });
+    });
+    sim.run();
+    let target = SockAddr::new(hb.ip(), 7000);
+    let refused_target = SockAddr::new(hb.ip(), 7999);
+    let done = sim.spawn("client", move || {
+        // Tunneled echo.
+        let mut s = socks_connect(&ha, proxy_addr, target).unwrap();
+        s.write_all(b"tunnel me").unwrap();
+        let mut buf = [0u8; 9];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"tunnel me");
+        // Closed target port: the proxy reports connection refused.
+        let err = socks_connect(&ha, proxy_addr, refused_target).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+    });
+    sim.run();
+    assert!(done.is_finished());
+}
+
+/// Topology sanity: the qualitative grid builder gives every host a
+/// working route to the public services host and back.
+#[test]
+fn grid_builder_all_sites_reach_public_host() {
+    let sim = Sim::new(73);
+    let net = sim.net();
+    let wan = LinkParams::mbps(2.0, Duration::from_millis(4));
+    let (srv_ip, hosts) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(
+            w,
+            &[
+                topology::SiteSpec::open("o", 1, wan),
+                topology::SiteSpec::firewalled("f", 1, wan),
+                topology::SiteSpec::natted("n", 1, gridsim_net::NatKind::FullCone, wan),
+            ],
+        );
+        let (_, ip) = grid.add_public_host(w, "pub");
+        let hosts: Vec<_> = grid.sites.iter().map(|s| s.hosts[0]).collect();
+        (ip, hosts)
+    });
+    let hsrv_node = net.with(|w| w.find_node("pub").unwrap());
+    let hs = SimHost::new(&net, hsrv_node);
+    sim.spawn("server", move || {
+        let l = hs.listen(9000).unwrap();
+        for _ in 0..3 {
+            let s = l.accept().unwrap();
+            s.write_all_blocking(b"ok").unwrap();
+        }
+    });
+    let oks = Arc::new(Mutex::new(0));
+    for (i, h) in hosts.into_iter().enumerate() {
+        let host = SimHost::new(&net, h);
+        let oks = Arc::clone(&oks);
+        sim.spawn(format!("dial{i}"), move || {
+            let s = host.connect(SockAddr::new(srv_ip, 9000)).unwrap();
+            let mut buf = [0u8; 2];
+            let mut r = &s;
+            r.read_exact(&mut buf).unwrap();
+            assert_eq!(&buf, b"ok");
+            *oks.lock() += 1;
+        });
+    }
+    sim.run();
+    assert_eq!(*oks.lock(), 3);
+}

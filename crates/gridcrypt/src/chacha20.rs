@@ -1,0 +1,135 @@
+//! ChaCha20 stream cipher (RFC 8439).
+
+/// Key size in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce size in bytes.
+pub const NONCE_LEN: usize = 12;
+/// Keystream block size.
+pub const BLOCK_LEN: usize = 64;
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// Compute one 64-byte keystream block for (key, nonce, counter).
+pub fn block(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> [u8; BLOCK_LEN] {
+    let mut state = [0u32; 16];
+    state[0] = 0x61707865;
+    state[1] = 0x3320646e;
+    state[2] = 0x79622d32;
+    state[3] = 0x6b206574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] =
+            u32::from_le_bytes([nonce[4 * i], nonce[4 * i + 1], nonce[4 * i + 2], nonce[4 * i + 3]]);
+    }
+    let mut w = state;
+    for _ in 0..10 {
+        quarter_round(&mut w, 0, 4, 8, 12);
+        quarter_round(&mut w, 1, 5, 9, 13);
+        quarter_round(&mut w, 2, 6, 10, 14);
+        quarter_round(&mut w, 3, 7, 11, 15);
+        quarter_round(&mut w, 0, 5, 10, 15);
+        quarter_round(&mut w, 1, 6, 11, 12);
+        quarter_round(&mut w, 2, 7, 8, 13);
+        quarter_round(&mut w, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; BLOCK_LEN];
+    for i in 0..16 {
+        let v = w[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// XOR `data` in place with the ChaCha20 keystream starting at block
+/// `initial_counter`.
+pub fn xor_in_place(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], initial_counter: u32, data: &mut [u8]) {
+    let mut counter = initial_counter;
+    for chunk in data.chunks_mut(BLOCK_LEN) {
+        let ks = block(key, nonce, counter);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+        counter = counter.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    // RFC 8439 §2.3.2 block test vector.
+    #[test]
+    fn rfc8439_block() {
+        let key: [u8; 32] = unhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+            .try_into()
+            .unwrap();
+        let nonce: [u8; 12] = unhex("000000090000004a00000000").try_into().unwrap();
+        let ks = block(&key, &nonce, 1);
+        assert_eq!(
+            ks.to_vec(),
+            unhex(
+                "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+                 d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+            )
+        );
+    }
+
+    // RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encrypt() {
+        let key: [u8; 32] = unhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+            .try_into()
+            .unwrap();
+        let nonce: [u8; 12] = unhex("000000000000004a00000000").try_into().unwrap();
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        xor_in_place(&key, &nonce, 1, &mut data);
+        assert_eq!(
+            data,
+            unhex(
+                "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+                 f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+                 07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+                 5af90bbf74a35be6b40b8eedf2785e42874d"
+            )
+        );
+    }
+
+    #[test]
+    fn xor_is_involution() {
+        let key = [7u8; 32];
+        let nonce = [9u8; 12];
+        let original: Vec<u8> = (0..300u16).map(|i| i as u8).collect();
+        let mut data = original.clone();
+        xor_in_place(&key, &nonce, 0, &mut data);
+        assert_ne!(data, original);
+        xor_in_place(&key, &nonce, 0, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let key = [1u8; 32];
+        let a = block(&key, &[0u8; 12], 0);
+        let mut n = [0u8; 12];
+        n[0] = 1;
+        let b = block(&key, &n, 0);
+        assert_ne!(a, b);
+    }
+}

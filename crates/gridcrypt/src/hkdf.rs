@@ -1,0 +1,105 @@
+//! HKDF with SHA-256 (RFC 5869): the GTLS key schedule's extract/expand.
+
+use crate::hmac::{hmac_sha256, HmacSha256};
+use crate::sha256::DIGEST_LEN;
+
+/// HKDF-Extract: `PRK = HMAC(salt, ikm)`.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: derive `out.len()` bytes (≤ 255·32) from `prk` and `info`.
+pub fn expand(prk: &[u8; DIGEST_LEN], info: &[u8], out: &mut [u8]) {
+    assert!(out.len() <= 255 * DIGEST_LEN, "HKDF output too long");
+    let mut t: Vec<u8> = Vec::new();
+    let mut generated = 0usize;
+    let mut counter = 1u8;
+    while generated < out.len() {
+        let mut mac = HmacSha256::new(prk);
+        mac.update(&t);
+        mac.update(info);
+        mac.update(&[counter]);
+        let block = mac.finalize();
+        let take = (out.len() - generated).min(DIGEST_LEN);
+        out[generated..generated + take].copy_from_slice(&block[..take]);
+        generated += take;
+        t = block.to_vec();
+        counter += 1;
+    }
+}
+
+/// Convenience: extract-then-expand into a fixed-size array.
+pub fn derive<const N: usize>(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; N] {
+    let prk = extract(salt, ikm);
+    let mut out = [0u8; N];
+    expand(&prk, info, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 test case 2 (longer inputs/outputs).
+    #[test]
+    fn rfc5869_case2() {
+        let ikm: Vec<u8> = (0x00..=0x4f).collect();
+        let salt: Vec<u8> = (0x60..=0xaf).collect();
+        let info: Vec<u8> = (0xb0..=0xff).collect();
+        let prk = extract(&salt, &ikm);
+        let mut okm = [0u8; 82];
+        expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71cc30c58179ec3e87c14c01d5c1f3434f1d87"
+        );
+    }
+
+    // RFC 5869 test case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0bu8; 22];
+        let prk = extract(&[], &ikm);
+        let mut okm = [0u8; 42];
+        expand(&prk, &[], &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn derive_is_extract_then_expand() {
+        let got: [u8; 16] = derive(b"salt", b"ikm", b"info");
+        let prk = extract(b"salt", b"ikm");
+        let mut want = [0u8; 16];
+        expand(&prk, b"info", &mut want);
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,437 @@
+//! X25519 Diffie-Hellman (RFC 7748).
+//!
+//! Field arithmetic mod p = 2^255 − 19 with five 51-bit limbs (u64 limbs,
+//! u128 products), constant-time Montgomery ladder.
+
+/// Public/secret key size.
+pub const KEY_LEN: usize = 32;
+
+/// The canonical base point (u = 9).
+pub const BASEPOINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+const MASK51: u64 = (1 << 51) - 1;
+
+/// Field element: 5 × 51-bit limbs, little endian.
+#[derive(Clone, Copy, Debug)]
+struct Fe([u64; 5]);
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_bytes(b: &[u8; 32]) -> Fe {
+        let load = |i: usize| -> u64 {
+            let mut v = 0u64;
+            for k in 0..8 {
+                v |= (b[i + k] as u64) << (8 * k);
+            }
+            v
+        };
+        // Overlapping 64-bit reads, shifted into 51-bit limbs; top bit
+        // masked off per RFC 7748.
+        Fe([
+            load(0) & MASK51,
+            (load(6) >> 3) & MASK51,
+            (load(12) >> 6) & MASK51,
+            (load(19) >> 1) & MASK51,
+            // The top bit (bit 255) is masked off per RFC 7748.
+            (load(24) >> 12) & MASK51,
+        ])
+    }
+
+    fn to_bytes(self) -> [u8; 32] {
+        // Fully reduce.
+        let mut t = self.0;
+        // Two carry passes then conditional subtract of p.
+        for _ in 0..2 {
+            let mut c = 0u64;
+            for limb in t.iter_mut() {
+                let v = *limb + c;
+                *limb = v & MASK51;
+                c = v >> 51;
+            }
+            t[0] += 19 * c;
+        }
+        // Now t < 2^255 + small; subtract p if t >= p.
+        let mut minus_p = [0u64; 5];
+        let mut borrow: i128 = 0;
+        let p = [MASK51 - 18, MASK51, MASK51, MASK51, MASK51]; // p = 2^255-19
+        for i in 0..5 {
+            let v = t[i] as i128 - p[i] as i128 + borrow;
+            if v < 0 {
+                minus_p[i] = (v + (1 << 51)) as u64;
+                borrow = -1;
+            } else {
+                minus_p[i] = v as u64;
+                borrow = 0;
+            }
+        }
+        if borrow == 0 {
+            t = minus_p;
+        }
+        let mut out = [0u8; 32];
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0usize;
+        for limb in t {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 && idx < 32 {
+                out[idx] = acc as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+        }
+        while idx < 32 {
+            out[idx] = acc as u8;
+            acc >>= 8;
+            idx += 1;
+        }
+        out
+    }
+
+    fn add(a: &Fe, b: &Fe) -> Fe {
+        let mut r = [0u64; 5];
+        for (ri, (x, y)) in r.iter_mut().zip(a.0.iter().zip(&b.0)) {
+            *ri = x + y;
+        }
+        Fe(r)
+    }
+
+    /// a - b with bias to keep limbs positive (2p added).
+    fn sub(a: &Fe, b: &Fe) -> Fe {
+        // 2p in 51-bit limbs: (2^255-19)*2 = limbs [2^52-38, 2^52-2, ...].
+        const TWO_P: [u64; 5] = [
+            0xfffffffffffda,
+            0xffffffffffffe,
+            0xffffffffffffe,
+            0xffffffffffffe,
+            0xffffffffffffe,
+        ];
+        let mut r = [0u64; 5];
+        for i in 0..5 {
+            r[i] = a.0[i] + TWO_P[i] - b.0[i];
+        }
+        Fe(r).weak_reduce()
+    }
+
+    fn weak_reduce(self) -> Fe {
+        let mut t = self.0;
+        let mut c = 0u64;
+        for limb in t.iter_mut() {
+            let v = *limb + c;
+            *limb = v & MASK51;
+            c = v >> 51;
+        }
+        t[0] += 19 * c;
+        Fe(t)
+    }
+
+    fn mul(a: &Fe, b: &Fe) -> Fe {
+        let [a0, a1, a2, a3, a4] = a.0.map(|x| x as u128);
+        let [b0, b1, b2, b3, b4] = b.0.map(|x| x as u128);
+        let (b1_19, b2_19, b3_19, b4_19) = (b1 * 19, b2 * 19, b3 * 19, b4 * 19);
+        let t0 = a0 * b0 + a1 * b4_19 + a2 * b3_19 + a3 * b2_19 + a4 * b1_19;
+        let mut t1 = a0 * b1 + a1 * b0 + a2 * b4_19 + a3 * b3_19 + a4 * b2_19;
+        let mut t2 = a0 * b2 + a1 * b1 + a2 * b0 + a3 * b4_19 + a4 * b3_19;
+        let mut t3 = a0 * b3 + a1 * b2 + a2 * b1 + a3 * b0 + a4 * b4_19;
+        let mut t4 = a0 * b4 + a1 * b3 + a2 * b2 + a3 * b1 + a4 * b0;
+        // Carry chain.
+        let mut r = [0u64; 5];
+        let c = t0 >> 51;
+        r[0] = (t0 as u64) & MASK51;
+        t1 += c;
+        let c = t1 >> 51;
+        r[1] = (t1 as u64) & MASK51;
+        t2 += c;
+        let c = t2 >> 51;
+        r[2] = (t2 as u64) & MASK51;
+        t3 += c;
+        let c = t3 >> 51;
+        r[3] = (t3 as u64) & MASK51;
+        t4 += c;
+        let c = t4 >> 51;
+        r[4] = (t4 as u64) & MASK51;
+        let c = (c as u64) * 19;
+        let v = r[0] + c;
+        r[0] = v & MASK51;
+        r[1] += v >> 51;
+        Fe(r)
+    }
+
+    fn square(a: &Fe) -> Fe {
+        Fe::mul(a, a)
+    }
+
+    /// Multiply by a small constant.
+    fn mul_small(a: &Fe, k: u64) -> Fe {
+        let k = k as u128;
+        let t = a.0.map(|x| x as u128 * k);
+        let mut r = [0u64; 5];
+        let mut c: u128 = 0;
+        for i in 0..5 {
+            let v = t[i] + c;
+            r[i] = (v as u64) & MASK51;
+            c = v >> 51;
+        }
+        let v = r[0] + (c as u64) * 19;
+        r[0] = v & MASK51;
+        r[1] += v >> 51;
+        Fe(r)
+    }
+
+    /// Inversion via Fermat: a^(p-2).
+    fn invert(a: &Fe) -> Fe {
+        // Addition chain from curve25519 reference code.
+        let z2 = Fe::square(a);
+        let z8 = Fe::square(&Fe::square(&z2));
+        let z9 = Fe::mul(a, &z8);
+        let z11 = Fe::mul(&z2, &z9);
+        let z22 = Fe::square(&z11);
+        let z_5_0 = Fe::mul(&z9, &z22);
+        let mut t = Fe::square(&z_5_0);
+        for _ in 0..4 {
+            t = Fe::square(&t);
+        }
+        let z_10_0 = Fe::mul(&t, &z_5_0);
+        let mut t = Fe::square(&z_10_0);
+        for _ in 0..9 {
+            t = Fe::square(&t);
+        }
+        let z_20_0 = Fe::mul(&t, &z_10_0);
+        let mut t = Fe::square(&z_20_0);
+        for _ in 0..19 {
+            t = Fe::square(&t);
+        }
+        let z_40_0 = Fe::mul(&t, &z_20_0);
+        let mut t = Fe::square(&z_40_0);
+        for _ in 0..9 {
+            t = Fe::square(&t);
+        }
+        let z_50_0 = Fe::mul(&t, &z_10_0);
+        let mut t = Fe::square(&z_50_0);
+        for _ in 0..49 {
+            t = Fe::square(&t);
+        }
+        let z_100_0 = Fe::mul(&t, &z_50_0);
+        let mut t = Fe::square(&z_100_0);
+        for _ in 0..99 {
+            t = Fe::square(&t);
+        }
+        let z_200_0 = Fe::mul(&t, &z_100_0);
+        let mut t = Fe::square(&z_200_0);
+        for _ in 0..49 {
+            t = Fe::square(&t);
+        }
+        let z_250_0 = Fe::mul(&t, &z_50_0);
+        let mut t = Fe::square(&z_250_0);
+        for _ in 0..4 {
+            t = Fe::square(&t);
+        }
+        Fe::mul(&t, &z11)
+    }
+
+    /// Constant-time conditional swap.
+    fn cswap(swap: u64, a: &mut Fe, b: &mut Fe) {
+        let mask = 0u64.wrapping_sub(swap);
+        for i in 0..5 {
+            let x = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= x;
+            b.0[i] ^= x;
+        }
+    }
+}
+
+/// Clamp a 32-byte secret per RFC 7748.
+fn clamp(mut k: [u8; 32]) -> [u8; 32] {
+    k[0] &= 248;
+    k[31] &= 127;
+    k[31] |= 64;
+    k
+}
+
+/// Scalar multiplication: `x25519(k, u)` — the core DH operation.
+pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let k = clamp(*scalar);
+    let x1 = Fe::from_bytes(u);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+    for t in (0..255).rev() {
+        let k_t = ((k[t >> 3] >> (t & 7)) & 1) as u64;
+        swap ^= k_t;
+        Fe::cswap(swap, &mut x2, &mut x3);
+        Fe::cswap(swap, &mut z2, &mut z3);
+        swap = k_t;
+
+        let a = Fe::add(&x2, &z2).weak_reduce();
+        let aa = Fe::square(&a);
+        let b = Fe::sub(&x2, &z2);
+        let bb = Fe::square(&b);
+        let e = Fe::sub(&aa, &bb);
+        let c = Fe::add(&x3, &z3).weak_reduce();
+        let d = Fe::sub(&x3, &z3);
+        let da = Fe::mul(&d, &a);
+        let cb = Fe::mul(&c, &b);
+        let t0 = Fe::add(&da, &cb).weak_reduce();
+        x3 = Fe::square(&t0);
+        let t1 = Fe::sub(&da, &cb);
+        z3 = Fe::mul(&x1, &Fe::square(&t1));
+        x2 = Fe::mul(&aa, &bb);
+        let a24e = Fe::mul_small(&e, 121665);
+        z2 = Fe::mul(&e, &Fe::add(&aa, &a24e).weak_reduce());
+    }
+    Fe::cswap(swap, &mut x2, &mut x3);
+    Fe::cswap(swap, &mut z2, &mut z3);
+    Fe::mul(&x2, &Fe::invert(&z2)).to_bytes()
+}
+
+/// Derive the public key for a secret.
+pub fn public_key(secret: &[u8; 32]) -> [u8; 32] {
+    x25519(secret, &BASEPOINT)
+}
+
+/// Generate a keypair from an RNG.
+pub fn keypair(rng: &mut impl rand::Rng) -> ([u8; 32], [u8; 32]) {
+    let mut sk = [0u8; 32];
+    rng.fill(&mut sk[..]);
+    let pk = public_key(&sk);
+    (sk, pk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> [u8; 32] {
+        let v: Vec<u8> =
+            (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect();
+        v.try_into().unwrap()
+    }
+
+    // RFC 7748 §5.2 test vector 1.
+    #[test]
+    fn rfc7748_vector1() {
+        let scalar = unhex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = unhex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let out = x25519(&scalar, &u);
+        assert_eq!(out, unhex("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"));
+    }
+
+    // RFC 7748 §5.2 test vector 2.
+    #[test]
+    fn rfc7748_vector2() {
+        let scalar = unhex("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let u = unhex("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        let out = x25519(&scalar, &u);
+        assert_eq!(out, unhex("95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"));
+    }
+
+    // RFC 7748 §5.2 iterated test (1 and 1000 iterations).
+    #[test]
+    fn rfc7748_iterated() {
+        let mut k = BASEPOINT;
+        let mut u = BASEPOINT;
+        let mut out = [0u8; 32];
+        for _ in 0..1 {
+            out = x25519(&k, &u);
+            u = k;
+            k = out;
+        }
+        assert_eq!(k, unhex("422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"));
+        for _ in 1..1000 {
+            out = x25519(&k, &u);
+            u = k;
+            k = out;
+        }
+        assert_eq!(out, unhex("684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51"));
+    }
+
+    // RFC 7748 §6.1 Diffie-Hellman test.
+    #[test]
+    fn rfc7748_dh() {
+        let alice_sk = unhex("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let alice_pk = public_key(&alice_sk);
+        assert_eq!(alice_pk, unhex("8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"));
+        let bob_sk = unhex("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let bob_pk = public_key(&bob_sk);
+        assert_eq!(bob_pk, unhex("de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"));
+        let k1 = x25519(&alice_sk, &bob_pk);
+        let k2 = x25519(&bob_sk, &alice_pk);
+        assert_eq!(k1, k2);
+        assert_eq!(k1, unhex("4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"));
+    }
+
+    #[test]
+    fn dh_agreement_random_keys() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        for _ in 0..8 {
+            let (ska, pka) = keypair(&mut rng);
+            let (skb, pkb) = keypair(&mut rng);
+            assert_eq!(x25519(&ska, &pkb), x25519(&skb, &pka));
+        }
+    }
+}
+
+#[cfg(test)]
+mod fe_tests {
+    use super::*;
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        let v: Vec<u8> =
+            (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect();
+        v.try_into().unwrap()
+    }
+
+    // Cross-checked against Python big-int arithmetic mod 2^255-19.
+    const A_HEX: &str = "f5b165224a58b791df6af1d8303e61cdc4bb86c3d1c427103c344c41aebf7800";
+
+    #[test]
+    fn bytes_roundtrip() {
+        let a = unhex32(A_HEX);
+        let fe = Fe::from_bytes(&a);
+        assert_eq!(fe.to_bytes(), a);
+    }
+
+    const B_HEX: &str = "7bd5d47e446fcec2a3d811736110e5781bcccea696762e6116c6e9c964fed600";
+
+    #[test]
+    fn mul_matches_reference() {
+        let a = Fe::from_bytes(&unhex32(A_HEX));
+        let b = Fe::from_bytes(&unhex32(B_HEX));
+        let ab = Fe::mul(&a, &b);
+        assert_eq!(
+            ab.to_bytes(),
+            unhex32("934b472ff2a3b9cf8e7f189f739c777871cc33e27883154f34e8f27cf2f03d2a")
+        );
+    }
+
+    #[test]
+    fn invert_matches_reference() {
+        let a = Fe::from_bytes(&unhex32(A_HEX));
+        let inv = Fe::invert(&a);
+        assert_eq!(
+            inv.to_bytes(),
+            unhex32("030f8cf685da3d991b835854dd28a5bd7db2ce7708aa13b3679415e8c86db76d")
+        );
+        let prod = Fe::mul(&a, &inv);
+        assert_eq!(prod.to_bytes(), Fe::ONE.to_bytes(), "a * a^-1 == 1");
+    }
+
+    #[test]
+    fn sub_then_add_is_identity() {
+        let a = Fe::from_bytes(&unhex32(A_HEX));
+        let b = Fe::from_bytes(&unhex32("0200000000000000000000000000000000000000000000000000000000000000"));
+        let d = Fe::sub(&a, &b);
+        let back = Fe::add(&d, &b).weak_reduce();
+        assert_eq!(back.to_bytes(), a.to_bytes());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the crypto substrate.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// AEAD round-trip for arbitrary payloads and AAD.
+    #[test]
+    fn aead_roundtrip(
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        aad in proptest::collection::vec(any::<u8>(), 0..64),
+        payload in proptest::collection::vec(any::<u8>(), 0..2000),
+    ) {
+        let mut buf = payload.clone();
+        let tag = gridcrypt::seal_in_place(&key, &nonce, &aad, &mut buf);
+        if !payload.is_empty() {
+            prop_assert_ne!(&buf, &payload, "ciphertext must differ");
+        }
+        gridcrypt::open_in_place(&key, &nonce, &aad, &mut buf, &tag).unwrap();
+        prop_assert_eq!(buf, payload);
+    }
+
+    /// Any single bit flip in the ciphertext or tag is detected.
+    #[test]
+    fn aead_detects_any_bitflip(
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        flip_bit in 0usize..1000,
+    ) {
+        let key = [9u8; 32];
+        let nonce = [4u8; 12];
+        let mut buf = payload.clone();
+        let tag = gridcrypt::seal_in_place(&key, &nonce, b"a", &mut buf);
+        let mut wire = buf.clone();
+        wire.extend_from_slice(&tag);
+        let bit = flip_bit % (wire.len() * 8);
+        wire[bit / 8] ^= 1 << (bit % 8);
+        let (ct, tg) = wire.split_at(wire.len() - 16);
+        let mut ct = ct.to_vec();
+        let tg: [u8; 16] = tg.try_into().unwrap();
+        prop_assert!(gridcrypt::open_in_place(&key, &nonce, b"a", &mut ct, &tg).is_err());
+    }
+
+    /// Incremental SHA-256 equals one-shot for any split.
+    #[test]
+    fn sha256_incremental(
+        data in proptest::collection::vec(any::<u8>(), 0..4000),
+        splits in proptest::collection::vec(1usize..500, 0..8),
+    ) {
+        let want = gridcrypt::sha256::sha256(&data);
+        let mut h = gridcrypt::sha256::Sha256::new();
+        let mut rest: &[u8] = &data;
+        for s in splits {
+            let n = s.min(rest.len());
+            h.update(&rest[..n]);
+            rest = &rest[n..];
+        }
+        h.update(rest);
+        prop_assert_eq!(h.finalize(), want);
+    }
+
+    /// Diffie-Hellman agreement for arbitrary secrets.
+    #[test]
+    fn x25519_agreement(
+        sk_a in proptest::array::uniform32(any::<u8>()),
+        sk_b in proptest::array::uniform32(any::<u8>()),
+    ) {
+        let pk_a = gridcrypt::x25519::public_key(&sk_a);
+        let pk_b = gridcrypt::x25519::public_key(&sk_b);
+        prop_assert_eq!(
+            gridcrypt::x25519::x25519(&sk_a, &pk_b),
+            gridcrypt::x25519::x25519(&sk_b, &pk_a)
+        );
+    }
+
+    /// HKDF is deterministic and length-exact.
+    #[test]
+    fn hkdf_expand_lengths(
+        ikm in proptest::collection::vec(any::<u8>(), 0..64),
+        len in 1usize..512,
+    ) {
+        let prk = gridcrypt::hkdf::extract(b"salt", &ikm);
+        let mut a = vec![0u8; len];
+        let mut b = vec![0u8; len];
+        gridcrypt::hkdf::expand(&prk, b"info", &mut a);
+        gridcrypt::hkdf::expand(&prk, b"info", &mut b);
+        prop_assert_eq!(&a, &b);
+        // A prefix relationship: shorter outputs are prefixes of longer ones.
+        let mut c = vec![0u8; len / 2];
+        gridcrypt::hkdf::expand(&prk, b"info", &mut c);
+        prop_assert_eq!(&a[..len / 2], &c[..]);
+    }
+
+    /// HMAC differs when either key or message changes.
+    #[test]
+    fn hmac_sensitivity(
+        key in proptest::collection::vec(any::<u8>(), 1..64),
+        msg in proptest::collection::vec(any::<u8>(), 1..256),
+    ) {
+        let base = gridcrypt::hmac::hmac_sha256(&key, &msg);
+        let mut key2 = key.clone();
+        key2[0] ^= 1;
+        prop_assert_ne!(gridcrypt::hmac::hmac_sha256(&key2, &msg), base);
+        let mut msg2 = msg.clone();
+        msg2[0] ^= 1;
+        prop_assert_ne!(gridcrypt::hmac::hmac_sha256(&key, &msg2), base);
+    }
+}

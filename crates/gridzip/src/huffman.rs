@@ -1,0 +1,422 @@
+//! Canonical Huffman entropy coding — the second stage zlib applies after
+//! LZ77. gridzip uses it at the high compression levels (7–9), where the
+//! paper's trade-off lives: noticeably more CPU for some extra ratio
+//! ("higher levels consumed much more CPU time for only a limited gain",
+//! §4.3).
+//!
+//! Format of an encoded block:
+//!
+//! ```text
+//! block := varint(symbol_count) lengths[128] bitstream
+//! lengths: 256 code lengths, 4 bits each (0 = symbol absent, 1..=15)
+//! bitstream: canonical codes, LSB-first bit packing
+//! ```
+
+use crate::lzss::CorruptBlock;
+use crate::varint;
+
+/// Maximum code length (fits 4 bits and keeps decode tables tiny).
+pub const MAX_CODE_LEN: usize = 15;
+
+// ------------------------------------------------------------ bit I/O
+
+/// LSB-first bit writer.
+struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    fn new() -> BitWriter {
+        BitWriter { out: Vec::new(), acc: 0, nbits: 0 }
+    }
+
+    #[inline]
+    fn put(&mut self, bits: u32, n: u32) {
+        debug_assert!(n <= 32);
+        self.acc |= (bits as u64) << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push(self.acc as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.out.push(self.acc as u8);
+        }
+        self.out
+    }
+}
+
+/// LSB-first bit reader.
+struct BitReader<'a> {
+    input: &'a [u8],
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(input: &'a [u8]) -> BitReader<'a> {
+        BitReader { input, pos: 0, acc: 0, nbits: 0 }
+    }
+
+    /// Read one bit; `Err` on exhausted input.
+    #[inline]
+    fn bit(&mut self) -> Result<u32, CorruptBlock> {
+        if self.nbits == 0 {
+            let b = *self.input.get(self.pos).ok_or(CorruptBlock("bitstream exhausted"))?;
+            self.pos += 1;
+            self.acc = b as u64;
+            self.nbits = 8;
+        }
+        let v = (self.acc & 1) as u32;
+        self.acc >>= 1;
+        self.nbits -= 1;
+        Ok(v)
+    }
+}
+
+// ------------------------------------------------- code construction
+
+/// Compute Huffman code lengths (≤ MAX_CODE_LEN) for the given frequencies
+/// using a binary heap; over-deep trees are fixed by flattening the
+/// frequency distribution and rebuilding (the classic zlib-era trick).
+fn code_lengths(freqs: &[u64; 256]) -> [u8; 256] {
+    let mut f: Vec<u64> = freqs.to_vec();
+    loop {
+        let lens = build_once(&f);
+        if lens.iter().all(|&l| (l as usize) <= MAX_CODE_LEN) {
+            let mut out = [0u8; 256];
+            out.copy_from_slice(&lens);
+            return out;
+        }
+        // Halve (floor at 1) to flatten the distribution.
+        for v in f.iter_mut() {
+            if *v > 0 {
+                *v = v.div_ceil(2);
+            }
+        }
+    }
+}
+
+fn build_once(freqs: &[u64]) -> Vec<u8> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        freq: u64,
+        id: usize,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            (self.freq, self.id).cmp(&(other.freq, other.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let present: Vec<usize> = (0..256).filter(|&i| freqs[i] > 0).collect();
+    let mut lens = vec![0u8; 256];
+    match present.len() {
+        0 => return lens,
+        1 => {
+            lens[present[0]] = 1;
+            return lens;
+        }
+        _ => {}
+    }
+    // Internal tree: parents[] over up to 511 nodes.
+    let mut parent = vec![usize::MAX; 2 * present.len()];
+    let mut heap: BinaryHeap<Reverse<Node>> = present
+        .iter()
+        .enumerate()
+        .map(|(leaf_idx, &sym)| Reverse(Node { freq: freqs[sym], id: leaf_idx }))
+        .collect();
+    let mut next_id = present.len();
+    while heap.len() > 1 {
+        let Reverse(a) = heap.pop().unwrap();
+        let Reverse(b) = heap.pop().unwrap();
+        parent[a.id] = next_id;
+        parent[b.id] = next_id;
+        heap.push(Reverse(Node { freq: a.freq + b.freq, id: next_id }));
+        next_id += 1;
+    }
+    for (leaf_idx, &sym) in present.iter().enumerate() {
+        let mut depth = 0u8;
+        let mut n = leaf_idx;
+        while parent[n] != usize::MAX {
+            n = parent[n];
+            depth += 1;
+        }
+        lens[sym] = depth;
+    }
+    lens
+}
+
+/// Canonical code assignment: symbols sorted by (length, value).
+fn canonical_codes(lens: &[u8; 256]) -> [u32; 256] {
+    let mut count = [0u32; MAX_CODE_LEN + 1];
+    for &l in lens.iter() {
+        count[l as usize] += 1;
+    }
+    count[0] = 0;
+    let mut next = [0u32; MAX_CODE_LEN + 1];
+    let mut code = 0u32;
+    for l in 1..=MAX_CODE_LEN {
+        code = (code + count[l - 1]) << 1;
+        next[l] = code;
+    }
+    let mut codes = [0u32; 256];
+    for sym in 0..256 {
+        let l = lens[sym] as usize;
+        if l > 0 {
+            codes[sym] = next[l];
+            next[l] += 1;
+        }
+    }
+    codes
+}
+
+// ------------------------------------------------------------ encode
+
+/// Huffman-encode `data`. Returns `None` when the encoding would not be
+/// smaller than the input (caller should store the original instead).
+pub fn encode(data: &[u8]) -> Option<Vec<u8>> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut freqs = [0u64; 256];
+    for &b in data {
+        freqs[b as usize] += 1;
+    }
+    let lens = code_lengths(&freqs);
+    let codes = canonical_codes(&lens);
+    // Estimate output bits to bail out early on incompressible data.
+    let bits: u64 = freqs
+        .iter()
+        .zip(lens.iter())
+        .map(|(&f, &l)| f * l as u64)
+        .sum();
+    let estimate = 10 + 128 + bits.div_ceil(8) as usize;
+    if estimate >= data.len() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(estimate);
+    varint::put(&mut out, data.len() as u64);
+    // 4-bit-packed lengths.
+    for pair in lens.chunks(2) {
+        out.push(pair[0] | (pair[1] << 4));
+    }
+    let mut bw = BitWriter::new();
+    for &b in data {
+        let sym = b as usize;
+        let l = lens[sym] as u32;
+        // Canonical codes are MSB-first by construction; emit bits from
+        // the top so the decoder can walk bit by bit.
+        let c = codes[sym];
+        for i in (0..l).rev() {
+            bw.put((c >> i) & 1, 1);
+        }
+    }
+    out.extend_from_slice(&bw.finish());
+    (out.len() < data.len()).then_some(out)
+}
+
+// ------------------------------------------------------------ decode
+
+/// Decode a block produced by [`encode`]. `max_len` bounds the output.
+pub fn decode(input: &[u8], max_len: usize) -> Result<Vec<u8>, CorruptBlock> {
+    let (count, used) = varint::get(input).ok_or(CorruptBlock("huffman header truncated"))?;
+    let count = count as usize;
+    if count > max_len {
+        return Err(CorruptBlock("huffman output exceeds bound"));
+    }
+    let rest = &input[used..];
+    if rest.len() < 128 {
+        return Err(CorruptBlock("huffman length table truncated"));
+    }
+    let mut lens = [0u8; 256];
+    for (i, &b) in rest[..128].iter().enumerate() {
+        lens[2 * i] = b & 0x0f;
+        lens[2 * i + 1] = b >> 4;
+    }
+    // Validate: a decodable table needs Kraft sum ≤ 1 (== 1 for complete).
+    let kraft: u64 = lens
+        .iter()
+        .filter(|&&l| l > 0)
+        .map(|&l| 1u64 << (MAX_CODE_LEN - l as usize))
+        .sum();
+    let full = 1u64 << MAX_CODE_LEN;
+    if kraft > full {
+        return Err(CorruptBlock("huffman table over-subscribed"));
+    }
+    let codes = canonical_codes(&lens);
+    // Decode tables per length: (first_code, symbols sorted canonically).
+    let mut by_len: Vec<Vec<u8>> = vec![Vec::new(); MAX_CODE_LEN + 1];
+    for (sym, &l) in lens.iter().enumerate() {
+        if l > 0 {
+            by_len[l as usize].push(sym as u8);
+        }
+    }
+    // Symbols within a length are already in canonical (value) order.
+    let mut first_code = [0u32; MAX_CODE_LEN + 1];
+    for l in 1..=MAX_CODE_LEN {
+        first_code[l] = by_len[l].first().map(|&s| codes[s as usize]).unwrap_or(0);
+    }
+    let mut br = BitReader::new(&rest[128..]);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut code = 0u32;
+        let mut l = 0usize;
+        loop {
+            code = (code << 1) | br.bit()?;
+            l += 1;
+            if l > MAX_CODE_LEN {
+                return Err(CorruptBlock("huffman code too long"));
+            }
+            if !by_len[l].is_empty() {
+                let idx = code.wrapping_sub(first_code[l]) as usize;
+                if code >= first_code[l] && idx < by_len[l].len() {
+                    out.push(by_len[l][idx]);
+                    break;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        match encode(data) {
+            Some(enc) => {
+                assert!(enc.len() < data.len());
+                assert_eq!(decode(&enc, data.len()).unwrap(), data);
+            }
+            None => { /* incompressible: caller stores */ }
+        }
+    }
+
+    #[test]
+    fn skewed_data_compresses_and_roundtrips() {
+        // 90% zeros: entropy ≈ 0.7 bits/byte.
+        let mut data = vec![0u8; 9000];
+        data.extend(std::iter::repeat_n(7u8, 1000));
+        let enc = encode(&data).expect("skewed data must compress");
+        assert!(enc.len() < data.len() / 4, "{} vs {}", enc.len(), data.len());
+        assert_eq!(decode(&enc, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn text_roundtrips() {
+        let data = b"the quick brown fox jumps over the lazy dog".repeat(100);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn single_symbol_input() {
+        let data = vec![42u8; 5000];
+        let enc = encode(&data).unwrap();
+        assert!(enc.len() < 1000);
+        assert_eq!(decode(&enc, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn uniform_random_is_rejected_as_incompressible() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let data: Vec<u8> = (0..10_000).map(|_| rng.random()).collect();
+        assert!(encode(&data).is_none(), "uniform bytes cannot be entropy-coded smaller");
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        assert!(encode(&[]).is_none());
+        roundtrip(&[1]);
+        roundtrip(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn all_256_symbols_present() {
+        let mut data = Vec::new();
+        for round in 0..40u32 {
+            for b in 0..=255u8 {
+                // Skewed multiplicities so lengths differ.
+                for _ in 0..(1 + (b as u32 % (round % 5 + 1))) {
+                    data.push(b);
+                }
+            }
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn codes_are_prefix_free() {
+        let mut freqs = [0u64; 256];
+        for i in 0..256usize {
+            freqs[i] = (i as u64 + 1) * (i as u64 % 7 + 1);
+        }
+        let lens = code_lengths(&freqs);
+        let codes = canonical_codes(&lens);
+        for a in 0..256usize {
+            for b in 0..256usize {
+                if a == b || lens[a] == 0 || lens[b] == 0 || lens[a] > lens[b] {
+                    continue;
+                }
+                // code(a) must not be a prefix of code(b).
+                let shift = lens[b] - lens[a];
+                assert_ne!(codes[b] >> shift, codes[a], "prefix violation {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_trees_are_length_limited() {
+        // Fibonacci-ish frequencies force deep Huffman trees; the limiter
+        // must cap at MAX_CODE_LEN while staying decodable.
+        let mut freqs = [0u64; 256];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut().take(40) {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lens = code_lengths(&freqs);
+        assert!(lens.iter().all(|&l| (l as usize) <= MAX_CODE_LEN));
+        // And the data still roundtrips.
+        let mut data = Vec::new();
+        for (sym, f) in freqs.iter().enumerate().take(40) {
+            data.extend(std::iter::repeat_n(sym as u8, (*f).min(300) as usize));
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn corrupt_inputs_never_panic() {
+        let data = b"hello hello hello hello".repeat(50);
+        let enc = encode(&data).unwrap();
+        for cut in 0..enc.len() {
+            let _ = decode(&enc[..cut], data.len());
+        }
+        for i in 0..enc.len() {
+            let mut bad = enc.clone();
+            bad[i] ^= 0x55;
+            if let Ok(out) = decode(&bad, data.len()) {
+                assert!(out.len() <= data.len());
+            }
+        }
+    }
+}

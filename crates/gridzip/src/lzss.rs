@@ -1,0 +1,429 @@
+//! LZSS block compression with hash-chain match search.
+//!
+//! Byte-aligned token format (LZ4-style):
+//!
+//! ```text
+//! sequence := token literals* (offset match_ext*)?
+//! token    := 1 byte: high nibble = literal count, low nibble = match length - MIN_MATCH
+//!             value 15 in either nibble means "extended": following bytes of
+//!             255 add 255 each, the first byte < 255 terminates.
+//! offset   := u16 little endian, 1..=65535, distance back into the window
+//! ```
+//!
+//! The final sequence of a block carries only literals (no offset/match).
+//!
+//! The `level` parameter (1..=9) trades CPU for ratio exactly as the paper
+//! describes for zlib (§4.3: "higher levels consumed much more CPU time for
+//! only a limited gain"): it controls the hash-chain search depth and
+//! enables lazy matching at higher levels.
+
+use std::fmt;
+
+/// Minimum match length that pays for its encoding.
+pub const MIN_MATCH: usize = 4;
+/// Window size (maximum match offset).
+pub const WINDOW: usize = 65535;
+
+const HASH_BITS: u32 = 16;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+/// Sentinel for "no entry" in the hash table / chain.
+const NIL: u32 = u32::MAX;
+
+/// Search effort per compression level 1..=9 (chain depth).
+fn depth_for_level(level: u8) -> u32 {
+    match level.clamp(1, 9) {
+        1 => 4,
+        2 => 8,
+        3 => 16,
+        4 => 32,
+        5 => 64,
+        6 => 128,
+        7 => 256,
+        8 => 1024,
+        _ => 4096,
+    }
+}
+
+fn lazy_for_level(level: u8) -> bool {
+    level >= 4
+}
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Error decoding a compressed block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptBlock(pub &'static str);
+
+impl fmt::Display for CorruptBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corrupt gridzip block: {}", self.0)
+    }
+}
+
+impl std::error::Error for CorruptBlock {}
+
+impl From<CorruptBlock> for std::io::Error {
+    fn from(e: CorruptBlock) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Reusable compressor state (hash table + chains), so repeated block
+/// compression does not reallocate.
+pub struct Compressor {
+    level: u8,
+    head: Vec<u32>,
+    chain: Vec<u32>,
+}
+
+impl Compressor {
+    pub fn new(level: u8) -> Compressor {
+        Compressor {
+            level: level.clamp(1, 9),
+            head: vec![NIL; HASH_SIZE],
+            chain: Vec::new(),
+        }
+    }
+
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Compress one independent block. Output is appended to `out`; returns
+    /// the number of bytes appended.
+    pub fn compress(&mut self, data: &[u8], out: &mut Vec<u8>) -> usize {
+        let start_len = out.len();
+        self.head.fill(NIL);
+        self.chain.clear();
+        self.chain.resize(data.len(), NIL);
+
+        let depth = depth_for_level(self.level);
+        let lazy = lazy_for_level(self.level);
+        let n = data.len();
+        let mut i = 0usize;
+        let mut lit_start = 0usize;
+
+        // Matches can only start where 4 bytes remain.
+        let hash_limit = n.saturating_sub(MIN_MATCH - 1);
+
+        #[inline]
+        fn insert(data: &[u8], head: &mut [u32], chain: &mut [u32], hash_limit: usize, pos: usize) {
+            if pos < hash_limit {
+                let h = hash4(data, pos);
+                chain[pos] = head[h];
+                head[h] = pos as u32;
+            }
+        }
+
+        // Invariant: every position < i has been inserted exactly once, and
+        // position i is inserted only after it has been searched (so a
+        // position never matches itself).
+        while i < hash_limit {
+            let (mlen, moff) = find_match(data, i, &self.head, &self.chain, depth);
+            insert(data, &mut self.head, &mut self.chain, hash_limit, i);
+            if mlen < MIN_MATCH {
+                i += 1;
+                continue;
+            }
+            let (mut mlen, mut moff) = (mlen, moff);
+            let mut mstart = i;
+            // Lazy matching: if the next position has a strictly longer
+            // match, emit this byte as a literal instead.
+            if lazy && i + 1 < hash_limit {
+                let (nlen, noff) = find_match(data, i + 1, &self.head, &self.chain, depth);
+                if nlen > mlen {
+                    mstart = i + 1;
+                    mlen = nlen;
+                    moff = noff;
+                }
+            }
+            emit_sequence(out, &data[lit_start..mstart], Some((moff, mlen)));
+            let end = mstart + mlen;
+            let mut p = i + 1; // i itself is already inserted
+            while p < end {
+                insert(data, &mut self.head, &mut self.chain, hash_limit, p);
+                p += 1;
+            }
+            i = end;
+            lit_start = end;
+        }
+        // Trailing literals.
+        emit_sequence(out, &data[lit_start..], None);
+        out.len() - start_len
+    }
+}
+
+fn find_match(data: &[u8], i: usize, head: &[u32], chain: &[u32], depth: u32) -> (usize, usize) {
+    let n = data.len();
+    if i + MIN_MATCH > n {
+        return (0, 0);
+    }
+    let mut best_len = 0usize;
+    let mut best_off = 0usize;
+    let mut cand = head[hash4(data, i)];
+    let max_len = n - i;
+    let min_pos = i.saturating_sub(WINDOW);
+    let mut tries = depth;
+    while cand != NIL && tries > 0 {
+        let c = cand as usize;
+        if c < min_pos || c >= i {
+            break;
+        }
+        // Quick reject on the byte past the current best.
+        if best_len == 0 || (i + best_len < n && data[c + best_len] == data[i + best_len]) {
+            let mut l = 0usize;
+            while l < max_len && data[c + l] == data[i + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_off = i - c;
+                if l >= max_len {
+                    break;
+                }
+            }
+        }
+        cand = chain[c];
+        tries -= 1;
+    }
+    (best_len, best_off)
+}
+
+fn put_ext(out: &mut Vec<u8>, mut v: usize) {
+    while v >= 255 {
+        out.push(255);
+        v -= 255;
+    }
+    out.push(v as u8);
+}
+
+fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], m: Option<(usize, usize)>) {
+    let lit = literals.len();
+    let lit_nib = lit.min(15) as u8;
+    let (match_nib, ext_match) = match m {
+        Some((_, mlen)) => {
+            let v = mlen - MIN_MATCH;
+            (v.min(15) as u8, if v >= 15 { Some(v - 15) } else { None })
+        }
+        None => (0, None),
+    };
+    out.push((lit_nib << 4) | match_nib);
+    if lit >= 15 {
+        put_ext(out, lit - 15);
+    }
+    out.extend_from_slice(literals);
+    if let Some((off, _)) = m {
+        debug_assert!((1..=WINDOW).contains(&off));
+        out.extend_from_slice(&(off as u16).to_le_bytes());
+        if let Some(e) = ext_match {
+            put_ext(out, e);
+        }
+    }
+}
+
+fn get_ext(input: &[u8], pos: &mut usize, base: usize) -> Result<usize, CorruptBlock> {
+    let mut v = base;
+    loop {
+        let b = *input.get(*pos).ok_or(CorruptBlock("truncated extension"))?;
+        *pos += 1;
+        v += b as usize;
+        if b != 255 {
+            return Ok(v);
+        }
+    }
+}
+
+/// Decompress a block produced by [`Compressor::compress`]. `max_len` bounds
+/// the output (protects against decompression bombs / corrupt input).
+pub fn decompress(input: &[u8], max_len: usize) -> Result<Vec<u8>, CorruptBlock> {
+    let mut out: Vec<u8> = Vec::new();
+    let mut pos = 0usize;
+    if input.is_empty() {
+        return Err(CorruptBlock("empty input"));
+    }
+    loop {
+        // A well-formed block always ends with a literals-only sequence, so
+        // running out of input after a match is corruption.
+        let Some(&token) = input.get(pos) else {
+            return Err(CorruptBlock("missing final literal sequence"));
+        };
+        pos += 1;
+        let mut lit = (token >> 4) as usize;
+        if lit == 15 {
+            lit = get_ext(input, &mut pos, 15)?;
+        }
+        if pos + lit > input.len() {
+            return Err(CorruptBlock("literal run past end"));
+        }
+        if out.len() + lit > max_len {
+            return Err(CorruptBlock("output exceeds declared size"));
+        }
+        out.extend_from_slice(&input[pos..pos + lit]);
+        pos += lit;
+        if pos == input.len() {
+            return Ok(out); // final literal-only sequence
+        }
+        if pos + 2 > input.len() {
+            return Err(CorruptBlock("truncated offset"));
+        }
+        let off = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+        pos += 2;
+        if off == 0 || off > out.len() {
+            return Err(CorruptBlock("offset out of range"));
+        }
+        let mut mlen = (token & 0x0f) as usize;
+        if mlen == 15 {
+            mlen = get_ext(input, &mut pos, 15)?;
+        }
+        let mlen = mlen + MIN_MATCH;
+        if out.len() + mlen > max_len {
+            return Err(CorruptBlock("match exceeds declared size"));
+        }
+        // Overlapping copy (off may be < mlen: run-length style).
+        let start = out.len() - off;
+        for k in 0..mlen {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(level: u8, data: &[u8]) -> usize {
+        let mut c = Compressor::new(level);
+        let mut out = Vec::new();
+        let n = c.compress(data, &mut out);
+        assert_eq!(n, out.len());
+        let back = decompress(&out, data.len()).unwrap();
+        assert_eq!(back, data, "roundtrip mismatch at level {level}");
+        out.len()
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        for level in [1, 5, 9] {
+            roundtrip(level, b"");
+            roundtrip(level, b"a");
+            roundtrip(level, b"abc");
+            roundtrip(level, b"abcd");
+        }
+    }
+
+    #[test]
+    fn highly_repetitive_compresses_hard() {
+        let data = vec![b'x'; 100_000];
+        let n = roundtrip(1, &data);
+        assert!(n < 1000, "run of 100k identical bytes -> {n} bytes");
+    }
+
+    #[test]
+    fn random_data_expands_only_slightly() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let data: Vec<u8> = (0..50_000).map(|_| rng.random()).collect();
+        let n = roundtrip(3, &data);
+        assert!(n < data.len() + data.len() / 16, "incompressible expansion bounded: {n}");
+    }
+
+    #[test]
+    fn text_like_data_reaches_2x() {
+        let phrase = b"the quick brown fox jumps over the lazy dog; \
+                       pack my box with five dozen liquor jugs. ";
+        let mut data = Vec::new();
+        while data.len() < 200_000 {
+            data.extend_from_slice(phrase);
+        }
+        let n = roundtrip(1, &data);
+        assert!(
+            (n as f64) < data.len() as f64 / 2.0,
+            "repeated text should beat 2:1 even at level 1: {} -> {}",
+            data.len(),
+            n
+        );
+    }
+
+    #[test]
+    fn higher_levels_never_worse_on_structured_data() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        // Structured: limited alphabet with repeats.
+        let words: Vec<Vec<u8>> = (0..64)
+            .map(|_| (0..rng.random_range(3..10)).map(|_| rng.random_range(b'a'..=b'z')).collect())
+            .collect();
+        let mut data = Vec::new();
+        while data.len() < 100_000 {
+            data.extend_from_slice(&words[rng.random_range(0..words.len())]);
+            data.push(b' ');
+        }
+        let n1 = roundtrip(1, &data);
+        let n9 = roundtrip(9, &data);
+        assert!(n9 <= n1, "level 9 ({n9}) must not lose to level 1 ({n1})");
+    }
+
+    #[test]
+    fn long_matches_use_extension_bytes() {
+        // One literal, then a >270-byte match: exercises extended match
+        // length encoding.
+        let mut data = vec![7u8];
+        data.extend(std::iter::repeat_n(7u8, 1000));
+        roundtrip(1, &data);
+    }
+
+    #[test]
+    fn overlapping_match_rle() {
+        // "ababab..." forces offset 2 < match length (overlapping copy).
+        let data: Vec<u8> = std::iter::repeat(*b"ab")
+            .take(5000)
+            .flat_map(|p| p.into_iter())
+            .collect();
+        let n = roundtrip(2, &data);
+        assert!(n < 200);
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected_not_panicking() {
+        let mut c = Compressor::new(1);
+        let mut out = Vec::new();
+        c.compress(b"hello hello hello hello hello", &mut out);
+        // Truncations at every point must error, never panic.
+        for cut in 0..out.len() {
+            let _ = decompress(&out[..cut], 1 << 16);
+        }
+        // Bit flips must error or produce output no longer than the bound.
+        for i in 0..out.len() {
+            let mut bad = out.clone();
+            bad[i] ^= 0xff;
+            if let Ok(v) = decompress(&bad, 64) {
+                assert!(v.len() <= 64);
+            }
+        }
+    }
+
+    #[test]
+    fn decompression_bomb_is_bounded() {
+        let data = vec![0u8; 1 << 20];
+        let mut c = Compressor::new(9);
+        let mut out = Vec::new();
+        c.compress(&data, &mut out);
+        // Declaring a smaller bound must fail, not allocate 1 MiB.
+        assert!(decompress(&out, 1024).is_err());
+    }
+
+    #[test]
+    fn compressor_is_reusable_across_blocks() {
+        let mut c = Compressor::new(3);
+        for i in 0..10u8 {
+            let block = vec![i; 10_000];
+            let mut out = Vec::new();
+            c.compress(&block, &mut out);
+            assert_eq!(decompress(&out, block.len()).unwrap(), block);
+        }
+    }
+}

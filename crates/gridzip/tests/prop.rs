@@ -1,0 +1,72 @@
+//! Property-based tests: compression must be lossless for every input.
+
+use proptest::prelude::*;
+use std::io::{Read, Write};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Round-trip identity at every compression level, arbitrary bytes.
+    #[test]
+    fn lzss_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..20_000), level in 1u8..=9) {
+        let mut c = gridzip::Compressor::new(level);
+        let mut out = Vec::new();
+        c.compress(&data, &mut out);
+        let back = gridzip::decompress(&out, data.len()).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    /// Repetitive inputs (worst case for match-finding bugs).
+    #[test]
+    fn lzss_roundtrip_repetitive(
+        pattern in proptest::collection::vec(any::<u8>(), 1..8),
+        reps in 1usize..4000,
+        level in 1u8..=9,
+    ) {
+        let data: Vec<u8> = pattern.iter().cycle().take(pattern.len() * reps).copied().collect();
+        let mut c = gridzip::Compressor::new(level);
+        let mut out = Vec::new();
+        c.compress(&data, &mut out);
+        prop_assert_eq!(gridzip::decompress(&out, data.len()).unwrap(), data);
+    }
+
+    /// The streaming writer/reader preserves bytes across arbitrary write
+    /// chunkings, block sizes and levels (including the Huffman stage at
+    /// levels >= 7).
+    #[test]
+    fn stream_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 0..40_000),
+        block in 64usize..4096,
+        chunk in 1usize..5000,
+        level in 1u8..=9,
+    ) {
+        let mut w = gridzip::CompressWriter::with_block_size(Vec::new(), level, block);
+        for piece in data.chunks(chunk) {
+            w.write_all(piece).unwrap();
+        }
+        let framed = w.finish().unwrap();
+        let mut r = gridzip::DecompressReader::new(std::io::Cursor::new(framed));
+        let mut back = Vec::new();
+        r.read_to_end(&mut back).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    /// Decoding never panics on arbitrary garbage and never exceeds the
+    /// declared bound.
+    #[test]
+    fn decoder_is_total(garbage in proptest::collection::vec(any::<u8>(), 0..4000)) {
+        if let Ok(out) = gridzip::decompress(&garbage, 8192) {
+            prop_assert!(out.len() <= 8192);
+        }
+    }
+
+    /// Varint round-trip.
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        gridzip::varint::put(&mut buf, v);
+        let (got, used) = gridzip::varint::get(&buf).unwrap();
+        prop_assert_eq!(got, v);
+        prop_assert_eq!(used, buf.len());
+    }
+}

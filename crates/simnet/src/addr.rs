@@ -1,0 +1,123 @@
+//! IPv4-like addressing for the simulated internet.
+
+use std::fmt;
+
+/// A 32-bit network address (IPv4-style dotted quad).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ip(pub u32);
+
+impl Ip {
+    /// Construct from dotted-quad components.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Ip {
+        Ip(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// The unspecified address 0.0.0.0 (used as a wildcard bind address).
+    pub const UNSPECIFIED: Ip = Ip(0);
+
+    /// Is this a private (RFC 1918) address? Private addresses are not
+    /// routable across the simulated WAN without NAT, mirroring the paper's
+    /// "non-routed private networks" connectivity problem.
+    pub fn is_private(self) -> bool {
+        let a = (self.0 >> 24) as u8;
+        let b = (self.0 >> 16) as u8;
+        a == 10 || (a == 172 && (16..=31).contains(&b)) || (a == 192 && b == 168)
+    }
+
+    /// True for 0.0.0.0.
+    pub fn is_unspecified(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Does `self` fall within `prefix`/`len`?
+    pub fn in_prefix(self, prefix: Ip, len: u8) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let mask = if len >= 32 { u32::MAX } else { !(u32::MAX >> len) };
+        (self.0 & mask) == (prefix.0 & mask)
+    }
+}
+
+impl fmt::Debug for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{}.{}.{}",
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8
+        )
+    }
+}
+
+impl fmt::Display for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A transport endpoint: address plus 16-bit port.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SockAddr {
+    pub ip: Ip,
+    pub port: u16,
+}
+
+impl SockAddr {
+    pub const fn new(ip: Ip, port: u16) -> SockAddr {
+        SockAddr { ip, port }
+    }
+}
+
+impl fmt::Debug for SockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+impl fmt::Display for SockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<(Ip, u16)> for SockAddr {
+    fn from((ip, port): (Ip, u16)) -> Self {
+        SockAddr { ip, port }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dotted_quad_roundtrip() {
+        let ip = Ip::new(130, 37, 24, 5);
+        assert_eq!(format!("{ip}"), "130.37.24.5");
+        assert_eq!(ip.0, (130u32 << 24) | (37 << 16) | (24 << 8) | 5);
+    }
+
+    #[test]
+    fn rfc1918_ranges() {
+        assert!(Ip::new(10, 0, 0, 1).is_private());
+        assert!(Ip::new(172, 16, 0, 1).is_private());
+        assert!(Ip::new(172, 31, 255, 254).is_private());
+        assert!(!Ip::new(172, 32, 0, 1).is_private());
+        assert!(Ip::new(192, 168, 1, 1).is_private());
+        assert!(!Ip::new(192, 169, 1, 1).is_private());
+        assert!(!Ip::new(130, 37, 24, 5).is_private());
+    }
+
+    #[test]
+    fn prefix_matching() {
+        let net = Ip::new(192, 168, 1, 0);
+        assert!(Ip::new(192, 168, 1, 77).in_prefix(net, 24));
+        assert!(!Ip::new(192, 168, 2, 77).in_prefix(net, 24));
+        assert!(Ip::new(1, 2, 3, 4).in_prefix(Ip::UNSPECIFIED, 0), "default route matches all");
+        assert!(Ip::new(1, 2, 3, 4).in_prefix(Ip::new(1, 2, 3, 4), 32));
+        assert!(!Ip::new(1, 2, 3, 5).in_prefix(Ip::new(1, 2, 3, 4), 32));
+    }
+}

@@ -1,0 +1,97 @@
+//! Packets.
+//!
+//! The simulator treats transport payloads opaquely: a [`Packet`] carries the
+//! addressing header (source/destination endpoint and protocol number) that
+//! links, routers, firewalls and NAT operate on, plus a boxed payload that
+//! only the owning protocol implementation (e.g. `gridsim-tcp`) inspects,
+//! via `Any` downcasting.
+
+use std::any::Any;
+use std::fmt;
+
+use crate::addr::SockAddr;
+
+/// IP protocol numbers used by the simulator.
+pub mod proto {
+    pub const TCP: u8 = 6;
+    pub const UDP: u8 = 17;
+}
+
+/// Simulated size of an IPv4 header in bytes.
+pub const IP_HEADER_LEN: u32 = 20;
+
+/// A transport payload carried inside a packet. Implemented by protocol
+/// crates (TCP segments, UDP datagrams).
+pub trait Payload: Any + Send + Sync + fmt::Debug {
+    /// Bytes this payload occupies on the wire (transport header + data),
+    /// excluding the IP header.
+    fn wire_len(&self) -> u32;
+    /// Downcast support.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// A simulated IP packet.
+#[derive(Debug)]
+pub struct Packet {
+    pub src: SockAddr,
+    pub dst: SockAddr,
+    pub proto: u8,
+    pub payload: Box<dyn Payload>,
+}
+
+impl Packet {
+    pub fn new(src: SockAddr, dst: SockAddr, proto: u8, payload: Box<dyn Payload>) -> Packet {
+        Packet { src, dst, proto, payload }
+    }
+
+    /// Total simulated wire size, including the IP header.
+    pub fn wire_len(&self) -> u32 {
+        IP_HEADER_LEN + self.payload.wire_len()
+    }
+
+    /// Downcast the payload to a concrete protocol type.
+    pub fn payload_as<T: Payload>(&self) -> Option<&T> {
+        self.payload.as_any().downcast_ref::<T>()
+    }
+}
+
+/// A plain byte payload, useful for tests and simple protocols.
+#[derive(Debug, Clone)]
+pub struct RawBytes(pub Vec<u8>);
+
+impl Payload for RawBytes {
+    fn wire_len(&self) -> u32 {
+        self.0.len() as u32
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ip;
+
+    #[test]
+    fn wire_len_includes_ip_header() {
+        let p = Packet::new(
+            SockAddr::new(Ip::new(1, 1, 1, 1), 1000),
+            SockAddr::new(Ip::new(2, 2, 2, 2), 80),
+            proto::TCP,
+            Box::new(RawBytes(vec![0u8; 100])),
+        );
+        assert_eq!(p.wire_len(), 120);
+    }
+
+    #[test]
+    fn payload_downcast() {
+        let p = Packet::new(
+            SockAddr::new(Ip::new(1, 1, 1, 1), 1),
+            SockAddr::new(Ip::new(2, 2, 2, 2), 2),
+            proto::UDP,
+            Box::new(RawBytes(vec![7, 8, 9])),
+        );
+        assert_eq!(p.payload_as::<RawBytes>().unwrap().0, vec![7, 8, 9]);
+    }
+}

@@ -1,0 +1,301 @@
+//! Topology builders for the grid scenarios used throughout the paper:
+//! pairs of hosts over an emulated WAN, and multi-site grids where each site
+//! sits behind its own firewall and/or NAT gateway, joined by a public
+//! backbone.
+
+use std::time::Duration;
+
+use crate::addr::Ip;
+use crate::firewall::FirewallPolicy;
+use crate::link::LinkParams;
+use crate::nat::NatKind;
+use crate::world::{NodeId, Trust, World};
+
+/// Default LAN characteristics inside a site: 100 Mbit/s Ethernet with a
+/// small switch delay (the environment of the paper's Section 4.1 LAN
+/// measurement: ~11.8 MB/s achievable).
+pub fn lan_params() -> LinkParams {
+    LinkParams::new(12.5e6, Duration::from_micros(75)).with_queue(512 * 1024)
+}
+
+/// Connect two freshly created public hosts over a single WAN link with the
+/// given parameters. Returns their node ids; host A gets 131.1.0.10, host B
+/// 131.2.0.10.
+pub fn wan_pair(w: &mut World, wan: LinkParams) -> (NodeId, NodeId) {
+    let a = w.add_host("wan-a", vec![Ip::new(131, 1, 0, 10)]);
+    let b = w.add_host("wan-b", vec![Ip::new(131, 2, 0, 10)]);
+    let (ia, ib) = w.connect(a, b, wan);
+    w.default_route(a, ia);
+    w.default_route(b, ib);
+    (a, b)
+}
+
+/// Connect two hosts over a LAN link (paper Section 4.1).
+pub fn lan_pair(w: &mut World) -> (NodeId, NodeId) {
+    let a = w.add_host("lan-a", vec![Ip::new(131, 1, 0, 10)]);
+    let b = w.add_host("lan-b", vec![Ip::new(131, 1, 0, 11)]);
+    let (ia, ib) = w.connect(a, b, lan_params());
+    w.default_route(a, ia);
+    w.default_route(b, ib);
+    (a, b)
+}
+
+/// How a site connects to the outside world.
+#[derive(Clone, Debug)]
+pub struct SiteSpec {
+    pub name: String,
+    /// Gateway firewall policy.
+    pub policy: FirewallPolicy,
+    /// NAT behaviour, if the site uses private addressing + NAT.
+    pub nat: Option<NatKind>,
+    /// If true, hosts get RFC 1918 addresses even without NAT (the paper's
+    /// "non-routed private networks"); such hosts cannot be reached from
+    /// outside at all except through relays.
+    pub private_addrs: bool,
+    /// Number of compute hosts.
+    pub hosts: usize,
+    /// Site uplink to the backbone.
+    pub wan: LinkParams,
+}
+
+impl SiteSpec {
+    /// An unfirewalled public site.
+    pub fn open(name: &str, hosts: usize, wan: LinkParams) -> SiteSpec {
+        SiteSpec {
+            name: name.into(),
+            policy: FirewallPolicy::Open,
+            nat: None,
+            private_addrs: false,
+            hosts,
+            wan,
+        }
+    }
+
+    /// A site behind a stateful firewall (public addresses).
+    pub fn firewalled(name: &str, hosts: usize, wan: LinkParams) -> SiteSpec {
+        SiteSpec {
+            name: name.into(),
+            policy: FirewallPolicy::StatefulOutbound,
+            nat: None,
+            private_addrs: false,
+            hosts,
+            wan,
+        }
+    }
+
+    /// A site behind NAT (private addresses).
+    pub fn natted(name: &str, hosts: usize, kind: NatKind, wan: LinkParams) -> SiteSpec {
+        SiteSpec {
+            name: name.into(),
+            policy: FirewallPolicy::Open,
+            nat: Some(kind),
+            private_addrs: true,
+            hosts,
+            wan,
+        }
+    }
+}
+
+/// One constructed site.
+#[derive(Clone, Debug)]
+pub struct BuiltSite {
+    pub name: String,
+    pub gateway: NodeId,
+    pub gateway_public_ip: Ip,
+    pub hosts: Vec<NodeId>,
+    pub host_ips: Vec<Ip>,
+}
+
+/// A multi-site grid: sites around a public backbone router, plus any
+/// number of public server hosts (name service, relay) attached directly to
+/// the backbone.
+pub struct Grid {
+    pub backbone: NodeId,
+    pub sites: Vec<BuiltSite>,
+    pub public_hosts: Vec<(NodeId, Ip)>,
+    next_public_host: u8,
+}
+
+/// Backbone links are fat and fast so that per-site uplinks are the
+/// bottleneck, as in the paper's measurements.
+fn backbone_params() -> LinkParams {
+    LinkParams::new(1e9, Duration::from_micros(200)).with_queue(4 << 20)
+}
+
+impl Grid {
+    /// Build a grid with the given sites.
+    pub fn build(w: &mut World, sites: &[SiteSpec]) -> Grid {
+        let backbone = w.add_gateway(
+            "backbone",
+            Ip::new(131, 0, 0, 1),
+            Ip::new(131, 0, 0, 1),
+            FirewallPolicy::Open,
+            None,
+        );
+        let mut grid = Grid { backbone, sites: Vec::new(), public_hosts: Vec::new(), next_public_host: 10 };
+        for (i, spec) in sites.iter().enumerate() {
+            grid.add_site(w, i as u8, spec);
+        }
+        grid
+    }
+
+    fn add_site(&mut self, w: &mut World, idx: u8, spec: &SiteSpec) {
+        let site_no = idx + 1;
+        let private = spec.private_addrs || spec.nat.is_some();
+        let host_net = if private { Ip::new(192, 168, site_no, 0) } else { Ip::new(130, site_no, 0, 0) };
+        let gw_inside = if private {
+            Ip::new(192, 168, site_no, 1)
+        } else {
+            Ip::new(130, site_no, 0, 1)
+        };
+        let gw_public = Ip::new(131, 100, site_no, 1);
+        let gw = w.add_gateway(
+            format!("{}-gw", spec.name),
+            gw_inside,
+            gw_public,
+            spec.policy.clone(),
+            spec.nat,
+        );
+        // Site uplink.
+        let (gw_out, bb_if) = w.connect_with(
+            gw,
+            Trust::Outside,
+            self.backbone,
+            Trust::Inside,
+            spec.wan,
+            spec.wan,
+        );
+        w.default_route(gw, gw_out);
+        // Backbone routes towards the site's public prefixes.
+        w.route(self.backbone, gw_public, 32, bb_if);
+        if !private {
+            w.route(self.backbone, host_net, 24, bb_if);
+        }
+        // Hosts.
+        let mut hosts = Vec::new();
+        let mut host_ips = Vec::new();
+        for h in 0..spec.hosts {
+            let ip = Ip(host_net.0 + 10 + h as u32);
+            let host = w.add_host(format!("{}-{}", spec.name, h), vec![ip]);
+            let (hif, gif) = w.connect_with(host, Trust::Inside, gw, Trust::Inside, lan_params(), lan_params());
+            w.default_route(host, hif);
+            w.route(gw, ip, 32, gif);
+            hosts.push(host);
+            host_ips.push(ip);
+        }
+        self.sites.push(BuiltSite {
+            name: spec.name.clone(),
+            gateway: gw,
+            gateway_public_ip: gw_public,
+            hosts,
+            host_ips,
+        });
+    }
+
+    /// Attach a public server host (e.g. the relay or name service) directly
+    /// to the backbone with a fat link.
+    pub fn add_public_host(&mut self, w: &mut World, name: &str) -> (NodeId, Ip) {
+        self.add_public_host_with(w, name, backbone_params())
+    }
+
+    /// Attach a public server host with an explicit uplink (e.g. to model a
+    /// relay whose own link is the bottleneck).
+    pub fn add_public_host_with(&mut self, w: &mut World, name: &str, uplink: LinkParams) -> (NodeId, Ip) {
+        let ip = Ip::new(131, 0, 0, self.next_public_host);
+        self.next_public_host += 1;
+        let host = w.add_host(name, vec![ip]);
+        let (hif, bif) =
+            w.connect_with(host, Trust::Inside, self.backbone, Trust::Inside, uplink, uplink);
+        w.default_route(host, hif);
+        w.route(self.backbone, ip, 32, bif);
+        self.public_hosts.push((host, ip));
+        (host, ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{proto, Packet, RawBytes};
+    use crate::runtime::Scheduler;
+    use crate::world::Net;
+    use crate::SockAddr;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn grid_builds_and_routes_between_open_sites() {
+        let sched = Scheduler::new();
+        let net = Net::new(sched.handle(), 3);
+        let wan = LinkParams::mbps(2.0, Duration::from_millis(5));
+        let seen: Arc<Mutex<Vec<NodeId>>> = Arc::new(Mutex::new(Vec::new()));
+        let s2 = Arc::clone(&seen);
+        let (grid, src_host, dst_host, dst_ip, src_ip) = net.with(|w| {
+            let grid = Grid::build(
+                w,
+                &[SiteSpec::open("ams", 2, wan), SiteSpec::open("rennes", 2, wan)],
+            );
+            w.register_proto(
+                proto::UDP,
+                Arc::new(move |_w, n, _p| s2.lock().push(n)),
+            );
+            let src = grid.sites[0].hosts[0];
+            let dst = grid.sites[1].hosts[1];
+            let dst_ip = grid.sites[1].host_ips[1];
+            let src_ip = grid.sites[0].host_ips[0];
+            (grid, src, dst, dst_ip, src_ip)
+        });
+        net.with(|w| {
+            w.send_from(
+                src_host,
+                Packet::new(
+                    SockAddr::new(src_ip, 1000),
+                    SockAddr::new(dst_ip, 2000),
+                    proto::UDP,
+                    Box::new(RawBytes(vec![1; 64])),
+                ),
+            )
+        });
+        sched.run();
+        assert_eq!(*seen.lock(), vec![dst_host]);
+        let _ = grid;
+    }
+
+    #[test]
+    fn public_host_reachable_from_natted_site() {
+        let sched = Scheduler::new();
+        let net = Net::new(sched.handle(), 3);
+        let wan = LinkParams::mbps(2.0, Duration::from_millis(5));
+        let seen: Arc<Mutex<Vec<(NodeId, SockAddr)>>> = Arc::new(Mutex::new(Vec::new()));
+        let s2 = Arc::clone(&seen);
+        let (relay_host, relay_ip, src_host, src_ip) = net.with(|w| {
+            let mut grid = Grid::build(
+                w,
+                &[SiteSpec::natted("siegen", 1, NatKind::SymmetricSequential, wan)],
+            );
+            let (relay_host, relay_ip) = grid.add_public_host(w, "relay");
+            w.register_proto(
+                proto::UDP,
+                Arc::new(move |_w, n, p| s2.lock().push((n, p.src))),
+            );
+            (relay_host, relay_ip, grid.sites[0].hosts[0], grid.sites[0].host_ips[0])
+        });
+        assert!(src_ip.is_private());
+        net.with(|w| {
+            w.send_from(
+                src_host,
+                Packet::new(
+                    SockAddr::new(src_ip, 1000),
+                    SockAddr::new(relay_ip, 9000),
+                    proto::UDP,
+                    Box::new(RawBytes(vec![1; 64])),
+                ),
+            )
+        });
+        sched.run();
+        let seen = seen.lock();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].0, relay_host);
+        assert!(!seen[0].1.ip.is_private(), "source must be NAT-translated: {}", seen[0].1);
+    }
+}

@@ -1,0 +1,55 @@
+//! # gridsim-tcp — TCP and UDP over the gridsim-net simulator
+//!
+//! A from-scratch TCP implementation running on the deterministic network
+//! simulator, exposing a blocking `std::net`-style socket API
+//! ([`SimHost`], [`TcpListener`], [`TcpStream`], [`UdpSocket`]).
+//!
+//! The protocol engine ([`tcb`]) implements the behaviours the NetIbis
+//! (HPDC 2004) evaluation hinges on: the three-way handshake **and
+//! simultaneous open** (TCP splicing), NewReno congestion control,
+//! RFC 6298 retransmission timeouts, configurable send/receive windows (the
+//! OS limit that caps high-BDP single-stream throughput), and Nagle's
+//! algorithm.
+//!
+//! ## Example
+//!
+//! ```
+//! use gridsim_net::{Sim, LinkParams, SockAddr, topology};
+//! use gridsim_tcp::SimHost;
+//! use std::io::{Read, Write};
+//! use std::time::Duration;
+//!
+//! let sim = Sim::new(1);
+//! let (a, b) = sim.net().with(|w| {
+//!     topology::wan_pair(w, LinkParams::mbps(1.6, Duration::from_millis(15)))
+//! });
+//! let net = sim.net();
+//! let ha = SimHost::new(&net, a);
+//! let hb = SimHost::new(&net, b);
+//! let b_ip = hb.ip();
+//!
+//! sim.spawn("server", move || {
+//!     let l = hb.listen(5000).unwrap();
+//!     let mut s = l.accept().unwrap();
+//!     let mut buf = [0u8; 5];
+//!     s.read_exact(&mut buf).unwrap();
+//!     assert_eq!(&buf, b"hello");
+//! });
+//! sim.spawn("client", move || {
+//!     let mut s = ha.connect(SockAddr::new(b_ip, 5000)).unwrap();
+//!     s.write_all(b"hello").unwrap();
+//! });
+//! sim.run();
+//! ```
+
+pub mod seg;
+pub mod sock;
+pub mod stack;
+pub mod tcb;
+pub mod udp;
+
+pub use seg::{Flags, Segment, TCP_HEADER_LEN};
+pub use sock::{ConnectOpts, SimHost, TcpListener, TcpStream};
+pub use stack::{ConnId, TcpHost};
+pub use tcb::{ConnStats, State, Tcb, TcpConfig};
+pub use udp::{Datagram, UdpSocket};

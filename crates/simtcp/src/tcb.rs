@@ -1,0 +1,1548 @@
+//! TCP control block: the per-connection protocol state machine.
+//!
+//! The TCB is deliberately independent of the simulator: inputs are segments
+//! and timer firings (with the current time), outputs are segments pushed to
+//! an internal queue plus timer (re)arm requests, both drained by the host
+//! stack in `stack.rs`. This keeps the whole protocol unit-testable without
+//! a network.
+//!
+//! Implemented behaviour (the parts of RFC 793 / 5681 / 6582 / 6298 that the
+//! paper's results depend on):
+//!
+//! * three-way handshake **and simultaneous open** (TCP splicing, paper §3.2),
+//! * sliding-window flow control with a configurable receive buffer — the
+//!   "window size limit imposed by the operating system" (paper §4.2) that
+//!   caps single-stream WAN bandwidth at `window / RTT`,
+//! * NewReno congestion control: slow start, congestion avoidance, fast
+//!   retransmit/recovery with partial-ACK retransmission,
+//! * retransmission timeout per RFC 6298 (SRTT/RTTVAR, Karn's rule,
+//!   exponential backoff),
+//! * Nagle's algorithm (switchable — `TCP_NODELAY`, paper §4.1),
+//! * graceful close (FIN in both orders, simultaneous close, TIME-WAIT),
+//!   and RST handling.
+//!
+//! Documented simplifications: 64-bit non-wrapping sequence numbers, no
+//! delayed ACK, no SACK, no header options (MSS is configuration), windows
+//! advertised as 32-bit values (a receive buffer larger than 64 KiB models
+//! RFC 1323 window scaling).
+
+use bytes::Bytes;
+use gridsim_net::{SimTime, SockAddr, Waker};
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::time::Duration;
+
+use crate::seg::{Flags, Segment};
+
+/// Tunable per-connection parameters (2004-era defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct TcpConfig {
+    /// Maximum segment size in bytes.
+    pub mss: u32,
+    /// Send buffer capacity in bytes.
+    pub send_buf: u32,
+    /// Receive buffer capacity in bytes; this is the advertised window
+    /// limit — "the limits imposed by the operating system" of paper §4.2.
+    pub recv_buf: u32,
+    /// Disable Nagle's algorithm.
+    pub nodelay: bool,
+    /// Initial congestion window in segments.
+    pub init_cwnd_segs: u32,
+    /// SYN retransmission attempts before `connect` fails.
+    pub syn_retries: u32,
+    /// RTO before the first RTT measurement.
+    pub initial_rto: Duration,
+    /// Lower bound on the RTO.
+    pub min_rto: Duration,
+    /// Upper bound on the RTO.
+    pub max_rto: Duration,
+    /// TIME-WAIT linger (kept short; a full 2·MSL would only slow sims).
+    pub time_wait: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1460,
+            send_buf: 64 * 1024,
+            recv_buf: 64 * 1024,
+            nodelay: false,
+            init_cwnd_segs: 2,
+            syn_retries: 5,
+            initial_rto: Duration::from_secs(1),
+            min_rto: Duration::from_millis(200),
+            max_rto: Duration::from_secs(60),
+            time_wait: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Connection states (RFC 793 names).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum State {
+    SynSent,
+    SynRcvd,
+    Established,
+    FinWait1,
+    FinWait2,
+    CloseWait,
+    Closing,
+    LastAck,
+    TimeWait,
+    Closed,
+}
+
+impl State {
+    /// May the application still send data?
+    pub fn can_send(self) -> bool {
+        matches!(self, State::Established | State::CloseWait)
+    }
+
+    /// Is the connection fully torn down?
+    pub fn is_terminal(self) -> bool {
+        matches!(self, State::Closed | State::TimeWait)
+    }
+}
+
+/// Per-connection counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConnStats {
+    pub bytes_sent: u64,
+    pub bytes_rcvd: u64,
+    pub segs_sent: u64,
+    pub segs_rcvd: u64,
+    pub rtx_timeouts: u64,
+    pub fast_retransmits: u64,
+    pub dup_acks_rcvd: u64,
+}
+
+/// A timer slot with generation-based cancellation: each (re)arm bumps the
+/// generation so stale scheduled firings are ignored.
+#[derive(Debug, Default)]
+pub struct TimerSlot {
+    pub gen: u64,
+    pub deadline: Option<SimTime>,
+    /// Last generation the host stack has actually scheduled an event for.
+    pub scheduled_gen: u64,
+}
+
+impl TimerSlot {
+    pub fn arm(&mut self, at: SimTime) {
+        self.gen += 1;
+        self.deadline = Some(at);
+    }
+    pub fn disarm(&mut self) {
+        self.gen += 1;
+        self.deadline = None;
+    }
+    /// Should a firing scheduled with `gen` take effect now?
+    pub fn matches(&self, gen: u64) -> bool {
+        self.gen == gen && self.deadline.is_some()
+    }
+}
+
+/// Result of an application write attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// `n` bytes accepted into the send buffer.
+    Wrote(usize),
+    /// Send buffer full; park and retry.
+    Full,
+}
+
+/// Result of an application read attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// `n` bytes copied out.
+    Read(usize),
+    /// No data yet; park and retry.
+    Empty,
+    /// Peer sent FIN and the buffer is drained.
+    Eof,
+}
+
+/// The TCP control block.
+pub struct Tcb {
+    pub cfg: TcpConfig,
+    pub state: State,
+    pub local: SockAddr,
+    pub remote: SockAddr,
+    /// Listening port that spawned this connection (server side), used to
+    /// notify the listener's accept queue on establishment.
+    pub from_listener: Option<u16>,
+
+    // --- send side ---
+    iss: u64,
+    snd_una: u64,
+    snd_nxt: u64,
+    /// Highest sequence ever sent (retransmissions keep snd_nxt lower).
+    snd_max: u64,
+    /// Unacknowledged + unsent data; front byte has sequence `snd_una`.
+    send_q: VecDeque<u8>,
+    peer_wnd: u32,
+    fin_queued: bool,
+    fin_acked: bool,
+
+    // --- receive side ---
+    irs: u64,
+    rcv_nxt: u64,
+    recv_q: VecDeque<u8>,
+    ooo: BTreeMap<u64, Bytes>,
+    ooo_bytes: usize,
+    fin_rcvd: bool,
+
+    // --- congestion control (NewReno) ---
+    cwnd: f64,
+    ssthresh: f64,
+    dupacks: u32,
+    /// Recovery point: fast recovery ends when snd_una passes this.
+    recover: u64,
+    in_recovery: bool,
+
+    // --- RTO state (RFC 6298) ---
+    srtt: Option<Duration>,
+    rttvar: Duration,
+    rto: Duration,
+    /// Outstanding RTT sample: (sequence that acks it, send time).
+    rtt_sample: Option<(u64, SimTime)>,
+    syn_rtx_left: u32,
+
+    // --- timers ---
+    pub rtx_timer: TimerSlot,
+    pub persist_timer: TimerSlot,
+    persist_backoff: u32,
+    pub tw_timer: TimerSlot,
+
+    // --- plumbing to the stack ---
+    out: Vec<Segment>,
+    pub read_wakers: Vec<Waker>,
+    pub write_wakers: Vec<Waker>,
+    pub conn_wakers: Vec<Waker>,
+    became_established: bool,
+    error: Option<io::ErrorKind>,
+    /// Set when the owning socket handle has been dropped: the stack may
+    /// reap the connection as soon as it reaches Closed, even on error.
+    pub detached: bool,
+
+    pub stats: ConnStats,
+}
+
+impl Tcb {
+    fn new(cfg: TcpConfig, local: SockAddr, remote: SockAddr, iss: u64, state: State) -> Tcb {
+        Tcb {
+            cfg,
+            state,
+            local,
+            remote,
+            from_listener: None,
+            iss,
+            snd_una: iss,
+            snd_nxt: iss,
+            snd_max: iss,
+            send_q: VecDeque::new(),
+            peer_wnd: cfg.mss, // conservative until the peer advertises
+            fin_queued: false,
+            fin_acked: false,
+            irs: 0,
+            rcv_nxt: 0,
+            recv_q: VecDeque::new(),
+            ooo: BTreeMap::new(),
+            ooo_bytes: 0,
+            fin_rcvd: false,
+            cwnd: (cfg.init_cwnd_segs * cfg.mss) as f64,
+            ssthresh: f64::MAX,
+            dupacks: 0,
+            recover: iss,
+            in_recovery: false,
+            srtt: None,
+            rttvar: Duration::ZERO,
+            rto: cfg.initial_rto,
+            rtt_sample: None,
+            syn_rtx_left: cfg.syn_retries,
+            rtx_timer: TimerSlot::default(),
+            persist_timer: TimerSlot::default(),
+            persist_backoff: 0,
+            tw_timer: TimerSlot::default(),
+            out: Vec::new(),
+            read_wakers: Vec::new(),
+            write_wakers: Vec::new(),
+            conn_wakers: Vec::new(),
+            became_established: false,
+            error: None,
+            detached: false,
+            stats: ConnStats::default(),
+        }
+    }
+
+    /// Active open: create the TCB and emit the initial SYN.
+    pub fn client(cfg: TcpConfig, local: SockAddr, remote: SockAddr, iss: u64, now: SimTime) -> Tcb {
+        let mut t = Tcb::new(cfg, local, remote, iss, State::SynSent);
+        t.send_flags(Flags::SYN, t.iss, 0);
+        t.snd_nxt = t.iss + 1;
+        t.snd_max = t.snd_nxt;
+        t.rtx_timer.arm(now + t.rto);
+        t
+    }
+
+    /// Passive open: a listener received `syn`; create the TCB and emit
+    /// SYN+ACK.
+    pub fn server(
+        cfg: TcpConfig,
+        local: SockAddr,
+        remote: SockAddr,
+        iss: u64,
+        syn: &Segment,
+        now: SimTime,
+    ) -> Tcb {
+        let mut t = Tcb::new(cfg, local, remote, iss, State::SynRcvd);
+        t.irs = syn.seq;
+        t.rcv_nxt = syn.seq + 1;
+        t.peer_wnd = syn.wnd;
+        t.send_flags(Flags::SYN_ACK, t.iss, t.rcv_nxt);
+        t.snd_nxt = t.iss + 1;
+        t.snd_max = t.snd_nxt;
+        t.rtx_timer.arm(now + t.rto);
+        t
+    }
+
+    // ---------------- helpers ----------------
+
+    /// Advertised receive window. Computed from the in-order buffer only
+    /// (as real stacks do), so that duplicate ACKs generated while
+    /// out-of-order data accumulates carry an *unchanged* window and are
+    /// recognizable as duplicates (RFC 5681's definition).
+    pub fn rwnd(&self) -> u32 {
+        (self.cfg.recv_buf as usize)
+            .saturating_sub(self.recv_q.len())
+            .min(u32::MAX as usize) as u32
+    }
+
+    fn send_flags(&mut self, flags: Flags, seq: u64, ack: u64) {
+        let wnd = self.rwnd();
+        self.stats.segs_sent += 1;
+        self.out.push(Segment { flags, seq, ack, wnd, data: Bytes::new() });
+    }
+
+    fn send_ack(&mut self) {
+        self.send_flags(Flags::ACK, self.snd_nxt, self.rcv_nxt);
+    }
+
+    /// Drain segments queued for transmission.
+    pub fn take_out(&mut self) -> Vec<Segment> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// One-shot flag: did this call chain establish the connection?
+    pub fn take_established(&mut self) -> bool {
+        std::mem::take(&mut self.became_established)
+    }
+
+    /// Fatal error recorded on the connection, if any.
+    pub fn error(&self) -> Option<io::ErrorKind> {
+        self.error
+    }
+
+    pub fn is_established(&self) -> bool {
+        self.state == State::Established
+    }
+
+    /// Current congestion window in bytes (diagnostics/tests).
+    pub fn cwnd(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    /// Current smoothed RTO (diagnostics/tests).
+    pub fn rto(&self) -> Duration {
+        self.rto
+    }
+
+    /// Bytes queued but not yet read by the application.
+    pub fn recv_queued(&self) -> usize {
+        self.recv_q.len()
+    }
+
+    /// One-line state dump for diagnostics.
+    pub fn debug_summary(&self) -> String {
+        format!(
+            "{}->{} {:?} una={} nxt={} max={} sendq={} flight={} peer_wnd={} rwnd={} recvq={} ooo={} cwnd={} rtx_to={} frtx={} persist={:?}",
+            self.local,
+            self.remote,
+            self.state,
+            self.snd_una,
+            self.snd_nxt,
+            self.snd_max,
+            self.send_q.len(),
+            self.flight(),
+            self.peer_wnd,
+            self.rwnd(),
+            self.recv_q.len(),
+            self.ooo_bytes,
+            self.cwnd as u64,
+            self.stats.rtx_timeouts,
+            self.stats.fast_retransmits,
+            self.persist_timer.deadline,
+        )
+    }
+
+    /// Space left in the send buffer.
+    pub fn send_space(&self) -> usize {
+        (self.cfg.send_buf as usize).saturating_sub(self.send_q.len())
+    }
+
+    fn wake(wakers: &mut Vec<Waker>) {
+        for w in wakers.drain(..) {
+            w.wake();
+        }
+    }
+
+    fn wake_all(&mut self) {
+        Self::wake(&mut self.read_wakers);
+        Self::wake(&mut self.write_wakers);
+        Self::wake(&mut self.conn_wakers);
+    }
+
+    fn fail(&mut self, kind: io::ErrorKind) {
+        self.error = Some(kind);
+        self.state = State::Closed;
+        self.rtx_timer.disarm();
+        self.persist_timer.disarm();
+        self.wake_all();
+    }
+
+    fn enter_established(&mut self) {
+        self.state = State::Established;
+        self.became_established = true;
+        self.syn_rtx_left = self.cfg.syn_retries;
+        self.rtx_timer.disarm();
+        self.wake_all();
+    }
+
+    /// End of the data currently in the send queue, in sequence space.
+    fn data_end(&self) -> u64 {
+        self.snd_una + self.send_q.len() as u64
+    }
+
+    /// Sequence space in flight.
+    fn flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    // ---------------- application interface ----------------
+
+    /// Try to queue application bytes for sending.
+    pub fn try_write(&mut self, now: SimTime, buf: &[u8]) -> io::Result<WriteOutcome> {
+        if let Some(e) = self.error {
+            return Err(e.into());
+        }
+        match self.state {
+            State::SynSent | State::SynRcvd => return Ok(WriteOutcome::Full), // wait for establish
+            s if !s.can_send() => return Err(io::ErrorKind::BrokenPipe.into()),
+            _ => {}
+        }
+        if self.fin_queued {
+            return Err(io::ErrorKind::BrokenPipe.into());
+        }
+        let space = self.send_space();
+        if space == 0 {
+            return Ok(WriteOutcome::Full);
+        }
+        let n = space.min(buf.len());
+        self.send_q.extend(&buf[..n]);
+        self.transmit(now);
+        Ok(WriteOutcome::Wrote(n))
+    }
+
+    /// Try to read received bytes.
+    pub fn try_read(&mut self, now: SimTime, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+        if self.recv_q.is_empty() {
+            if let Some(e) = self.error {
+                // A reset with buffered data still delivers the data first;
+                // here the buffer is empty, so surface the error. EOF after
+                // normal FIN is not an error.
+                if e == io::ErrorKind::ConnectionReset {
+                    return Err(e.into());
+                }
+                return Ok(ReadOutcome::Eof);
+            }
+            if self.fin_rcvd {
+                return Ok(ReadOutcome::Eof);
+            }
+            return Ok(ReadOutcome::Empty);
+        }
+        let before_free = self.rwnd();
+        let n = buf.len().min(self.recv_q.len());
+        for (i, b) in self.recv_q.drain(..n).enumerate() {
+            buf[i] = b;
+        }
+        // Window update: if we were nearly closed and the application just
+        // opened space, tell the sender (it has no other way to learn).
+        let after_free = self.rwnd();
+        if before_free < self.cfg.mss && after_free >= self.cfg.mss && !self.state.is_terminal() {
+            let _ = now;
+            self.send_ack();
+        }
+        Ok(ReadOutcome::Read(n))
+    }
+
+    /// Graceful close: send FIN once queued data drains.
+    pub fn start_close(&mut self, now: SimTime) {
+        match self.state {
+            State::SynSent => {
+                self.state = State::Closed;
+                self.rtx_timer.disarm();
+                self.wake_all();
+            }
+            State::SynRcvd | State::Established
+                if !self.fin_queued => {
+                    self.fin_queued = true;
+                    self.state = State::FinWait1;
+                    self.transmit(now);
+                }
+            State::CloseWait
+                if !self.fin_queued => {
+                    self.fin_queued = true;
+                    self.state = State::LastAck;
+                    self.transmit(now);
+                }
+            _ => {}
+        }
+    }
+
+    /// Hard abort: emit RST, drop everything.
+    pub fn abort(&mut self) {
+        if !matches!(self.state, State::Closed | State::TimeWait) {
+            let (snd_nxt, rcv_nxt) = (self.snd_nxt, self.rcv_nxt);
+            self.send_flags(Flags::RST, snd_nxt, rcv_nxt);
+        }
+        self.fail(io::ErrorKind::ConnectionAborted);
+    }
+
+    // ---------------- transmission ----------------
+
+    /// Pump as many segments as windows allow.
+    pub fn transmit(&mut self, now: SimTime) {
+        if !matches!(
+            self.state,
+            State::Established
+                | State::CloseWait
+                | State::FinWait1
+                | State::Closing
+                | State::LastAck
+        ) {
+            return;
+        }
+        let mss = self.cfg.mss as u64;
+        loop {
+            let wnd = (self.cwnd as u64).min(self.peer_wnd as u64);
+            let usable = wnd.saturating_sub(self.flight());
+            let unsent = self.data_end().saturating_sub(self.snd_nxt);
+            let take = usable.min(unsent).min(mss);
+            if take == 0 {
+                // FIN consumes no window.
+                if self.fin_queued && !self.fin_acked && self.snd_nxt == self.data_end() {
+                    let (seq, ack) = (self.snd_nxt, self.rcv_nxt);
+                    self.send_flags(Flags::FIN_ACK, seq, ack);
+                    self.snd_nxt += 1;
+                    self.snd_max = self.snd_max.max(self.snd_nxt);
+                    if self.rtx_timer.deadline.is_none() {
+                        self.rtx_timer.arm(now + self.rto);
+                    }
+                }
+                // Peer window exhausted with data pending: arm persist timer.
+                if unsent > 0 && self.peer_wnd == 0 && self.persist_timer.deadline.is_none() {
+                    let d = self.rto.max(Duration::from_millis(500));
+                    self.persist_timer.arm(now + d * (1 << self.persist_backoff.min(6)));
+                }
+                return;
+            }
+            // Nagle: hold sub-MSS segments while data is in flight.
+            if take < mss && self.flight() > 0 && !self.cfg.nodelay && take == unsent {
+                return;
+            }
+            self.emit_data(now, take as usize, false);
+        }
+    }
+
+    /// Emit one data segment starting at `snd_nxt` (or `snd_una` when
+    /// retransmitting).
+    fn emit_data(&mut self, now: SimTime, len: usize, retransmission: bool) {
+        let start = (self.snd_nxt - self.snd_una) as usize;
+        let mut data = Vec::with_capacity(len);
+        let (a, b) = self.send_q.as_slices();
+        for i in start..start + len {
+            data.push(if i < a.len() { a[i] } else { b[i - a.len()] });
+        }
+        let seq = self.snd_nxt;
+        let mut flags = Flags::ACK;
+        self.snd_nxt += len as u64;
+        // Piggyback FIN on the last data segment.
+        if self.fin_queued && !self.fin_acked && self.snd_nxt == self.data_end() {
+            flags.fin = true;
+            self.snd_nxt += 1;
+        }
+        let fresh = self.snd_nxt > self.snd_max;
+        self.snd_max = self.snd_max.max(self.snd_nxt);
+        let wnd = self.rwnd();
+        self.stats.segs_sent += 1;
+        self.stats.bytes_sent += len as u64;
+        self.out.push(Segment { flags, seq, ack: self.rcv_nxt, wnd, data: Bytes::from(data) });
+        // RTT sampling: only fresh (never retransmitted) segments (Karn).
+        if fresh && !retransmission && self.rtt_sample.is_none() {
+            self.rtt_sample = Some((self.snd_nxt, now));
+        }
+        if self.rtx_timer.deadline.is_none() {
+            self.rtx_timer.arm(now + self.rto);
+        }
+    }
+
+    /// Retransmit one MSS from `snd_una` (fast retransmit / partial ACK).
+    fn retransmit_head(&mut self, now: SimTime) {
+        let saved_nxt = self.snd_nxt;
+        self.snd_nxt = self.snd_una;
+        let len = (self.send_q.len() as u64).min(self.cfg.mss as u64) as usize;
+        if len > 0 {
+            self.emit_data(now, len, true);
+        } else if self.fin_queued && !self.fin_acked {
+            let (seq, ack) = (self.snd_nxt, self.rcv_nxt);
+            self.send_flags(Flags::FIN_ACK, seq, ack);
+            self.snd_nxt += 1;
+        }
+        self.snd_nxt = saved_nxt.max(self.snd_nxt);
+        self.rtt_sample = None; // Karn: the measurement is now ambiguous
+    }
+
+    // ---------------- timer events ----------------
+
+    /// Retransmission timeout fired.
+    pub fn on_rto(&mut self, now: SimTime) {
+        self.rtx_timer.disarm();
+        match self.state {
+            State::SynSent | State::SynRcvd => {
+                if self.syn_rtx_left == 0 {
+                    self.fail(io::ErrorKind::TimedOut);
+                    return;
+                }
+                self.syn_rtx_left -= 1;
+                self.rto = (self.rto * 2).min(self.cfg.max_rto);
+                let (iss, rcv_nxt) = (self.iss, self.rcv_nxt);
+                if self.state == State::SynSent {
+                    self.send_flags(Flags::SYN, iss, 0);
+                } else {
+                    self.send_flags(Flags::SYN_ACK, iss, rcv_nxt);
+                }
+                self.rtx_timer.arm(now + self.rto);
+            }
+            State::Established
+            | State::CloseWait
+            | State::FinWait1
+            | State::Closing
+            | State::LastAck => {
+                if self.flight() == 0 {
+                    return; // spurious
+                }
+                self.stats.rtx_timeouts += 1;
+                // Reno on timeout: collapse to one segment, halve ssthresh.
+                let flight = self.flight() as f64;
+                self.ssthresh = (flight / 2.0).max((2 * self.cfg.mss) as f64);
+                self.cwnd = self.cfg.mss as f64;
+                self.dupacks = 0;
+                self.in_recovery = false;
+                self.rto = (self.rto * 2).min(self.cfg.max_rto);
+                self.rtt_sample = None;
+                // Go-back-N: rewind and retransmit from the first hole.
+                self.snd_nxt = self.snd_una;
+                self.transmit(now);
+                if self.rtx_timer.deadline.is_none() && self.flight() > 0 {
+                    self.rtx_timer.arm(now + self.rto);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Persist (zero-window probe) timer fired.
+    pub fn on_persist(&mut self, now: SimTime) {
+        self.persist_timer.disarm();
+        if self.peer_wnd > 0 || self.data_end() <= self.snd_nxt {
+            self.persist_backoff = 0;
+            return;
+        }
+        // Probe with one byte beyond the advertised window. The probe
+        // consumes sequence space (snd_nxt advances) so the receiver's ACK
+        // of it is in-window and re-synchronizes the peer window; the
+        // retransmission timer covers a lost probe.
+        let start = (self.snd_nxt - self.snd_una) as usize;
+        if start < self.send_q.len() {
+            let byte = self.send_q[start];
+            let seq = self.snd_nxt;
+            let wnd = self.rwnd();
+            self.stats.segs_sent += 1;
+            self.stats.bytes_sent += 1;
+            self.out.push(Segment {
+                flags: Flags::ACK,
+                seq,
+                ack: self.rcv_nxt,
+                wnd,
+                data: Bytes::copy_from_slice(&[byte]),
+            });
+            self.snd_nxt += 1;
+            self.snd_max = self.snd_max.max(self.snd_nxt);
+            if self.rtx_timer.deadline.is_none() {
+                self.rtx_timer.arm(now + self.rto);
+            }
+        }
+        self.persist_backoff = (self.persist_backoff + 1).min(6);
+        let d = self.rto.max(Duration::from_millis(500));
+        self.persist_timer.arm(now + d * (1 << self.persist_backoff));
+    }
+
+    /// TIME-WAIT expiry.
+    pub fn on_time_wait_expire(&mut self) {
+        if self.state == State::TimeWait {
+            self.state = State::Closed;
+            self.wake_all();
+        }
+    }
+
+    // ---------------- segment processing ----------------
+
+    /// Process an incoming segment.
+    pub fn on_segment(&mut self, now: SimTime, seg: Segment) {
+        self.stats.segs_rcvd += 1;
+        if seg.flags.rst {
+            self.on_rst();
+            return;
+        }
+        match self.state {
+            State::SynSent => self.on_segment_syn_sent(now, seg),
+            State::SynRcvd => self.on_segment_syn_rcvd(now, seg),
+            State::Closed => {
+                // Stack-level code answers with RST for closed connections.
+            }
+            _ => self.on_segment_synchronized(now, seg),
+        }
+    }
+
+    fn on_rst(&mut self) {
+        match self.state {
+            State::SynSent => self.fail(io::ErrorKind::ConnectionRefused),
+            State::Closed | State::TimeWait => {}
+            _ => self.fail(io::ErrorKind::ConnectionReset),
+        }
+    }
+
+    fn on_segment_syn_sent(&mut self, now: SimTime, seg: Segment) {
+        if seg.flags.syn && seg.flags.ack {
+            // Normal handshake reply.
+            if seg.ack != self.iss + 1 {
+                let (seq, _) = (seg.ack, ());
+                self.send_flags(Flags::RST, seq, 0);
+                return;
+            }
+            self.irs = seg.seq;
+            self.rcv_nxt = seg.seq + 1;
+            self.snd_una = self.iss + 1;
+            self.peer_wnd = seg.wnd;
+            self.enter_established();
+            self.send_ack();
+            self.transmit(now);
+        } else if seg.flags.syn {
+            // Simultaneous open (TCP splicing, paper Fig. 1 right): both
+            // sides sent SYN; acknowledge with SYN+ACK and move to SYN-RCVD.
+            self.irs = seg.seq;
+            self.rcv_nxt = seg.seq + 1;
+            self.peer_wnd = seg.wnd;
+            self.state = State::SynRcvd;
+            let (iss, rcv_nxt) = (self.iss, self.rcv_nxt);
+            self.send_flags(Flags::SYN_ACK, iss, rcv_nxt);
+            self.rtx_timer.arm(now + self.rto);
+        }
+    }
+
+    fn on_segment_syn_rcvd(&mut self, now: SimTime, seg: Segment) {
+        if seg.flags.syn && !seg.flags.ack && seg.seq == self.irs {
+            // Duplicate SYN (peer missed our SYN+ACK): resend it.
+            let (iss, rcv_nxt) = (self.iss, self.rcv_nxt);
+            self.send_flags(Flags::SYN_ACK, iss, rcv_nxt);
+            return;
+        }
+        if seg.flags.ack && seg.ack == self.iss + 1 {
+            self.snd_una = self.iss + 1;
+            self.peer_wnd = seg.wnd;
+            self.enter_established();
+            if seg.flags.syn {
+                // SYN+ACK in simultaneous open: acknowledge it.
+                self.send_ack();
+            }
+            // The ACK may carry data (or a FIN): reprocess in order.
+            if !seg.data.is_empty() || seg.flags.fin {
+                self.on_segment_synchronized(now, seg);
+            } else {
+                self.transmit(now);
+            }
+        }
+    }
+
+    fn on_segment_synchronized(&mut self, now: SimTime, seg: Segment) {
+        // ---- ACK processing ----
+        if seg.flags.ack {
+            self.process_ack(now, &seg);
+        }
+        // ---- payload ----
+        let had = seg.seq_len() > 0;
+        if !seg.data.is_empty() {
+            self.process_data(seg.seq, seg.data.clone());
+        }
+        // ---- FIN ----
+        if seg.flags.fin {
+            let fin_seq = seg.seq + seg.data.len() as u64;
+            if fin_seq == self.rcv_nxt && !self.fin_rcvd {
+                self.fin_rcvd = true;
+                self.rcv_nxt += 1;
+                match self.state {
+                    State::Established => self.state = State::CloseWait,
+                    State::FinWait1 => {
+                        // Our FIN not yet acked: simultaneous close.
+                        self.state = State::Closing;
+                    }
+                    State::FinWait2 => {
+                        self.state = State::TimeWait;
+                        self.tw_timer.arm(now + self.cfg.time_wait);
+                    }
+                    _ => {}
+                }
+                Self::wake(&mut self.read_wakers);
+            }
+        }
+        if had {
+            self.send_ack();
+        }
+    }
+
+    fn process_ack(&mut self, now: SimTime, seg: &Segment) {
+        let ack = seg.ack;
+        if ack > self.snd_una && ack <= self.snd_max {
+            let newly = ack - self.snd_una;
+            // Pop acknowledged data bytes.
+            let data_acked = (newly as usize).min(self.send_q.len());
+            self.send_q.drain(..data_acked);
+            // Did the ACK cover our FIN?
+            if self.fin_queued && !self.fin_acked && ack == self.snd_una + data_acked as u64 + 1 {
+                self.fin_acked = true;
+            }
+            self.snd_una = ack;
+            self.snd_nxt = self.snd_nxt.max(ack);
+            self.peer_wnd = seg.wnd;
+            // RTT sample.
+            if let Some((end, sent_at)) = self.rtt_sample {
+                if ack >= end {
+                    self.rtt_update(now.since(sent_at));
+                    self.rtt_sample = None;
+                }
+            }
+            // Congestion window growth / recovery bookkeeping.
+            if self.in_recovery {
+                if ack >= self.recover {
+                    // Full recovery: deflate.
+                    self.in_recovery = false;
+                    self.cwnd = self.ssthresh;
+                    self.dupacks = 0;
+                } else {
+                    // NewReno partial ACK: the next hole is lost too.
+                    self.stats.fast_retransmits += 1;
+                    self.retransmit_head(now);
+                    self.cwnd = (self.cwnd - newly as f64 + self.cfg.mss as f64)
+                        .max(self.cfg.mss as f64);
+                }
+            } else {
+                self.dupacks = 0;
+                if self.cwnd < self.ssthresh {
+                    // Slow start: byte-counted exponential growth.
+                    self.cwnd += (newly as f64).min(self.cfg.mss as f64);
+                } else {
+                    // Congestion avoidance: ~one MSS per RTT.
+                    self.cwnd += (self.cfg.mss as f64) * (self.cfg.mss as f64) / self.cwnd;
+                }
+            }
+            // RFC 6298 (5.3): restart the timer on new data acked.
+            if self.flight() > 0 || (self.fin_queued && !self.fin_acked && self.snd_nxt > self.data_end()) {
+                self.rtx_timer.arm(now + self.rto);
+            } else {
+                self.rtx_timer.disarm();
+            }
+            // Close-sequence transitions driven by our FIN being acked.
+            if self.fin_acked {
+                match self.state {
+                    State::FinWait1 => self.state = State::FinWait2,
+                    State::Closing => {
+                        self.state = State::TimeWait;
+                        self.tw_timer.arm(now + self.cfg.time_wait);
+                    }
+                    State::LastAck => {
+                        self.state = State::Closed;
+                        self.rtx_timer.disarm();
+                        self.wake_all();
+                    }
+                    _ => {}
+                }
+            }
+            Self::wake(&mut self.write_wakers);
+            self.transmit(now);
+        } else if ack == self.snd_una {
+            // Window update or duplicate ACK.
+            let was_zero = self.peer_wnd == 0;
+            if seg.data.is_empty() && !seg.flags.fin {
+                if seg.wnd != self.peer_wnd {
+                    self.peer_wnd = seg.wnd;
+                    if was_zero && self.peer_wnd > 0 {
+                        self.persist_timer.disarm();
+                        self.persist_backoff = 0;
+                    }
+                    self.transmit(now);
+                } else if self.flight() > 0 {
+                    self.on_dupack(now);
+                }
+            } else {
+                self.peer_wnd = seg.wnd;
+            }
+        }
+        // ACK beyond snd_max or below snd_una (old duplicate): ignore.
+    }
+
+    fn on_dupack(&mut self, now: SimTime) {
+        self.stats.dup_acks_rcvd += 1;
+        if self.in_recovery {
+            // Inflate: each dup ACK means one segment left the network.
+            self.cwnd += self.cfg.mss as f64;
+            self.transmit(now);
+            return;
+        }
+        self.dupacks += 1;
+        if self.dupacks == 3 {
+            // Fast retransmit + fast recovery (RFC 5681/6582).
+            self.stats.fast_retransmits += 1;
+            let flight = self.flight() as f64;
+            self.ssthresh = (flight / 2.0).max((2 * self.cfg.mss) as f64);
+            self.recover = self.snd_max;
+            self.in_recovery = true;
+            self.retransmit_head(now);
+            self.cwnd = self.ssthresh + 3.0 * self.cfg.mss as f64;
+            self.rtx_timer.arm(now + self.rto);
+        }
+    }
+
+    fn process_data(&mut self, seq: u64, mut data: Bytes) {
+        let end = seq + data.len() as u64;
+        if end <= self.rcv_nxt {
+            return; // complete duplicate
+        }
+        let mut seq = seq;
+        if seq < self.rcv_nxt {
+            // Partial overlap: trim the stale prefix.
+            let trim = (self.rcv_nxt - seq) as usize;
+            data = data.slice(trim..);
+            seq = self.rcv_nxt;
+        }
+        if seq == self.rcv_nxt {
+            self.accept_data(data);
+            // Drain any out-of-order segments that are now contiguous.
+            while let Some((&oseq, _)) = self.ooo.iter().next() {
+                if oseq > self.rcv_nxt {
+                    break;
+                }
+                let (oseq, odata) = self.ooo.pop_first().unwrap();
+                self.ooo_bytes -= odata.len();
+                let oend = oseq + odata.len() as u64;
+                if oend > self.rcv_nxt {
+                    let trim = (self.rcv_nxt - oseq) as usize;
+                    self.accept_data(odata.slice(trim..));
+                }
+            }
+            Self::wake(&mut self.read_wakers);
+        } else {
+            // Out of order: buffer within the window.
+            let window_end = self.rcv_nxt + self.rwnd() as u64;
+            if seq < window_end && !self.ooo.contains_key(&seq) {
+                let keep = ((window_end - seq) as usize).min(data.len());
+                let d = data.slice(..keep);
+                self.ooo_bytes += d.len();
+                self.ooo.insert(seq, d);
+            }
+        }
+    }
+
+    fn accept_data(&mut self, data: Bytes) {
+        // Respect the receive buffer: anything beyond our advertised window
+        // is dropped (the peer will retransmit once we open up). The check
+        // must mirror `rwnd()` exactly — in particular it must NOT count
+        // out-of-order bytes, which are admitted under the same advertised
+        // window: otherwise a buffered OOO tail can permanently starve the
+        // retransmitted head segment and wedge the connection (seen as an
+        // RTO-backoff spiral in the 16-stream striping bench). Memory is
+        // still bounded: recv_q ≤ recv_buf here and ooo ≤ rwnd at insert.
+        let free = (self.cfg.recv_buf as usize).saturating_sub(self.recv_q.len());
+        let keep = free.min(data.len());
+        self.recv_q.extend(&data[..keep]);
+        self.rcv_nxt += keep as u64;
+        self.stats.bytes_rcvd += keep as u64;
+    }
+
+    fn rtt_update(&mut self, sample: Duration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2;
+            }
+            Some(srtt) => {
+                let diff = srtt.abs_diff(sample);
+                self.rttvar = (self.rttvar * 3 + diff) / 4;
+                self.srtt = Some((srtt * 7 + sample) / 8);
+            }
+        }
+        let srtt = self.srtt.unwrap();
+        self.rto = (srtt + (self.rttvar * 4).max(Duration::from_millis(1)))
+            .clamp(self.cfg.min_rto, self.cfg.max_rto);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: SimTime = SimTime(0);
+
+    fn t(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+    fn la() -> SockAddr {
+        SockAddr::new(gridsim_net::Ip::new(1, 0, 0, 1), 1000)
+    }
+    fn ra() -> SockAddr {
+        SockAddr::new(gridsim_net::Ip::new(2, 0, 0, 1), 2000)
+    }
+
+    /// Drive two TCBs against each other with a lossless, zero-delay pipe.
+    /// Returns when neither has output pending.
+    fn pump(a: &mut Tcb, b: &mut Tcb, now: SimTime) {
+        loop {
+            let out_a = a.take_out();
+            let out_b = b.take_out();
+            if out_a.is_empty() && out_b.is_empty() {
+                break;
+            }
+            for s in out_a {
+                b.on_segment(now, s);
+            }
+            for s in out_b {
+                a.on_segment(now, s);
+            }
+        }
+    }
+
+    fn established_pair() -> (Tcb, Tcb) {
+        let cfg = TcpConfig::default();
+        let mut a = Tcb::client(cfg, la(), ra(), 1000, T0);
+        let syn = a.take_out().remove(0);
+        assert!(syn.flags.syn && !syn.flags.ack);
+        let mut b = Tcb::server(cfg, ra(), la(), 5000, &syn, T0);
+        pump(&mut a, &mut b, T0);
+        assert!(a.is_established() && b.is_established());
+        (a, b)
+    }
+
+    #[test]
+    fn three_way_handshake() {
+        let (mut a, mut b) = established_pair();
+        assert!(a.take_established());
+        assert!(b.take_established());
+        assert_eq!(a.error(), None);
+        assert_eq!(b.error(), None);
+    }
+
+    #[test]
+    fn simultaneous_open_establishes_both() {
+        // Paper Fig. 1 (right): both sides connect() at once.
+        let cfg = TcpConfig::default();
+        let mut a = Tcb::client(cfg, la(), ra(), 1000, T0);
+        let mut b = Tcb::client(cfg, ra(), la(), 5000, T0);
+        let syn_a = a.take_out().remove(0);
+        let syn_b = b.take_out().remove(0);
+        // SYNs cross.
+        a.on_segment(T0, syn_b);
+        b.on_segment(T0, syn_a);
+        assert_eq!(a.state, State::SynRcvd);
+        assert_eq!(b.state, State::SynRcvd);
+        pump(&mut a, &mut b, T0);
+        assert!(a.is_established(), "a: {:?}", a.state);
+        assert!(b.is_established(), "b: {:?}", b.state);
+    }
+
+    #[test]
+    fn data_transfer_round_trip() {
+        let (mut a, mut b) = established_pair();
+        let msg = b"hello across the simulated wire";
+        assert_eq!(a.try_write(T0, msg).unwrap(), WriteOutcome::Wrote(msg.len()));
+        pump(&mut a, &mut b, T0);
+        let mut buf = [0u8; 64];
+        match b.try_read(T0, &mut buf).unwrap() {
+            ReadOutcome::Read(n) => assert_eq!(&buf[..n], msg),
+            o => panic!("{o:?}"),
+        }
+        // ACK cleared the send queue.
+        assert_eq!(a.send_q.len(), 0);
+        assert_eq!(a.flight(), 0);
+    }
+
+    #[test]
+    fn nagle_holds_second_small_segment() {
+        let (mut a, mut _b) = established_pair();
+        a.try_write(T0, b"x").unwrap();
+        let out = a.take_out();
+        assert_eq!(out.len(), 1, "first small write goes out immediately");
+        a.try_write(T0, b"y").unwrap();
+        assert!(a.take_out().is_empty(), "Nagle holds while un-ACKed data in flight");
+    }
+
+    #[test]
+    fn nodelay_sends_small_segments_immediately() {
+        let cfg = TcpConfig { nodelay: true, ..TcpConfig::default() };
+        let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
+        let syn = a.take_out().remove(0);
+        let mut b = Tcb::server(cfg, ra(), la(), 2, &syn, T0);
+        pump(&mut a, &mut b, T0);
+        a.try_write(T0, b"x").unwrap();
+        assert_eq!(a.take_out().len(), 1);
+        a.try_write(T0, b"y").unwrap();
+        assert_eq!(a.take_out().len(), 1, "TCP_NODELAY bypasses Nagle");
+    }
+
+    #[test]
+    fn cwnd_limits_initial_burst_and_slow_start_grows() {
+        let cfg = TcpConfig { send_buf: 1 << 20, recv_buf: 1 << 20, ..TcpConfig::default() };
+        let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
+        let syn = a.take_out().remove(0);
+        let mut b = Tcb::server(cfg, ra(), la(), 2, &syn, T0);
+        pump(&mut a, &mut b, T0);
+        let big = vec![7u8; 100 * 1460];
+        a.try_write(T0, &big).unwrap();
+        let burst = a.take_out();
+        assert_eq!(burst.len(), 2, "initial cwnd = 2 MSS");
+        let cwnd0 = a.cwnd();
+        for s in burst {
+            b.on_segment(T0, s);
+        }
+        for s in b.take_out() {
+            a.on_segment(T0, s);
+        }
+        assert!(a.cwnd() > cwnd0, "slow start grows cwnd on ACK");
+        assert!(!a.take_out().is_empty(), "ACK clocks out more data");
+    }
+
+    #[test]
+    fn fast_retransmit_on_three_dupacks() {
+        let cfg = TcpConfig { send_buf: 1 << 20, recv_buf: 1 << 20, nodelay: true, ..TcpConfig::default() };
+        let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
+        let syn = a.take_out().remove(0);
+        let mut b = Tcb::server(cfg, ra(), la(), 2, &syn, T0);
+        pump(&mut a, &mut b, T0);
+        // Grow cwnd so five segments can be in flight.
+        let warm = vec![1u8; 8 * 1460];
+        a.try_write(T0, &warm).unwrap();
+        for _ in 0..8 {
+            pump(&mut a, &mut b, T0);
+        }
+        let mut sink = vec![0u8; 1 << 16];
+        while !matches!(b.try_read(T0, &mut sink).unwrap(), ReadOutcome::Empty) {}
+        // Now send 5 segments and lose the first.
+        let data = vec![9u8; 5 * 1460];
+        a.try_write(T0, &data).unwrap();
+        let mut segs = a.take_out();
+        assert!(segs.len() >= 4, "need >=4 in flight, got {}", segs.len());
+        let lost = segs.remove(0);
+        for s in segs {
+            b.on_segment(T0, s);
+        }
+        let dups = b.take_out();
+        assert!(dups.len() >= 3, "receiver dup-ACKs each OOO segment");
+        let before = a.stats.fast_retransmits;
+        for d in dups {
+            a.on_segment(T0, d);
+        }
+        assert_eq!(a.stats.fast_retransmits, before + 1);
+        let rtx = a.take_out();
+        assert!(!rtx.is_empty());
+        assert_eq!(rtx[0].seq, lost.seq, "retransmits the lost head segment");
+        // Deliver retransmission: receiver drains OOO queue and acks all.
+        for s in rtx {
+            b.on_segment(T0, s);
+        }
+        for s in b.take_out() {
+            a.on_segment(T0, s);
+        }
+        assert_eq!(a.flight(), 0, "recovery completes");
+        assert!(!a.in_recovery);
+    }
+
+    #[test]
+    fn rto_collapses_cwnd_and_retransmits() {
+        let cfg = TcpConfig { send_buf: 1 << 20, recv_buf: 1 << 20, ..TcpConfig::default() };
+        let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
+        let syn = a.take_out().remove(0);
+        let mut b = Tcb::server(cfg, ra(), la(), 2, &syn, T0);
+        pump(&mut a, &mut b, T0);
+        a.try_write(T0, &vec![1u8; 2 * 1460]).unwrap();
+        let lost = a.take_out();
+        assert!(!lost.is_empty());
+        drop(lost); // all segments lost
+        let deadline = a.rtx_timer.deadline.expect("rtx armed");
+        a.on_rto(deadline);
+        assert_eq!(a.stats.rtx_timeouts, 1);
+        assert_eq!(a.cwnd(), 1460, "cwnd collapses to 1 MSS");
+        let rtx = a.take_out();
+        assert_eq!(rtx.len(), 1, "one segment after collapse");
+        assert_eq!(rtx[0].seq, a.snd_una);
+        // Delivery after retransmission completes the transfer.
+        for s in rtx {
+            b.on_segment(deadline, s);
+        }
+        for s in b.take_out() {
+            a.on_segment(deadline, s);
+        }
+        assert!(a.flight() > 0, "go-back-N continues with remaining data");
+    }
+
+    #[test]
+    fn syn_retransmission_then_timeout_error() {
+        let cfg = TcpConfig { syn_retries: 2, ..TcpConfig::default() };
+        let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
+        let _syn = a.take_out();
+        let mut now = T0;
+        for _ in 0..2 {
+            now = a.rtx_timer.deadline.unwrap();
+            a.on_rto(now);
+            assert_eq!(a.take_out().len(), 1, "SYN retransmitted");
+        }
+        now = a.rtx_timer.deadline.unwrap();
+        a.on_rto(now);
+        assert_eq!(a.error(), Some(io::ErrorKind::TimedOut));
+        assert_eq!(a.state, State::Closed);
+    }
+
+    #[test]
+    fn rst_in_syn_sent_is_connection_refused() {
+        let cfg = TcpConfig::default();
+        let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
+        let _ = a.take_out();
+        a.on_segment(T0, Segment { flags: Flags::RST, seq: 0, ack: 2, wnd: 0, data: Bytes::new() });
+        assert_eq!(a.error(), Some(io::ErrorKind::ConnectionRefused));
+    }
+
+    #[test]
+    fn graceful_close_both_directions() {
+        let (mut a, mut b) = established_pair();
+        a.try_write(T0, b"bye").unwrap();
+        a.start_close(T0);
+        assert_eq!(a.state, State::FinWait1);
+        pump(&mut a, &mut b, T0);
+        // B sees data then EOF.
+        let mut buf = [0u8; 8];
+        assert_eq!(b.try_read(T0, &mut buf).unwrap(), ReadOutcome::Read(3));
+        assert_eq!(b.try_read(T0, &mut buf).unwrap(), ReadOutcome::Eof);
+        assert_eq!(b.state, State::CloseWait);
+        assert_eq!(a.state, State::FinWait2);
+        // B closes too.
+        b.start_close(T0);
+        assert_eq!(b.state, State::LastAck);
+        pump(&mut a, &mut b, T0);
+        assert_eq!(b.state, State::Closed);
+        assert_eq!(a.state, State::TimeWait);
+        a.on_time_wait_expire();
+        assert_eq!(a.state, State::Closed);
+    }
+
+    #[test]
+    fn simultaneous_close() {
+        let (mut a, mut b) = established_pair();
+        a.start_close(T0);
+        b.start_close(T0);
+        let fa = a.take_out();
+        let fb = b.take_out();
+        for s in fb {
+            a.on_segment(T0, s);
+        }
+        for s in fa {
+            b.on_segment(T0, s);
+        }
+        assert_eq!(a.state, State::Closing);
+        assert_eq!(b.state, State::Closing);
+        pump(&mut a, &mut b, T0);
+        assert_eq!(a.state, State::TimeWait);
+        assert_eq!(b.state, State::TimeWait);
+    }
+
+    #[test]
+    fn half_close_allows_peer_to_keep_sending() {
+        let (mut a, mut b) = established_pair();
+        a.start_close(T0);
+        pump(&mut a, &mut b, T0);
+        // B may still send to A.
+        assert!(matches!(b.try_write(T0, b"late data").unwrap(), WriteOutcome::Wrote(9)));
+        pump(&mut a, &mut b, T0);
+        let mut buf = [0u8; 16];
+        assert_eq!(a.try_read(T0, &mut buf).unwrap(), ReadOutcome::Read(9));
+        assert_eq!(&buf[..9], b"late data");
+    }
+
+    #[test]
+    fn write_after_close_is_broken_pipe() {
+        let (mut a, mut b) = established_pair();
+        a.start_close(T0);
+        pump(&mut a, &mut b, T0);
+        let err = a.try_write(T0, b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn receive_window_blocks_sender_and_reopens_on_read() {
+        // Tiny receive buffer: sender must stall until the app drains.
+        let cfg = TcpConfig {
+            send_buf: 1 << 20,
+            recv_buf: 4096,
+            nodelay: true,
+            ..TcpConfig::default()
+        };
+        let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
+        let syn = a.take_out().remove(0);
+        let mut b = Tcb::server(cfg, ra(), la(), 2, &syn, T0);
+        pump(&mut a, &mut b, T0);
+        let data = vec![3u8; 20_000];
+        a.try_write(T0, &data).unwrap();
+        pump(&mut a, &mut b, T0);
+        assert!(b.recv_q.len() <= 4096);
+        assert!(a.flight() == 0, "sender stalled, everything sent is acked");
+        let sent_so_far = a.stats.bytes_sent;
+        assert!(sent_so_far <= 4096 + 1460, "window-limited: {sent_so_far}");
+        // App drains; the window-update ACK releases the sender.
+        let mut sink = vec![0u8; 1 << 16];
+        let mut total = 0;
+        loop {
+            match b.try_read(T0, &mut sink).unwrap() {
+                ReadOutcome::Read(n) => {
+                    total += n;
+                    pump(&mut a, &mut b, T0);
+                }
+                ReadOutcome::Empty | ReadOutcome::Eof => {
+                    if total >= 20_000 {
+                        break;
+                    }
+                    pump(&mut a, &mut b, T0);
+                    if b.recv_q.is_empty() && a.flight() == 0 && a.send_q.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+        assert_eq!(total, 20_000, "all data arrives despite the tiny window");
+    }
+
+    #[test]
+    fn out_of_order_segments_reassembled() {
+        let (mut a, mut b) = established_pair();
+        a.cfg.nodelay = true;
+        // Send three segments, deliver them 3,1,2.
+        let seg = |tcb: &mut Tcb, bytes: &[u8]| {
+            tcb.try_write(T0, bytes).unwrap();
+            tcb.take_out().remove(0)
+        };
+        let s1 = seg(&mut a, b"aaaa");
+        let s2 = seg(&mut a, b"bbbb");
+        let s3 = seg(&mut a, b"cccc");
+        b.on_segment(T0, s3);
+        let mut buf = [0u8; 16];
+        assert_eq!(b.try_read(T0, &mut buf).unwrap(), ReadOutcome::Empty);
+        b.on_segment(T0, s1);
+        b.on_segment(T0, s2);
+        match b.try_read(T0, &mut buf).unwrap() {
+            ReadOutcome::Read(n) => assert_eq!(&buf[..n], b"aaaabbbbcccc"),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_data_is_ignored() {
+        let (mut a, mut b) = established_pair();
+        a.try_write(T0, b"dup").unwrap();
+        let seg = a.take_out().remove(0);
+        b.on_segment(T0, seg.clone());
+        b.on_segment(T0, seg);
+        let mut buf = [0u8; 16];
+        match b.try_read(T0, &mut buf).unwrap() {
+            ReadOutcome::Read(n) => assert_eq!(n, 3),
+            o => panic!("{o:?}"),
+        }
+        assert_eq!(b.try_read(T0, &mut buf).unwrap(), ReadOutcome::Empty);
+    }
+
+    #[test]
+    fn rtt_sampling_sets_rto() {
+        let (mut a, mut b) = established_pair();
+        a.try_write(T0, b"ping").unwrap();
+        let seg = a.take_out().remove(0);
+        b.on_segment(t(40), seg);
+        let ack = b.take_out().remove(0);
+        a.on_segment(t(40), ack);
+        // SRTT = 40 ms, RTTVAR = 20 ms: RTO = clamp(40 + 80) = 200ms (min).
+        assert_eq!(a.rto(), Duration::from_millis(200));
+        // A much longer path raises RTO above the minimum.
+        a.try_write(t(40), b"pong").unwrap();
+        let seg = a.take_out().remove(0);
+        b.on_segment(t(1040), seg);
+        let ack = b.take_out().remove(0);
+        a.on_segment(t(1040), ack);
+        assert!(a.rto() > Duration::from_millis(200));
+    }
+
+    /// Regression: the zero-window persist probe must consume sequence
+    /// space, or the receiver's ACK of it looks out-of-window and the flow
+    /// wedges forever (found as a livelock in the striping bench).
+    #[test]
+    fn persist_probe_recovers_from_lost_window_update() {
+        let cfg = TcpConfig { send_buf: 1 << 20, recv_buf: 4096, nodelay: true, ..TcpConfig::default() };
+        let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
+        let syn = a.take_out().remove(0);
+        let mut b = Tcb::server(cfg, ra(), la(), 2, &syn, T0);
+        pump(&mut a, &mut b, T0);
+        // Fill the receiver's window completely.
+        a.try_write(T0, &vec![1u8; 10_000]).unwrap();
+        pump(&mut a, &mut b, T0);
+        assert_eq!(a.peer_wnd, 0, "window closed");
+        assert!(a.send_q.len() > 0, "data still pending");
+        // The app drains, but the window-update ACK is LOST.
+        let mut sink = vec![0u8; 1 << 16];
+        assert!(matches!(b.try_read(T0, &mut sink).unwrap(), ReadOutcome::Read(_)));
+        let _lost_update = b.take_out();
+        // Persist timer fires: the probe byte must be sequence-consuming.
+        assert!(a.persist_timer.deadline.is_some(), "persist armed");
+        let t1 = a.persist_timer.deadline.unwrap();
+        a.on_persist(t1);
+        let probe = a.take_out();
+        assert_eq!(probe.len(), 1);
+        assert_eq!(probe[0].data.len(), 1);
+        let before_nxt = a.snd_nxt;
+        assert_eq!(probe[0].seq_end(), before_nxt, "probe advanced snd_nxt");
+        // The receiver ACKs it with the fresh window, unwedging the sender.
+        for s in probe {
+            b.on_segment(t1, s);
+        }
+        for s in b.take_out() {
+            a.on_segment(t1, s);
+        }
+        assert!(a.peer_wnd > 0, "window re-opened via the probe ACK");
+        assert!(!a.take_out().is_empty(), "transmission resumed");
+    }
+
+    /// Regression: a buffered out-of-order tail must never starve the
+    /// retransmitted head segment. With ooo counted against the acceptance
+    /// budget (but not the advertised window), the head was rejected
+    /// forever and the connection spiralled into RTO backoff (seen in the
+    /// 16-stream striping bench).
+    #[test]
+    fn ooo_tail_does_not_starve_retransmitted_head() {
+        let cfg = TcpConfig {
+            send_buf: 1 << 20,
+            recv_buf: 8192,
+            nodelay: true,
+            init_cwnd_segs: 8, // enough to burst the whole window
+            ..TcpConfig::default()
+        };
+        let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
+        let syn = a.take_out().remove(0);
+        let mut b = Tcb::server(cfg, ra(), la(), 2, &syn, T0);
+        pump(&mut a, &mut b, T0);
+        // Send 6 KiB; drop the FIRST segment, deliver the rest
+        // (they land in b's out-of-order buffer, admitted under the
+        // advertised window).
+        a.try_write(T0, &vec![7u8; 6 * 1024]).unwrap();
+        let mut segs = a.take_out();
+        assert!(segs.len() >= 4, "expected several segments, got {}", segs.len());
+        let head = segs.remove(0);
+        for s in segs {
+            b.on_segment(T0, s);
+        }
+        assert!(b.ooo_bytes > 0, "tail buffered out of order");
+        let rcv_before = b.rcv_nxt;
+        // The retransmitted head MUST be accepted even though recv_q+ooo
+        // exceeds the nominal buffer.
+        b.on_segment(T0, head);
+        assert!(b.rcv_nxt > rcv_before + 1000, "head + drained tail advanced rcv_nxt");
+        let mut buf = vec![0u8; 1 << 16];
+        match b.try_read(T0, &mut buf).unwrap() {
+            ReadOutcome::Read(n) => assert!(n >= 6 * 1024, "got {n}"),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    /// A retransmitted FIN (lost first time) still closes the connection.
+    #[test]
+    fn lost_fin_is_retransmitted() {
+        let (mut a, mut b) = established_pair();
+        a.start_close(T0);
+        let lost_fin = a.take_out();
+        assert!(lost_fin.iter().any(|s| s.flags.fin));
+        drop(lost_fin);
+        let deadline = a.rtx_timer.deadline.expect("rtx armed for FIN");
+        a.on_rto(deadline);
+        let rtx = a.take_out();
+        assert!(rtx.iter().any(|s| s.flags.fin), "FIN retransmitted");
+        for s in rtx {
+            b.on_segment(deadline, s);
+        }
+        for s in b.take_out() {
+            a.on_segment(deadline, s);
+        }
+        assert_eq!(a.state, State::FinWait2);
+        assert_eq!(b.state, State::CloseWait);
+    }
+
+    /// Reading after a RST surfaces ConnectionReset.
+    #[test]
+    fn rst_mid_connection_errors_reads_and_writes() {
+        let (mut a, mut b) = established_pair();
+        b.abort();
+        for s in b.take_out() {
+            a.on_segment(T0, s);
+        }
+        let mut buf = [0u8; 4];
+        assert_eq!(a.try_read(T0, &mut buf).unwrap_err().kind(), io::ErrorKind::ConnectionReset);
+        assert_eq!(a.try_write(T0, b"x").unwrap_err().kind(), io::ErrorKind::ConnectionReset);
+    }
+
+    /// cwnd never collapses below one MSS and ssthresh never below two.
+    #[test]
+    fn congestion_floors_hold_under_repeated_timeouts() {
+        let cfg = TcpConfig { send_buf: 1 << 20, recv_buf: 1 << 20, ..TcpConfig::default() };
+        let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
+        let syn = a.take_out().remove(0);
+        let mut b = Tcb::server(cfg, ra(), la(), 2, &syn, T0);
+        pump(&mut a, &mut b, T0);
+        a.try_write(T0, &vec![1u8; 8 * 1460]).unwrap();
+        let _ = a.take_out();
+        for _ in 0..6 {
+            let dl = match a.rtx_timer.deadline {
+                Some(d) => d,
+                None => break,
+            };
+            a.on_rto(dl);
+            let _ = a.take_out();
+            assert!(a.cwnd() >= 1460, "cwnd floor");
+            assert!(a.ssthresh >= (2 * 1460) as f64, "ssthresh floor");
+        }
+    }
+
+    #[test]
+    fn established_flag_fires_once() {
+        let (mut a, _b) = established_pair();
+        assert!(a.take_established());
+        assert!(!a.take_established());
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests: TCP must deliver exactly the bytes written, in
+//! order, for arbitrary write patterns — including under packet loss.
+
+use gridsim_net::{topology, LinkParams, Sim, SockAddr};
+use gridsim_tcp::{SimHost, TcpConfig};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Run one transfer of `data` split into the given chunk sizes over a link
+/// with the given loss; return what the receiver read.
+fn transfer(data: Vec<u8>, chunks: Vec<usize>, loss: f64, seed: u64) -> Vec<u8> {
+    let sim = Sim::new(seed);
+    let wan = LinkParams::mbps(4.0, Duration::from_millis(3))
+        .with_loss(loss)
+        .with_queue(256 * 1024);
+    let (a, b) = sim.net().with(|w| topology::wan_pair(w, wan));
+    let net = sim.net();
+    let ha = SimHost::new(&net, a);
+    let hb = SimHost::new(&net, b);
+    let cfg = TcpConfig { nodelay: true, ..TcpConfig::default() };
+    ha.set_tcp_config(cfg);
+    hb.set_tcp_config(cfg);
+    let b_ip = hb.ip();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    {
+        let out = Arc::clone(&out);
+        sim.spawn("recv", move || {
+            let l = hb.listen(7000).unwrap();
+            let mut s = l.accept().unwrap();
+            let mut buf = Vec::new();
+            s.read_to_end(&mut buf).unwrap();
+            *out.lock() = buf;
+        });
+    }
+    sim.spawn("send", move || {
+        let mut s = ha.connect(SockAddr::new(b_ip, 7000)).unwrap();
+        let mut rest: &[u8] = &data;
+        for &c in &chunks {
+            if rest.is_empty() {
+                break;
+            }
+            let n = c.clamp(1, rest.len());
+            s.write_all(&rest[..n]).unwrap();
+            rest = &rest[n..];
+        }
+        s.write_all(rest).unwrap();
+        s.shutdown_write().unwrap();
+    });
+    sim.run();
+    let v = out.lock().clone();
+    v
+}
+
+proptest! {
+    // Each case spins a full simulation; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lossless link: arbitrary write chunking arrives intact.
+    #[test]
+    fn delivery_exact_lossless(
+        data in proptest::collection::vec(any::<u8>(), 0..60_000),
+        chunks in proptest::collection::vec(1usize..9000, 0..12),
+        seed in 0u64..1000,
+    ) {
+        let got = transfer(data.clone(), chunks, 0.0, seed);
+        prop_assert_eq!(got, data);
+    }
+
+    /// Lossy link: retransmission restores exact in-order delivery.
+    #[test]
+    fn delivery_exact_with_loss(
+        data in proptest::collection::vec(any::<u8>(), 1..40_000),
+        loss_milli in 1u32..40,
+        seed in 0u64..1000,
+    ) {
+        let got = transfer(data.clone(), vec![], loss_milli as f64 / 1000.0, seed);
+        prop_assert_eq!(got, data);
+    }
+}

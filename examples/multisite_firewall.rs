@@ -1,0 +1,109 @@
+//! Multi-site grid with firewalls and NATs: the paper's Section 6
+//! qualitative deployment in miniature.
+//!
+//! Run with: `cargo run --release --example multisite_firewall`
+//!
+//! Builds three sites — two behind stateful firewalls and one behind a
+//! symmetric NAT with sequential (predictable) port allocation — plus a
+//! public relay/name-service host. Every node connects to every other node
+//! *without any firewall port being opened*: the runtime brokers TCP
+//! splicing over relay service links (paper Fig. 7) and predicts NAT
+//! mappings STUN-style.
+
+use gridsim_net::{topology, LinkParams, NatKind, Sim, SockAddr};
+use gridsim_tcp::SimHost;
+use netgrid::{
+    spawn_name_service, spawn_relay, ConnectivityProfile, GridEnv, GridNode, NatClass, StackSpec,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let sim = Sim::new(7);
+    let net = sim.net();
+    let wan = LinkParams::mbps(2.0, Duration::from_millis(10));
+    let (services, hosts) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(
+            w,
+            &[
+                topology::SiteSpec::firewalled("vu-amsterdam", 1, wan),
+                topology::SiteSpec::firewalled("irisa-rennes", 1, wan),
+                topology::SiteSpec::natted("siegen", 1, NatKind::SymmetricSequential, wan),
+            ],
+        );
+        let (srv, _) = grid.add_public_host(w, "services");
+        let hosts: Vec<_> = grid.sites.iter().map(|s| s.hosts[0]).collect();
+        (srv, hosts)
+    });
+    let hsrv = SimHost::new(&net, services);
+    let env = GridEnv::new(net.clone(), SockAddr::new(hsrv.ip(), 563))
+        .with_relay(SockAddr::new(hsrv.ip(), 600));
+    sim.spawn("services", move || {
+        spawn_name_service(&hsrv, 563).unwrap();
+        spawn_relay(&hsrv, 600).unwrap();
+    });
+    sim.run();
+
+    let names = ["vu-amsterdam", "irisa-rennes", "siegen"];
+    let profiles = [
+        ConnectivityProfile::firewalled(),
+        ConnectivityProfile::firewalled(),
+        ConnectivityProfile::natted(NatClass::SymmetricPredictable),
+    ];
+
+    // Every node publishes a port and reports what it receives.
+    let joined: Arc<parking_lot::Mutex<Vec<Option<GridNode>>>> =
+        Arc::new(parking_lot::Mutex::new(vec![None, None, None]));
+    for i in 0..3 {
+        let env = env.clone();
+        let host = SimHost::new(&net, hosts[i]);
+        let profile = profiles[i].clone();
+        let name = names[i];
+        let joined = Arc::clone(&joined);
+        sim.spawn(format!("node-{name}"), move || {
+            let node = GridNode::join(&env, host, name, profile).unwrap();
+            let rp = node.create_receive_port(&format!("inbox-{name}"), StackSpec::plain()).unwrap();
+            joined.lock()[i] = Some(node);
+            gridsim_net::ctx::handle().spawn_daemon(format!("drain-{name}"), move || loop {
+                match rp.receive() {
+                    Ok(mut m) => {
+                        let from = m.read_str().unwrap();
+                        println!("[{name}] got greeting from {from}");
+                    }
+                    Err(_) => break,
+                }
+            });
+        });
+    }
+    sim.run();
+
+    // All-pairs greetings.
+    for i in 0..3 {
+        for j in 0..3 {
+            if i == j {
+                continue;
+            }
+            let joined = Arc::clone(&joined);
+            let (from, to) = (names[i], names[j]);
+            sim.spawn(format!("greet-{from}-{to}"), move || {
+                let node = joined.lock()[i].clone().unwrap();
+                let mut sp = node.create_send_port();
+                let method = sp.connect(&format!("inbox-{to}")).unwrap();
+                println!("[{from}] -> [{to}] established via {method}");
+                let mut m = sp.message();
+                m.write_str(from);
+                m.finish().unwrap();
+                sp.close().unwrap();
+            });
+        }
+    }
+    sim.run();
+    println!("\nall pairs connected without opening a single firewall port");
+    println!("(firewall drop counters prove unsolicited inbound was blocked: see below)");
+    net.with(|w| {
+        println!(
+            "world stats: {} packets forwarded, {} dropped by firewalls, {} dropped by NAT",
+            w.stats.forwarded, w.stats.drop_firewall, w.stats.drop_nat
+        );
+    });
+}

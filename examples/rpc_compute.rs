@@ -1,0 +1,119 @@
+//! A miniature grid application: task farming over RPC, across sites with
+//! firewalls — the kind of "performance-hungry application simultaneously
+//! tapping the aggregated power of multiple sites" the paper's introduction
+//! motivates (and the RMI-style programming model Ibis builds on the IPL).
+//!
+//! Run with: `cargo run --release --example rpc_compute`
+//!
+//! Three firewalled worker sites each serve a `worker-N` RPC endpoint that
+//! sums a range of squares; a coordinator farms out chunks of the range and
+//! combines the partial results. Every request/response pair crosses
+//! firewalls over connections the decision tree established (spliced TCP).
+
+use gridsim_net::{topology, LinkParams, Sim, SockAddr};
+use gridsim_tcp::SimHost;
+use netgrid::{rpc, spawn_name_service, spawn_relay, ConnectivityProfile, GridEnv, GridNode, RpcClient};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WORKERS: usize = 3;
+const RANGE_END: u64 = 3_000_000;
+
+fn main() {
+    let sim = Sim::new(8);
+    let net = sim.net();
+    let wan = LinkParams::mbps(2.0, Duration::from_millis(10));
+    let mut specs =
+        vec![topology::SiteSpec::firewalled("coordinator-site", 1, wan)];
+    for i in 0..WORKERS {
+        specs.push(topology::SiteSpec::firewalled(&format!("worker-site-{i}"), 1, wan));
+    }
+    let (srv, hosts) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(w, &specs);
+        let (srv, _) = grid.add_public_host(w, "services");
+        let hosts: Vec<_> = grid.sites.iter().map(|s| s.hosts[0]).collect();
+        (srv, hosts)
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let env = GridEnv::new(net.clone(), SockAddr::new(hsrv.ip(), 563))
+        .with_relay(SockAddr::new(hsrv.ip(), 600));
+    sim.spawn("services", move || {
+        spawn_name_service(&hsrv, 563).unwrap();
+        spawn_relay(&hsrv, 600).unwrap();
+    });
+    sim.run();
+
+    // Workers: sum of squares over [from, to), simulated compute cost.
+    for i in 0..WORKERS {
+        let env = env.clone();
+        let host = SimHost::new(&net, hosts[1 + i]);
+        sim.spawn(format!("worker-{i}"), move || {
+            let node =
+                GridNode::join(&env, host, &format!("worker-{i}"), ConnectivityProfile::firewalled())
+                    .unwrap();
+            rpc::serve(
+                &node,
+                &format!("sum-squares-{i}"),
+                Arc::new(move |req: &[u8]| {
+                    let from = u64::from_le_bytes(req[0..8].try_into().unwrap());
+                    let to = u64::from_le_bytes(req[8..16].try_into().unwrap());
+                    // Simulated compute: 1 µs per element of the range.
+                    gridsim_net::ctx::sleep(Duration::from_micros(to - from));
+                    let sum: u64 = (from..to).map(|v| v.wrapping_mul(v)).fold(0, u64::wrapping_add);
+                    println!(
+                        "[worker-{i}] t={} computed [{from}, {to}) -> {sum}",
+                        gridsim_net::ctx::now()
+                    );
+                    sum.to_le_bytes().to_vec()
+                }),
+            )
+            .unwrap();
+        });
+    }
+    sim.run();
+
+    // Coordinator: farm chunks across workers concurrently.
+    let total = Arc::new(Mutex::new(0u64));
+    {
+        let env = env.clone();
+        let host = SimHost::new(&net, hosts[0]);
+        let total = Arc::clone(&total);
+        sim.spawn("coordinator", move || {
+            let node =
+                GridNode::join(&env, host, "coordinator", ConnectivityProfile::firewalled()).unwrap();
+            let clients: Vec<RpcClient> = (0..WORKERS)
+                .map(|i| RpcClient::connect(&node, &format!("sum-squares-{i}")).unwrap())
+                .collect();
+            println!("[coordinator] connected to {WORKERS} workers (spliced through firewalls)");
+            let chunk = RANGE_END / WORKERS as u64;
+            let handles: Vec<_> = clients
+                .into_iter()
+                .enumerate()
+                .map(|(i, client)| {
+                    let from = i as u64 * chunk;
+                    let to = if i == WORKERS - 1 { RANGE_END } else { from + chunk };
+                    gridsim_net::ctx::handle().spawn(format!("farm-{i}"), move || {
+                        let mut req = Vec::new();
+                        req.extend_from_slice(&from.to_le_bytes());
+                        req.extend_from_slice(&to.to_le_bytes());
+                        let rsp = client.call(&req).unwrap();
+                        u64::from_le_bytes(rsp.try_into().unwrap())
+                    })
+                })
+                .collect();
+            let sum = handles.into_iter().map(|h| h.join()).fold(0u64, u64::wrapping_add);
+            *total.lock() = sum;
+            println!("[coordinator] t={} combined result: {sum}", gridsim_net::ctx::now());
+        });
+    }
+    sim.run();
+    let expect: u64 = (0..RANGE_END).map(|v| v.wrapping_mul(v)).fold(0, u64::wrapping_add);
+    assert_eq!(*total.lock(), expect);
+    println!(
+        "verified against local computation; wall-clock (simulated): {} — \
+         {WORKERS} workers in parallel vs ~{:.1}s serial",
+        sim.now(),
+        RANGE_END as f64 * 1e-6
+    );
+}

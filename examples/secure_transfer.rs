@@ -1,0 +1,116 @@
+//! Authenticated, encrypted grid communication: the GTLS driver (the
+//! paper's §4.4 SSL/TLS filtering driver, implemented rather than planned).
+//!
+//! Run with: `cargo run --release --example secure_transfer`
+//!
+//! Demonstrates: (a) a secure stack composed with compression and parallel
+//! streams ("compression over secured parallel streams"), and (b) mutual
+//! authentication — a node configured with the wrong virtual-organization
+//! secret cannot connect.
+
+use gridsim_net::{topology, LinkParams, Sim, SockAddr};
+use gridsim_tcp::SimHost;
+use netgrid::{
+    spawn_name_service, spawn_relay, ConnectivityProfile, GridEnv, GridNode, StackSpec,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn world(sim: &Sim) -> (GridEnv, SimHost, SimHost) {
+    let net = sim.net();
+    let wan = LinkParams::mbps(2.0, Duration::from_millis(10));
+    let (srv, a, b) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(
+            w,
+            &[topology::SiteSpec::open("a", 1, wan), topology::SiteSpec::open("b", 1, wan)],
+        );
+        let (srv, _) = grid.add_public_host(w, "services");
+        (srv, grid.sites[0].hosts[0], grid.sites[1].hosts[0])
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let env = GridEnv::new(net.clone(), SockAddr::new(hsrv.ip(), 563))
+        .with_relay(SockAddr::new(hsrv.ip(), 600))
+        .with_psk("gridlab-vo-2004-secret");
+    sim.spawn("services", move || {
+        spawn_name_service(&hsrv, 563).unwrap();
+        spawn_relay(&hsrv, 600).unwrap();
+    });
+    sim.run();
+    (env, SimHost::new(&net, a), SimHost::new(&net, b))
+}
+
+fn main() {
+    // (a) secure + compressed + striped transfer.
+    let sim = Sim::new(99);
+    let (env, ha, hb) = world(&sim);
+    let spec = StackSpec::plain().with_streams(4).with_compression(1).with_security();
+    println!("stack: {}\n", spec.describe());
+    {
+        let env = env.clone();
+        let spec = spec.clone();
+        sim.spawn("receiver", move || {
+            let node = GridNode::join(&env, hb, "bob", ConnectivityProfile::open()).unwrap();
+            let rp = node.create_receive_port("secure-sink", spec).unwrap();
+            let mut m = rp.receive().unwrap();
+            println!("[bob]   received {} bytes (decrypted + decompressed)", m.len());
+            let header = m.read_str().unwrap();
+            println!("[bob]   header: {header:?}");
+        });
+    }
+    {
+        let env = env.clone();
+        sim.spawn("sender", move || {
+            gridsim_net::ctx::sleep(Duration::from_millis(100));
+            let node = GridNode::join(&env, ha, "alice", ConnectivityProfile::open()).unwrap();
+            let mut sp = node.create_send_port();
+            let method = sp.connect("secure-sink").unwrap();
+            println!("[alice] connected via {method}; GTLS handshake on each stream done");
+            let mut m = sp.message();
+            m.write_str("experiment-results.dat");
+            m.write_bytes(&gridzip::synth::grid_payload(
+                512 * 1024,
+                gridzip::synth::GRID_REDUNDANCY,
+                5,
+            ));
+            m.finish().unwrap();
+            sp.close().unwrap();
+        });
+    }
+    sim.run();
+
+    // (b) wrong PSK: the handshake must fail, not deliver plaintext.
+    println!("\n--- authentication: node with the wrong VO secret ---");
+    let sim = Sim::new(100);
+    let (env, ha, hb) = world(&sim);
+    let outcome = Arc::new(Mutex::new(String::new()));
+    {
+        let env = env.clone();
+        sim.spawn("receiver", move || {
+            let node = GridNode::join(&env, hb, "bob", ConnectivityProfile::open()).unwrap();
+            let rp = node
+                .create_receive_port("secure-sink", StackSpec::plain().with_security())
+                .unwrap();
+            // This receive never completes: the intruder's handshake fails.
+            gridsim_net::ctx::handle().spawn_daemon("drain", move || {
+                let _ = rp.receive();
+            });
+        });
+    }
+    {
+        let mut env = env.clone();
+        env.psk = b"wrong-secret".to_vec();
+        let outcome = Arc::clone(&outcome);
+        sim.spawn("intruder", move || {
+            gridsim_net::ctx::sleep(Duration::from_millis(100));
+            let node = GridNode::join(&env, ha, "mallory", ConnectivityProfile::open()).unwrap();
+            let mut sp = node.create_send_port();
+            match sp.connect("secure-sink") {
+                Ok(m) => *outcome.lock() = format!("UNEXPECTEDLY connected via {m}"),
+                Err(e) => *outcome.lock() = format!("rejected as expected: {e}"),
+            }
+        });
+    }
+    sim.run();
+    println!("[mallory] {}", outcome.lock());
+}

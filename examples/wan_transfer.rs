@@ -1,0 +1,118 @@
+//! Bulk WAN transfer with composable link-utilization methods: the paper's
+//! headline capability — "data compression over parallel TCP streams
+//! through firewall routers".
+//!
+//! Run with: `cargo run --release --example wan_transfer`
+//!
+//! Transfers the same 8 MiB workload over the emulated Amsterdam—Rennes
+//! WAN (1.6 MB/s, 30 ms RTT, 0.4% loss) with four different driver
+//! stacks — between *firewalled* sites, so every data connection is
+//! established by TCP splicing.
+
+use gridsim_net::{topology, LinkParams, Sim, SockAddr};
+use gridsim_tcp::{SimHost, TcpConfig};
+use netgrid::{
+    spawn_name_service, spawn_relay, ConnectivityProfile, GridEnv, GridNode, StackSpec,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+const TOTAL: usize = 8 << 20;
+const MSG: usize = 256 * 1024;
+
+fn transfer(spec: StackSpec) -> (f64, netgrid::EstablishMethod) {
+    let sim = Sim::new(11);
+    let net = sim.net();
+    let bottleneck = LinkParams::mbps(1.6, Duration::from_millis(7))
+        .with_loss(0.004)
+        .with_queue(320 * 1024);
+    let fat = LinkParams::new(1e9, Duration::from_millis(7)).with_queue(4 << 20);
+    let (services, a, b) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(
+            w,
+            &[
+                topology::SiteSpec::firewalled("amsterdam", 1, bottleneck),
+                topology::SiteSpec::firewalled("rennes", 1, fat),
+            ],
+        );
+        let (srv, _) = grid.add_public_host(w, "services");
+        (srv, grid.sites[0].hosts[0], grid.sites[1].hosts[0])
+    });
+    let hsrv = SimHost::new(&net, services);
+    let ha = SimHost::new(&net, a);
+    let hb = SimHost::new(&net, b);
+    // 2004-era OS socket buffers: 64 KiB.
+    let cfg = TcpConfig { send_buf: 64 * 1024, recv_buf: 64 * 1024, ..TcpConfig::default() };
+    ha.set_tcp_config(cfg);
+    hb.set_tcp_config(cfg);
+    let env = GridEnv::new(net.clone(), SockAddr::new(hsrv.ip(), 563))
+        .with_relay(SockAddr::new(hsrv.ip(), 600));
+    sim.spawn("services", move || {
+        spawn_name_service(&hsrv, 563).unwrap();
+        spawn_relay(&hsrv, 600).unwrap();
+    });
+    sim.run();
+
+    let span: Arc<Mutex<(Option<gridsim_net::SimTime>, Option<gridsim_net::SimTime>)>> =
+        Arc::new(Mutex::new((None, None)));
+    let method = Arc::new(Mutex::new(None));
+    {
+        let env = env.clone();
+        let span = Arc::clone(&span);
+        let spec = spec.clone();
+        sim.spawn("receiver", move || {
+            let node =
+                GridNode::join(&env, hb, "rennes-node", ConnectivityProfile::firewalled()).unwrap();
+            let rp = node.create_receive_port("sink", spec).unwrap();
+            let mut got = 0;
+            while got < TOTAL {
+                got += rp.receive().unwrap().len();
+            }
+            span.lock().1 = Some(gridsim_net::ctx::now());
+        });
+    }
+    {
+        let env = env.clone();
+        let span = Arc::clone(&span);
+        let method = Arc::clone(&method);
+        sim.spawn("sender", move || {
+            gridsim_net::ctx::sleep(Duration::from_millis(100));
+            let node =
+                GridNode::join(&env, ha, "ams-node", ConnectivityProfile::firewalled()).unwrap();
+            let mut sp = node.create_send_port();
+            *method.lock() = Some(sp.connect("sink").unwrap());
+            span.lock().0 = Some(gridsim_net::ctx::now());
+            let payload = gridzip::synth::grid_payload(MSG, gridzip::synth::GRID_REDUNDANCY, 3);
+            let mut left = TOTAL;
+            while left > 0 {
+                let n = MSG.min(left);
+                sp.send(&payload[..n]).unwrap();
+                left -= n;
+            }
+            sp.close().unwrap();
+        });
+    }
+    sim.run();
+    let (t0, t1) = *span.lock();
+    let secs = t1.unwrap().since(t0.unwrap()).as_secs_f64();
+    let m = method.lock().unwrap();
+    (TOTAL as f64 / secs, m)
+}
+
+fn main() {
+    println!("8 MiB grid workload, Amsterdam->Rennes (1.6 MB/s, 30 ms RTT, 0.4% loss),");
+    println!("both sites firewalled — every stack rides on spliced TCP connections:\n");
+    for spec in [
+        StackSpec::plain(),
+        StackSpec::plain().with_streams(4),
+        StackSpec::plain().with_compression(1),
+        StackSpec::plain().with_streams(4).with_compression(1),
+    ] {
+        let label = spec.describe();
+        let (bw, method) = transfer(spec);
+        println!("  {label:<42} {:>6.2} MB/s   (via {method})", bw / 1e6);
+    }
+    println!("\nlink capacity: 1.60 MB/s — compression buys >100% utilization on this");
+    println!("slow link; on fast links it becomes CPU-bound (see the E6 crossover bench)");
+}

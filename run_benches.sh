@@ -1,0 +1,15 @@
+#!/bin/bash
+# Regenerates every table and figure (see EXPERIMENTS.md). ~15-30 min.
+set -u
+cd "$(dirname "$0")"
+BIN=./target/release
+for b in table1_matrix lan_aggregation establishment_delay latency_streams \
+         qualitative_deployment compression_crossover relay_bottleneck \
+         fig9_amsterdam_rennes fig10_delft_sophia adaptive_compression \
+         autotune_streams; do
+  echo "################################################################"
+  echo "### $b"
+  echo "################################################################"
+  "$BIN/$b" "$@"
+  echo
+done

@@ -1,0 +1,11 @@
+//! Umbrella crate for the NetIbis (HPDC 2004) reproduction workspace.
+//!
+//! Re-exports the public crates so integration tests and examples can use a
+//! single dependency. See `README.md` for the architecture overview and
+//! `DESIGN.md` for the system inventory and experiment index.
+
+pub use gridcrypt;
+pub use gridsim_net as simnet;
+pub use gridsim_tcp as simtcp;
+pub use gridzip;
+pub use netgrid;

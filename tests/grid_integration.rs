@@ -1,0 +1,346 @@
+//! Workspace-level integration tests: cross-crate scenarios exercising the
+//! whole system — simulator, TCP, crypto, compression and the netgrid
+//! runtime together.
+
+use gridsim_net::{topology, FirewallPolicy, Ip, LinkParams, Sim, SockAddr, Trust};
+use gridsim_tcp::SimHost;
+use netgrid::{
+    spawn_name_service, spawn_proxy, spawn_relay, ConnectivityProfile, EstablishMethod,
+    FirewallClass, GridEnv, GridNode, StackSpec,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+const NS: u16 = 563;
+const RELAY: u16 = 600;
+const SOCKS: u16 = 1080;
+
+fn services(sim: &Sim, host: SimHost) -> (SockAddr, SockAddr) {
+    let ns_addr = SockAddr::new(host.ip(), NS);
+    let relay_addr = SockAddr::new(host.ip(), RELAY);
+    sim.spawn("services", move || {
+        spawn_name_service(&host, NS).unwrap();
+        spawn_relay(&host, RELAY).unwrap();
+    });
+    sim.run();
+    (ns_addr, relay_addr)
+}
+
+/// The paper's flagship composition survives a lossy WAN end-to-end with
+/// bit-exact delivery: compression over GTLS-secured parallel streams, on
+/// spliced connections between two firewalled sites.
+#[test]
+fn full_stack_through_splice_survives_loss() {
+    let sim = Sim::new(1234);
+    let net = sim.net();
+    let wan = LinkParams::mbps(2.0, Duration::from_millis(8))
+        .with_loss(0.01)
+        .with_queue(512 * 1024);
+    let (srv, a, b) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(
+            w,
+            &[
+                topology::SiteSpec::firewalled("x", 1, wan),
+                topology::SiteSpec::firewalled("y", 1, wan),
+            ],
+        );
+        let (srv, _) = grid.add_public_host(w, "services");
+        (srv, grid.sites[0].hosts[0], grid.sites[1].hosts[0])
+    });
+    let (ns_addr, relay_addr) = services(&sim, SimHost::new(&net, srv));
+    let env = GridEnv::new(net.clone(), ns_addr).with_relay(relay_addr);
+    let spec = StackSpec::plain().with_streams(4).with_compression(1).with_security();
+    let payload = gridzip::synth::grid_payload(2 << 20, 0.5, 99);
+    let digest_sent = gridcrypt::sha256::sha256(&payload);
+
+    let got_digest = Arc::new(Mutex::new(None));
+    {
+        let env = env.clone();
+        let host = SimHost::new(&net, b);
+        let spec = spec.clone();
+        let got = Arc::clone(&got_digest);
+        let expect_len = payload.len();
+        sim.spawn("recv", move || {
+            let node = GridNode::join(&env, host, "y0", ConnectivityProfile::firewalled()).unwrap();
+            let rp = node.create_receive_port("sink", spec).unwrap();
+            let mut data = Vec::with_capacity(expect_len);
+            while data.len() < expect_len {
+                data.extend_from_slice(rp.receive().unwrap().as_slice());
+            }
+            *got.lock() = Some(gridcrypt::sha256::sha256(&data));
+        });
+    }
+    {
+        let env = env.clone();
+        let host = SimHost::new(&net, a);
+        sim.spawn("send", move || {
+            gridsim_net::ctx::sleep(Duration::from_millis(100));
+            let node = GridNode::join(&env, host, "x0", ConnectivityProfile::firewalled()).unwrap();
+            let mut sp = node.create_send_port();
+            let method = sp.connect("sink").unwrap();
+            assert_eq!(method, EstablishMethod::Splicing);
+            for chunk in payload.chunks(128 * 1024) {
+                sp.send(chunk).unwrap();
+            }
+            sp.close().unwrap();
+        });
+    }
+    sim.run();
+    assert_eq!(got_digest.lock().take(), Some(digest_sent), "payload corrupted in transit");
+}
+
+/// A "severe firewall" site with private addresses: all communication —
+/// name service, relay, data — goes through the site's SOCKS proxy
+/// (paper §3.3: "one which even forbids outgoing connections except
+/// through a well-controlled proxy").
+#[test]
+fn strict_private_site_joins_and_sends_via_proxy() {
+    let sim = Sim::new(55);
+    let net = sim.net();
+    let wan = LinkParams::mbps(2.0, Duration::from_millis(8));
+    let (srv, strict_host, open_host, strict_gw, strict_gw_pub) = net.with(|w| {
+        let mut spec_strict = topology::SiteSpec::firewalled("bunker", 1, wan);
+        spec_strict.private_addrs = true;
+        // Outbound only towards the proxy's own addresses is irrelevant
+        // here: the proxy is ON the gateway, so host->proxy never crosses
+        // the firewall; deny everything outbound.
+        spec_strict.policy = FirewallPolicy::Strict { allowed_remotes: vec![] };
+        let mut grid = gridsim_net::topology::Grid::build(
+            w,
+            &[spec_strict, topology::SiteSpec::open("open", 1, wan)],
+        );
+        let (srv, _) = grid.add_public_host(w, "services");
+        (
+            srv,
+            grid.sites[0].hosts[0],
+            grid.sites[1].hosts[0],
+            grid.sites[0].gateway,
+            grid.sites[0].gateway_public_ip,
+        )
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let ns_addr = SockAddr::new(hsrv.ip(), NS);
+    let relay_addr = SockAddr::new(hsrv.ip(), RELAY);
+    {
+        let net2 = net.clone();
+        sim.spawn("services", move || {
+            spawn_name_service(&hsrv, NS).unwrap();
+            spawn_relay(&hsrv, RELAY).unwrap();
+            // The strict site's proxy listens on the gateway's INSIDE
+            // address too (it is one host with two addresses).
+            let hgw = SimHost::new(&net2, strict_gw);
+            spawn_proxy(&hgw, SOCKS).unwrap();
+        });
+        sim.run();
+    }
+    let env = GridEnv::new(net.clone(), ns_addr).with_relay(relay_addr);
+    // The strict node dials its own gateway's proxy by the inside address.
+    let inside_proxy = net.with(|w| SockAddr::new(w.node(strict_gw).addrs[0], SOCKS));
+    let _ = strict_gw_pub;
+    let strict_profile = ConnectivityProfile {
+        firewall: FirewallClass::Strict,
+        nat: None,
+        private_addr: true,
+        socks_proxy: Some(inside_proxy),
+    };
+
+    let delivered = Arc::new(Mutex::new(None));
+    {
+        let env = env.clone();
+        let host = SimHost::new(&net, open_host);
+        let delivered = Arc::clone(&delivered);
+        sim.spawn("recv", move || {
+            let node = GridNode::join(&env, host, "open0", ConnectivityProfile::open()).unwrap();
+            let rp = node.create_receive_port("results", StackSpec::plain()).unwrap();
+            let mut m = rp.receive().unwrap();
+            *delivered.lock() = Some(m.read_str().unwrap());
+        });
+    }
+    {
+        let env = env.clone();
+        let host = SimHost::new(&net, strict_host);
+        sim.spawn("send", move || {
+            gridsim_net::ctx::sleep(Duration::from_millis(100));
+            let node = GridNode::join(&env, host, "bunker0", strict_profile).unwrap();
+            let mut sp = node.create_send_port();
+            let method = sp.connect("results").unwrap();
+            assert_eq!(method, EstablishMethod::Proxy, "strict site must use its proxy");
+            let mut m = sp.message();
+            m.write_str("escaped the bunker");
+            m.finish().unwrap();
+            sp.close().unwrap();
+        });
+    }
+    sim.run();
+    assert_eq!(delivered.lock().take().as_deref(), Some("escaped the bunker"));
+}
+
+/// Determinism: two runs with the same seed end at the exact same
+/// simulated nanosecond with identical transfer results.
+#[test]
+fn same_seed_is_bit_for_bit_reproducible() {
+    fn run_once() -> (u64, usize) {
+        let sim = Sim::new(777);
+        let net = sim.net();
+        let wan = LinkParams::mbps(1.6, Duration::from_millis(15)).with_loss(0.004);
+        let (srv, a, b) = net.with(|w| {
+            let mut grid = gridsim_net::topology::Grid::build(
+                w,
+                &[topology::SiteSpec::open("a", 1, wan), topology::SiteSpec::open("b", 1, wan)],
+            );
+            let (srv, _) = grid.add_public_host(w, "services");
+            (srv, grid.sites[0].hosts[0], grid.sites[1].hosts[0])
+        });
+        let (ns_addr, relay_addr) = {
+            let h = SimHost::new(&net, srv);
+            let ns = SockAddr::new(h.ip(), NS);
+            let relay = SockAddr::new(h.ip(), RELAY);
+            sim.spawn("services", move || {
+                spawn_name_service(&h, NS).unwrap();
+                spawn_relay(&h, RELAY).unwrap();
+            });
+            sim.run();
+            (ns, relay)
+        };
+        let env = GridEnv::new(net.clone(), ns_addr).with_relay(relay_addr);
+        let got = Arc::new(Mutex::new(0usize));
+        {
+            let env = env.clone();
+            let host = SimHost::new(&net, b);
+            let got = Arc::clone(&got);
+            sim.spawn("recv", move || {
+                let node = GridNode::join(&env, host, "b0", ConnectivityProfile::open()).unwrap();
+                let rp = node.create_receive_port("sink", StackSpec::plain()).unwrap();
+                for _ in 0..8 {
+                    *got.lock() += rp.receive().unwrap().len();
+                }
+            });
+        }
+        {
+            let env = env.clone();
+            let host = SimHost::new(&net, a);
+            sim.spawn("send", move || {
+                gridsim_net::ctx::sleep(Duration::from_millis(100));
+                let node = GridNode::join(&env, host, "a0", ConnectivityProfile::open()).unwrap();
+                let mut sp = node.create_send_port();
+                sp.connect("sink").unwrap();
+                let payload = vec![3u8; 128 * 1024];
+                for _ in 0..8 {
+                    sp.send(&payload).unwrap();
+                }
+                sp.close().unwrap();
+            });
+        }
+        sim.run();
+        let bytes = *got.lock();
+        (sim.now().as_nanos(), bytes)
+    }
+    let first = run_once();
+    let second = run_once();
+    assert_eq!(first, second, "simulation must be deterministic per seed");
+    assert_eq!(first.1, 8 * 128 * 1024);
+}
+
+/// Group communication across heterogeneous paths: one send port connected
+/// to an open receiver (client/server) and a firewalled receiver
+/// (splicing); a single message reaches both.
+#[test]
+fn multicast_spans_different_establishment_methods() {
+    let sim = Sim::new(31);
+    let net = sim.net();
+    let wan = LinkParams::mbps(2.0, Duration::from_millis(8));
+    let (srv, a, open_b, fw_c) = net.with(|w| {
+        let mut grid = gridsim_net::topology::Grid::build(
+            w,
+            &[
+                topology::SiteSpec::open("a", 1, wan),
+                topology::SiteSpec::open("b", 1, wan),
+                topology::SiteSpec::firewalled("c", 1, wan),
+            ],
+        );
+        let (srv, _) = grid.add_public_host(w, "services");
+        (srv, grid.sites[0].hosts[0], grid.sites[1].hosts[0], grid.sites[2].hosts[0])
+    });
+    let (ns_addr, relay_addr) = services(&sim, SimHost::new(&net, srv));
+    let env = GridEnv::new(net.clone(), ns_addr).with_relay(relay_addr);
+    let got: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    for (i, (node_id, profile, port)) in [
+        (open_b, ConnectivityProfile::open(), "sink-open"),
+        (fw_c, ConnectivityProfile::firewalled(), "sink-fw"),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let env = env.clone();
+        let host = SimHost::new(&net, node_id);
+        let got = Arc::clone(&got);
+        sim.spawn(format!("recv{i}"), move || {
+            let node = GridNode::join(&env, host, &format!("r{i}"), profile).unwrap();
+            let rp = node.create_receive_port(port, StackSpec::plain()).unwrap();
+            let mut m = rp.receive().unwrap();
+            got.lock().push(m.read_str().unwrap());
+        });
+    }
+    {
+        let env = env.clone();
+        let host = SimHost::new(&net, a);
+        sim.spawn("send", move || {
+            gridsim_net::ctx::sleep(Duration::from_millis(100));
+            let node = GridNode::join(&env, host, "s", ConnectivityProfile::open()).unwrap();
+            let mut sp = node.create_send_port();
+            let m1 = sp.connect("sink-open").unwrap();
+            let m2 = sp.connect("sink-fw").unwrap();
+            assert_eq!(m1, EstablishMethod::ClientServer);
+            assert_eq!(m2, EstablishMethod::Splicing);
+            let mut m = sp.message();
+            m.write_str("to all sites");
+            m.finish().unwrap();
+            sp.close().unwrap();
+        });
+    }
+    sim.run();
+    let got = got.lock();
+    assert_eq!(got.len(), 2);
+    assert!(got.iter().all(|s| s == "to all sites"));
+}
+
+/// The simulator enforces the private-address reality (paper §1):
+/// unsolicited traffic to an RFC 1918 address never crosses the backbone.
+#[test]
+fn private_addresses_are_unroutable_from_outside() {
+    let sim = Sim::new(3);
+    let net = sim.net();
+    let (pub_host, _priv_host, priv_ip) = net.with(|w| {
+        let a = w.add_host("pub", vec![Ip::new(131, 1, 0, 10)]);
+        let r = w.add_gateway(
+            "bb",
+            Ip::new(131, 0, 0, 1),
+            Ip::new(131, 0, 0, 1),
+            gridsim_net::FirewallPolicy::Open,
+            None,
+        );
+        let b = w.add_host("priv", vec![Ip::new(192, 168, 1, 10)]);
+        let p = LinkParams::mbps(2.0, Duration::from_millis(5));
+        let (ia, ir) = w.connect_with(a, Trust::Inside, r, Trust::Inside, p, p);
+        let (_ib, _ir2) = w.connect_with(b, Trust::Inside, r, Trust::Inside, p, p);
+        w.default_route(a, ia);
+        // The backbone has NO route to 192.168/16 — exactly like the real
+        // Internet.
+        w.route(r, Ip::new(131, 1, 0, 0), 24, ir);
+        (a, b, Ip::new(192, 168, 1, 10))
+    });
+    let ha = SimHost::new(&net, pub_host);
+    let result = Arc::new(Mutex::new(None));
+    let r2 = Arc::clone(&result);
+    sim.spawn("dial", move || {
+        let cfg = gridsim_tcp::TcpConfig { syn_retries: 1, ..ha.tcp_config() };
+        let e = ha
+            .connect_opts(SockAddr::new(priv_ip, 80), gridsim_tcp::ConnectOpts { cfg: Some(cfg), local_port: None })
+            .unwrap_err();
+        *r2.lock() = Some(e.kind());
+    });
+    sim.run();
+    assert_eq!(result.lock().take(), Some(std::io::ErrorKind::TimedOut));
+    net.with(|w| assert!(w.stats.drop_no_route > 0, "packets must die at the backbone"));
+}
