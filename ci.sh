@@ -1,0 +1,16 @@
+#!/bin/bash
+# Repo gate: formatting, lints (deny warnings), and the full test suite.
+# Run before every push; run_benches.sh covers the perf side separately.
+set -eu
+cd "$(dirname "$0")"
+
+echo "=== cargo fmt --check ==="
+cargo fmt --check
+
+echo "=== cargo clippy --workspace -- -D warnings ==="
+cargo clippy --workspace -- -D warnings
+
+echo "=== cargo test -q ==="
+cargo test -q
+
+echo "ci: all checks passed"

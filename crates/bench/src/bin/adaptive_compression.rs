@@ -33,8 +33,14 @@ fn main() {
         let mut results = Vec::new();
         for (label, spec) in [
             ("plain TCP", StackSpec::plain()),
-            ("fixed compression(1)", StackSpec::plain().with_compression(1)),
-            ("adaptive compression(1)", StackSpec::plain().with_adaptive_compression(1)),
+            (
+                "fixed compression(1)",
+                StackSpec::plain().with_compression(1),
+            ),
+            (
+                "adaptive compression(1)",
+                StackSpec::plain().with_adaptive_compression(1),
+            ),
         ] {
             let mut run = BwRun::new(wan.clone(), spec, 1 << 20);
             run.total_bytes = 12 << 20;

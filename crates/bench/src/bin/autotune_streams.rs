@@ -17,7 +17,11 @@ use netgrid_bench::*;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = has_flag(&args, "--quick");
-    let counts: &[u16] = if quick { &[1, 4, 8] } else { &[1, 2, 4, 6, 8, 12, 16] };
+    let counts: &[u16] = if quick {
+        &[1, 4, 8]
+    } else {
+        &[1, 2, 4, 6, 8, 12, 16]
+    };
     println!("Parallel-stream autotuning sweep (64 KiB OS windows)");
     println!("{}", "=".repeat(64));
     for wan in [amsterdam_rennes(), delft_sophia()] {
@@ -30,7 +34,11 @@ fn main() {
         );
         let mut best = (0u16, 0f64);
         for &n in counts {
-            let spec = if n == 1 { StackSpec::plain() } else { StackSpec::plain().with_streams(n) };
+            let spec = if n == 1 {
+                StackSpec::plain()
+            } else {
+                StackSpec::plain().with_streams(n)
+            };
             let mut run = BwRun::new(wan.clone(), spec, 512 * 1024);
             run.total_bytes = if quick { 8 << 20 } else { 24 << 20 };
             let p = measure_bandwidth(&run);

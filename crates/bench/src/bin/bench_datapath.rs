@@ -1,0 +1,222 @@
+//! Host-side throughput of the block data path (not a paper figure).
+//!
+//! Unlike the figure/table binaries — which report *simulated* bandwidth —
+//! this bench measures the **host wall-clock** cost of pushing blocks
+//! through the driver stack and the simulated TCP: blocks/sec and
+//! allocations/block. It is the regression harness for the zero-copy block
+//! pipeline; results land in `BENCH_datapath.json`.
+//!
+//! Scenarios:
+//!   * `tcb/transfer`        — raw Tcb<->Tcb pump, app writes via `&[u8]`
+//!   * `e2e/tcp_block_plain` — full sim, plain TCP_Block stack (headline)
+//!   * `e2e/stripe4`         — full sim, 4 parallel streams
+//!
+//! Simulated time is pinned by the figure binaries (byte-identical traces);
+//! this harness only watches the host-side cost of producing them.
+
+use criterion::{Criterion, Throughput};
+use gridsim_net::SimTime;
+use gridsim_tcp::tcb::{ReadOutcome, Tcb, WriteOutcome};
+use gridsim_tcp::TcpConfig;
+use netgrid::StackSpec;
+use netgrid_bench::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counting allocator: allocations/block is the pool's success metric.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+const T0: SimTime = SimTime(0);
+
+fn la() -> gridsim_net::SockAddr {
+    gridsim_net::SockAddr::new(gridsim_net::Ip::new(1, 0, 0, 1), 1000)
+}
+fn ra() -> gridsim_net::SockAddr {
+    gridsim_net::SockAddr::new(gridsim_net::Ip::new(2, 0, 0, 1), 2000)
+}
+
+fn pump(a: &mut Tcb, b: &mut Tcb) {
+    loop {
+        let out_a = a.take_out();
+        let out_b = b.take_out();
+        if out_a.is_empty() && out_b.is_empty() {
+            break;
+        }
+        for s in out_a {
+            b.on_segment(T0, s);
+        }
+        for s in out_b {
+            a.on_segment(T0, s);
+        }
+    }
+}
+
+/// Raw TCB data path: app bytes in, segments across, app bytes out.
+fn tcb_transfer(total: usize) -> usize {
+    let cfg = TcpConfig {
+        send_buf: 256 * 1024,
+        recv_buf: 256 * 1024,
+        nodelay: true,
+        ..TcpConfig::default()
+    };
+    let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
+    let syn = a.take_out().remove(0);
+    let mut b = Tcb::server(cfg, ra(), la(), 2, &syn, T0);
+    pump(&mut a, &mut b);
+    assert!(a.is_established() && b.is_established());
+    let chunk = vec![0xABu8; 64 * 1024];
+    let mut sink = vec![0u8; 64 * 1024];
+    let (mut sent, mut rcvd) = (0usize, 0usize);
+    while rcvd < total {
+        if sent < total {
+            let want = chunk.len().min(total - sent);
+            if let WriteOutcome::Wrote(n) = a.try_write(T0, &chunk[..want]).unwrap() {
+                sent += n;
+            }
+        }
+        for s in a.take_out() {
+            b.on_segment(T0, s);
+        }
+        for s in b.take_out() {
+            a.on_segment(T0, s);
+        }
+        while let ReadOutcome::Read(n) = b.try_read(T0, &mut sink).unwrap() {
+            rcvd += n;
+        }
+    }
+    rcvd
+}
+
+/// Full-stack run over a fat low-latency link with free CPU: host time is
+/// dominated by the data path, not the simulated WAN.
+fn e2e_run(spec: &StackSpec, msg_size: usize, n_msgs: usize) {
+    let wan = Wan {
+        name: "bench-lan",
+        capacity: 1e9,
+        rtt: Duration::from_millis(2),
+        loss: 0.0,
+        queue: 8 << 20,
+    };
+    let mut run = BwRun::new(wan, spec.clone(), msg_size);
+    run.total_bytes = msg_size * n_msgs;
+    run.rates = netgrid::CpuRates::unlimited();
+    run.window = 1 << 20;
+    let point = measure_bandwidth(&run);
+    assert!(point.bandwidth > 0.0);
+}
+
+struct Entry {
+    id: String,
+    median_ns: f64,
+    bytes: u64,
+    allocs_per_run: u64,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut c = Criterion::default();
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // Scale: big enough to dominate setup cost, small enough to iterate.
+    let tcb_bytes = 16usize << 20;
+    let e2e_msg = 256 * 1024;
+    let e2e_msgs = if quick { 8 } else { 32 };
+    let e2e_bytes = (e2e_msg * e2e_msgs) as u64;
+
+    {
+        let mut g = c.benchmark_group("tcb");
+        g.warm_up_time(Duration::from_millis(300));
+        g.measurement_time(Duration::from_secs(if quick { 1 } else { 3 }));
+        g.sample_size(10);
+        g.throughput(Throughput::Bytes(tcb_bytes as u64));
+        g.bench_function("transfer", |b| b.iter(|| tcb_transfer(tcb_bytes)));
+        g.finish();
+        let a0 = allocs();
+        tcb_transfer(tcb_bytes);
+        let per_run = allocs() - a0;
+        let r = c.results().last().unwrap();
+        entries.push(Entry {
+            id: r.id.clone(),
+            median_ns: r.median_ns,
+            bytes: tcb_bytes as u64,
+            allocs_per_run: per_run,
+        });
+    }
+
+    for (name, spec) in [
+        ("tcp_block_plain", StackSpec::plain()),
+        ("stripe4", StackSpec::plain().with_streams(4)),
+    ] {
+        let mut g = c.benchmark_group("e2e");
+        g.warm_up_time(Duration::from_millis(300));
+        g.measurement_time(Duration::from_secs(if quick { 2 } else { 6 }));
+        g.sample_size(10);
+        g.throughput(Throughput::Bytes(e2e_bytes));
+        g.bench_function(name, |b| b.iter(|| e2e_run(&spec, e2e_msg, e2e_msgs)));
+        g.finish();
+        let a0 = allocs();
+        e2e_run(&spec, e2e_msg, e2e_msgs);
+        let per_run = allocs() - a0;
+        let r = c.results().last().unwrap();
+        entries.push(Entry {
+            id: r.id.clone(),
+            median_ns: r.median_ns,
+            bytes: e2e_bytes,
+            allocs_per_run: per_run,
+        });
+    }
+
+    // BENCH_datapath.json: one object per scenario. blocks/sec uses the
+    // stack's 32 KiB aggregation block as the unit.
+    let block = 32 * 1024u64;
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        let secs = e.median_ns * 1e-9;
+        let bps = e.bytes as f64 / secs;
+        let blocks_per_sec = bps / block as f64;
+        let allocs_per_block = e.allocs_per_run as f64 / (e.bytes / block) as f64;
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"median_ns\": {:.0}, \"bytes\": {}, \"mb_per_sec\": {:.2}, \"blocks_per_sec\": {:.0}, \"allocs_per_run\": {}, \"allocs_per_block\": {:.1}}}{}\n",
+            json_escape(&e.id),
+            e.median_ns,
+            e.bytes,
+            bps / 1e6,
+            blocks_per_sec,
+            e.allocs_per_run,
+            allocs_per_block,
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write("BENCH_datapath.json", &out).expect("write BENCH_datapath.json");
+    eprintln!("\nwrote BENCH_datapath.json");
+    print!("{out}");
+}

@@ -33,7 +33,10 @@ fn point(capacity: f64, spec: StackSpec) -> f64 {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     println!("Compression crossover sweep (RTT 10 ms, no loss, window not binding)");
-    println!("CPU model: level-1 compression {:.1} MB/s input (2004-era)", CpuRates::default().compress_l1 / 1e6);
+    println!(
+        "CPU model: level-1 compression {:.1} MB/s input (2004-era)",
+        CpuRates::default().compress_l1 / 1e6
+    );
     println!("{}", "=".repeat(72));
     println!(
         "{:>10} | {:>12} | {:>12} | {:>8} | winner",

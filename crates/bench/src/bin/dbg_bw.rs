@@ -5,11 +5,19 @@ use netgrid_bench::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let streams: u16 = arg_value(&args, "--streams").map(|s| s.parse().unwrap()).unwrap_or(1);
+    let streams: u16 = arg_value(&args, "--streams")
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(1);
     let comp = has_flag(&args, "--comp");
-    let msg: usize = arg_value(&args, "--msg").map(|s| s.parse().unwrap()).unwrap_or(1 << 20);
-    let total: usize = arg_value(&args, "--total").map(|s| s.parse().unwrap()).unwrap_or(6 << 20);
-    let loss: f64 = arg_value(&args, "--loss").map(|s| s.parse().unwrap()).unwrap_or(0.0);
+    let msg: usize = arg_value(&args, "--msg")
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(1 << 20);
+    let total: usize = arg_value(&args, "--total")
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(6 << 20);
+    let loss: f64 = arg_value(&args, "--loss")
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(0.0);
 
     let mut spec = StackSpec::plain();
     if streams > 1 {
@@ -18,7 +26,11 @@ fn main() {
     if comp {
         spec = spec.with_compression(1);
     }
-    let mut wan = if has_flag(&args, "--fast") { delft_sophia() } else { amsterdam_rennes() };
+    let mut wan = if has_flag(&args, "--fast") {
+        delft_sophia()
+    } else {
+        amsterdam_rennes()
+    };
     if arg_value(&args, "--loss").is_some() {
         wan.loss = loss;
     }
@@ -40,7 +52,9 @@ fn main() {
         let te = te.clone();
         let spec = spec.clone();
         sim.spawn("receiver", move || {
-            let node = netgrid::GridNode::join(&env_b, hb, "recv", netgrid::ConnectivityProfile::open()).unwrap();
+            let node =
+                netgrid::GridNode::join(&env_b, hb, "recv", netgrid::ConnectivityProfile::open())
+                    .unwrap();
             let rp = node.create_receive_port("bw", spec).unwrap();
             for _ in 0..n_msgs {
                 rp.receive().unwrap();
@@ -53,7 +67,9 @@ fn main() {
         let ts = t0.clone();
         sim.spawn("sender", move || {
             gridsim_net::ctx::sleep(std::time::Duration::from_millis(100));
-            let node = netgrid::GridNode::join(&env_a, ha, "send", netgrid::ConnectivityProfile::open()).unwrap();
+            let node =
+                netgrid::GridNode::join(&env_a, ha, "send", netgrid::ConnectivityProfile::open())
+                    .unwrap();
             let mut sp = node.create_send_port();
             sp.connect("bw").unwrap();
             *ts.lock() = Some(gridsim_net::ctx::now());

@@ -67,7 +67,9 @@ fn measure(sc: &Scenario) -> (Duration, EstablishMethod) {
         let host = SimHost::new(&net, receiver);
         sim.spawn("recv", move || {
             let node = GridNode::join(&env, host, "recv", receiver_profile).unwrap();
-            let rp = node.create_receive_port("delay", StackSpec::plain()).unwrap();
+            let rp = node
+                .create_receive_port("delay", StackSpec::plain())
+                .unwrap();
             let _ = rp.receive();
         });
     }
@@ -163,7 +165,11 @@ fn main() {
             "{:<36} | {:>9.1} ms | {:>10}",
             sc.name,
             d.as_secs_f64() * 1e3,
-            if m.properties().needs_brokering { "yes" } else { "no" }
+            if m.properties().needs_brokering {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     println!();

@@ -27,7 +27,11 @@ fn main() {
     let quick = has_flag(&args, "--quick");
 
     // The paper's x axis: 6^6, 6^7, 6^8 bytes.
-    let sizes: &[usize] = if quick { &[279_936] } else { &[46_656, 279_936, 1_679_616] };
+    let sizes: &[usize] = if quick {
+        &[279_936]
+    } else {
+        &[46_656, 279_936, 1_679_616]
+    };
     let base = StackSpec::plain().with_block_size(block);
     let methods: Vec<(&str, StackSpec)> = if window != 64 * 1024 {
         // The window ablation answers one question: does a single stream
@@ -40,11 +44,17 @@ fn main() {
             ("4 streams", base.clone().with_streams(4)),
             ("8 streams", base.clone().with_streams(8)),
             ("compression", base.clone().with_compression(1)),
-            ("compression + 4 streams", base.clone().with_streams(4).with_compression(1)),
+            (
+                "compression + 4 streams",
+                base.clone().with_streams(4).with_compression(1),
+            ),
         ]
     };
 
-    print_header("Figure 10: bandwidth vs message size, Delft-Sophia emulation", &wan);
+    print_header(
+        "Figure 10: bandwidth vs message size, Delft-Sophia emulation",
+        &wan,
+    );
     if window != 64 * 1024 {
         // Buffer the bottleneck for the bigger windows, or Reno's
         // slow-start overshoot turns the ablation into a loss study.
@@ -94,7 +104,10 @@ fn main() {
         println!("why parallel streams (independent recovery per stream) win.");
     }
     println!();
-    println!("simulation (100% link utilization): {} MB/s", fmt_mb(wan.capacity));
+    println!(
+        "simulation (100% link utilization): {} MB/s",
+        fmt_mb(wan.capacity)
+    );
     println!();
     println!("Paper reference points (large messages):");
     println!("  plain 1.70 (19%) | 4 streams 4.60 (51%) | 8 streams 7.95 (88%)");

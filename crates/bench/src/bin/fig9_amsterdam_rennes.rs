@@ -38,7 +38,10 @@ fn main() {
         ),
     ];
 
-    print_header("Figure 9: bandwidth vs message size, Amsterdam-Rennes emulation", &wan);
+    print_header(
+        "Figure 9: bandwidth vs message size, Amsterdam-Rennes emulation",
+        &wan,
+    );
     print!("{:>9} |", "msg size");
     for (name, _) in &methods {
         print!(" {name:>30} |");

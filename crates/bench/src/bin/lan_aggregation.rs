@@ -144,26 +144,47 @@ fn ww_read_latency(nodelay: bool) -> Duration {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let write_size: usize =
-        arg_value(&args, "--write-size").map(|s| s.parse().unwrap()).unwrap_or(256);
+    let write_size: usize = arg_value(&args, "--write-size")
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(256);
     let syscall = Duration::from_micros(
-        arg_value(&args, "--syscall-us").map(|s| s.parse().unwrap()).unwrap_or(50),
+        arg_value(&args, "--syscall-us")
+            .map(|s| s.parse().unwrap())
+            .unwrap_or(50),
     );
     println!("Section 4.1: 100 Mbit/s Ethernet LAN (12.5 MB/s raw)");
     println!("{}", "=".repeat(78));
 
-    println!("\nThroughput, {write_size}-byte application writes, {} µs per socket call:", syscall.as_micros());
+    println!(
+        "\nThroughput, {write_size}-byte application writes, {} µs per socket call:",
+        syscall.as_micros()
+    );
     let naive = throughput(write_size, false, syscall);
     let block = throughput(write_size, true, syscall);
-    println!("  per-write send (no aggregation)          {:>7} MB/s", fmt_mb(naive));
-    println!("  TCP_Block (32 KiB aggregation + flush)   {:>7} MB/s", fmt_mb(block));
-    println!("  paper: ~11.8 MB/s with aggregation; aggregation gain here: {:.1}x", block / naive);
+    println!(
+        "  per-write send (no aggregation)          {:>7} MB/s",
+        fmt_mb(naive)
+    );
+    println!(
+        "  TCP_Block (32 KiB aggregation + flush)   {:>7} MB/s",
+        fmt_mb(block)
+    );
+    println!(
+        "  paper: ~11.8 MB/s with aggregation; aggregation gain here: {:.1}x",
+        block / naive
+    );
 
     println!("\nWrite-write-read latency (small messages):");
     let nagle = ww_read_latency(false);
     let nodelay = ww_read_latency(true);
-    println!("  Nagle on  (TCP_DELAY): {:>8.3} ms", nagle.as_secs_f64() * 1e3);
-    println!("  TCP_NODELAY:           {:>8.3} ms", nodelay.as_secs_f64() * 1e3);
+    println!(
+        "  Nagle on  (TCP_DELAY): {:>8.3} ms",
+        nagle.as_secs_f64() * 1e3
+    );
+    println!(
+        "  TCP_NODELAY:           {:>8.3} ms",
+        nodelay.as_secs_f64() * 1e3
+    );
     println!(
         "  paper: TCP_DELAY \"adds significantly to the latency\" — here {:.1}x",
         nagle.as_secs_f64() / nodelay.as_secs_f64()

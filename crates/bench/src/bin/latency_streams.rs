@@ -6,7 +6,7 @@
 //! delivery time is dominated by the path delay, and striping must not add
 //! to it (the first block simply travels on one of the streams).
 
-use gridsim_net::{SimTime, Sim};
+use gridsim_net::{Sim, SimTime};
 use netgrid::{ConnectivityProfile, GridNode, StackSpec};
 use netgrid_bench::*;
 use parking_lot::Mutex;
@@ -61,7 +61,12 @@ fn one_way_latency(streams: u16) -> Duration {
     let recv = recv_at.lock();
     assert_eq!(sent.len(), recv.len());
     // Skip the first ping (slow-start / connection warm-up).
-    let total: Duration = sent.iter().zip(recv.iter()).skip(1).map(|(s, r)| r.since(*s)).sum();
+    let total: Duration = sent
+        .iter()
+        .zip(recv.iter())
+        .skip(1)
+        .map(|(s, r)| r.since(*s))
+        .sum();
     total / (sent.len() as u32 - 1)
 }
 

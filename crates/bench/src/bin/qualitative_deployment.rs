@@ -69,7 +69,8 @@ fn main() {
     let n = names.len();
     type Matrix = BTreeMap<(usize, usize), Result<EstablishMethod, String>>;
     let results: Arc<Mutex<Matrix>> = Arc::new(Mutex::new(BTreeMap::new()));
-    let nodes: Arc<Mutex<Vec<Option<GridNode>>>> = Arc::new(Mutex::new(vec![None; n].into_iter().collect()));
+    let nodes: Arc<Mutex<Vec<Option<GridNode>>>> =
+        Arc::new(Mutex::new(vec![None; n].into_iter().collect()));
 
     // Phase 1: every node joins and publishes its receive port.
     for (i, (&host_id, profile)) in hosts.iter().zip(&profiles).enumerate() {
@@ -80,7 +81,9 @@ fn main() {
         let nodes = Arc::clone(&nodes);
         sim.spawn(format!("join-{name}"), move || {
             let node = GridNode::join(&env, host, name, profile).unwrap();
-            let rp = node.create_receive_port(&format!("port-{name}"), StackSpec::plain()).unwrap();
+            let rp = node
+                .create_receive_port(&format!("port-{name}"), StackSpec::plain())
+                .unwrap();
             nodes.lock()[i] = Some(node);
             // Drain forever: each peer sends one message.
             gridsim_net::ctx::handle().spawn_daemon(format!("drain-{name}"), move || loop {
@@ -157,7 +160,10 @@ fn main() {
     }
     println!();
     if failures == 0 {
-        println!("all {} pairs connected (paper: \"in all cases, we were able to establish", n * (n - 1));
+        println!(
+            "all {} pairs connected (paper: \"in all cases, we were able to establish",
+            n * (n - 1)
+        );
         println!("a connection from every node to every other node\")");
     } else {
         println!("{failures} pair(s) FAILED — regression against the paper's qualitative result!");

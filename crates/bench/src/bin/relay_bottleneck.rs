@@ -85,7 +85,9 @@ fn run(pairs: usize, bytes: usize, force_routed: bool) -> (f64, Duration, Establ
         let ping_recv = Arc::clone(&ping_recv);
         sim.spawn(format!("recv{i}"), move || {
             let node = GridNode::join(&env, host, &format!("recv{i}"), profile).unwrap();
-            let rp = node.create_receive_port(&format!("sink{i}"), StackSpec::plain()).unwrap();
+            let rp = node
+                .create_receive_port(&format!("sink{i}"), StackSpec::plain())
+                .unwrap();
             let mut got = 0usize;
             let mut first = true;
             while got < bytes {
@@ -140,7 +142,9 @@ fn run(pairs: usize, bytes: usize, force_routed: bool) -> (f64, Duration, Establ
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let max_pairs: usize = arg_value(&args, "--pairs").map(|s| s.parse().unwrap()).unwrap_or(4);
+    let max_pairs: usize = arg_value(&args, "--pairs")
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(4);
     println!("Relay bottleneck: n pairs, 4 MB/s per site uplink, relay on the backbone");
     println!("{}", "=".repeat(72));
     println!(

@@ -36,10 +36,22 @@ fn print_table1() {
             "Crosses firewalls",
             Box::new(|m: EstablishMethod| yes_no(m.properties().crosses_firewalls).into()),
         ),
-        ("NAT support", Box::new(|m: EstablishMethod| m.properties().nat_support.to_string())),
-        ("For bootstrap", Box::new(|m: EstablishMethod| yes_no(m.properties().for_bootstrap).into())),
-        ("Native TCP", Box::new(|m: EstablishMethod| yes_no(m.properties().native_tcp).into())),
-        ("Relayed", Box::new(|m: EstablishMethod| yes_no(m.properties().relayed).into())),
+        (
+            "NAT support",
+            Box::new(|m: EstablishMethod| m.properties().nat_support.to_string()),
+        ),
+        (
+            "For bootstrap",
+            Box::new(|m: EstablishMethod| yes_no(m.properties().for_bootstrap).into()),
+        ),
+        (
+            "Native TCP",
+            Box::new(|m: EstablishMethod| yes_no(m.properties().native_tcp).into()),
+        ),
+        (
+            "Relayed",
+            Box::new(|m: EstablishMethod| yes_no(m.properties().relayed).into()),
+        ),
         (
             "Needs brokering",
             Box::new(|m: EstablishMethod| yes_no(m.properties().needs_brokering).into()),
@@ -62,10 +74,19 @@ fn print_decision_tree() {
     let profiles: Vec<(&str, ConnectivityProfile)> = vec![
         ("open", ConnectivityProfile::open()),
         ("firewalled", ConnectivityProfile::firewalled()),
-        ("fw+proxy", ConnectivityProfile::firewalled().with_proxy(proxy)),
+        (
+            "fw+proxy",
+            ConnectivityProfile::firewalled().with_proxy(proxy),
+        ),
         ("cone NAT", ConnectivityProfile::natted(NatClass::Cone)),
-        ("sym NAT (pred.)", ConnectivityProfile::natted(NatClass::SymmetricPredictable)),
-        ("sym NAT (random)", ConnectivityProfile::natted(NatClass::SymmetricRandom)),
+        (
+            "sym NAT (pred.)",
+            ConnectivityProfile::natted(NatClass::SymmetricPredictable),
+        ),
+        (
+            "sym NAT (random)",
+            ConnectivityProfile::natted(NatClass::SymmetricRandom),
+        ),
     ];
     for purpose in [LinkPurpose::Data, LinkPurpose::Bootstrap] {
         println!("\n--- link purpose: {purpose:?} ---");

@@ -123,7 +123,11 @@ pub fn measurement_world(sim: &Sim, wan: &Wan, window: u32) -> (GridEnv, SimHost
     let hsrv = SimHost::new(&net, srv);
     let ha = SimHost::new(&net, a);
     let hb = SimHost::new(&net, b);
-    let cfg = TcpConfig { send_buf: window, recv_buf: window, ..TcpConfig::default() };
+    let cfg = TcpConfig {
+        send_buf: window,
+        recv_buf: window,
+        ..TcpConfig::default()
+    };
     ha.set_tcp_config(cfg);
     hb.set_tcp_config(cfg);
     let env = GridEnv::new(net, SockAddr::new(hsrv.ip(), NS_PORT))
@@ -212,7 +216,9 @@ pub fn fmt_mb(bps: f64) -> String {
 
 /// Parse a `--flag value` style argument.
 pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 pub fn has_flag(args: &[String], flag: &str) -> bool {

@@ -1,5 +1,5 @@
-use gridsim_net::{topology, LinkParams, NatKind, Sim, SockAddr};
 use gridsim_net::world::TraceKind;
+use gridsim_net::{topology, LinkParams, NatKind, Sim, SockAddr};
 use gridsim_tcp::SimHost;
 use netgrid::*;
 use std::time::Duration;
@@ -30,15 +30,29 @@ fn main() {
         spawn_relay(&hsrv2, 600).unwrap();
     });
     sim.run();
-    net.with(|w| w.set_tracer(Box::new(|t, kind, pkt| {
-        if matches!(kind, TraceKind::DropFirewall | TraceKind::DropNat | TraceKind::DropNoRoute | TraceKind::DropNotLocal) {
-            println!("{t} {kind:?} {} -> {}", pkt.src, pkt.dst);
-        }
-    })));
+    net.with(|w| {
+        w.set_tracer(Box::new(|t, kind, pkt| {
+            if matches!(
+                kind,
+                TraceKind::DropFirewall
+                    | TraceKind::DropNat
+                    | TraceKind::DropNoRoute
+                    | TraceKind::DropNotLocal
+            ) {
+                println!("{t} {kind:?} {} -> {}", pkt.src, pkt.dst);
+            }
+        }))
+    });
     // receiver = NATTED berlin
     let env_b = env.clone();
     sim.spawn("receiver", move || {
-        let node = GridNode::join(&env_b, hb, "recv", ConnectivityProfile::natted(NatClass::SymmetricPredictable)).unwrap();
+        let node = GridNode::join(
+            &env_b,
+            hb,
+            "recv",
+            ConnectivityProfile::natted(NatClass::SymmetricPredictable),
+        )
+        .unwrap();
         let rp = node.create_receive_port("p", StackSpec::plain()).unwrap();
         let m = rp.receive().unwrap();
         println!("received {} bytes", m.len());

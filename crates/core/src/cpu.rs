@@ -32,7 +32,12 @@ pub struct CpuRates {
 
 impl Default for CpuRates {
     fn default() -> Self {
-        CpuRates { compress_l1: 5.5e6, decompress: 24e6, crypt: 30e6, copy: 120e6 }
+        CpuRates {
+            compress_l1: 5.5e6,
+            decompress: 24e6,
+            crypt: 30e6,
+            copy: 120e6,
+        }
     }
 }
 
@@ -57,7 +62,12 @@ impl CpuRates {
     /// An "infinitely fast" CPU: disables the model (for isolating network
     /// effects in tests).
     pub fn unlimited() -> CpuRates {
-        CpuRates { compress_l1: f64::INFINITY, decompress: f64::INFINITY, crypt: f64::INFINITY, copy: f64::INFINITY }
+        CpuRates {
+            compress_l1: f64::INFINITY,
+            decompress: f64::INFINITY,
+            crypt: f64::INFINITY,
+            copy: f64::INFINITY,
+        }
     }
 }
 
@@ -89,7 +99,12 @@ impl CpuModel {
         let now = ctx::now();
         let end = {
             let mut st = self.state.lock();
-            let start = st.busy_until.get(&node).copied().unwrap_or(SimTime::ZERO).max(now);
+            let start = st
+                .busy_until
+                .get(&node)
+                .copied()
+                .unwrap_or(SimTime::ZERO)
+                .max(now);
             let end = start + service;
             st.busy_until.insert(node, end);
             *st.consumed.entry(node).or_default() += service;
@@ -100,7 +115,12 @@ impl CpuModel {
 
     /// Total CPU time charged to a node so far (diagnostics/benchmarks).
     pub fn consumed(&self, node: NodeId) -> Duration {
-        self.state.lock().consumed.get(&node).copied().unwrap_or_default()
+        self.state
+            .lock()
+            .consumed
+            .get(&node)
+            .copied()
+            .unwrap_or_default()
     }
 }
 

@@ -41,6 +41,9 @@ pub struct AdaptiveCompressWriter<W: Write> {
     rate: f64,
     block: usize,
     buf: Vec<u8>,
+    /// Reused per-block buffers (framed output, LZSS scratch).
+    framed: Vec<u8>,
+    scratch: Vec<u8>,
     compressing: bool,
     // Per-window accounting (simulated time).
     wire_wait: Duration,
@@ -61,6 +64,8 @@ impl<W: Write> AdaptiveCompressWriter<W> {
             rate,
             block,
             buf: Vec::with_capacity(block),
+            framed: Vec::new(),
+            scratch: Vec::new(),
             compressing: true, // optimistic start, like AdOC
             wire_wait: Duration::ZERO,
             wire_bytes: 0,
@@ -82,29 +87,34 @@ impl<W: Write> AdaptiveCompressWriter<W> {
         }
         let probe = !self.compressing && self.blocks_since_probe >= PROBE_EVERY;
         let do_compress = self.compressing || probe;
-        let mut framed = Vec::with_capacity(self.buf.len() + 16);
+        self.framed.clear();
         if do_compress {
             let orig = self.buf.len();
             self.cpu.consume(orig, self.rate);
-            gridzip::frame_block(&mut self.comp, &self.buf, &mut framed);
-            let ratio = orig as f64 / framed.len() as f64;
+            gridzip::frame_block_with(
+                &mut self.comp,
+                &self.buf,
+                &mut self.framed,
+                &mut self.scratch,
+            );
+            let ratio = orig as f64 / self.framed.len() as f64;
             self.ratio_est = 0.75 * self.ratio_est + 0.25 * ratio;
             self.stats.compressed_blocks += 1;
             self.blocks_since_probe = 0;
         } else {
             // Stored block: flag 0, orig_len, payload_len, payload.
-            framed.push(0);
-            gridzip::varint::put(&mut framed, self.buf.len() as u64);
-            gridzip::varint::put(&mut framed, self.buf.len() as u64);
-            framed.extend_from_slice(&self.buf);
+            self.framed.push(0);
+            gridzip::varint::put(&mut self.framed, self.buf.len() as u64);
+            gridzip::varint::put(&mut self.framed, self.buf.len() as u64);
+            self.framed.extend_from_slice(&self.buf);
             self.stats.stored_blocks += 1;
             self.blocks_since_probe += 1;
         }
         self.buf.clear();
         let t0 = gridsim_net::ctx::now();
-        self.inner.write_all(&framed)?;
+        self.inner.write_all(&self.framed)?;
         self.wire_wait += gridsim_net::ctx::now().since(t0);
-        self.wire_bytes += framed.len() as u64;
+        self.wire_bytes += self.framed.len() as u64;
         self.blocks_in_window += 1;
         if self.blocks_in_window >= WINDOW_BLOCKS {
             self.decide();
@@ -165,6 +175,10 @@ impl<W: Write> Write for AdaptiveCompressWriter<W> {
     }
 }
 
+// Recodes every byte (compressed or stored frames), so block handoff uses
+// the copying default and flows through the same framing path.
+impl<W: Write> super::blockio::BlockWrite for AdaptiveCompressWriter<W> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,8 +211,12 @@ mod tests {
         let out = std::sync::Arc::new(parking_lot::Mutex::new(None));
         let o2 = out.clone();
         sim.spawn("writer", move || {
-            let sink = ThrottledSink { rate: wire_rate, data: Vec::new() };
-            let mut w = AdaptiveCompressWriter::new(sink, 1, 32 * 1024, cpu.clone(), cpu.rates.compress_l1);
+            let sink = ThrottledSink {
+                rate: wire_rate,
+                data: Vec::new(),
+            };
+            let mut w =
+                AdaptiveCompressWriter::new(sink, 1, 32 * 1024, cpu.clone(), cpu.rates.compress_l1);
             w.write_all(&payload).unwrap();
             w.flush().unwrap();
             let mode = w.is_compressing();
@@ -228,7 +246,10 @@ mod tests {
         let payload = gridzip::synth::grid_payload(2 << 20, 0.6, 1);
         let (stats, mode, _) = run_adaptive(40e6, &payload);
         assert!(!mode, "should have turned compression off on a fast wire");
-        assert!(stats.stored_blocks > stats.compressed_blocks, "mostly stored: {stats:?}");
+        assert!(
+            stats.stored_blocks > stats.compressed_blocks,
+            "mostly stored: {stats:?}"
+        );
         assert!(stats.mode_switches >= 1);
     }
 

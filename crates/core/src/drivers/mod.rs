@@ -23,19 +23,23 @@ pub mod adaptive;
 pub mod blockio;
 pub mod stripe;
 
+use bytes::Bytes;
+use gridcrypt::{SecureConfig, SecureStream};
 use gridsim_net::SockAddr;
 use gridsim_tcp::TcpStream;
-use gridcrypt::{SecureConfig, SecureStream};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{self, Read, Write};
 
 use crate::cpu::HostCpu;
+use crate::pool::BlockPool;
 use crate::relay::RoutedStream;
 use crate::wire::{FrameReader, FrameWriter};
 
 pub use adaptive::{AdaptiveCompressWriter, AdaptiveStats};
-pub use blockio::{CpuRead, CpuWrite};
+pub use blockio::{
+    copy_read_chunks, BlockRead, BlockReader, BlockWrite, BlockWriter, CpuRead, CpuWrite,
+};
 pub use stripe::{StripeReader, StripeWriter};
 
 /// A raw, established link: either a native TCP socket (client/server,
@@ -94,6 +98,27 @@ impl Write for RawLink {
     }
 }
 
+// Native TCP is the zero-copy floor of the stack: blocks are handed to the
+// simulated TCP send queue as refcounted slices and read back out as views
+// of received segments. Routed links copy (the relay recodes frames).
+impl BlockWrite for RawLink {
+    fn write_block(&mut self, block: Bytes) -> io::Result<()> {
+        match self {
+            RawLink::Tcp(s) => s.write_block(block),
+            RawLink::Routed(s) => s.write_all(&block),
+        }
+    }
+}
+
+impl BlockRead for RawLink {
+    fn read_chunks(&mut self, max: usize, out: &mut Vec<Bytes>) -> io::Result<usize> {
+        match self {
+            RawLink::Tcp(s) => s.read_chunks(max, out),
+            RawLink::Routed(s) => copy_read_chunks(s, max, out),
+        }
+    }
+}
+
 /// Configuration of a driver stack — what NetIbis reads from its
 /// configuration file / runtime properties. The receive port declares it;
 /// senders learn it from the name service, so both endpoints always
@@ -115,7 +140,13 @@ pub struct StackSpec {
 
 impl Default for StackSpec {
     fn default() -> Self {
-        StackSpec { streams: 1, block_size: 32 * 1024, compress: None, adaptive: false, secure: false }
+        StackSpec {
+            streams: 1,
+            block_size: 32 * 1024,
+            compress: None,
+            adaptive: false,
+            secure: false,
+        }
     }
 }
 
@@ -196,7 +227,13 @@ impl StackSpec {
         if streams == 0 || block_size == 0 {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "bad stack spec"));
         }
-        Ok(StackSpec { streams, block_size, compress, adaptive, secure })
+        Ok(StackSpec {
+            streams,
+            block_size,
+            compress,
+            adaptive,
+            secure,
+        })
     }
 }
 
@@ -239,10 +276,32 @@ impl Write for WireStream {
     }
 }
 
-/// The assembled sender side of a connection.
-pub type SenderStack = Box<dyn Write + Send>;
+// Plain wires pass blocks straight through; GTLS recodes every byte, so it
+// keeps the copying defaults (records are built from the plaintext anyway).
+impl BlockWrite for WireStream {
+    fn write_block(&mut self, block: Bytes) -> io::Result<()> {
+        match self {
+            WireStream::Plain(s) => s.write_block(block),
+            WireStream::Secure(s) => s.write_all(&block),
+        }
+    }
+}
+
+impl BlockRead for WireStream {
+    fn read_chunks(&mut self, max: usize, out: &mut Vec<Bytes>) -> io::Result<usize> {
+        match self {
+            WireStream::Plain(s) => s.read_chunks(max, out),
+            WireStream::Secure(s) => copy_read_chunks(s, max, out),
+        }
+    }
+}
+
+/// The assembled sender side of a connection. The `BlockWrite` vtable lets
+/// whole pooled blocks travel the stack without per-layer copies; plain
+/// `Write` remains available for small control writes.
+pub type SenderStack = Box<dyn BlockWrite + Send>;
 /// The assembled receiver side of a connection.
-pub type ReceiverStack = Box<dyn Read + Send>;
+pub type ReceiverStack = Box<dyn BlockRead + Send>;
 
 fn secure_wires(
     links: Vec<RawLink>,
@@ -255,7 +314,10 @@ fn secure_wires(
     for (i, link) in links.into_iter().enumerate() {
         if spec.secure {
             let sc = sec.ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidInput, "stack requires a security context")
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "stack requires a security context",
+                )
             })?;
             // Handshake cost: two X25519 ops + hashes, ≈ a few ms of 2004
             // CPU; charged as 64 KiB of crypto work.
@@ -276,30 +338,39 @@ fn secure_wires(
 
 /// Assemble the sender stack over established raw links.
 /// `links.len()` must equal `spec.streams`.
+///
+/// Also returns the [`BlockPool`] the stack's aggregation/striping layers
+/// draw their staging buffers from, so callers can surface pool hit/miss
+/// counters alongside link stats.
 pub fn build_sender(
     links: Vec<RawLink>,
     spec: &StackSpec,
     cpu: HostCpu,
     sec: Option<&SecurityContext>,
-) -> io::Result<SenderStack> {
-    assert_eq!(links.len(), spec.streams as usize, "link count must match spec.streams");
+) -> io::Result<(SenderStack, BlockPool)> {
+    assert_eq!(
+        links.len(),
+        spec.streams as usize,
+        "link count must match spec.streams"
+    );
     let block = spec.block_size as usize;
+    let pool = BlockPool::new(block);
     let mut wires = secure_wires(links, spec, &cpu, sec, true)?;
     // Per-stream crypto cost wrapper.
     let crypt_rate = cpu.rates.crypt;
-    let base: Box<dyn Write + Send> = if wires.len() == 1 {
+    let base: Box<dyn BlockWrite + Send> = if wires.len() == 1 {
         let w = wires.pop().unwrap();
-        let w: Box<dyn Write + Send> = if spec.secure {
+        let w: Box<dyn BlockWrite + Send> = if spec.secure {
             Box::new(CpuWrite::new(w, cpu.clone(), crypt_rate))
         } else {
             Box::new(w)
         };
         // TCP_Block: user-space aggregation with explicit flush (§4.1).
-        Box::new(io::BufWriter::with_capacity(block, w))
+        Box::new(BlockWriter::new(w, pool.clone()))
     } else {
-        let wires: Vec<Box<dyn Write + Send>> = wires
+        let wires: Vec<Box<dyn BlockWrite + Send>> = wires
             .into_iter()
-            .map(|w| -> Box<dyn Write + Send> {
+            .map(|w| -> Box<dyn BlockWrite + Send> {
                 if spec.secure {
                     Box::new(CpuWrite::new(w, cpu.clone(), crypt_rate))
                 } else {
@@ -307,20 +378,27 @@ pub fn build_sender(
                 }
             })
             .collect();
-        Box::new(StripeWriter::new(wires, block, cpu.clone(), cpu.rates.copy))
+        Box::new(StripeWriter::with_pool(
+            wires,
+            pool.clone(),
+            cpu.clone(),
+            cpu.rates.copy,
+            &gridsim_net::ctx::handle(),
+        ))
     };
-    match spec.compress {
+    let stack: SenderStack = match spec.compress {
         Some(level) if spec.adaptive => {
             let rate = cpu.rates.compress_at_level(level);
-            Ok(Box::new(AdaptiveCompressWriter::new(base, level, block, cpu, rate)))
+            Box::new(AdaptiveCompressWriter::new(base, level, block, cpu, rate))
         }
         Some(level) => {
             let rate = cpu.rates.compress_at_level(level);
             let cw = gridzip::CompressWriter::with_block_size(base, level, block);
-            Ok(Box::new(CpuWrite::new(cw, cpu, rate)))
+            Box::new(CpuWrite::new(cw, cpu, rate))
         }
-        None => Ok(base),
-    }
+        None => base,
+    };
+    Ok((stack, pool))
 }
 
 /// Assemble the receiver stack over accepted raw links (same order as the
@@ -332,22 +410,26 @@ pub fn build_receiver(
     sec: Option<&SecurityContext>,
     sched: &gridsim_net::SchedHandle,
 ) -> io::Result<ReceiverStack> {
-    assert_eq!(links.len(), spec.streams as usize, "link count must match spec.streams");
+    assert_eq!(
+        links.len(),
+        spec.streams as usize,
+        "link count must match spec.streams"
+    );
     let block = spec.block_size as usize;
     let mut wires = secure_wires(links, spec, &cpu, sec, false)?;
     let crypt_rate = cpu.rates.crypt;
-    let base: Box<dyn Read + Send> = if wires.len() == 1 {
+    let base: Box<dyn BlockRead + Send> = if wires.len() == 1 {
         let w = wires.pop().unwrap();
-        let w: Box<dyn Read + Send> = if spec.secure {
+        let w: Box<dyn BlockRead + Send> = if spec.secure {
             Box::new(CpuRead::new(w, cpu.clone(), crypt_rate))
         } else {
             Box::new(w)
         };
-        Box::new(io::BufReader::with_capacity(block, ReadAdapter(w)))
+        Box::new(BlockReader::new(w, block))
     } else {
-        let wires: Vec<Box<dyn Read + Send>> = wires
+        let wires: Vec<Box<dyn BlockRead + Send>> = wires
             .into_iter()
-            .map(|w| -> Box<dyn Read + Send> {
+            .map(|w| -> Box<dyn BlockRead + Send> {
                 if spec.secure {
                     Box::new(CpuRead::new(w, cpu.clone(), crypt_rate))
                 } else {
@@ -367,8 +449,8 @@ pub fn build_receiver(
     }
 }
 
-/// Newtype so `Box<dyn Read + Send>` itself implements `Read` by value.
-struct ReadAdapter(Box<dyn Read + Send>);
+/// Newtype so the boxed stack itself implements `Read` by value.
+struct ReadAdapter(Box<dyn BlockRead + Send>);
 
 impl Read for ReadAdapter {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
@@ -386,7 +468,10 @@ mod tests {
             StackSpec::plain(),
             StackSpec::plain().with_streams(8),
             StackSpec::plain().with_compression(1),
-            StackSpec::plain().with_streams(4).with_compression(9).with_security(),
+            StackSpec::plain()
+                .with_streams(4)
+                .with_compression(9)
+                .with_security(),
             StackSpec::plain().with_block_size(4096),
         ];
         for s in specs {
@@ -396,9 +481,15 @@ mod tests {
 
     #[test]
     fn spec_describe_is_informative() {
-        let s = StackSpec::plain().with_streams(4).with_compression(1).with_security();
+        let s = StackSpec::plain()
+            .with_streams(4)
+            .with_compression(1)
+            .with_security();
         let d = s.describe();
-        assert!(d.contains("4 streams") && d.contains("level 1") && d.contains("gtls"), "{d}");
+        assert!(
+            d.contains("4 streams") && d.contains("level 1") && d.contains("gtls"),
+            "{d}"
+        );
     }
 
     #[test]

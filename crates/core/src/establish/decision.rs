@@ -68,8 +68,7 @@ pub fn choose_methods(
     // initiator reach out. Either unlocks the method (for a target that is
     // itself reachable or proxied).
     let proxy_reaches_target = target.socks_proxy.is_some() || target.accepts_inbound();
-    let initiator_can_reach_proxy =
-        initiator.can_dial_out() || initiator.socks_proxy.is_some();
+    let initiator_can_reach_proxy = initiator.can_dial_out() || initiator.socks_proxy.is_some();
     if proxy_reaches_target && initiator_can_reach_proxy {
         out.push(EstablishMethod::Proxy);
     }

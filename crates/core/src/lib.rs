@@ -75,6 +75,7 @@ pub mod drivers;
 pub mod establish;
 pub mod nameservice;
 pub mod node;
+pub mod pool;
 pub mod port;
 pub mod profile;
 pub mod relay;
@@ -87,6 +88,7 @@ pub use drivers::{RawLink, StackSpec};
 pub use establish::{choose_methods, EstablishMethod, LinkPurpose};
 pub use nameservice::{spawn_name_service, GridId, NsClient};
 pub use node::{GridEnv, GridNode};
+pub use pool::{BlockBuf, BlockPool, PoolStats};
 pub use port::{ReadMessage, ReceivePort, SendPort, WriteMessage};
 pub use profile::{ConnectivityProfile, FirewallClass, NatClass};
 pub use relay::{spawn_relay, RelayClient, RoutedStream};

@@ -15,7 +15,7 @@
 //! discovery the paper lists under future work ("automated selection of the
 //! proper communication methods").
 
-use gridsim_net::{SockAddr};
+use gridsim_net::SockAddr;
 use gridsim_tcp::{ConnectOpts, SimHost, TcpConfig, TcpStream};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -74,7 +74,10 @@ struct NsState {
 
 /// Spawn the name service on `host`, listening on `port` and `port + 1`.
 pub fn spawn_name_service(host: &SimHost, port: u16) -> io::Result<()> {
-    let state = Arc::new(Mutex::new(NsState { next_id: 1, ..Default::default() }));
+    let state = Arc::new(Mutex::new(NsState {
+        next_id: 1,
+        ..Default::default()
+    }));
     for p in [port, port + 1] {
         let listener = host.listen(p)?;
         let state = Arc::clone(&state);
@@ -108,7 +111,14 @@ fn serve_conn(state: &Mutex<NsState>, host: &SimHost, conn: TcpStream) -> io::Re
                 let mut st = state.lock();
                 let id = st.next_id;
                 st.next_id += 1;
-                st.nodes.insert(id, NodeRecord { id, name: name.clone(), profile });
+                st.nodes.insert(
+                    id,
+                    NodeRecord {
+                        id,
+                        name: name.clone(),
+                        profile,
+                    },
+                );
                 st.by_name.insert(name, id);
                 FrameWriter::new().u8(1).u64(id)
             }
@@ -121,7 +131,15 @@ fn serve_conn(state: &Mutex<NsState>, host: &SimHost, conn: TcpStream) -> io::Re
                 if st.ports.contains_key(&name) {
                     FrameWriter::new().u8(0).str("port name already registered")
                 } else {
-                    st.ports.insert(name.clone(), PortRecord { owner, name, listener, stack });
+                    st.ports.insert(
+                        name.clone(),
+                        PortRecord {
+                            owner,
+                            name,
+                            listener,
+                            stack,
+                        },
+                    );
                     FrameWriter::new().u8(1)
                 }
             }
@@ -172,8 +190,17 @@ fn serve_conn(state: &Mutex<NsState>, host: &SimHost, conn: TcpStream) -> io::Re
                 // Short-fused attempt: one SYN retry is enough to separate
                 // "reachable" from "firewalled" (refused counts as
                 // reachable at the network layer — a host answered).
-                let cfg = TcpConfig { syn_retries: 1, ..host.tcp_config() };
-                let outcome = host.connect_opts(target, ConnectOpts { local_port: None, cfg: Some(cfg) });
+                let cfg = TcpConfig {
+                    syn_retries: 1,
+                    ..host.tcp_config()
+                };
+                let outcome = host.connect_opts(
+                    target,
+                    ConnectOpts {
+                        local_port: None,
+                        cfg: Some(cfg),
+                    },
+                );
                 let reachable = match outcome {
                     Ok(_) => true,
                     Err(e) => e.kind() == io::ErrorKind::ConnectionRefused,
@@ -208,7 +235,12 @@ pub struct NsClient {
 impl NsClient {
     pub fn new(host: SimHost, ns_addr: SockAddr, via_proxy: Option<SockAddr>) -> NsClient {
         let factory = BootstrapSocketFactory::new(host.clone(), via_proxy);
-        NsClient { host, ns_addr, factory, via_proxy }
+        NsClient {
+            host,
+            ns_addr,
+            factory,
+            via_proxy,
+        }
     }
 
     pub fn addr(&self) -> SockAddr {
@@ -232,7 +264,10 @@ impl NsClient {
             Ok(rsp)
         } else {
             let msg = r.str().unwrap_or_else(|_| "request failed".into());
-            Err(io::Error::new(io::ErrorKind::NotFound, format!("name service: {msg}")))
+            Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("name service: {msg}"),
+            ))
         }
     }
 
@@ -279,7 +314,16 @@ impl NsClient {
         let listener = r.opt_addr()?;
         let stack = r.bytes()?.to_vec();
         let profile = ConnectivityProfile::decode(&mut r)?;
-        Ok((PortRecord { owner, name: name.to_string(), listener, stack }, profile, owner_name))
+        Ok((
+            PortRecord {
+                owner,
+                name: name.to_string(),
+                listener,
+                stack,
+            },
+            profile,
+            owner_name,
+        ))
     }
 
     /// Look up a node by id.
@@ -312,21 +356,34 @@ impl NsClient {
 
     /// Probe the observed (post-NAT) address of a connection made from
     /// `local_port`. `second_server` probes the NS's second listener.
-    pub fn probe_observed(&self, local_port: Option<u16>, second_server: bool) -> io::Result<SockAddr> {
+    pub fn probe_observed(
+        &self,
+        local_port: Option<u16>,
+        second_server: bool,
+    ) -> io::Result<SockAddr> {
         let target = if second_server {
             SockAddr::new(self.ns_addr.ip, self.ns_addr.port + 1)
         } else {
             self.ns_addr
         };
         // Probes are cheap short-lived connections; keep SYN retries low.
-        let cfg = TcpConfig { syn_retries: 2, ..self.host.tcp_config() };
+        let cfg = TcpConfig {
+            syn_retries: 2,
+            ..self.host.tcp_config()
+        };
         let mut stream = match self.via_proxy {
             Some(_) => {
                 // Observed-through-proxy shows the proxy, which is what a
                 // strict-firewall site genuinely looks like from outside.
                 self.dial(target)?
             }
-            None => self.host.connect_opts(target, ConnectOpts { local_port, cfg: Some(cfg) })?,
+            None => self.host.connect_opts(
+                target,
+                ConnectOpts {
+                    local_port,
+                    cfg: Some(cfg),
+                },
+            )?,
         };
         FrameWriter::new().u8(op::OBSERVED).send(&mut stream)?;
         let rsp = read_frame(&mut stream)?;
@@ -367,7 +424,11 @@ impl NsClient {
         let reachable = self.connect_back(SockAddr::new(self.host.ip(), probe_port))?;
         drop(listener);
         Ok(ConnectivityProfile {
-            firewall: if reachable { FirewallClass::None } else { FirewallClass::Stateful },
+            firewall: if reachable {
+                FirewallClass::None
+            } else {
+                FirewallClass::Stateful
+            },
             nat: None,
             private_addr: false,
             socks_proxy: None,

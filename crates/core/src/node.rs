@@ -4,9 +4,9 @@
 //! relay-routed messages behind one API, chosen by the Figure-4 decision
 //! tree with runtime fallback.
 
+use gridcrypt::SecureConfig;
 use gridsim_net::{Net, SchedHandle, SockAddr};
 use gridsim_tcp::{ConnectOpts, SimHost, TcpConfig, TcpStream};
-use gridcrypt::SecureConfig;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
@@ -200,7 +200,9 @@ impl GridNode {
         });
         let node = GridNode { inner };
         if let Some(r) = relay {
-            r.set_delegate(Arc::new(NodeDelegate { inner: Arc::downgrade(&node.inner) }));
+            r.set_delegate(Arc::new(NodeDelegate {
+                inner: Arc::downgrade(&node.inner),
+            }));
         }
         Ok(node)
     }
@@ -281,10 +283,15 @@ impl GridNode {
         let listener = self.inner.host.listen(data_port)?;
         let listen_addr = SockAddr::new(self.inner.host.ip(), data_port);
         self.nat_gated(|| {
-            self.inner.ns.register_port(self.inner.id, name, Some(listen_addr), &spec.encode())
+            self.inner
+                .ns
+                .register_port(self.inner.id, name, Some(listen_addr), &spec.encode())
         })?;
         let inner = ReceivePortInner::new(name.to_string(), spec);
-        self.inner.ports.lock().insert(name.to_string(), Arc::clone(&inner));
+        self.inner
+            .ports
+            .lock()
+            .insert(name.to_string(), Arc::clone(&inner));
         // Accept loop: native-TCP connections (client/server and proxied).
         let port = Arc::clone(&inner);
         let node = self.clone();
@@ -298,7 +305,10 @@ impl GridNode {
                 let _ = node.handle_incoming_tcp(&port, stream);
             });
         });
-        Ok(ReceivePort { node: self.clone(), inner })
+        Ok(ReceivePort {
+            node: self.clone(),
+            inner,
+        })
     }
 
     /// Create a send port (connect it with [`SendPort::connect`]).
@@ -311,7 +321,11 @@ impl GridNode {
     }
 
     /// Read the stream preamble and register the link with the port.
-    fn handle_incoming_tcp(&self, port: &Arc<ReceivePortInner>, stream: TcpStream) -> io::Result<()> {
+    fn handle_incoming_tcp(
+        &self,
+        port: &Arc<ReceivePortInner>,
+        stream: TcpStream,
+    ) -> io::Result<()> {
         stream.set_nodelay(true)?;
         let mut r = stream.clone();
         let frame = read_frame(&mut r)?;
@@ -342,18 +356,24 @@ impl GridNode {
         }
         let methods = choose_methods(&self.inner.profile, &peer_profile, LinkPurpose::Data);
         let channel = self.alloc_channel();
-        let mut last_err =
-            io::Error::new(io::ErrorKind::NotFound, "no establishment method applicable");
+        let mut last_err = io::Error::new(
+            io::ErrorKind::NotFound,
+            "no establishment method applicable",
+        );
         for method in methods {
             match self.try_method(method, &rec, &peer_profile, &spec, channel) {
                 Ok((links, total)) => {
-                    let spec_eff = StackSpec { streams: total, ..spec.clone() };
+                    let spec_eff = StackSpec {
+                        streams: total,
+                        ..spec.clone()
+                    };
                     let ctx = self.ctx();
                     let sec = ctx.security(&spec_eff);
-                    let writer =
+                    let (writer, pool) =
                         build_sender(links, &spec_eff, self.inner.cpu.clone(), sec.as_ref())?;
                     return Ok(SendConnection {
                         writer,
+                        pool,
                         method,
                         peer_port: port_name.to_string(),
                         channel,
@@ -426,7 +446,8 @@ impl GridNode {
                 let mut last = None;
                 for attempt in 0..3u32 {
                     if attempt > 0 {
-                        let stagger = Duration::from_millis(200 * attempt as u64 + (channel % 7) * 50);
+                        let stagger =
+                            Duration::from_millis(200 * attempt as u64 + (channel % 7) * 50);
                         gridsim_net::ctx::sleep(stagger);
                     }
                     match self.splice_initiate(rec, spec, channel) {
@@ -446,7 +467,10 @@ impl GridNode {
 
     fn relay(&self) -> io::Result<&RelayClient> {
         self.inner.relay.as_ref().ok_or_else(|| {
-            io::Error::new(io::ErrorKind::AddrNotAvailable, "no relay configured (needed for brokering/routing)")
+            io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "no relay configured (needed for brokering/routing)",
+            )
         })
     }
 
@@ -464,7 +488,10 @@ impl GridNode {
     /// failed prediction falls through to a retry or the next method in a
     /// few seconds.
     fn splice_cfg(&self) -> TcpConfig {
-        TcpConfig { syn_retries: 2, ..self.inner.host.tcp_config() }
+        TcpConfig {
+            syn_retries: 2,
+            ..self.inner.host.tcp_config()
+        }
     }
 
     /// Compute the public endpoints peers must dial for our upcoming
@@ -535,7 +562,10 @@ impl GridNode {
         }
         let n = r.u64()? as usize;
         if n != total as usize {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "endpoint count mismatch"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "endpoint count mismatch",
+            ));
         }
         let peer_eps: Vec<SockAddr> = (0..n).map(|_| r.addr()).collect::<io::Result<_>>()?;
 
@@ -552,7 +582,10 @@ impl GridNode {
             for (&lp, &ep) in my_ports.iter().zip(&peer_eps) {
                 streams.push(self.inner.host.connect_start(
                     ep,
-                    ConnectOpts { local_port: Some(lp), cfg: Some(cfg) },
+                    ConnectOpts {
+                        local_port: Some(lp),
+                        cfg: Some(cfg),
+                    },
                 )?);
             }
             Ok((streams, my_eps))
@@ -565,8 +598,10 @@ impl GridNode {
             Err(e) => {
                 // Tell the responder to abandon the negotiation (it may be
                 // holding its NAT gate).
-                let abort =
-                    FrameWriter::new().u8(svc::SPLICE_ABORT).u64(channel).into_bytes();
+                let abort = FrameWriter::new()
+                    .u8(svc::SPLICE_ABORT)
+                    .u64(channel)
+                    .into_bytes();
                 let _ = relay.service_request(rec.owner, &abort);
                 return Err(e);
             }
@@ -583,7 +618,10 @@ impl GridNode {
         let go_rsp = relay.service_request(rec.owner, &go.into_bytes())?;
         let mut r = FrameReader::new(&go_rsp);
         if r.u8()? != 1 {
-            return Err(io::Error::new(io::ErrorKind::ConnectionRefused, "splice GO refused"));
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "splice GO refused",
+            ));
         }
 
         // Wait for establishment, then send the stream preambles.
@@ -605,7 +643,10 @@ impl GridNode {
         let port_name = r.str()?;
         let total = r.u64()? as u16;
         if total == 0 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad splice request"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad splice request",
+            ));
         }
         let port = self
             .inner
@@ -615,7 +656,10 @@ impl GridNode {
             .cloned()
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "unknown receive port"))?;
         if !self.inner.profile.splice_capable() {
-            return Err(io::Error::new(io::ErrorKind::Unsupported, "this side cannot splice"));
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "this side cannot splice",
+            ));
         }
         let natted = self.inner.profile.nat.is_some();
         if natted {
@@ -637,7 +681,12 @@ impl GridNode {
         };
         self.inner.pending_splices.lock().insert(
             channel,
-            PendingSplice { port, my_ports, total, holds_gate: natted },
+            PendingSplice {
+                port,
+                my_ports,
+                total,
+                holds_gate: natted,
+            },
         );
         let mut w = FrameWriter::new().u8(1).u64(my_endpoints.len() as u64);
         for ep in &my_endpoints {
@@ -662,15 +711,21 @@ impl GridNode {
         let result = (|| -> io::Result<()> {
             if peer_eps.len() != pending.total as usize || peer_eps.len() != pending.my_ports.len()
             {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "endpoint count mismatch"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "endpoint count mismatch",
+                ));
             }
             let cfg = self.splice_cfg();
             let sched = self.inner.env.net.sched().clone();
             for (i, (&lp, &ep)) in pending.my_ports.iter().zip(&peer_eps).enumerate() {
-                let stream = self
-                    .inner
-                    .host
-                    .connect_start(ep, ConnectOpts { local_port: Some(lp), cfg: Some(cfg) })?;
+                let stream = self.inner.host.connect_start(
+                    ep,
+                    ConnectOpts {
+                        local_port: Some(lp),
+                        cfg: Some(cfg),
+                    },
+                )?;
                 let node = self.clone();
                 let port = Arc::clone(&pending.port);
                 sched.spawn_daemon(format!("splice-accept-{i}"), move || {
@@ -738,7 +793,10 @@ impl RelayDelegate for NodeDelegate {
             Ok(svc::SPLICE_REQ) => node.handle_splice_request(from, &mut r),
             Ok(svc::SPLICE_GO) => node.handle_splice_go(from, &mut r),
             Ok(svc::SPLICE_ABORT) => node.handle_splice_abort(&mut r),
-            _ => Err(io::Error::new(io::ErrorKind::InvalidData, "unknown service request")),
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unknown service request",
+            )),
         };
         match result {
             Ok(rsp) => rsp,
@@ -753,7 +811,9 @@ impl RelayDelegate for NodeDelegate {
         channel: u64,
         stream: RoutedStream,
     ) -> Result<(), String> {
-        let Some(node) = self.node() else { return Err("node gone".into()) };
+        let Some(node) = self.node() else {
+            return Err("node gone".into());
+        };
         let port = node
             .inner
             .ports

@@ -8,6 +8,7 @@
 //! aggregated until `finish()` flushes the stack — the user-space
 //! aggregation + explicit flush of paper §4.1.
 
+use bytes::Bytes;
 use gridsim_net::SimQueue;
 use gridzip::varint;
 use parking_lot::Mutex;
@@ -15,9 +16,10 @@ use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 
-use crate::drivers::{build_receiver, RawLink, ReceiverStack, SenderStack, StackSpec};
+use crate::drivers::{build_receiver, BlockWrite, RawLink, ReceiverStack, SenderStack, StackSpec};
 use crate::establish::EstablishMethod;
 use crate::node::{GridNode, NodeCtx};
+use crate::pool::{BlockBuf, BlockPool, PoolStats};
 
 /// Upper bound on a single message (sanity against corrupt frames).
 pub const MAX_MESSAGE: u64 = 256 << 20;
@@ -32,7 +34,11 @@ pub struct ReadMessage {
 
 impl ReadMessage {
     pub(crate) fn new(channel: u64, data: Vec<u8>) -> ReadMessage {
-        ReadMessage { channel, data, pos: 0 }
+        ReadMessage {
+            channel,
+            data,
+            pos: 0,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -75,7 +81,10 @@ impl ReadMessage {
     pub fn read_str(&mut self) -> io::Result<String> {
         let n = self.read_u64()? as usize;
         let b = self.read_bytes(n)?;
-        String::from_utf8(b.to_vec()).map_err(|_| io::ErrorKind::InvalidData.into())
+        // Validate on the borrow; only valid strings pay for the copy.
+        std::str::from_utf8(b)
+            .map(str::to_owned)
+            .map_err(|_| io::ErrorKind::InvalidData.into())
     }
 
     pub fn into_vec(self) -> Vec<u8> {
@@ -84,10 +93,11 @@ impl ReadMessage {
 }
 
 /// A message under construction on a send port. Writes accumulate in a
-/// buffer; `finish()` frames and flushes it to every connection.
+/// pooled buffer; `finish()` freezes it into a refcounted block that every
+/// connection's stack shares without copying.
 pub struct WriteMessage<'a> {
     port: &'a mut SendPort,
-    buf: Vec<u8>,
+    buf: BlockBuf,
 }
 
 impl WriteMessage<'_> {
@@ -115,27 +125,40 @@ impl WriteMessage<'_> {
     /// buffer or this call.
     pub fn finish(self) -> io::Result<usize> {
         let len = self.buf.len();
-        self.port.send_framed(&self.buf)?;
+        self.port.send_framed(self.buf.freeze())?;
         Ok(len)
     }
 }
 
 pub(crate) struct SendConnection {
     pub writer: SenderStack,
+    /// The stack's block pool (aggregation/striping staging buffers).
+    pub pool: BlockPool,
     pub method: EstablishMethod,
     pub peer_port: String,
     pub channel: u64,
 }
 
+/// Nominal checkout size of the message pool. Messages may grow past it
+/// (a pooled buffer is an ordinary `Vec`); recycled buffers keep their
+/// grown capacity, so steady-state sends of any size stop allocating.
+const MSG_POOL_BLOCK: usize = 32 * 1024;
+
 /// The sending endpoint of a message channel.
 pub struct SendPort {
     pub(crate) node: GridNode,
     pub(crate) conns: Vec<SendConnection>,
+    /// Pool backing [`WriteMessage`] buffers.
+    msg_pool: BlockPool,
 }
 
 impl SendPort {
     pub(crate) fn new(node: GridNode) -> SendPort {
-        SendPort { node, conns: Vec::new() }
+        SendPort {
+            node,
+            conns: Vec::new(),
+            msg_pool: BlockPool::new(MSG_POOL_BLOCK),
+        }
     }
 
     /// Connect to the named receive port, trying establishment methods in
@@ -182,7 +205,20 @@ impl SendPort {
 
     /// Start a new message.
     pub fn message(&mut self) -> WriteMessage<'_> {
-        WriteMessage { port: self, buf: Vec::new() }
+        let buf = self.msg_pool.checkout();
+        WriteMessage { port: self, buf }
+    }
+
+    /// Buffer-pool counters aggregated over the message pool and every
+    /// connection's driver-stack pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        let mut agg = self.msg_pool.stats();
+        for c in &self.conns {
+            let s = c.pool.stats();
+            agg.hits += s.hits;
+            agg.misses += s.misses;
+        }
+        agg
     }
 
     /// One-shot convenience: send `data` as a single message.
@@ -193,15 +229,21 @@ impl SendPort {
         Ok(())
     }
 
-    fn send_framed(&mut self, payload: &[u8]) -> io::Result<()> {
+    fn send_framed(&mut self, payload: Bytes) -> io::Result<()> {
         if self.conns.is_empty() {
-            return Err(io::Error::new(io::ErrorKind::NotConnected, "send port not connected"));
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "send port not connected",
+            ));
         }
         let mut hdr = Vec::with_capacity(8);
         varint::put(&mut hdr, payload.len() as u64);
         for c in &mut self.conns {
             c.writer.write_all(&hdr)?;
-            c.writer.write_all(payload)?;
+            // Refcounted handoff: group communication clones the handle,
+            // not the payload, and block-aligned stacks slice it straight
+            // onto the wire.
+            c.writer.write_block(payload.clone())?;
             c.writer.flush()?;
         }
         Ok(())
@@ -256,7 +298,10 @@ impl ReceivePortInner {
         link: RawLink,
     ) -> io::Result<()> {
         if total == 0 || idx >= total {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad stream preamble"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad stream preamble",
+            ));
         }
         let ready = {
             let mut pending = self.pending.lock();
@@ -265,17 +310,29 @@ impl ReceivePortInner {
                 received: 0,
             });
             if entry.links.len() != total as usize {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "stream count mismatch"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "stream count mismatch",
+                ));
             }
             let slot = &mut entry.links[idx as usize];
             if slot.is_some() {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "duplicate stream index"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "duplicate stream index",
+                ));
             }
             *slot = Some(link);
             entry.received += 1;
             if entry.received == total as usize {
                 let entry = pending.remove(&channel).expect("entry exists");
-                Some(entry.links.into_iter().map(|l| l.expect("all present")).collect::<Vec<_>>())
+                Some(
+                    entry
+                        .links
+                        .into_iter()
+                        .map(|l| l.expect("all present"))
+                        .collect::<Vec<_>>(),
+                )
             } else {
                 None
             }
@@ -283,14 +340,23 @@ impl ReceivePortInner {
         if let Some(links) = ready {
             // Routed links arrive as a single stream regardless of the
             // spec; the preamble's `total` is authoritative.
-            let spec = StackSpec { streams: total, ..self.spec.clone() };
-            let stack =
-                build_receiver(links, &spec, ctx.cpu.clone(), ctx.security(&spec).as_ref(), &ctx.sched)?;
+            let spec = StackSpec {
+                streams: total,
+                ..self.spec.clone()
+            };
+            let stack = build_receiver(
+                links,
+                &spec,
+                ctx.cpu.clone(),
+                ctx.security(&spec).as_ref(),
+                &ctx.sched,
+            )?;
             *self.connections.lock() += 1;
             let me = Arc::clone(self);
-            ctx.sched.spawn_daemon(format!("rp-pump-{}-{}", self.name, channel), move || {
-                me.pump(channel, stack);
-            });
+            ctx.sched
+                .spawn_daemon(format!("rp-pump-{}-{}", self.name, channel), move || {
+                    me.pump(channel, stack);
+                });
         }
         Ok(())
     }

@@ -66,7 +66,10 @@ impl ConnectivityProfile {
 
     /// Behind a stateful firewall, public addresses.
     pub fn firewalled() -> ConnectivityProfile {
-        ConnectivityProfile { firewall: FirewallClass::Stateful, ..ConnectivityProfile::open() }
+        ConnectivityProfile {
+            firewall: FirewallClass::Stateful,
+            ..ConnectivityProfile::open()
+        }
     }
 
     /// Behind NAT (implies private addressing).
@@ -117,7 +120,10 @@ impl ConnectivityProfile {
             Some(NatClass::SymmetricPredictable) => 2,
             Some(NatClass::SymmetricRandom) => 3,
         };
-        w.u8(fw).u8(nat).u8(self.private_addr as u8).opt_addr(self.socks_proxy)
+        w.u8(fw)
+            .u8(nat)
+            .u8(self.private_addr as u8)
+            .opt_addr(self.socks_proxy)
     }
 
     pub fn decode(r: &mut FrameReader<'_>) -> io::Result<ConnectivityProfile> {
@@ -125,7 +131,12 @@ impl ConnectivityProfile {
             0 => FirewallClass::None,
             1 => FirewallClass::Stateful,
             2 => FirewallClass::Strict,
-            _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad firewall class")),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "bad firewall class",
+                ))
+            }
         };
         let nat = match r.u8()? {
             0 => None,
@@ -136,7 +147,12 @@ impl ConnectivityProfile {
         };
         let private_addr = r.u8()? != 0;
         let socks_proxy = r.opt_addr()?;
-        Ok(ConnectivityProfile { firewall: fw, nat, private_addr, socks_proxy })
+        Ok(ConnectivityProfile {
+            firewall: fw,
+            nat,
+            private_addr,
+            socks_proxy,
+        })
     }
 }
 

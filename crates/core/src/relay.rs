@@ -54,7 +54,8 @@ mod inner_op {
 /// Spawn the relay server on `host`, listening on `port`.
 pub fn spawn_relay(host: &SimHost, port: u16) -> io::Result<()> {
     let listener = host.listen(port)?;
-    let conns: Arc<Mutex<HashMap<GridId, SimMutex<TcpStream>>>> = Arc::new(Mutex::new(HashMap::new()));
+    let conns: Arc<Mutex<HashMap<GridId, SimMutex<TcpStream>>>> =
+        Arc::new(Mutex::new(HashMap::new()));
     let sched = host.net().sched().clone();
     let sched2 = sched.clone();
     sched.spawn_daemon("relay-accept", move || loop {
@@ -128,8 +129,13 @@ pub trait RelayDelegate: Send + Sync {
     /// Handle a service (brokering) request; return the response payload.
     fn on_service_request(&self, from: GridId, payload: &[u8]) -> Vec<u8>;
     /// An incoming routed link targeting `port_name`.
-    fn on_open(&self, from: GridId, port_name: &str, channel: u64, stream: RoutedStream)
-        -> Result<(), String>;
+    fn on_open(
+        &self,
+        from: GridId,
+        port_name: &str,
+        channel: u64,
+        stream: RoutedStream,
+    ) -> Result<(), String>;
 }
 
 struct Pending {
@@ -174,10 +180,12 @@ impl RelayClient {
         via_proxy: Option<SockAddr>,
         id: GridId,
     ) -> io::Result<RelayClient> {
-        let stream =
-            BootstrapSocketFactory::new(host.clone(), via_proxy).connect(relay_addr)?;
+        let stream = BootstrapSocketFactory::new(host.clone(), via_proxy).connect(relay_addr)?;
         let mut w = stream.clone();
-        FrameWriter::new().u8(relay_op::HELLO).u64(id).send(&mut w)?;
+        FrameWriter::new()
+            .u8(relay_op::HELLO)
+            .u64(id)
+            .send(&mut w)?;
         let inner = Arc::new(RcInner {
             id,
             writer: SimMutex::new(stream.clone()),
@@ -192,9 +200,11 @@ impl RelayClient {
         });
         let client = RelayClient { inner };
         let pump = client.clone();
-        host.net().sched().spawn_daemon(format!("relay-pump-{id}"), move || {
-            pump.pump(stream);
-        });
+        host.net()
+            .sched()
+            .spawn_daemon(format!("relay-pump-{id}"), move || {
+                pump.pump(stream);
+            });
         Ok(client)
     }
 
@@ -210,16 +220,24 @@ impl RelayClient {
     /// Send one inner frame to `to` through the relay.
     fn send_inner(&self, to: GridId, inner: Vec<u8>) -> io::Result<()> {
         let mut w = self.inner.writer.lock();
-        FrameWriter::new().u8(relay_op::SEND).u64(to).bytes(&inner).send(&mut *w)
+        FrameWriter::new()
+            .u8(relay_op::SEND)
+            .u64(to)
+            .bytes(&inner)
+            .send(&mut *w)
     }
 
     /// Blocking service request/response — the brokering channel.
     pub fn service_request(&self, to: GridId, payload: &[u8]) -> io::Result<Vec<u8>> {
         let req_id = self.inner.next_req.fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .pending
-            .lock()
-            .insert(req_id, Pending { to, result: None, waker: None });
+        self.inner.pending.lock().insert(
+            req_id,
+            Pending {
+                to,
+                result: None,
+                waker: None,
+            },
+        );
         let frame = FrameWriter::new()
             .u8(inner_op::SVC_REQ)
             .u64(req_id)
@@ -241,14 +259,23 @@ impl RelayClient {
     }
 
     /// Open a routed byte stream to `port_name` on node `to`.
-    pub fn open_stream(&self, to: GridId, port_name: &str, channel: u64) -> io::Result<RoutedStream> {
+    pub fn open_stream(
+        &self,
+        to: GridId,
+        port_name: &str,
+        channel: u64,
+    ) -> io::Result<RoutedStream> {
         let sid = self.inner.next_sid.fetch_add(1, Ordering::Relaxed);
         let stream = RoutedStream::new(self.clone(), to, sid, true);
         self.inner.outbound.lock().insert((to, sid), stream.clone());
-        self.inner
-            .open_waits
-            .lock()
-            .insert(sid, OpenWait { to, result: None, waker: None });
+        self.inner.open_waits.lock().insert(
+            sid,
+            OpenWait {
+                to,
+                result: None,
+                waker: None,
+            },
+        );
         let frame = FrameWriter::new()
             .u8(inner_op::OPEN)
             .u64(sid)
@@ -397,7 +424,10 @@ impl RelayClient {
                 let delegate = self.inner.delegate.lock().clone();
                 let result = match delegate {
                     Some(d) => {
-                        self.inner.inbound.lock().insert((from, sid), stream.clone());
+                        self.inner
+                            .inbound
+                            .lock()
+                            .insert((from, sid), stream.clone());
                         // The delegate may block (stack handshakes); run it
                         // in its own task after acknowledging.
                         let me = self.clone();
@@ -419,10 +449,15 @@ impl RelayClient {
                     None => Err("no delegate".to_string()),
                 };
                 let reply = match result {
-                    Ok(()) => FrameWriter::new().u8(inner_op::OPEN_OK).u64(sid).into_bytes(),
-                    Err(m) => {
-                        FrameWriter::new().u8(inner_op::OPEN_ERR).u64(sid).str(&m).into_bytes()
-                    }
+                    Ok(()) => FrameWriter::new()
+                        .u8(inner_op::OPEN_OK)
+                        .u64(sid)
+                        .into_bytes(),
+                    Err(m) => FrameWriter::new()
+                        .u8(inner_op::OPEN_ERR)
+                        .u64(sid)
+                        .str(&m)
+                        .into_bytes(),
                 };
                 self.send_inner(from, reply)
             }

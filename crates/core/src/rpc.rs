@@ -109,14 +109,19 @@ impl RpcClient {
         };
         let pending = Arc::clone(&client.pending);
         #[allow(clippy::while_let_loop)]
-        node.host().net().sched().spawn_daemon(format!("rpc-client-{reply_name}"), move || loop {
-            let Ok(mut m) = reply_port.receive() else { break };
-            let Ok(id) = m.read_u64() else { continue };
-            let body = m.remaining().to_vec();
-            if let Some(q) = pending.lock().remove(&id) {
-                let _ = q.push(body);
-            }
-        });
+        node.host()
+            .net()
+            .sched()
+            .spawn_daemon(format!("rpc-client-{reply_name}"), move || loop {
+                let Ok(mut m) = reply_port.receive() else {
+                    break;
+                };
+                let Ok(id) = m.read_u64() else { continue };
+                let body = m.remaining().to_vec();
+                if let Some(q) = pending.lock().remove(&id) {
+                    let _ = q.push(body);
+                }
+            });
         Ok(client)
     }
 
@@ -133,6 +138,7 @@ impl RpcClient {
             m.write_bytes(payload);
             m.finish()?;
         }
-        q.pop().ok_or_else(|| io::Error::new(io::ErrorKind::ConnectionReset, "rpc client closed"))
+        q.pop()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::ConnectionReset, "rpc client closed"))
     }
 }

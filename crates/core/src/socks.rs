@@ -117,7 +117,10 @@ pub fn socks_connect(host: &SimHost, proxy: SockAddr, target: SockAddr) -> io::R
     let mut resp = [0u8; 2];
     s.read_exact(&mut resp)?;
     if resp != [VER, METHOD_NONE] {
-        return Err(io::Error::new(io::ErrorKind::PermissionDenied, "socks: method rejected"));
+        return Err(io::Error::new(
+            io::ErrorKind::PermissionDenied,
+            "socks: method rejected",
+        ));
     }
     let mut req = Vec::with_capacity(10);
     req.extend_from_slice(&[VER, CMD_CONNECT, 0, ATYP_V4]);

@@ -18,7 +18,9 @@ pub struct FrameWriter {
 
 impl FrameWriter {
     pub fn new() -> FrameWriter {
-        FrameWriter { buf: Vec::with_capacity(64) }
+        FrameWriter {
+            buf: Vec::with_capacity(64),
+        }
     }
 
     pub fn u8(mut self, v: u8) -> Self {
@@ -73,7 +75,10 @@ impl FrameWriter {
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
     let len = varint::read_from(r)? as usize;
     if len > MAX_FRAME {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "control frame too large"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "control frame too large",
+        ));
     }
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf)?;
@@ -117,9 +122,15 @@ impl<'a> FrameReader<'a> {
         Ok(s)
     }
 
-    pub fn str(&mut self) -> io::Result<String> {
+    /// Borrow the string field without copying; `str()` is the owned form.
+    pub fn str_ref(&mut self) -> io::Result<&'a str> {
         let b = self.bytes()?;
-        String::from_utf8(b.to_vec()).map_err(|_| bad("invalid utf-8"))
+        std::str::from_utf8(b).map_err(|_| bad("invalid utf-8"))
+    }
+
+    pub fn str(&mut self) -> io::Result<String> {
+        // Validate on the borrow; only valid strings pay for the copy.
+        self.str_ref().map(str::to_owned)
     }
 
     pub fn addr(&mut self) -> io::Result<SockAddr> {

@@ -116,7 +116,9 @@ fn join_auto_firewalled_pair_splices() {
         sim.spawn("recv", move || {
             let node = GridNode::join_auto(&env, host, "auto-recv").unwrap();
             assert_eq!(node.profile().firewall, FirewallClass::Stateful);
-            let rp = node.create_receive_port("auto-sink", StackSpec::plain()).unwrap();
+            let rp = node
+                .create_receive_port("auto-sink", StackSpec::plain())
+                .unwrap();
             *delivered.lock() = Some(rp.receive().unwrap().into_vec());
         });
     }
@@ -137,5 +139,8 @@ fn join_auto_firewalled_pair_splices() {
         });
     }
     sim.run();
-    assert_eq!(delivered.lock().take().as_deref(), Some(&b"auto-profiled"[..]));
+    assert_eq!(
+        delivered.lock().take().as_deref(),
+        Some(&b"auto-profiled"[..])
+    );
 }

@@ -40,14 +40,21 @@ fn connect_to_unknown_port_is_not_found() {
     let (env, hosts) = world(&sim, &[topology::SiteSpec::open("a", 1, wan)]);
     let net = env.net.clone();
     let done = sim.spawn("t", move || {
-        let node =
-            GridNode::join(&env, SimHost::new(&net, hosts[0]), "a0", ConnectivityProfile::open())
-                .unwrap();
+        let node = GridNode::join(
+            &env,
+            SimHost::new(&net, hosts[0]),
+            "a0",
+            ConnectivityProfile::open(),
+        )
+        .unwrap();
         let mut sp = node.create_send_port();
         let err = sp.connect("no-such-port").unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
         // Sending while unconnected is an error too.
-        assert_eq!(sp.send(b"x").unwrap_err().kind(), std::io::ErrorKind::NotConnected);
+        assert_eq!(
+            sp.send(b"x").unwrap_err().kind(),
+            std::io::ErrorKind::NotConnected
+        );
     });
     sim.run();
     assert!(done.is_finished());
@@ -57,20 +64,37 @@ fn connect_to_unknown_port_is_not_found() {
 fn duplicate_port_names_rejected_grid_wide() {
     let sim = Sim::new(91);
     let wan = LinkParams::mbps(2.0, Duration::from_millis(5));
-    let (env, hosts) =
-        world(&sim, &[topology::SiteSpec::open("a", 1, wan), topology::SiteSpec::open("b", 1, wan)]);
+    let (env, hosts) = world(
+        &sim,
+        &[
+            topology::SiteSpec::open("a", 1, wan),
+            topology::SiteSpec::open("b", 1, wan),
+        ],
+    );
     let net = env.net.clone();
     let done = sim.spawn("t", move || {
-        let na =
-            GridNode::join(&env, SimHost::new(&net, hosts[0]), "a0", ConnectivityProfile::open())
-                .unwrap();
-        let nb =
-            GridNode::join(&env, SimHost::new(&net, hosts[1]), "b0", ConnectivityProfile::open())
-                .unwrap();
-        let _p = na.create_receive_port("shared-name", StackSpec::plain()).unwrap();
+        let na = GridNode::join(
+            &env,
+            SimHost::new(&net, hosts[0]),
+            "a0",
+            ConnectivityProfile::open(),
+        )
+        .unwrap();
+        let nb = GridNode::join(
+            &env,
+            SimHost::new(&net, hosts[1]),
+            "b0",
+            ConnectivityProfile::open(),
+        )
+        .unwrap();
+        let _p = na
+            .create_receive_port("shared-name", StackSpec::plain())
+            .unwrap();
         // The name service owns the namespace: the second registration
         // fails even though it is a different node.
-        assert!(nb.create_receive_port("shared-name", StackSpec::plain()).is_err());
+        assert!(nb
+            .create_receive_port("shared-name", StackSpec::plain())
+            .is_err());
     });
     sim.run();
     assert!(done.is_finished());
@@ -101,7 +125,9 @@ fn misdeclared_nat_falls_back_at_runtime() {
         sim.spawn("recv", move || {
             let node =
                 GridNode::join(&env, host, "honest0", ConnectivityProfile::firewalled()).unwrap();
-            let rp = node.create_receive_port("sink", StackSpec::plain()).unwrap();
+            let rp = node
+                .create_receive_port("sink", StackSpec::plain())
+                .unwrap();
             *delivered.lock() = Some(rp.receive().unwrap().into_vec());
         });
     }
@@ -128,13 +154,19 @@ fn misdeclared_nat_falls_back_at_runtime() {
         });
     }
     sim.run();
-    assert_eq!(delivered.lock().take().as_deref(), Some(&b"made it anyway"[..]));
+    assert_eq!(
+        delivered.lock().take().as_deref(),
+        Some(&b"made it anyway"[..])
+    );
     // Splicing was attempted (profile says predictable) but cannot work;
     // the runtime fallback must land on routed messages.
     assert_eq!(*method.lock(), Some(EstablishMethod::Routed));
     // The fallback costs splice attempts (~7 s each + retries) — verify we
     // actually went through them rather than skipping.
-    assert!(sim.now().as_secs_f64() > 5.0, "splice attempts should have been made");
+    assert!(
+        sim.now().as_secs_f64() > 5.0,
+        "splice attempts should have been made"
+    );
 }
 
 /// FIFO ordering: messages on one connection arrive in send order, even
@@ -142,9 +174,16 @@ fn misdeclared_nat_falls_back_at_runtime() {
 #[test]
 fn message_order_is_fifo_over_striped_lossy_link() {
     let sim = Sim::new(93);
-    let wan = LinkParams::mbps(2.0, Duration::from_millis(5)).with_loss(0.01).with_queue(512 * 1024);
-    let (env, hosts) =
-        world(&sim, &[topology::SiteSpec::open("a", 1, wan), topology::SiteSpec::open("b", 1, wan)]);
+    let wan = LinkParams::mbps(2.0, Duration::from_millis(5))
+        .with_loss(0.01)
+        .with_queue(512 * 1024);
+    let (env, hosts) = world(
+        &sim,
+        &[
+            topology::SiteSpec::open("a", 1, wan),
+            topology::SiteSpec::open("b", 1, wan),
+        ],
+    );
     let net = env.net.clone();
     const N: u32 = 200;
     let got: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
@@ -189,8 +228,13 @@ fn message_order_is_fifo_over_striped_lossy_link() {
 fn try_receive_and_queue_accounting() {
     let sim = Sim::new(94);
     let wan = LinkParams::mbps(4.0, Duration::from_millis(2));
-    let (env, hosts) =
-        world(&sim, &[topology::SiteSpec::open("a", 1, wan), topology::SiteSpec::open("b", 1, wan)]);
+    let (env, hosts) = world(
+        &sim,
+        &[
+            topology::SiteSpec::open("a", 1, wan),
+            topology::SiteSpec::open("b", 1, wan),
+        ],
+    );
     let net = env.net.clone();
     let checked = Arc::new(Mutex::new(false));
     {
@@ -199,7 +243,9 @@ fn try_receive_and_queue_accounting() {
         let checked = Arc::clone(&checked);
         sim.spawn("recv", move || {
             let node = GridNode::join(&env, host, "b0", ConnectivityProfile::open()).unwrap();
-            let rp = node.create_receive_port("tryrecv", StackSpec::plain()).unwrap();
+            let rp = node
+                .create_receive_port("tryrecv", StackSpec::plain())
+                .unwrap();
             assert!(rp.try_receive().is_none(), "nothing sent yet");
             // Wait until three messages are queued.
             while rp.queued() < 3 {

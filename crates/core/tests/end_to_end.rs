@@ -1,7 +1,7 @@
 //! End-to-end tests of the netgrid runtime over simulated grids: every
 //! establishment method, every utilization method, and their combinations.
 
-use gridsim_net::{topology, FirewallPolicy, Ip, LinkParams, NatKind, Sim, SockAddr, Trust};
+use gridsim_net::{topology, Ip, LinkParams, NatKind, Sim, SockAddr, Trust};
 use gridsim_tcp::SimHost;
 use netgrid::{
     spawn_name_service, spawn_proxy, spawn_relay, ConnectivityProfile, EstablishMethod, GridEnv,
@@ -21,8 +21,16 @@ fn open_world(sim: &Sim) -> (GridEnv, SimHost, SimHost) {
         let mut grid = gridsim_net::topology::Grid::build(
             w,
             &[
-                topology::SiteSpec::open("site-a", 1, LinkParams::mbps(2.0, Duration::from_millis(10))),
-                topology::SiteSpec::open("site-b", 1, LinkParams::mbps(2.0, Duration::from_millis(10))),
+                topology::SiteSpec::open(
+                    "site-a",
+                    1,
+                    LinkParams::mbps(2.0, Duration::from_millis(10)),
+                ),
+                topology::SiteSpec::open(
+                    "site-b",
+                    1,
+                    LinkParams::mbps(2.0, Duration::from_millis(10)),
+                ),
             ],
         );
         let (srv, _ip) = grid.add_public_host(w, "services");
@@ -46,6 +54,7 @@ fn open_world(sim: &Sim) -> (GridEnv, SimHost, SimHost) {
 /// Send `n_msgs` messages of `msg_len` bytes from a to b over a fresh
 /// send/receive port pair with the given spec; assert delivery and return
 /// the establishment method used.
+#[allow(clippy::too_many_arguments)]
 fn roundtrip(
     sim: &Sim,
     env: &GridEnv,
@@ -182,7 +191,10 @@ fn full_stack_compression_over_secured_parallel_streams() {
         &env,
         ha,
         hb,
-        StackSpec::plain().with_streams(4).with_compression(1).with_security(),
+        StackSpec::plain()
+            .with_streams(4)
+            .with_compression(1)
+            .with_security(),
         "full",
         ConnectivityProfile::open(),
         ConnectivityProfile::open(),
@@ -314,7 +326,12 @@ fn random_nat_falls_back_to_socks_proxy() {
             ],
         );
         let (srv, _) = grid.add_public_host(w, "services");
-        (srv, grid.sites[0].hosts[0], grid.sites[1].hosts[0], grid.sites[1].gateway)
+        (
+            srv,
+            grid.sites[0].hosts[0],
+            grid.sites[1].hosts[0],
+            grid.sites[1].gateway,
+        )
     });
     let hsrv = SimHost::new(&net, srv);
     let ha = SimHost::new(&net, a);
@@ -435,7 +452,10 @@ fn nat_detection_classifies_correctly() {
     for (kind, expect) in [
         (NatKind::FullCone, Some(NatClass::Cone)),
         (NatKind::PortRestricted, Some(NatClass::Cone)),
-        (NatKind::SymmetricSequential, Some(NatClass::SymmetricPredictable)),
+        (
+            NatKind::SymmetricSequential,
+            Some(NatClass::SymmetricPredictable),
+        ),
         (NatKind::SymmetricRandom, Some(NatClass::SymmetricRandom)),
     ] {
         let sim = Sim::new(22);
@@ -538,7 +558,10 @@ fn one_to_many_send_port() {
             let node =
                 GridNode::join(&env, host, &format!("r{i}"), ConnectivityProfile::open()).unwrap();
             let rp = node
-                .create_receive_port(if i == 0 { "multi-0" } else { "multi-1" }, StackSpec::plain())
+                .create_receive_port(
+                    if i == 0 { "multi-0" } else { "multi-1" },
+                    StackSpec::plain(),
+                )
                 .unwrap();
             let m = rp.receive().unwrap();
             m.into_vec()

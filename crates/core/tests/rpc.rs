@@ -48,7 +48,8 @@ fn rpc_roundtrip_between_firewalled_sites() {
         let env = env.clone();
         let host = SimHost::new(&net, hosts[0]);
         sim.spawn("server", move || {
-            let node = GridNode::join(&env, host, "server", ConnectivityProfile::firewalled()).unwrap();
+            let node =
+                GridNode::join(&env, host, "server", ConnectivityProfile::firewalled()).unwrap();
             rpc::serve(
                 &node,
                 "echo-upper",
@@ -64,7 +65,8 @@ fn rpc_roundtrip_between_firewalled_sites() {
         let result = Arc::clone(&result);
         sim.spawn("client", move || {
             gridsim_net::ctx::sleep(Duration::from_millis(200));
-            let node = GridNode::join(&env, host, "client", ConnectivityProfile::firewalled()).unwrap();
+            let node =
+                GridNode::join(&env, host, "client", ConnectivityProfile::firewalled()).unwrap();
             let client = RpcClient::connect(&node, "echo-upper").unwrap();
             let rsp = client.call(b"hello rpc over spliced links").unwrap();
             *result.lock() = Some(rsp);
@@ -83,7 +85,10 @@ fn concurrent_calls_multiplex_correctly() {
     let wan = LinkParams::mbps(4.0, Duration::from_millis(5));
     let (env, hosts) = grid(
         &sim,
-        &[topology::SiteSpec::open("srv", 1, wan), topology::SiteSpec::open("cli", 1, wan)],
+        &[
+            topology::SiteSpec::open("srv", 1, wan),
+            topology::SiteSpec::open("cli", 1, wan),
+        ],
     );
     let net = env.net.clone();
     {
@@ -140,7 +145,10 @@ fn large_payloads_cross_intact() {
     let wan = LinkParams::mbps(4.0, Duration::from_millis(5));
     let (env, hosts) = grid(
         &sim,
-        &[topology::SiteSpec::open("srv", 1, wan), topology::SiteSpec::open("cli", 1, wan)],
+        &[
+            topology::SiteSpec::open("srv", 1, wan),
+            topology::SiteSpec::open("cli", 1, wan),
+        ],
     );
     let net = env.net.clone();
     {

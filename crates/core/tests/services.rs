@@ -4,7 +4,9 @@
 use gridsim_net::{topology, Ip, LinkParams, Sim, SockAddr, Trust};
 use gridsim_tcp::SimHost;
 use netgrid::relay::{RelayClient, RelayDelegate, RoutedStream};
-use netgrid::{socks_connect, spawn_name_service, spawn_proxy, spawn_relay, ConnectivityProfile, NsClient};
+use netgrid::{
+    socks_connect, spawn_name_service, spawn_proxy, spawn_relay, ConnectivityProfile, NsClient,
+};
 use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::sync::Arc;
@@ -34,7 +36,11 @@ fn star(sim: &Sim) -> (SimHost, SimHost, SimHost) {
         let s = mk(w, "s", Ip::new(131, 3, 0, 10), r);
         (a, b, s)
     });
-    (SimHost::new(&net, a), SimHost::new(&net, b), SimHost::new(&net, s))
+    (
+        SimHost::new(&net, a),
+        SimHost::new(&net, b),
+        SimHost::new(&net, s),
+    )
 }
 
 #[test]
@@ -50,7 +56,8 @@ fn name_service_crud() {
         assert!(id > 0);
         // Port registration + lookup.
         let listen = SockAddr::new(ha.ip(), 20000);
-        ns.register_port(id, "my-port", Some(listen), b"specbytes").unwrap();
+        ns.register_port(id, "my-port", Some(listen), b"specbytes")
+            .unwrap();
         let (rec, profile, name) = ns.lookup_port("my-port").unwrap();
         assert_eq!(rec.owner, id);
         assert_eq!(rec.listener, Some(listen));
@@ -86,7 +93,13 @@ impl RelayDelegate for EchoDelegate {
         v.reverse();
         v
     }
-    fn on_open(&self, _from: u64, port_name: &str, _channel: u64, stream: RoutedStream) -> Result<(), String> {
+    fn on_open(
+        &self,
+        _from: u64,
+        port_name: &str,
+        _channel: u64,
+        stream: RoutedStream,
+    ) -> Result<(), String> {
         if port_name != "echo" {
             return Err(format!("unknown port {port_name}"));
         }

@@ -90,7 +90,10 @@ pub struct SecureStream<S> {
 }
 
 fn hs_error(msg: &'static str) -> io::Error {
-    io::Error::new(io::ErrorKind::PermissionDenied, format!("gtls handshake: {msg}"))
+    io::Error::new(
+        io::ErrorKind::PermissionDenied,
+        format!("gtls handshake: {msg}"),
+    )
 }
 
 fn write_record<S: Write>(s: &mut S, rtype: u8, body: &[u8]) -> io::Result<()> {
@@ -134,7 +137,11 @@ fn key_schedule(psk: &[u8], shared: &[u8; 32], transcript_hash: &[u8; 32]) -> Sc
     let split = |raw: &[u8; 44]| -> ([u8; 32], [u8; 12]) {
         (raw[..32].try_into().unwrap(), raw[32..].try_into().unwrap())
     };
-    Schedule { k_auth, c2s: split(&c2s), s2c: split(&s2c) }
+    Schedule {
+        k_auth,
+        c2s: split(&c2s),
+        s2c: split(&s2c),
+    }
 }
 
 fn auth_tag(k_auth: &[u8; 32], label: &[u8], transcript: &[u8]) -> [u8; 32] {
@@ -197,8 +204,16 @@ impl<S: Read + Write> SecureStream<S> {
 
         Ok(SecureStream {
             inner,
-            send: DirectionKeys { key: sched.c2s.0, iv: sched.c2s.1, seq: 0 },
-            recv: DirectionKeys { key: sched.s2c.0, iv: sched.s2c.1, seq: 0 },
+            send: DirectionKeys {
+                key: sched.c2s.0,
+                iv: sched.c2s.1,
+                seq: 0,
+            },
+            recv: DirectionKeys {
+                key: sched.s2c.0,
+                iv: sched.s2c.1,
+                seq: 0,
+            },
             read_buf: Vec::new(),
             read_pos: 0,
             peer_closed: false,
@@ -249,8 +264,16 @@ impl<S: Read + Write> SecureStream<S> {
 
         Ok(SecureStream {
             inner,
-            send: DirectionKeys { key: sched.s2c.0, iv: sched.s2c.1, seq: 0 },
-            recv: DirectionKeys { key: sched.c2s.0, iv: sched.c2s.1, seq: 0 },
+            send: DirectionKeys {
+                key: sched.s2c.0,
+                iv: sched.s2c.1,
+                seq: 0,
+            },
+            recv: DirectionKeys {
+                key: sched.c2s.0,
+                iv: sched.c2s.1,
+                seq: 0,
+            },
             read_buf: Vec::new(),
             read_pos: 0,
             peer_closed: false,
@@ -272,10 +295,16 @@ impl<S: Read + Write> SecureStream<S> {
     fn pump(&mut self) -> io::Result<()> {
         let (rtype, mut body) = read_record(&mut self.inner)?;
         if rtype != TYPE_DATA && rtype != TYPE_CLOSE {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "unexpected record type"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unexpected record type",
+            ));
         }
         if body.len() < aead::AEAD_TAG_LEN {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "record too short"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "record too short",
+            ));
         }
         let len = body.len() as u16;
         let aad = [rtype, (len >> 8) as u8, len as u8];
@@ -365,13 +394,25 @@ mod tests {
     }
 
     fn chan() -> Chan {
-        Arc::new((Mutex::new(Shared { q: VecDeque::new(), closed: false }), std::sync::Condvar::new()))
+        Arc::new((
+            Mutex::new(Shared {
+                q: VecDeque::new(),
+                closed: false,
+            }),
+            std::sync::Condvar::new(),
+        ))
     }
 
     fn pipe_pair() -> (Pipe, Pipe) {
         let a = chan();
         let b = chan();
-        (Pipe { tx: a.clone(), rx: b.clone() }, Pipe { tx: b, rx: a })
+        (
+            Pipe {
+                tx: a.clone(),
+                rx: b.clone(),
+            },
+            Pipe { tx: b, rx: a },
+        )
     }
 
     impl Drop for Pipe {
@@ -416,7 +457,10 @@ mod tests {
     fn handshake_pair(
         psk_client: &[u8],
         psk_server: &[u8],
-    ) -> (io::Result<SecureStream<Pipe>>, io::Result<SecureStream<Pipe>>) {
+    ) -> (
+        io::Result<SecureStream<Pipe>>,
+        io::Result<SecureStream<Pipe>>,
+    ) {
         let (pc, ps) = pipe_pair();
         let cfg_c = SecureConfig::new(psk_client);
         let cfg_s = SecureConfig::new(psk_server);
@@ -461,8 +505,19 @@ mod tests {
         let mut client = client.unwrap();
         let server = server.unwrap();
         client.write_all(b"THE-SECRET-PAYLOAD").unwrap();
-        let wire: Vec<u8> = server.get_ref().rx.0.lock().unwrap().q.iter().copied().collect();
-        let hay = wire.windows(b"THE-SECRET-PAYLOAD".len()).any(|w| w == b"THE-SECRET-PAYLOAD");
+        let wire: Vec<u8> = server
+            .get_ref()
+            .rx
+            .0
+            .lock()
+            .unwrap()
+            .q
+            .iter()
+            .copied()
+            .collect();
+        let hay = wire
+            .windows(b"THE-SECRET-PAYLOAD".len())
+            .any(|w| w == b"THE-SECRET-PAYLOAD");
         assert!(!hay, "plaintext leaked onto the wire");
     }
 

@@ -44,7 +44,10 @@ mod tests {
         d.iter().map(|b| format!("{b:02x}")).collect()
     }
     fn unhex(s: &str) -> Vec<u8> {
-        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
     }
 
     // RFC 5869 test case 1.

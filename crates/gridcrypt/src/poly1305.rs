@@ -34,7 +34,13 @@ impl Poly1305 {
             u32::from_le_bytes(key[24..28].try_into().unwrap()),
             u32::from_le_bytes(key[28..32].try_into().unwrap()),
         ];
-        Poly1305 { r, h: [0; 5], s, buf: [0; 16], buf_len: 0 }
+        Poly1305 {
+            r,
+            h: [0; 5],
+            s,
+            buf: [0; 16],
+            buf_len: 0,
+        }
     }
 
     fn process_block(&mut self, block: &[u8; 16], partial: bool) {
@@ -189,15 +195,19 @@ mod tests {
     use super::*;
 
     fn unhex(s: &str) -> Vec<u8> {
-        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
     }
 
     // RFC 8439 §2.5.2 test vector.
     #[test]
     fn rfc8439_vector() {
-        let key: [u8; 32] = unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
-            .try_into()
-            .unwrap();
+        let key: [u8; 32] =
+            unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+                .try_into()
+                .unwrap();
         let tag = poly1305(&key, b"Cryptographic Forum Research Group");
         assert_eq!(tag.to_vec(), unhex("a8061dc1305136c6c22b8baf0c0127a9"));
     }

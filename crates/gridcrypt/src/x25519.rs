@@ -311,8 +311,10 @@ mod tests {
     use super::*;
 
     fn unhex(s: &str) -> [u8; 32] {
-        let v: Vec<u8> =
-            (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect();
+        let v: Vec<u8> = (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect();
         v.try_into().unwrap()
     }
 
@@ -322,7 +324,10 @@ mod tests {
         let scalar = unhex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
         let u = unhex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
         let out = x25519(&scalar, &u);
-        assert_eq!(out, unhex("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"));
+        assert_eq!(
+            out,
+            unhex("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552")
+        );
     }
 
     // RFC 7748 §5.2 test vector 2.
@@ -331,7 +336,10 @@ mod tests {
         let scalar = unhex("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
         let u = unhex("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
         let out = x25519(&scalar, &u);
-        assert_eq!(out, unhex("95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"));
+        assert_eq!(
+            out,
+            unhex("95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957")
+        );
     }
 
     // RFC 7748 §5.2 iterated test (1 and 1000 iterations).
@@ -345,13 +353,19 @@ mod tests {
             u = k;
             k = out;
         }
-        assert_eq!(k, unhex("422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"));
+        assert_eq!(
+            k,
+            unhex("422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079")
+        );
         for _ in 1..1000 {
             out = x25519(&k, &u);
             u = k;
             k = out;
         }
-        assert_eq!(out, unhex("684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51"));
+        assert_eq!(
+            out,
+            unhex("684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51")
+        );
     }
 
     // RFC 7748 §6.1 Diffie-Hellman test.
@@ -359,14 +373,23 @@ mod tests {
     fn rfc7748_dh() {
         let alice_sk = unhex("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
         let alice_pk = public_key(&alice_sk);
-        assert_eq!(alice_pk, unhex("8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"));
+        assert_eq!(
+            alice_pk,
+            unhex("8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a")
+        );
         let bob_sk = unhex("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
         let bob_pk = public_key(&bob_sk);
-        assert_eq!(bob_pk, unhex("de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"));
+        assert_eq!(
+            bob_pk,
+            unhex("de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f")
+        );
         let k1 = x25519(&alice_sk, &bob_pk);
         let k2 = x25519(&bob_sk, &alice_pk);
         assert_eq!(k1, k2);
-        assert_eq!(k1, unhex("4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"));
+        assert_eq!(
+            k1,
+            unhex("4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742")
+        );
     }
 
     #[test]
@@ -386,8 +409,10 @@ mod fe_tests {
     use super::*;
 
     fn unhex32(s: &str) -> [u8; 32] {
-        let v: Vec<u8> =
-            (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect();
+        let v: Vec<u8> = (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect();
         v.try_into().unwrap()
     }
 
@@ -429,7 +454,9 @@ mod fe_tests {
     #[test]
     fn sub_then_add_is_identity() {
         let a = Fe::from_bytes(&unhex32(A_HEX));
-        let b = Fe::from_bytes(&unhex32("0200000000000000000000000000000000000000000000000000000000000000"));
+        let b = Fe::from_bytes(&unhex32(
+            "0200000000000000000000000000000000000000000000000000000000000000",
+        ));
         let d = Fe::sub(&a, &b);
         let back = Fe::add(&d, &b).weak_reduce();
         assert_eq!(back.to_bytes(), a.to_bytes());

@@ -29,7 +29,11 @@ struct BitWriter {
 
 impl BitWriter {
     fn new() -> BitWriter {
-        BitWriter { out: Vec::new(), acc: 0, nbits: 0 }
+        BitWriter {
+            out: Vec::new(),
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     #[inline]
@@ -62,14 +66,22 @@ struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     fn new(input: &'a [u8]) -> BitReader<'a> {
-        BitReader { input, pos: 0, acc: 0, nbits: 0 }
+        BitReader {
+            input,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     /// Read one bit; `Err` on exhausted input.
     #[inline]
     fn bit(&mut self) -> Result<u32, CorruptBlock> {
         if self.nbits == 0 {
-            let b = *self.input.get(self.pos).ok_or(CorruptBlock("bitstream exhausted"))?;
+            let b = *self
+                .input
+                .get(self.pos)
+                .ok_or(CorruptBlock("bitstream exhausted"))?;
             self.pos += 1;
             self.acc = b as u64;
             self.nbits = 8;
@@ -139,7 +151,12 @@ fn build_once(freqs: &[u64]) -> Vec<u8> {
     let mut heap: BinaryHeap<Reverse<Node>> = present
         .iter()
         .enumerate()
-        .map(|(leaf_idx, &sym)| Reverse(Node { freq: freqs[sym], id: leaf_idx }))
+        .map(|(leaf_idx, &sym)| {
+            Reverse(Node {
+                freq: freqs[sym],
+                id: leaf_idx,
+            })
+        })
         .collect();
     let mut next_id = present.len();
     while heap.len() > 1 {
@@ -147,7 +164,10 @@ fn build_once(freqs: &[u64]) -> Vec<u8> {
         let Reverse(b) = heap.pop().unwrap();
         parent[a.id] = next_id;
         parent[b.id] = next_id;
-        heap.push(Reverse(Node { freq: a.freq + b.freq, id: next_id }));
+        heap.push(Reverse(Node {
+            freq: a.freq + b.freq,
+            id: next_id,
+        }));
         next_id += 1;
     }
     for (leaf_idx, &sym) in present.iter().enumerate() {
@@ -315,7 +335,12 @@ mod tests {
         let mut data = vec![0u8; 9000];
         data.extend(std::iter::repeat_n(7u8, 1000));
         let enc = encode(&data).expect("skewed data must compress");
-        assert!(enc.len() < data.len() / 4, "{} vs {}", enc.len(), data.len());
+        assert!(
+            enc.len() < data.len() / 4,
+            "{} vs {}",
+            enc.len(),
+            data.len()
+        );
         assert_eq!(decode(&enc, data.len()).unwrap(), data);
     }
 
@@ -338,7 +363,10 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let data: Vec<u8> = (0..10_000).map(|_| rng.random()).collect();
-        assert!(encode(&data).is_none(), "uniform bytes cannot be entropy-coded smaller");
+        assert!(
+            encode(&data).is_none(),
+            "uniform bytes cannot be entropy-coded smaller"
+        );
     }
 
     #[test]
@@ -365,8 +393,8 @@ mod tests {
     #[test]
     fn codes_are_prefix_free() {
         let mut freqs = [0u64; 256];
-        for i in 0..256usize {
-            freqs[i] = (i as u64 + 1) * (i as u64 % 7 + 1);
+        for (i, f) in freqs.iter_mut().enumerate() {
+            *f = (i as u64 + 1) * (i as u64 % 7 + 1);
         }
         let lens = code_lengths(&freqs);
         let codes = canonical_codes(&lens);

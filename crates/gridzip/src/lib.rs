@@ -34,4 +34,7 @@ pub mod synth;
 pub mod varint;
 
 pub use lzss::{decompress, Compressor, CorruptBlock, MIN_MATCH, WINDOW};
-pub use stream::{frame_block, read_block, CompressWriter, DecompressReader, DEFAULT_BLOCK, HUFFMAN_FROM_LEVEL};
+pub use stream::{
+    frame_block, frame_block_with, read_block, read_block_with, CompressWriter, DecompressReader,
+    DEFAULT_BLOCK, HUFFMAN_FROM_LEVEL,
+};

@@ -329,7 +329,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         let data: Vec<u8> = (0..50_000).map(|_| rng.random()).collect();
         let n = roundtrip(3, &data);
-        assert!(n < data.len() + data.len() / 16, "incompressible expansion bounded: {n}");
+        assert!(
+            n < data.len() + data.len() / 16,
+            "incompressible expansion bounded: {n}"
+        );
     }
 
     #[test]
@@ -355,7 +358,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         // Structured: limited alphabet with repeats.
         let words: Vec<Vec<u8>> = (0..64)
-            .map(|_| (0..rng.random_range(3..10)).map(|_| rng.random_range(b'a'..=b'z')).collect())
+            .map(|_| {
+                (0..rng.random_range(3..10))
+                    .map(|_| rng.random_range(b'a'..=b'z'))
+                    .collect()
+            })
             .collect();
         let mut data = Vec::new();
         while data.len() < 100_000 {
@@ -379,8 +386,7 @@ mod tests {
     #[test]
     fn overlapping_match_rle() {
         // "ababab..." forces offset 2 < match length (overlapping copy).
-        let data: Vec<u8> = std::iter::repeat(*b"ab")
-            .take(5000)
+        let data: Vec<u8> = std::iter::repeat_n(*b"ab", 5000)
             .flat_map(|p| p.into_iter())
             .collect();
         let n = roundtrip(2, &data);

@@ -35,17 +35,33 @@ pub const HUFFMAN_FROM_LEVEL: u8 = 7;
 /// Compress one block with the stored fallback; appends a framed block to
 /// `out`. Returns the payload length written (excluding the header).
 pub fn frame_block(c: &mut Compressor, data: &[u8], out: &mut Vec<u8>) -> usize {
-    let mut tmp = Vec::with_capacity(data.len() / 2 + 64);
-    c.compress(data, &mut tmp);
+    let mut scratch = Vec::with_capacity(data.len() / 2 + 64);
+    frame_block_with(c, data, out, &mut scratch)
+}
+
+/// [`frame_block`] with a caller-owned compression scratch buffer, so a
+/// streaming writer emitting many blocks reuses one allocation. The
+/// scratch holds no state between calls — only capacity.
+pub fn frame_block_with(
+    c: &mut Compressor,
+    data: &[u8],
+    out: &mut Vec<u8>,
+    scratch: &mut Vec<u8>,
+) -> usize {
+    scratch.clear();
+    c.compress(data, scratch);
     let mut flag = FLAG_LZSS;
     if c.level() >= HUFFMAN_FROM_LEVEL {
-        if let Some(packed) = huffman::encode(&tmp) {
-            tmp = packed;
+        if let Some(packed) = huffman::encode(scratch) {
+            *scratch = packed;
             flag = FLAG_LZSS_HUFF;
         }
     }
-    let (flag, payload): (u8, &[u8]) =
-        if tmp.len() < data.len() { (flag, &tmp) } else { (FLAG_STORED, data) };
+    let (flag, payload): (u8, &[u8]) = if scratch.len() < data.len() {
+        (flag, scratch)
+    } else {
+        (FLAG_STORED, data)
+    };
     out.push(flag);
     varint::put(out, data.len() as u64);
     varint::put(out, payload.len() as u64);
@@ -56,40 +72,69 @@ pub fn frame_block(c: &mut Compressor, data: &[u8], out: &mut Vec<u8>) -> usize 
 /// Read and decode one framed block from `r`. Returns `None` on clean EOF
 /// at a block boundary. `max_block` bounds the decoded size.
 pub fn read_block<R: Read>(r: &mut R, max_block: usize) -> io::Result<Option<Vec<u8>>> {
+    read_block_with(r, max_block, &mut Vec::new())
+}
+
+/// [`read_block`] with a caller-owned payload scratch buffer; a streaming
+/// reader decoding many blocks reuses one allocation for the compressed
+/// payload (the decoded block is returned owned either way).
+pub fn read_block_with<R: Read>(
+    r: &mut R,
+    max_block: usize,
+    payload: &mut Vec<u8>,
+) -> io::Result<Option<Vec<u8>>> {
     let mut flag = [0u8];
-    if r.read(&mut flag)? == 0 { return Ok(None) }
+    if r.read(&mut flag)? == 0 {
+        return Ok(None);
+    }
     let orig_len = varint::read_from(r)? as usize;
     let payload_len = varint::read_from(r)? as usize;
     if orig_len > max_block || payload_len > max_block + max_block / 8 + 64 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "block exceeds size bound"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "block exceeds size bound",
+        ));
     }
-    let mut payload = vec![0u8; payload_len];
-    r.read_exact(&mut payload)?;
+    payload.clear();
+    payload.resize(payload_len, 0);
+    r.read_exact(payload)?;
     match flag[0] {
         FLAG_STORED => {
             if payload.len() != orig_len {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "stored length mismatch"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "stored length mismatch",
+                ));
             }
-            Ok(Some(payload))
+            Ok(Some(std::mem::take(payload)))
         }
         FLAG_LZSS => {
-            let out = decompress(&payload, orig_len)?;
+            let out = decompress(payload, orig_len)?;
             if out.len() != orig_len {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "decoded length mismatch"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "decoded length mismatch",
+                ));
             }
             Ok(Some(out))
         }
         FLAG_LZSS_HUFF => {
             // Entropy stage first (bounded by a generous LZSS expansion
             // estimate), then the LZSS stage.
-            let lzss_bytes = huffman::decode(&payload, max_block + max_block / 8 + 64)?;
+            let lzss_bytes = huffman::decode(payload, max_block + max_block / 8 + 64)?;
             let out = decompress(&lzss_bytes, orig_len)?;
             if out.len() != orig_len {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "decoded length mismatch"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "decoded length mismatch",
+                ));
             }
             Ok(Some(out))
         }
-        _ => Err(io::Error::new(io::ErrorKind::InvalidData, "unknown block flag")),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unknown block flag",
+        )),
     }
 }
 
@@ -100,6 +145,9 @@ pub struct CompressWriter<W: Write> {
     comp: Compressor,
     buf: Vec<u8>,
     block_size: usize,
+    /// Reused per-block buffers: the framed output and the LZSS scratch.
+    framed: Vec<u8>,
+    scratch: Vec<u8>,
     /// Totals for ratio accounting.
     pub bytes_in: u64,
     pub bytes_out: u64,
@@ -117,6 +165,8 @@ impl<W: Write> CompressWriter<W> {
             comp: Compressor::new(level),
             buf: Vec::with_capacity(block_size),
             block_size,
+            framed: Vec::new(),
+            scratch: Vec::new(),
             bytes_in: 0,
             bytes_out: 0,
         }
@@ -126,12 +176,17 @@ impl<W: Write> CompressWriter<W> {
         if self.buf.is_empty() {
             return Ok(());
         }
-        let mut framed = Vec::with_capacity(self.buf.len() / 2 + 16);
-        frame_block(&mut self.comp, &self.buf, &mut framed);
+        self.framed.clear();
+        frame_block_with(
+            &mut self.comp,
+            &self.buf,
+            &mut self.framed,
+            &mut self.scratch,
+        );
         self.bytes_in += self.buf.len() as u64;
-        self.bytes_out += framed.len() as u64;
+        self.bytes_out += self.framed.len() as u64;
         self.buf.clear();
-        self.inner.write_all(&framed)
+        self.inner.write_all(&self.framed)
     }
 
     /// Flush buffered data as a block and flush the inner writer.
@@ -182,6 +237,8 @@ pub struct DecompressReader<R: Read> {
     current: Vec<u8>,
     pos: usize,
     max_block: usize,
+    /// Reused compressed-payload scratch for [`read_block_with`].
+    payload: Vec<u8>,
     pub bytes_in_compressed: u64,
     pub bytes_out: u64,
 }
@@ -193,6 +250,7 @@ impl<R: Read> DecompressReader<R> {
             current: Vec::new(),
             pos: 0,
             max_block: 16 << 20,
+            payload: Vec::new(),
             bytes_out: 0,
             bytes_in_compressed: 0,
         }
@@ -210,7 +268,7 @@ impl<R: Read> DecompressReader<R> {
 impl<R: Read> Read for DecompressReader<R> {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         if self.pos == self.current.len() {
-            match read_block(&mut self.inner, self.max_block)? {
+            match read_block_with(&mut self.inner, self.max_block, &mut self.payload)? {
                 Some(b) => {
                     self.bytes_out += b.len() as u64;
                     self.current = b;
@@ -253,7 +311,10 @@ mod tests {
         w.write_all(&data).unwrap();
         let framed = w.finish().unwrap();
         // Overhead: ~8 bytes per 32K block.
-        assert!(framed.len() < data.len() + 64, "stored fallback bounds expansion");
+        assert!(
+            framed.len() < data.len() + 64,
+            "stored fallback bounds expansion"
+        );
         let mut r = DecompressReader::new(io::Cursor::new(framed));
         let mut back = Vec::new();
         r.read_to_end(&mut back).unwrap();
@@ -308,7 +369,10 @@ mod tests {
         };
         let l6 = size_at(6);
         let l9 = size_at(9);
-        assert!(l9 < l6, "level 9 (huffman, {l9}) must beat level 6 (lzss only, {l6})");
+        assert!(
+            l9 < l6,
+            "level 9 (huffman, {l9}) must beat level 6 (lzss only, {l6})"
+        );
         // And the level-9 stream decodes.
         let mut w = CompressWriter::new(Vec::new(), 9);
         w.write_all(&data).unwrap();

@@ -62,7 +62,10 @@ mod tests {
         let r5 = measure_ratio(&grid_payload(200_000, 0.5, 1), 1);
         let r9 = measure_ratio(&grid_payload(200_000, 0.95, 1), 1);
         assert!(r0 < 1.1, "pure random ≈ incompressible: {r0:.2}");
-        assert!(r5 > r0, "more redundancy, more compression: {r5:.2} vs {r0:.2}");
+        assert!(
+            r5 > r0,
+            "more redundancy, more compression: {r5:.2} vs {r0:.2}"
+        );
         assert!(r9 > r5, "{r9:.2} vs {r5:.2}");
     }
 

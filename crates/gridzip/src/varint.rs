@@ -46,7 +46,10 @@ pub fn read_from<R: Read>(r: &mut R) -> io::Result<u64> {
             return Ok(v);
         }
     }
-    Err(io::Error::new(io::ErrorKind::InvalidData, "varint too long"))
+    Err(io::Error::new(
+        io::ErrorKind::InvalidData,
+        "varint too long",
+    ))
 }
 
 #[cfg(test)]

@@ -34,7 +34,11 @@ impl Ip {
         if len == 0 {
             return true;
         }
-        let mask = if len >= 32 { u32::MAX } else { !(u32::MAX >> len) };
+        let mask = if len >= 32 {
+            u32::MAX
+        } else {
+            !(u32::MAX >> len)
+        };
         (self.0 & mask) == (prefix.0 & mask)
     }
 }
@@ -116,7 +120,10 @@ mod tests {
         let net = Ip::new(192, 168, 1, 0);
         assert!(Ip::new(192, 168, 1, 77).in_prefix(net, 24));
         assert!(!Ip::new(192, 168, 2, 77).in_prefix(net, 24));
-        assert!(Ip::new(1, 2, 3, 4).in_prefix(Ip::UNSPECIFIED, 0), "default route matches all");
+        assert!(
+            Ip::new(1, 2, 3, 4).in_prefix(Ip::UNSPECIFIED, 0),
+            "default route matches all"
+        );
         assert!(Ip::new(1, 2, 3, 4).in_prefix(Ip::new(1, 2, 3, 4), 32));
         assert!(!Ip::new(1, 2, 3, 5).in_prefix(Ip::new(1, 2, 3, 4), 32));
     }

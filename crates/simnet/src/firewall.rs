@@ -53,7 +53,10 @@ pub enum Verdict {
 
 impl Firewall {
     pub fn new(policy: FirewallPolicy) -> Firewall {
-        Firewall { policy, established: HashSet::new() }
+        Firewall {
+            policy,
+            established: HashSet::new(),
+        }
     }
 
     pub fn policy(&self) -> &FirewallPolicy {
@@ -108,7 +111,10 @@ mod tests {
     #[test]
     fn stateful_blocks_unsolicited_inbound() {
         let mut fw = Firewall::new(FirewallPolicy::StatefulOutbound);
-        assert_eq!(fw.filter(Direction::OutsideToInside, sa(1, 80), pub_sa(9, 5555)), Verdict::Drop);
+        assert_eq!(
+            fw.filter(Direction::OutsideToInside, sa(1, 80), pub_sa(9, 5555)),
+            Verdict::Drop
+        );
     }
 
     #[test]
@@ -138,29 +144,51 @@ mod tests {
         let a = pub_sa(1, 4001);
         let b = pub_sa(2, 4002);
         // Host A's SYN leaves firewall A...
-        assert_eq!(fw_a.filter(Direction::InsideToOutside, a, b), Verdict::Accept);
+        assert_eq!(
+            fw_a.filter(Direction::InsideToOutside, a, b),
+            Verdict::Accept
+        );
         // ...and host B's simultaneous SYN leaves firewall B.
-        assert_eq!(fw_b.filter(Direction::InsideToOutside, b, a), Verdict::Accept);
+        assert_eq!(
+            fw_b.filter(Direction::InsideToOutside, b, a),
+            Verdict::Accept
+        );
         // Each SYN is then accepted inbound at the other side.
-        assert_eq!(fw_b.filter(Direction::OutsideToInside, b, a), Verdict::Accept);
-        assert_eq!(fw_a.filter(Direction::OutsideToInside, a, b), Verdict::Accept);
+        assert_eq!(
+            fw_b.filter(Direction::OutsideToInside, b, a),
+            Verdict::Accept
+        );
+        assert_eq!(
+            fw_a.filter(Direction::OutsideToInside, a, b),
+            Verdict::Accept
+        );
     }
 
     #[test]
     fn strict_blocks_outbound_except_proxy() {
         let proxy = Ip::new(130, 37, 0, 9);
-        let mut fw = Firewall::new(FirewallPolicy::Strict { allowed_remotes: vec![proxy] });
+        let mut fw = Firewall::new(FirewallPolicy::Strict {
+            allowed_remotes: vec![proxy],
+        });
         assert_eq!(
             fw.filter(Direction::InsideToOutside, sa(1, 4000), pub_sa(1, 80)),
             Verdict::Drop
         );
         assert_eq!(
-            fw.filter(Direction::InsideToOutside, sa(1, 4000), SockAddr::new(proxy, 1080)),
+            fw.filter(
+                Direction::InsideToOutside,
+                sa(1, 4000),
+                SockAddr::new(proxy, 1080)
+            ),
             Verdict::Accept
         );
         // Replies from the proxy flow back in.
         assert_eq!(
-            fw.filter(Direction::OutsideToInside, sa(1, 4000), SockAddr::new(proxy, 1080)),
+            fw.filter(
+                Direction::OutsideToInside,
+                sa(1, 4000),
+                SockAddr::new(proxy, 1080)
+            ),
             Verdict::Accept
         );
     }
@@ -168,8 +196,14 @@ mod tests {
     #[test]
     fn open_policy_accepts_everything() {
         let mut fw = Firewall::new(FirewallPolicy::Open);
-        assert_eq!(fw.filter(Direction::OutsideToInside, sa(1, 1), pub_sa(1, 1)), Verdict::Accept);
-        assert_eq!(fw.filter(Direction::InsideToOutside, sa(1, 1), pub_sa(1, 1)), Verdict::Accept);
+        assert_eq!(
+            fw.filter(Direction::OutsideToInside, sa(1, 1), pub_sa(1, 1)),
+            Verdict::Accept
+        );
+        assert_eq!(
+            fw.filter(Direction::InsideToOutside, sa(1, 1), pub_sa(1, 1)),
+            Verdict::Accept
+        );
         assert_eq!(fw.flow_count(), 1);
     }
 }

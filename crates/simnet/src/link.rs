@@ -22,7 +22,12 @@ pub struct LinkParams {
 impl LinkParams {
     /// A convenient symmetric WAN/LAN link description.
     pub fn new(bandwidth_bps: f64, delay: Duration) -> LinkParams {
-        LinkParams { bandwidth_bps, delay, loss: 0.0, queue_bytes: 256 * 1024 }
+        LinkParams {
+            bandwidth_bps,
+            delay,
+            loss: 0.0,
+            queue_bytes: 256 * 1024,
+        }
     }
 
     /// Builder-style loss probability.
@@ -101,7 +106,13 @@ mod tests {
     use crate::world::NodeId;
 
     fn dir(params: LinkParams) -> LinkDir {
-        LinkDir { params, to_node: NodeId(0), to_iface: 0, busy_until: SimTime::ZERO, stats: LinkStats::default() }
+        LinkDir {
+            params,
+            to_node: NodeId(0),
+            to_iface: 0,
+            busy_until: SimTime::ZERO,
+            stats: LinkStats::default(),
+        }
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub enum NatKind {
 impl NatKind {
     /// Does this NAT allocate one mapping per destination?
     pub fn is_symmetric(self) -> bool {
-        matches!(self, NatKind::SymmetricSequential | NatKind::SymmetricRandom)
+        matches!(
+            self,
+            NatKind::SymmetricSequential | NatKind::SymmetricRandom
+        )
     }
 
     /// Is the external port of the *next* mapping predictable from observing
@@ -73,7 +76,13 @@ pub const NAT_PORT_SPAN: u16 = 20_000;
 
 impl Nat {
     pub fn new(kind: NatKind, ext_ip: Ip) -> Nat {
-        Nat { kind, ext_ip, next_port: NAT_PORT_BASE, by_key: HashMap::new(), by_external: HashMap::new() }
+        Nat {
+            kind,
+            ext_ip,
+            next_port: NAT_PORT_BASE,
+            by_key: HashMap::new(),
+            by_external: HashMap::new(),
+        }
     }
 
     pub fn kind(&self) -> NatKind {
@@ -127,7 +136,13 @@ impl Nat {
             None => {
                 let p = self.alloc_port(rng);
                 self.by_key.insert(key, p);
-                self.by_external.insert(p, Mapping { internal: src, remotes: HashSet::new() });
+                self.by_external.insert(
+                    p,
+                    Mapping {
+                        internal: src,
+                        remotes: HashSet::new(),
+                    },
+                );
                 p
             }
         };
@@ -147,9 +162,9 @@ impl Nat {
         let admit = match self.kind {
             NatKind::FullCone => true,
             NatKind::RestrictedCone => m.remotes.iter().any(|r| r.ip == src.ip),
-            NatKind::PortRestricted
-            | NatKind::SymmetricSequential
-            | NatKind::SymmetricRandom => m.remotes.contains(&src),
+            NatKind::PortRestricted | NatKind::SymmetricSequential | NatKind::SymmetricRandom => {
+                m.remotes.contains(&src)
+            }
         };
         admit.then_some(m.internal)
     }
@@ -157,7 +172,11 @@ impl Nat {
     /// The external port currently mapped for `internal` (+`dst` when
     /// symmetric), if any. Used by tests and diagnostics.
     pub fn external_port_of(&self, internal: SockAddr, dst: Option<SockAddr>) -> Option<u16> {
-        let key = if self.kind.is_symmetric() { (internal, dst) } else { (internal, None) };
+        let key = if self.kind.is_symmetric() {
+            (internal, dst)
+        } else {
+            (internal, None)
+        };
         self.by_key.get(&key).copied()
     }
 
@@ -199,7 +218,11 @@ mod tests {
         let mut r = rng();
         let mut nat = Nat::new(NatKind::RestrictedCone, Ip::new(131, 1, 1, 1));
         let m = nat.outbound(int(5000), ext(1, 80), &mut r);
-        assert_eq!(nat.inbound(m.port, ext(1, 9999)), Some(int(5000)), "same address, any port");
+        assert_eq!(
+            nat.inbound(m.port, ext(1, 9999)),
+            Some(int(5000)),
+            "same address, any port"
+        );
         assert_eq!(nat.inbound(m.port, ext(2, 80)), None, "different address");
     }
 
@@ -232,7 +255,10 @@ mod tests {
             .map(|i| nat.outbound(int(5000), ext(i as u8 + 1, 80), &mut r).port)
             .collect();
         let sequential = ports.windows(2).all(|w| w[1] == w[0] + 1);
-        assert!(!sequential, "random allocation must not look sequential: {ports:?}");
+        assert!(
+            !sequential,
+            "random allocation must not look sequential: {ports:?}"
+        );
         assert_eq!(nat.mapping_count(), 8);
     }
 

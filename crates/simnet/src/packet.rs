@@ -41,7 +41,12 @@ pub struct Packet {
 
 impl Packet {
     pub fn new(src: SockAddr, dst: SockAddr, proto: u8, payload: Box<dyn Payload>) -> Packet {
-        Packet { src, dst, proto, payload }
+        Packet {
+            src,
+            dst,
+            proto,
+            payload,
+        }
     }
 
     /// Total simulated wire size, including the IP header.

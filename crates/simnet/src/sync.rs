@@ -41,7 +41,10 @@ impl<T> SimMutex<T> {
     pub fn new(value: T) -> SimMutex<T> {
         SimMutex {
             inner: Arc::new(Inner {
-                ctl: Mutex::new(Ctl { locked: false, waiters: VecDeque::new() }),
+                ctl: Mutex::new(Ctl {
+                    locked: false,
+                    waiters: VecDeque::new(),
+                }),
                 value: UnsafeCell::new(value),
             }),
         }
@@ -50,7 +53,9 @@ impl<T> SimMutex<T> {
 
 impl<T: ?Sized> Clone for SimMutex<T> {
     fn clone(&self) -> Self {
-        SimMutex { inner: Arc::clone(&self.inner) }
+        SimMutex {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -133,7 +138,9 @@ struct QueueState<T> {
 
 impl<T> Clone for SimQueue<T> {
     fn clone(&self) -> Self {
-        SimQueue { inner: Arc::clone(&self.inner) }
+        SimQueue {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -273,8 +280,16 @@ mod tests {
         }
         sched.run();
         let g = m.lock_outside();
-        assert_eq!(*g, vec![0, 1, 10, 11, 20, 21], "no interleaving inside the lock");
-        assert_eq!(sched.now().as_nanos(), 30_000_000, "three serialized 10ms sections");
+        assert_eq!(
+            *g,
+            vec![0, 1, 10, 11, 20, 21],
+            "no interleaving inside the lock"
+        );
+        assert_eq!(
+            sched.now().as_nanos(),
+            30_000_000,
+            "three serialized 10ms sections"
+        );
     }
 
     #[test]

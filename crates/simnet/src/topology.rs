@@ -132,7 +132,12 @@ impl Grid {
             FirewallPolicy::Open,
             None,
         );
-        let mut grid = Grid { backbone, sites: Vec::new(), public_hosts: Vec::new(), next_public_host: 10 };
+        let mut grid = Grid {
+            backbone,
+            sites: Vec::new(),
+            public_hosts: Vec::new(),
+            next_public_host: 10,
+        };
         for (i, spec) in sites.iter().enumerate() {
             grid.add_site(w, i as u8, spec);
         }
@@ -142,7 +147,11 @@ impl Grid {
     fn add_site(&mut self, w: &mut World, idx: u8, spec: &SiteSpec) {
         let site_no = idx + 1;
         let private = spec.private_addrs || spec.nat.is_some();
-        let host_net = if private { Ip::new(192, 168, site_no, 0) } else { Ip::new(130, site_no, 0, 0) };
+        let host_net = if private {
+            Ip::new(192, 168, site_no, 0)
+        } else {
+            Ip::new(130, site_no, 0, 0)
+        };
         let gw_inside = if private {
             Ip::new(192, 168, site_no, 1)
         } else {
@@ -177,7 +186,14 @@ impl Grid {
         for h in 0..spec.hosts {
             let ip = Ip(host_net.0 + 10 + h as u32);
             let host = w.add_host(format!("{}-{}", spec.name, h), vec![ip]);
-            let (hif, gif) = w.connect_with(host, Trust::Inside, gw, Trust::Inside, lan_params(), lan_params());
+            let (hif, gif) = w.connect_with(
+                host,
+                Trust::Inside,
+                gw,
+                Trust::Inside,
+                lan_params(),
+                lan_params(),
+            );
             w.default_route(host, hif);
             w.route(gw, ip, 32, gif);
             hosts.push(host);
@@ -200,12 +216,23 @@ impl Grid {
 
     /// Attach a public server host with an explicit uplink (e.g. to model a
     /// relay whose own link is the bottleneck).
-    pub fn add_public_host_with(&mut self, w: &mut World, name: &str, uplink: LinkParams) -> (NodeId, Ip) {
+    pub fn add_public_host_with(
+        &mut self,
+        w: &mut World,
+        name: &str,
+        uplink: LinkParams,
+    ) -> (NodeId, Ip) {
         let ip = Ip::new(131, 0, 0, self.next_public_host);
         self.next_public_host += 1;
         let host = w.add_host(name, vec![ip]);
-        let (hif, bif) =
-            w.connect_with(host, Trust::Inside, self.backbone, Trust::Inside, uplink, uplink);
+        let (hif, bif) = w.connect_with(
+            host,
+            Trust::Inside,
+            self.backbone,
+            Trust::Inside,
+            uplink,
+            uplink,
+        );
         w.default_route(host, hif);
         w.route(self.backbone, ip, 32, bif);
         self.public_hosts.push((host, ip));
@@ -233,12 +260,12 @@ mod tests {
         let (grid, src_host, dst_host, dst_ip, src_ip) = net.with(|w| {
             let grid = Grid::build(
                 w,
-                &[SiteSpec::open("ams", 2, wan), SiteSpec::open("rennes", 2, wan)],
+                &[
+                    SiteSpec::open("ams", 2, wan),
+                    SiteSpec::open("rennes", 2, wan),
+                ],
             );
-            w.register_proto(
-                proto::UDP,
-                Arc::new(move |_w, n, _p| s2.lock().push(n)),
-            );
+            w.register_proto(proto::UDP, Arc::new(move |_w, n, _p| s2.lock().push(n)));
             let src = grid.sites[0].hosts[0];
             let dst = grid.sites[1].hosts[1];
             let dst_ip = grid.sites[1].host_ips[1];
@@ -271,14 +298,24 @@ mod tests {
         let (relay_host, relay_ip, src_host, src_ip) = net.with(|w| {
             let mut grid = Grid::build(
                 w,
-                &[SiteSpec::natted("siegen", 1, NatKind::SymmetricSequential, wan)],
+                &[SiteSpec::natted(
+                    "siegen",
+                    1,
+                    NatKind::SymmetricSequential,
+                    wan,
+                )],
             );
             let (relay_host, relay_ip) = grid.add_public_host(w, "relay");
             w.register_proto(
                 proto::UDP,
                 Arc::new(move |_w, n, p| s2.lock().push((n, p.src))),
             );
-            (relay_host, relay_ip, grid.sites[0].hosts[0], grid.sites[0].host_ips[0])
+            (
+                relay_host,
+                relay_ip,
+                grid.sites[0].hosts[0],
+                grid.sites[0].host_ips[0],
+            )
         });
         assert!(src_ip.is_private());
         net.with(|w| {
@@ -296,6 +333,10 @@ mod tests {
         let seen = seen.lock();
         assert_eq!(seen.len(), 1);
         assert_eq!(seen[0].0, relay_host);
-        assert!(!seen[0].1.ip.is_private(), "source must be NAT-translated: {}", seen[0].1);
+        assert!(
+            !seen[0].1.ip.is_private(),
+            "source must be NAT-translated: {}",
+            seen[0].1
+        );
     }
 }

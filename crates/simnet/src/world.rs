@@ -54,7 +54,10 @@ pub struct RouteEntry {
 /// Role of a node.
 pub enum NodeKind {
     Host,
-    Gateway { firewall: Firewall, nat: Option<Nat> },
+    Gateway {
+        firewall: Firewall,
+        nat: Option<Nat>,
+    },
 }
 
 /// A node: host or gateway.
@@ -192,7 +195,10 @@ impl World {
         self.add_node(
             name.into(),
             vec![inside_ip, outside_ip],
-            NodeKind::Gateway { firewall: Firewall::new(policy), nat },
+            NodeKind::Gateway {
+                firewall: Firewall::new(policy),
+                nat,
+            },
         )
     }
 
@@ -238,8 +244,16 @@ impl World {
             busy_until: SimTime::ZERO,
             stats: LinkStats::default(),
         });
-        self.nodes[a.0].ifaces.push(Iface { link_out: ab, peer: b, trust: trust_a });
-        self.nodes[b.0].ifaces.push(Iface { link_out: ba, peer: a, trust: trust_b });
+        self.nodes[a.0].ifaces.push(Iface {
+            link_out: ab,
+            peer: b,
+            trust: trust_a,
+        });
+        self.nodes[b.0].ifaces.push(Iface {
+            link_out: ba,
+            peer: a,
+            trust: trust_b,
+        });
         (iface_a, iface_b)
     }
 
@@ -250,7 +264,9 @@ impl World {
 
     /// Add a prefix route.
     pub fn route(&mut self, node: NodeId, prefix: Ip, len: u8, iface: usize) {
-        self.nodes[node.0].routes.push(RouteEntry { prefix, len, iface });
+        self.nodes[node.0]
+            .routes
+            .push(RouteEntry { prefix, len, iface });
     }
 
     /// Add a default route (0.0.0.0/0).
@@ -302,6 +318,12 @@ impl World {
     /// Stats of one link direction.
     pub fn link_stats(&self, id: LinkDirId) -> LinkStats {
         self.links[id.0].stats
+    }
+
+    /// Number of link directions in the world (valid `LinkDirId`s are
+    /// `0..n_link_dirs()`).
+    pub fn n_link_dirs(&self) -> usize {
+        self.links.len()
     }
 
     /// The outgoing link-direction id of `node`'s interface `iface`.
@@ -375,7 +397,11 @@ impl World {
     }
 
     /// Schedule `f(world)` after `d` of simulated time.
-    pub fn schedule_after(&self, d: std::time::Duration, f: impl FnOnce(&mut World) + Send + 'static) {
+    pub fn schedule_after(
+        &self,
+        d: std::time::Duration,
+        f: impl FnOnce(&mut World) + Send + 'static,
+    ) {
         self.schedule_at(self.sched.now() + d, f);
     }
 
@@ -450,7 +476,9 @@ impl World {
                 if let Some(internal) = translated {
                     pkt.dst = internal;
                     // Filter on the inside view of the flow.
-                    if self.gateway_filter(node, Direction::OutsideToInside, pkt.dst, pkt.src) == Verdict::Drop {
+                    if self.gateway_filter(node, Direction::OutsideToInside, pkt.dst, pkt.src)
+                        == Verdict::Drop
+                    {
                         self.stats.drop_firewall += 1;
                         self.trace(TraceKind::DropFirewall, &pkt);
                         return;
@@ -468,8 +496,7 @@ impl World {
                 // SOCKS) and fall through to local delivery.
                 let nat_range_hit = match &self.nodes[node.0].kind {
                     NodeKind::Gateway { nat: Some(nat), .. } => {
-                        pkt.dst.ip == nat.external_ip()
-                            && pkt.dst.port >= crate::nat::NAT_PORT_BASE
+                        pkt.dst.ip == nat.external_ip() && pkt.dst.port >= crate::nat::NAT_PORT_BASE
                     }
                     _ => false,
                 };
@@ -606,7 +633,8 @@ mod tests {
 
     #[test]
     fn end_to_end_delivery_with_correct_timing() {
-        let (sched, net, a, b, delivered) = two_hosts(LinkParams::mbps(1.0, Duration::from_millis(10)));
+        let (sched, net, a, b, delivered) =
+            two_hosts(LinkParams::mbps(1.0, Duration::from_millis(10)));
         let dst = SockAddr::new(Ip::new(2, 0, 0, 1), 80);
         let src = SockAddr::new(Ip::new(1, 0, 0, 1), 1234);
         net.with(|w| w.send_from(a, pkt(src, dst, 980)));
@@ -633,7 +661,8 @@ mod tests {
 
     #[test]
     fn loopback_delivers_locally() {
-        let (sched, net, a, _b, delivered) = two_hosts(LinkParams::mbps(1.0, Duration::from_millis(10)));
+        let (sched, net, a, _b, delivered) =
+            two_hosts(LinkParams::mbps(1.0, Duration::from_millis(10)));
         let me = SockAddr::new(Ip::new(1, 0, 0, 1), 80);
         net.with(|w| w.send_from(a, pkt(me, me, 100)));
         sched.run();
@@ -643,8 +672,11 @@ mod tests {
 
     #[test]
     fn lossy_link_drops_deterministically() {
-        let (sched, net, a, _b, delivered) =
-            two_hosts(LinkParams::mbps(10.0, Duration::ZERO).with_loss(0.5).with_queue(1 << 30));
+        let (sched, net, a, _b, delivered) = two_hosts(
+            LinkParams::mbps(10.0, Duration::ZERO)
+                .with_loss(0.5)
+                .with_queue(1 << 30),
+        );
         let dst = SockAddr::new(Ip::new(2, 0, 0, 1), 80);
         let src = SockAddr::new(Ip::new(1, 0, 0, 1), 1);
         net.with(|w| {
@@ -707,7 +739,11 @@ mod tests {
         sched.run();
         net.with(|w| w.send_from(b, pkt(b_addr, a_addr, 100)));
         sched.run();
-        assert_eq!(delivered.load(Ordering::SeqCst), 2, "outbound + reply delivered");
+        assert_eq!(
+            delivered.load(Ordering::SeqCst),
+            2,
+            "outbound + reply delivered"
+        );
     }
 
     /// NAT gateway: outbound traffic is source-rewritten; replies to the
@@ -766,7 +802,10 @@ mod tests {
             let (n, src, dst) = s[1];
             assert_eq!(n, a);
             assert_eq!(src, b_pub);
-            assert_eq!(dst, a_priv, "destination rewritten back to internal endpoint");
+            assert_eq!(
+                dst, a_priv,
+                "destination rewritten back to internal endpoint"
+            );
         }
         let _ = mapped_port;
     }
@@ -781,7 +820,9 @@ mod tests {
                 "gw",
                 Ip::new(192, 168, 1, 1),
                 Ip::new(130, 37, 0, 1),
-                FirewallPolicy::Strict { allowed_remotes: vec![Ip::new(131, 0, 0, 9)] },
+                FirewallPolicy::Strict {
+                    allowed_remotes: vec![Ip::new(131, 0, 0, 9)],
+                },
                 None,
             );
             let b = w.add_host("b", vec![Ip::new(131, 1, 0, 10)]);

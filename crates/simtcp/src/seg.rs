@@ -18,11 +18,36 @@ pub struct Flags {
 }
 
 impl Flags {
-    pub const SYN: Flags = Flags { syn: true, ack: false, fin: false, rst: false };
-    pub const ACK: Flags = Flags { syn: false, ack: true, fin: false, rst: false };
-    pub const SYN_ACK: Flags = Flags { syn: true, ack: true, fin: false, rst: false };
-    pub const FIN_ACK: Flags = Flags { syn: false, ack: true, fin: true, rst: false };
-    pub const RST: Flags = Flags { syn: false, ack: false, fin: false, rst: true };
+    pub const SYN: Flags = Flags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+    };
+    pub const ACK: Flags = Flags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+    };
+    pub const SYN_ACK: Flags = Flags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+    };
+    pub const FIN_ACK: Flags = Flags {
+        syn: false,
+        ack: true,
+        fin: true,
+        rst: false,
+    };
+    pub const RST: Flags = Flags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+    };
 }
 
 impl fmt::Debug for Flags {
@@ -101,7 +126,13 @@ mod tests {
 
     #[test]
     fn seq_len_counts_syn_and_fin() {
-        let syn = Segment { flags: Flags::SYN, seq: 100, ack: 0, wnd: 0, data: Bytes::new() };
+        let syn = Segment {
+            flags: Flags::SYN,
+            seq: 100,
+            ack: 0,
+            wnd: 0,
+            data: Bytes::new(),
+        };
         assert_eq!(syn.seq_len(), 1);
         assert_eq!(syn.seq_end(), 101);
         let data = Segment {
@@ -136,7 +167,13 @@ mod tests {
 
     #[test]
     fn debug_format_lists_flags() {
-        let s = Segment { flags: Flags::SYN_ACK, seq: 1, ack: 2, wnd: 3, data: Bytes::new() };
+        let s = Segment {
+            flags: Flags::SYN_ACK,
+            seq: 1,
+            ack: 2,
+            wnd: 3,
+            data: Bytes::new(),
+        };
         assert!(format!("{s:?}").contains("SYN+ACK"));
     }
 }

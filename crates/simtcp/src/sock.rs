@@ -6,6 +6,7 @@
 //! so byte-stream layers — buffered writers, compression, the GTLS secure
 //! channel — stack on top exactly as they would on a real socket.
 
+use bytes::Bytes;
 use gridsim_net::{ctx, Ip, Net, NodeId, SockAddr};
 use std::io;
 use std::sync::Arc;
@@ -75,7 +76,13 @@ impl TcpListener {
                             (t.local, t.remote)
                         })
                     });
-                    return Ok(TcpStream::attach(self.net.clone(), self.node, id, local, remote));
+                    return Ok(TcpStream::attach(
+                        self.net.clone(),
+                        self.node,
+                        id,
+                        local,
+                        remote,
+                    ));
                 }
                 Some(Err(e)) => return Err(e),
                 None => ctx::park("tcp accept"),
@@ -88,7 +95,8 @@ impl Drop for TcpListener {
     fn drop(&mut self) {
         let port = self.addr.port;
         let node = self.node;
-        self.net.with(|w| with_host(w, node, |h, w| h.close_listener(w, port)));
+        self.net
+            .with(|w| with_host(w, node, |h, w| h.close_listener(w, port)));
     }
 }
 
@@ -130,13 +138,31 @@ pub struct TcpStream {
 
 impl std::fmt::Debug for TcpStream {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "TcpStream({} -> {})", self.inner.local, self.inner.remote)
+        write!(
+            f,
+            "TcpStream({} -> {})",
+            self.inner.local, self.inner.remote
+        )
     }
 }
 
 impl TcpStream {
-    pub(crate) fn attach(net: Net, node: NodeId, id: ConnId, local: SockAddr, remote: SockAddr) -> TcpStream {
-        TcpStream { inner: Arc::new(StreamInner { net, node, id, local, remote }) }
+    pub(crate) fn attach(
+        net: Net,
+        node: NodeId,
+        id: ConnId,
+        local: SockAddr,
+        remote: SockAddr,
+    ) -> TcpStream {
+        TcpStream {
+            inner: Arc::new(StreamInner {
+                net,
+                node,
+                id,
+                local,
+                remote,
+            }),
+        }
     }
 
     pub fn local_addr(&self) -> SockAddr {
@@ -198,15 +224,13 @@ impl TcpStream {
             return Ok(0);
         }
         loop {
-            let r = self.with_tcb(|tcb, now| {
-                match tcb.try_write(now, buf) {
-                    Ok(WriteOutcome::Wrote(n)) => Some(Ok(n)),
-                    Ok(WriteOutcome::Full) => {
-                        tcb.write_wakers.push(ctx::waker());
-                        None
-                    }
-                    Err(e) => Some(Err(e)),
+            let r = self.with_tcb(|tcb, now| match tcb.try_write(now, buf) {
+                Ok(WriteOutcome::Wrote(n)) => Some(Ok(n)),
+                Ok(WriteOutcome::Full) => {
+                    tcb.write_wakers.push(ctx::waker());
+                    None
                 }
+                Err(e) => Some(Err(e)),
             })?;
             match r {
                 Some(r) => return r,
@@ -244,6 +268,73 @@ impl TcpStream {
             buf = &buf[n..];
         }
         Ok(())
+    }
+
+    /// Blocking write of one whole block, zero-copy: accepted bytes enter
+    /// the send queue as refcounted slices of `block`, which stay alive
+    /// until acknowledged by the peer.
+    pub fn write_block(&self, block: Bytes) -> io::Result<()> {
+        self.write_all_blocks(&[block])
+    }
+
+    /// Blocking vectored write of whole blocks, zero-copy. Consecutive
+    /// blocks are appended under a single stack lock while send-buffer
+    /// space lasts; the call parks only when the buffer fills.
+    pub fn write_all_blocks(&self, blocks: &[Bytes]) -> io::Result<()> {
+        let mut idx = 0;
+        // Remainder of blocks[idx] not yet accepted.
+        let mut rest: Option<Bytes> = None;
+        while idx < blocks.len() {
+            let r = self.with_tcb(|tcb, now| {
+                while idx < blocks.len() {
+                    let cur = rest.take().unwrap_or_else(|| blocks[idx].clone());
+                    if cur.is_empty() {
+                        idx += 1;
+                        continue;
+                    }
+                    match tcb.try_write_bytes(now, &cur) {
+                        Ok(WriteOutcome::Wrote(n)) if n == cur.len() => idx += 1,
+                        Ok(WriteOutcome::Wrote(n)) => rest = Some(cur.slice(n..)),
+                        Ok(WriteOutcome::Full) => {
+                            rest = Some(cur);
+                            tcb.write_wakers.push(ctx::waker());
+                            return None;
+                        }
+                        Err(e) => return Some(Err(e)),
+                    }
+                }
+                Some(Ok(()))
+            })?;
+            match r {
+                Some(r) => r?,
+                None => ctx::park("tcp write"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocking read handing out up to `max` bytes as zero-copy chunks
+    /// (slices of received segment buffers) appended to `out`. Returns the
+    /// byte count; `Ok(0)` means EOF.
+    pub fn read_chunks(&self, max: usize, out: &mut Vec<Bytes>) -> io::Result<usize> {
+        if max == 0 {
+            return Ok(0);
+        }
+        loop {
+            let r = self.with_tcb(|tcb, now| match tcb.try_read_chunks(now, max, out) {
+                Ok(ReadOutcome::Read(n)) => Some(Ok(n)),
+                Ok(ReadOutcome::Eof) => Some(Ok(0)),
+                Ok(ReadOutcome::Empty) => {
+                    tcb.read_wakers.push(ctx::waker());
+                    None
+                }
+                Err(e) => Some(Err(e)),
+            })?;
+            match r {
+                Some(r) => return r,
+                None => ctx::park("tcp read"),
+            }
+        }
     }
 
     /// Toggle Nagle's algorithm (paper §4.1: NetIbis disables it and
@@ -343,7 +434,11 @@ impl SimHost {
             crate::udp::UdpHost::register_dispatch(w);
             w.addr_of(node)
         });
-        SimHost { net: net.clone(), node, ip }
+        SimHost {
+            net: net.clone(),
+            node,
+            ip,
+        }
     }
 
     pub fn node(&self) -> NodeId {
@@ -361,17 +456,24 @@ impl SimHost {
 
     /// Default TCP parameters for sockets created on this host.
     pub fn set_tcp_config(&self, cfg: TcpConfig) {
-        self.net.with(|w| with_host(w, self.node, |h, _| h.default_cfg = cfg));
+        self.net
+            .with(|w| with_host(w, self.node, |h, _| h.default_cfg = cfg));
     }
 
     pub fn tcp_config(&self) -> TcpConfig {
-        self.net.with(|w| with_host(w, self.node, |h, _| h.default_cfg))
+        self.net
+            .with(|w| with_host(w, self.node, |h, _| h.default_cfg))
     }
 
     /// Open a listener on `port`.
     pub fn listen(&self, port: u16) -> io::Result<TcpListener> {
-        self.net.with(|w| with_host(w, self.node, |h, _| h.start_listen(port, 64)))?;
-        Ok(TcpListener::new(self.net.clone(), self.node, SockAddr::new(self.ip, port)))
+        self.net
+            .with(|w| with_host(w, self.node, |h, _| h.start_listen(port, 64)))?;
+        Ok(TcpListener::new(
+            self.net.clone(),
+            self.node,
+            SockAddr::new(self.ip, port),
+        ))
     }
 
     /// Connect to `remote`, blocking until established or failed.
@@ -405,7 +507,13 @@ impl SimHost {
                 Ok::<_, io::Error>((id, local))
             })
         })?;
-        Ok(TcpStream::attach(self.net.clone(), self.node, id, local, remote))
+        Ok(TcpStream::attach(
+            self.net.clone(),
+            self.node,
+            id,
+            local,
+            remote,
+        ))
     }
 
     /// Bind a UDP socket.

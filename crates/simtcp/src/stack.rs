@@ -145,7 +145,12 @@ impl TcpHost {
         }
         self.listeners.insert(
             port,
-            ListenerState { backlog, pending: VecDeque::new(), accept_wakers: Vec::new(), closed: false },
+            ListenerState {
+                backlog,
+                pending: VecDeque::new(),
+                accept_wakers: Vec::new(),
+                closed: false,
+            },
         );
         Ok(())
     }
@@ -180,7 +185,10 @@ impl TcpHost {
         let id = self
             .by_tuple
             .get(&(local, remote))
-            .or_else(|| self.by_tuple.get(&(SockAddr::new(Ip::UNSPECIFIED, local.port), remote)))
+            .or_else(|| {
+                self.by_tuple
+                    .get(&(SockAddr::new(Ip::UNSPECIFIED, local.port), remote))
+            })
             .copied();
         if let Some(id) = id {
             let now = w.sched().now();
@@ -222,13 +230,24 @@ impl TcpHost {
         // Closed port: answer with RST (unless the packet is itself a RST).
         if !seg.flags.rst {
             let rst = Segment {
-                flags: if seg.flags.ack { Flags::RST } else { Flags { rst: true, ack: true, ..Flags::default() } },
+                flags: if seg.flags.ack {
+                    Flags::RST
+                } else {
+                    Flags {
+                        rst: true,
+                        ack: true,
+                        ..Flags::default()
+                    }
+                },
                 seq: if seg.flags.ack { seg.ack } else { 0 },
                 ack: seg.seq_end(),
                 wnd: 0,
                 data: Bytes::new(),
             };
-            w.send_from(self.node, Packet::new(local, remote, proto::TCP, Box::new(rst)));
+            w.send_from(
+                self.node,
+                Packet::new(local, remote, proto::TCP, Box::new(rst)),
+            );
         }
     }
 
@@ -246,14 +265,17 @@ impl TcpHost {
 
     /// Emit queued segments and sync timers for one connection.
     pub fn flush_conn(&mut self, w: &mut World, id: ConnId) {
-        let Some(tcb) = self.conns.get_mut(&id) else { return };
+        let Some(tcb) = self.conns.get_mut(&id) else {
+            return;
+        };
         let (local, remote) = (tcb.local, tcb.remote);
         let node = self.node;
         for seg in tcb.take_out() {
             w.send_from(node, Packet::new(local, remote, proto::TCP, Box::new(seg)));
         }
-        // Timer sync: schedule any timer whose generation we have not yet
-        // scheduled. Stale firings check the generation and no-op.
+        // Timer sync: make sure an event exists at or before each armed
+        // deadline. A deadline moved later rides the already-outstanding
+        // event, which lazily reschedules itself on firing.
         let now = w.sched().now();
         for which in [Timer::Rtx, Timer::Persist, Timer::TimeWait] {
             let slot = match which {
@@ -262,33 +284,59 @@ impl TcpHost {
                 Timer::TimeWait => &mut tcb.tw_timer,
             };
             if let Some(deadline) = slot.deadline {
-                if slot.scheduled_gen != slot.gen {
-                    slot.scheduled_gen = slot.gen;
-                    let gen = slot.gen;
-                    let at = deadline.max(now);
+                let at = deadline.max(now);
+                if slot.covered.is_none_or(|c| c > at) {
+                    slot.covered = Some(at);
                     w.schedule_at(at, move |w| {
-                        with_host(w, node, |host, w| host.on_timer(w, id, which, gen));
+                        with_host(w, node, |host, w| host.on_timer(w, id, which));
                     });
                 }
             }
         }
     }
 
-    fn on_timer(&mut self, w: &mut World, id: ConnId, which: Timer, gen: u64) {
+    fn on_timer(&mut self, w: &mut World, id: ConnId, which: Timer) {
         let now = w.sched().now();
-        let Some(tcb) = self.conns.get_mut(&id) else { return };
-        let fire = match which {
-            Timer::Rtx => tcb.rtx_timer.matches(gen),
-            Timer::Persist => tcb.persist_timer.matches(gen),
-            Timer::TimeWait => tcb.tw_timer.matches(gen),
-        };
-        if !fire {
+        let node = self.node;
+        let Some(tcb) = self.conns.get_mut(&id) else {
             return;
+        };
+        let slot = match which {
+            Timer::Rtx => &mut tcb.rtx_timer,
+            Timer::Persist => &mut tcb.persist_timer,
+            Timer::TimeWait => &mut tcb.tw_timer,
+        };
+        if slot.covered == Some(now) {
+            slot.covered = None;
+        }
+        match slot.deadline {
+            // Due: fall through and fire. Firing always disarms or moves
+            // the deadline strictly later, so a second event landing at the
+            // same instant cannot fire twice.
+            Some(d) if d <= now => {}
+            // Deadline moved later since this event was scheduled: push the
+            // firing forward instead (the lazy half of the scheme).
+            Some(d) => {
+                if slot.covered.is_none_or(|c| c > d) {
+                    slot.covered = Some(d);
+                    w.schedule_at(d, move |w| {
+                        with_host(w, node, |host, w| host.on_timer(w, id, which));
+                    });
+                }
+                return;
+            }
+            // Disarmed while the event was in flight.
+            None => return,
         }
         match which {
             Timer::Rtx => tcb.on_rto(now),
             Timer::Persist => tcb.on_persist(now),
-            Timer::TimeWait => tcb.on_time_wait_expire(),
+            Timer::TimeWait => {
+                tcb.on_time_wait_expire();
+                // Expiry is terminal; clear the deadline so the sync pass
+                // does not schedule another (no-op) firing.
+                tcb.tw_timer.disarm();
+            }
         }
         self.flush_conn(w, id);
         self.reap(id);
@@ -300,8 +348,7 @@ impl TcpHost {
             // Keep errored connections around until the socket handle
             // observes the error, unless the handle is already gone.
             Some(tcb) => {
-                tcb.state == crate::tcb::State::Closed
-                    && (tcb.error().is_none() || tcb.detached)
+                tcb.state == crate::tcb::State::Closed && (tcb.error().is_none() || tcb.detached)
             }
             None => false,
         };
@@ -332,7 +379,11 @@ enum Timer {
 
 /// Run `f` with the host's TCP state temporarily taken out of the world
 /// (installing a fresh stack on first use).
-pub fn with_host<R>(w: &mut World, node: NodeId, f: impl FnOnce(&mut TcpHost, &mut World) -> R) -> R {
+pub fn with_host<R>(
+    w: &mut World,
+    node: NodeId,
+    f: impl FnOnce(&mut TcpHost, &mut World) -> R,
+) -> R {
     let mut boxed = match w.take_proto_state(node, proto::TCP) {
         Some(b) => b.downcast::<TcpHost>().expect("proto state type"),
         None => Box::new(TcpHost::new(node)),

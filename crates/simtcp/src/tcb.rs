@@ -114,30 +114,173 @@ pub struct ConnStats {
     pub rtx_timeouts: u64,
     pub fast_retransmits: u64,
     pub dup_acks_rcvd: u64,
+    /// Application blocks fully accepted via [`Tcb::try_write_bytes`].
+    pub blocks_sent: u64,
+    /// Host-side byte copies on this connection's data path: slice-path
+    /// writes, segment carves that straddle buffer chunks, and reads
+    /// copied out to a caller's buffer. Zero-copy handoffs don't count.
+    pub bytes_copied: u64,
 }
 
-/// A timer slot with generation-based cancellation: each (re)arm bumps the
-/// generation so stale scheduled firings are ignored.
+/// Byte queue stored as a deque of refcounted [`Bytes`] chunks.
+///
+/// Replaces the byte-wise `VecDeque<u8>` send/receive queues: enqueueing
+/// an application block and carving a segment whose range lies inside one
+/// chunk are both O(1) refcount operations instead of per-byte copies.
+/// Only ranges straddling a chunk boundary are coalesced (counted in
+/// [`ConnStats::bytes_copied`]).
+#[derive(Default)]
+struct ChunkDeque {
+    chunks: VecDeque<Bytes>,
+    len: usize,
+}
+
+impl ChunkDeque {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append by copy (the `&[u8]` write path). Returns bytes copied.
+    fn push_slice(&mut self, data: &[u8]) {
+        if !data.is_empty() {
+            self.len += data.len();
+            self.chunks.push_back(Bytes::copy_from_slice(data));
+        }
+    }
+
+    /// Append zero-copy: the queue shares the block's storage.
+    fn push_bytes(&mut self, data: Bytes) {
+        if !data.is_empty() {
+            self.len += data.len();
+            self.chunks.push_back(data);
+        }
+    }
+
+    /// The byte at logical index `idx` (zero-window probe).
+    fn byte_at(&self, mut idx: usize) -> u8 {
+        for c in &self.chunks {
+            if idx < c.len() {
+                return c[idx];
+            }
+            idx -= c.len();
+        }
+        panic!("byte_at past end of queue");
+    }
+
+    /// A view of `len` bytes starting at logical offset `start`. Zero-copy
+    /// when the range lies within one chunk; otherwise coalesces into a
+    /// fresh buffer and bumps `copied`.
+    fn slice(&self, start: usize, len: usize, copied: &mut u64) -> Bytes {
+        debug_assert!(start + len <= self.len);
+        let mut off = start;
+        let mut idx = 0;
+        for (i, c) in self.chunks.iter().enumerate() {
+            if off < c.len() {
+                idx = i;
+                break;
+            }
+            off -= c.len();
+        }
+        let first = &self.chunks[idx];
+        if off + len <= first.len() {
+            return first.slice(off..off + len);
+        }
+        let mut v = Vec::with_capacity(len);
+        let mut remaining = len;
+        for c in self.chunks.iter().skip(idx) {
+            let take = remaining.min(c.len() - off);
+            v.extend_from_slice(&c[off..off + take]);
+            remaining -= take;
+            off = 0;
+            if remaining == 0 {
+                break;
+            }
+        }
+        *copied += len as u64;
+        Bytes::from(v)
+    }
+
+    /// Drop `n` bytes from the front (data acknowledged by the peer).
+    fn consume(&mut self, mut n: usize) {
+        debug_assert!(n <= self.len);
+        self.len -= n;
+        while n > 0 {
+            let front = self.chunks.front_mut().expect("consume within len");
+            if front.len() <= n {
+                n -= front.len();
+                self.chunks.pop_front();
+            } else {
+                front.split_to(n);
+                n = 0;
+            }
+        }
+    }
+
+    /// Copy up to `buf.len()` bytes out of the front and consume them.
+    fn copy_out(&mut self, buf: &mut [u8]) -> usize {
+        let want = buf.len().min(self.len);
+        let mut done = 0;
+        while done < want {
+            let front = self.chunks.front_mut().expect("copy_out within len");
+            let take = (want - done).min(front.len());
+            buf[done..done + take].copy_from_slice(&front[..take]);
+            done += take;
+            if take == front.len() {
+                self.chunks.pop_front();
+            } else {
+                front.split_to(take);
+            }
+        }
+        self.len -= want;
+        want
+    }
+
+    /// Pop exactly `min(max, len)` bytes as zero-copy chunks into `out`.
+    /// Consumes the same byte count a `copy_out` with a `max`-sized buffer
+    /// would, so window bookkeeping is identical on either read path.
+    fn pop_chunks(&mut self, max: usize, out: &mut Vec<Bytes>) -> usize {
+        let want = max.min(self.len);
+        let mut taken = 0;
+        while taken < want {
+            let front = self.chunks.front_mut().expect("pop within len");
+            let remaining = want - taken;
+            if front.len() <= remaining {
+                taken += front.len();
+                out.push(self.chunks.pop_front().expect("non-empty"));
+            } else {
+                out.push(front.split_to(remaining));
+                taken += remaining;
+            }
+        }
+        self.len -= want;
+        want
+    }
+}
+
+/// A timer slot with lazy host-side scheduling. `deadline` is the simulated
+/// time the timer should fire; `covered` is the earliest still-outstanding
+/// scheduled firing event. Restarting the timer (the per-ACK rtx pattern)
+/// just moves `deadline` — the existing event fires at the old time, sees
+/// the deadline is later, and reschedules itself once. This keeps one live
+/// event per timer instead of one per restart.
 #[derive(Debug, Default)]
 pub struct TimerSlot {
-    pub gen: u64,
     pub deadline: Option<SimTime>,
-    /// Last generation the host stack has actually scheduled an event for.
-    pub scheduled_gen: u64,
+    /// Earliest outstanding scheduled firing event (host bookkeeping only;
+    /// never affects simulated behavior).
+    pub covered: Option<SimTime>,
 }
 
 impl TimerSlot {
     pub fn arm(&mut self, at: SimTime) {
-        self.gen += 1;
         self.deadline = Some(at);
     }
     pub fn disarm(&mut self) {
-        self.gen += 1;
         self.deadline = None;
-    }
-    /// Should a firing scheduled with `gen` take effect now?
-    pub fn matches(&self, gen: u64) -> bool {
-        self.gen == gen && self.deadline.is_some()
     }
 }
 
@@ -178,7 +321,7 @@ pub struct Tcb {
     /// Highest sequence ever sent (retransmissions keep snd_nxt lower).
     snd_max: u64,
     /// Unacknowledged + unsent data; front byte has sequence `snd_una`.
-    send_q: VecDeque<u8>,
+    send_q: ChunkDeque,
     peer_wnd: u32,
     fin_queued: bool,
     fin_acked: bool,
@@ -186,7 +329,7 @@ pub struct Tcb {
     // --- receive side ---
     irs: u64,
     rcv_nxt: u64,
-    recv_q: VecDeque<u8>,
+    recv_q: ChunkDeque,
     ooo: BTreeMap<u64, Bytes>,
     ooo_bytes: usize,
     fin_rcvd: bool,
@@ -239,13 +382,13 @@ impl Tcb {
             snd_una: iss,
             snd_nxt: iss,
             snd_max: iss,
-            send_q: VecDeque::new(),
+            send_q: ChunkDeque::default(),
             peer_wnd: cfg.mss, // conservative until the peer advertises
             fin_queued: false,
             fin_acked: false,
             irs: 0,
             rcv_nxt: 0,
-            recv_q: VecDeque::new(),
+            recv_q: ChunkDeque::default(),
             ooo: BTreeMap::new(),
             ooo_bytes: 0,
             fin_rcvd: false,
@@ -275,7 +418,13 @@ impl Tcb {
     }
 
     /// Active open: create the TCB and emit the initial SYN.
-    pub fn client(cfg: TcpConfig, local: SockAddr, remote: SockAddr, iss: u64, now: SimTime) -> Tcb {
+    pub fn client(
+        cfg: TcpConfig,
+        local: SockAddr,
+        remote: SockAddr,
+        iss: u64,
+        now: SimTime,
+    ) -> Tcb {
         let mut t = Tcb::new(cfg, local, remote, iss, State::SynSent);
         t.send_flags(Flags::SYN, t.iss, 0);
         t.snd_nxt = t.iss + 1;
@@ -320,7 +469,13 @@ impl Tcb {
     fn send_flags(&mut self, flags: Flags, seq: u64, ack: u64) {
         let wnd = self.rwnd();
         self.stats.segs_sent += 1;
-        self.out.push(Segment { flags, seq, ack, wnd, data: Bytes::new() });
+        self.out.push(Segment {
+            flags,
+            seq,
+            ack,
+            wnd,
+            data: Bytes::new(),
+        });
     }
 
     fn send_ack(&mut self) {
@@ -447,7 +602,41 @@ impl Tcb {
             return Ok(WriteOutcome::Full);
         }
         let n = space.min(buf.len());
-        self.send_q.extend(&buf[..n]);
+        self.send_q.push_slice(&buf[..n]);
+        self.stats.bytes_copied += n as u64;
+        self.transmit(now);
+        Ok(WriteOutcome::Wrote(n))
+    }
+
+    /// Like [`try_write`](Tcb::try_write), but takes ownership of a block:
+    /// accepted bytes enter the send queue as a zero-copy slice of the
+    /// caller's buffer. The caller retries with `block.slice(n..)` on a
+    /// partial accept.
+    pub fn try_write_bytes(&mut self, now: SimTime, block: &Bytes) -> io::Result<WriteOutcome> {
+        if let Some(e) = self.error {
+            return Err(e.into());
+        }
+        match self.state {
+            State::SynSent | State::SynRcvd => return Ok(WriteOutcome::Full),
+            s if !s.can_send() => return Err(io::ErrorKind::BrokenPipe.into()),
+            _ => {}
+        }
+        if self.fin_queued {
+            return Err(io::ErrorKind::BrokenPipe.into());
+        }
+        let space = self.send_space();
+        if space == 0 {
+            return Ok(WriteOutcome::Full);
+        }
+        let n = space.min(block.len());
+        self.send_q.push_bytes(if n == block.len() {
+            block.clone()
+        } else {
+            block.slice(..n)
+        });
+        if n == block.len() {
+            self.stats.blocks_sent += 1;
+        }
         self.transmit(now);
         Ok(WriteOutcome::Wrote(n))
     }
@@ -470,12 +659,43 @@ impl Tcb {
             return Ok(ReadOutcome::Empty);
         }
         let before_free = self.rwnd();
-        let n = buf.len().min(self.recv_q.len());
-        for (i, b) in self.recv_q.drain(..n).enumerate() {
-            buf[i] = b;
-        }
+        let n = self.recv_q.copy_out(buf);
+        self.stats.bytes_copied += n as u64;
         // Window update: if we were nearly closed and the application just
         // opened space, tell the sender (it has no other way to learn).
+        let after_free = self.rwnd();
+        if before_free < self.cfg.mss && after_free >= self.cfg.mss && !self.state.is_terminal() {
+            let _ = now;
+            self.send_ack();
+        }
+        Ok(ReadOutcome::Read(n))
+    }
+
+    /// Like [`try_read`](Tcb::try_read), but hands received data out as
+    /// zero-copy chunks (slices of the segment buffers) instead of copying
+    /// into a caller buffer. Consumes exactly the bytes a `try_read` with a
+    /// `max`-sized buffer would, so window-update ACKs are emitted at the
+    /// same points on either path.
+    pub fn try_read_chunks(
+        &mut self,
+        now: SimTime,
+        max: usize,
+        out: &mut Vec<Bytes>,
+    ) -> io::Result<ReadOutcome> {
+        if self.recv_q.is_empty() {
+            if let Some(e) = self.error {
+                if e == io::ErrorKind::ConnectionReset {
+                    return Err(e.into());
+                }
+                return Ok(ReadOutcome::Eof);
+            }
+            if self.fin_rcvd {
+                return Ok(ReadOutcome::Eof);
+            }
+            return Ok(ReadOutcome::Empty);
+        }
+        let before_free = self.rwnd();
+        let n = self.recv_q.pop_chunks(max, out);
         let after_free = self.rwnd();
         if before_free < self.cfg.mss && after_free >= self.cfg.mss && !self.state.is_terminal() {
             let _ = now;
@@ -492,18 +712,16 @@ impl Tcb {
                 self.rtx_timer.disarm();
                 self.wake_all();
             }
-            State::SynRcvd | State::Established
-                if !self.fin_queued => {
-                    self.fin_queued = true;
-                    self.state = State::FinWait1;
-                    self.transmit(now);
-                }
-            State::CloseWait
-                if !self.fin_queued => {
-                    self.fin_queued = true;
-                    self.state = State::LastAck;
-                    self.transmit(now);
-                }
+            State::SynRcvd | State::Established if !self.fin_queued => {
+                self.fin_queued = true;
+                self.state = State::FinWait1;
+                self.transmit(now);
+            }
+            State::CloseWait if !self.fin_queued => {
+                self.fin_queued = true;
+                self.state = State::LastAck;
+                self.transmit(now);
+            }
             _ => {}
         }
     }
@@ -551,7 +769,8 @@ impl Tcb {
                 // Peer window exhausted with data pending: arm persist timer.
                 if unsent > 0 && self.peer_wnd == 0 && self.persist_timer.deadline.is_none() {
                     let d = self.rto.max(Duration::from_millis(500));
-                    self.persist_timer.arm(now + d * (1 << self.persist_backoff.min(6)));
+                    self.persist_timer
+                        .arm(now + d * (1 << self.persist_backoff.min(6)));
                 }
                 return;
             }
@@ -567,11 +786,7 @@ impl Tcb {
     /// retransmitting).
     fn emit_data(&mut self, now: SimTime, len: usize, retransmission: bool) {
         let start = (self.snd_nxt - self.snd_una) as usize;
-        let mut data = Vec::with_capacity(len);
-        let (a, b) = self.send_q.as_slices();
-        for i in start..start + len {
-            data.push(if i < a.len() { a[i] } else { b[i - a.len()] });
-        }
+        let data = self.send_q.slice(start, len, &mut self.stats.bytes_copied);
         let seq = self.snd_nxt;
         let mut flags = Flags::ACK;
         self.snd_nxt += len as u64;
@@ -585,7 +800,13 @@ impl Tcb {
         let wnd = self.rwnd();
         self.stats.segs_sent += 1;
         self.stats.bytes_sent += len as u64;
-        self.out.push(Segment { flags, seq, ack: self.rcv_nxt, wnd, data: Bytes::from(data) });
+        self.out.push(Segment {
+            flags,
+            seq,
+            ack: self.rcv_nxt,
+            wnd,
+            data,
+        });
         // RTT sampling: only fresh (never retransmitted) segments (Karn).
         if fresh && !retransmission && self.rtt_sample.is_none() {
             self.rtt_sample = Some((self.snd_nxt, now));
@@ -673,7 +894,7 @@ impl Tcb {
         // retransmission timer covers a lost probe.
         let start = (self.snd_nxt - self.snd_una) as usize;
         if start < self.send_q.len() {
-            let byte = self.send_q[start];
+            let byte = self.send_q.byte_at(start);
             let seq = self.snd_nxt;
             let wnd = self.rwnd();
             self.stats.segs_sent += 1;
@@ -693,7 +914,8 @@ impl Tcb {
         }
         self.persist_backoff = (self.persist_backoff + 1).min(6);
         let d = self.rto.max(Duration::from_millis(500));
-        self.persist_timer.arm(now + d * (1 << self.persist_backoff));
+        self.persist_timer
+            .arm(now + d * (1 << self.persist_backoff));
     }
 
     /// TIME-WAIT expiry.
@@ -825,7 +1047,7 @@ impl Tcb {
             let newly = ack - self.snd_una;
             // Pop acknowledged data bytes.
             let data_acked = (newly as usize).min(self.send_q.len());
-            self.send_q.drain(..data_acked);
+            self.send_q.consume(data_acked);
             // Did the ACK cover our FIN?
             if self.fin_queued && !self.fin_acked && ack == self.snd_una + data_acked as u64 + 1 {
                 self.fin_acked = true;
@@ -851,8 +1073,8 @@ impl Tcb {
                     // NewReno partial ACK: the next hole is lost too.
                     self.stats.fast_retransmits += 1;
                     self.retransmit_head(now);
-                    self.cwnd = (self.cwnd - newly as f64 + self.cfg.mss as f64)
-                        .max(self.cfg.mss as f64);
+                    self.cwnd =
+                        (self.cwnd - newly as f64 + self.cfg.mss as f64).max(self.cfg.mss as f64);
                 }
             } else {
                 self.dupacks = 0;
@@ -865,7 +1087,9 @@ impl Tcb {
                 }
             }
             // RFC 6298 (5.3): restart the timer on new data acked.
-            if self.flight() > 0 || (self.fin_queued && !self.fin_acked && self.snd_nxt > self.data_end()) {
+            if self.flight() > 0
+                || (self.fin_queued && !self.fin_acked && self.snd_nxt > self.data_end())
+            {
                 self.rtx_timer.arm(now + self.rto);
             } else {
                 self.rtx_timer.disarm();
@@ -982,7 +1206,13 @@ impl Tcb {
         // still bounded: recv_q ≤ recv_buf here and ooo ≤ rwnd at insert.
         let free = (self.cfg.recv_buf as usize).saturating_sub(self.recv_q.len());
         let keep = free.min(data.len());
-        self.recv_q.extend(&data[..keep]);
+        // Zero-copy: the queue shares the segment's buffer until the
+        // application drains it.
+        self.recv_q.push_bytes(if keep == data.len() {
+            data
+        } else {
+            data.slice(..keep)
+        });
         self.rcv_nxt += keep as u64;
         self.stats.bytes_rcvd += keep as u64;
     }
@@ -1081,7 +1311,10 @@ mod tests {
     fn data_transfer_round_trip() {
         let (mut a, mut b) = established_pair();
         let msg = b"hello across the simulated wire";
-        assert_eq!(a.try_write(T0, msg).unwrap(), WriteOutcome::Wrote(msg.len()));
+        assert_eq!(
+            a.try_write(T0, msg).unwrap(),
+            WriteOutcome::Wrote(msg.len())
+        );
         pump(&mut a, &mut b, T0);
         let mut buf = [0u8; 64];
         match b.try_read(T0, &mut buf).unwrap() {
@@ -1100,12 +1333,18 @@ mod tests {
         let out = a.take_out();
         assert_eq!(out.len(), 1, "first small write goes out immediately");
         a.try_write(T0, b"y").unwrap();
-        assert!(a.take_out().is_empty(), "Nagle holds while un-ACKed data in flight");
+        assert!(
+            a.take_out().is_empty(),
+            "Nagle holds while un-ACKed data in flight"
+        );
     }
 
     #[test]
     fn nodelay_sends_small_segments_immediately() {
-        let cfg = TcpConfig { nodelay: true, ..TcpConfig::default() };
+        let cfg = TcpConfig {
+            nodelay: true,
+            ..TcpConfig::default()
+        };
         let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
         let syn = a.take_out().remove(0);
         let mut b = Tcb::server(cfg, ra(), la(), 2, &syn, T0);
@@ -1118,7 +1357,11 @@ mod tests {
 
     #[test]
     fn cwnd_limits_initial_burst_and_slow_start_grows() {
-        let cfg = TcpConfig { send_buf: 1 << 20, recv_buf: 1 << 20, ..TcpConfig::default() };
+        let cfg = TcpConfig {
+            send_buf: 1 << 20,
+            recv_buf: 1 << 20,
+            ..TcpConfig::default()
+        };
         let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
         let syn = a.take_out().remove(0);
         let mut b = Tcb::server(cfg, ra(), la(), 2, &syn, T0);
@@ -1140,7 +1383,12 @@ mod tests {
 
     #[test]
     fn fast_retransmit_on_three_dupacks() {
-        let cfg = TcpConfig { send_buf: 1 << 20, recv_buf: 1 << 20, nodelay: true, ..TcpConfig::default() };
+        let cfg = TcpConfig {
+            send_buf: 1 << 20,
+            recv_buf: 1 << 20,
+            nodelay: true,
+            ..TcpConfig::default()
+        };
         let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
         let syn = a.take_out().remove(0);
         let mut b = Tcb::server(cfg, ra(), la(), 2, &syn, T0);
@@ -1185,7 +1433,11 @@ mod tests {
 
     #[test]
     fn rto_collapses_cwnd_and_retransmits() {
-        let cfg = TcpConfig { send_buf: 1 << 20, recv_buf: 1 << 20, ..TcpConfig::default() };
+        let cfg = TcpConfig {
+            send_buf: 1 << 20,
+            recv_buf: 1 << 20,
+            ..TcpConfig::default()
+        };
         let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
         let syn = a.take_out().remove(0);
         let mut b = Tcb::server(cfg, ra(), la(), 2, &syn, T0);
@@ -1213,16 +1465,18 @@ mod tests {
 
     #[test]
     fn syn_retransmission_then_timeout_error() {
-        let cfg = TcpConfig { syn_retries: 2, ..TcpConfig::default() };
+        let cfg = TcpConfig {
+            syn_retries: 2,
+            ..TcpConfig::default()
+        };
         let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
         let _syn = a.take_out();
-        let mut now = T0;
         for _ in 0..2 {
-            now = a.rtx_timer.deadline.unwrap();
+            let now = a.rtx_timer.deadline.unwrap();
             a.on_rto(now);
             assert_eq!(a.take_out().len(), 1, "SYN retransmitted");
         }
-        now = a.rtx_timer.deadline.unwrap();
+        let now = a.rtx_timer.deadline.unwrap();
         a.on_rto(now);
         assert_eq!(a.error(), Some(io::ErrorKind::TimedOut));
         assert_eq!(a.state, State::Closed);
@@ -1233,7 +1487,16 @@ mod tests {
         let cfg = TcpConfig::default();
         let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
         let _ = a.take_out();
-        a.on_segment(T0, Segment { flags: Flags::RST, seq: 0, ack: 2, wnd: 0, data: Bytes::new() });
+        a.on_segment(
+            T0,
+            Segment {
+                flags: Flags::RST,
+                seq: 0,
+                ack: 2,
+                wnd: 0,
+                data: Bytes::new(),
+            },
+        );
         assert_eq!(a.error(), Some(io::ErrorKind::ConnectionRefused));
     }
 
@@ -1286,7 +1549,10 @@ mod tests {
         a.start_close(T0);
         pump(&mut a, &mut b, T0);
         // B may still send to A.
-        assert!(matches!(b.try_write(T0, b"late data").unwrap(), WriteOutcome::Wrote(9)));
+        assert!(matches!(
+            b.try_write(T0, b"late data").unwrap(),
+            WriteOutcome::Wrote(9)
+        ));
         pump(&mut a, &mut b, T0);
         let mut buf = [0u8; 16];
         assert_eq!(a.try_read(T0, &mut buf).unwrap(), ReadOutcome::Read(9));
@@ -1407,7 +1673,12 @@ mod tests {
     /// wedges forever (found as a livelock in the striping bench).
     #[test]
     fn persist_probe_recovers_from_lost_window_update() {
-        let cfg = TcpConfig { send_buf: 1 << 20, recv_buf: 4096, nodelay: true, ..TcpConfig::default() };
+        let cfg = TcpConfig {
+            send_buf: 1 << 20,
+            recv_buf: 4096,
+            nodelay: true,
+            ..TcpConfig::default()
+        };
         let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
         let syn = a.take_out().remove(0);
         let mut b = Tcb::server(cfg, ra(), la(), 2, &syn, T0);
@@ -1416,10 +1687,13 @@ mod tests {
         a.try_write(T0, &vec![1u8; 10_000]).unwrap();
         pump(&mut a, &mut b, T0);
         assert_eq!(a.peer_wnd, 0, "window closed");
-        assert!(a.send_q.len() > 0, "data still pending");
+        assert!(!a.send_q.is_empty(), "data still pending");
         // The app drains, but the window-update ACK is LOST.
         let mut sink = vec![0u8; 1 << 16];
-        assert!(matches!(b.try_read(T0, &mut sink).unwrap(), ReadOutcome::Read(_)));
+        assert!(matches!(
+            b.try_read(T0, &mut sink).unwrap(),
+            ReadOutcome::Read(_)
+        ));
         let _lost_update = b.take_out();
         // Persist timer fires: the probe byte must be sequence-consuming.
         assert!(a.persist_timer.deadline.is_some(), "persist armed");
@@ -1464,7 +1738,11 @@ mod tests {
         // advertised window).
         a.try_write(T0, &vec![7u8; 6 * 1024]).unwrap();
         let mut segs = a.take_out();
-        assert!(segs.len() >= 4, "expected several segments, got {}", segs.len());
+        assert!(
+            segs.len() >= 4,
+            "expected several segments, got {}",
+            segs.len()
+        );
         let head = segs.remove(0);
         for s in segs {
             b.on_segment(T0, s);
@@ -1474,7 +1752,10 @@ mod tests {
         // The retransmitted head MUST be accepted even though recv_q+ooo
         // exceeds the nominal buffer.
         b.on_segment(T0, head);
-        assert!(b.rcv_nxt > rcv_before + 1000, "head + drained tail advanced rcv_nxt");
+        assert!(
+            b.rcv_nxt > rcv_before + 1000,
+            "head + drained tail advanced rcv_nxt"
+        );
         let mut buf = vec![0u8; 1 << 16];
         match b.try_read(T0, &mut buf).unwrap() {
             ReadOutcome::Read(n) => assert!(n >= 6 * 1024, "got {n}"),
@@ -1513,14 +1794,24 @@ mod tests {
             a.on_segment(T0, s);
         }
         let mut buf = [0u8; 4];
-        assert_eq!(a.try_read(T0, &mut buf).unwrap_err().kind(), io::ErrorKind::ConnectionReset);
-        assert_eq!(a.try_write(T0, b"x").unwrap_err().kind(), io::ErrorKind::ConnectionReset);
+        assert_eq!(
+            a.try_read(T0, &mut buf).unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
+        assert_eq!(
+            a.try_write(T0, b"x").unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
     }
 
     /// cwnd never collapses below one MSS and ssthresh never below two.
     #[test]
     fn congestion_floors_hold_under_repeated_timeouts() {
-        let cfg = TcpConfig { send_buf: 1 << 20, recv_buf: 1 << 20, ..TcpConfig::default() };
+        let cfg = TcpConfig {
+            send_buf: 1 << 20,
+            recv_buf: 1 << 20,
+            ..TcpConfig::default()
+        };
         let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
         let syn = a.take_out().remove(0);
         let mut b = Tcb::server(cfg, ra(), la(), 2, &syn, T0);

@@ -35,7 +35,9 @@ pub struct UdpHost {
 
 impl UdpHost {
     fn new() -> UdpHost {
-        UdpHost { sockets: HashMap::new() }
+        UdpHost {
+            sockets: HashMap::new(),
+        }
     }
 
     /// Install the UDP dispatcher on a world (idempotent).
@@ -84,7 +86,10 @@ impl UdpSocket {
         let ok = net.with(|w| {
             with_udp(w, node, |h, _| {
                 if let std::collections::hash_map::Entry::Vacant(e) = h.sockets.entry(port) {
-                    e.insert(SockState { queue: VecDeque::new(), wakers: Vec::new() });
+                    e.insert(SockState {
+                        queue: VecDeque::new(),
+                        wakers: Vec::new(),
+                    });
                     true
                 } else {
                     false
@@ -94,7 +99,11 @@ impl UdpSocket {
         if !ok {
             return Err(io::ErrorKind::AddrInUse.into());
         }
-        Ok(UdpSocket { net: net.clone(), node, addr: SockAddr::new(ip, port) })
+        Ok(UdpSocket {
+            net: net.clone(),
+            node,
+            addr: SockAddr::new(ip, port),
+        })
     }
 
     pub fn local_addr(&self) -> SockAddr {
@@ -106,7 +115,10 @@ impl UdpSocket {
         let node = self.node;
         let src = self.addr;
         self.net.with(|w| {
-            w.send_from(node, Packet::new(src, dst, proto::UDP, Box::new(Datagram(data.to_vec()))));
+            w.send_from(
+                node,
+                Packet::new(src, dst, proto::UDP, Box::new(Datagram(data.to_vec()))),
+            );
         });
         Ok(())
     }
@@ -136,7 +148,11 @@ impl UdpSocket {
     /// Non-blocking receive.
     pub fn try_recv_from(&self) -> Option<(SockAddr, Vec<u8>)> {
         let port = self.addr.port;
-        self.net.with(|w| with_udp(w, self.node, |h, _| h.sockets.get_mut(&port)?.queue.pop_front()))
+        self.net.with(|w| {
+            with_udp(w, self.node, |h, _| {
+                h.sockets.get_mut(&port)?.queue.pop_front()
+            })
+        })
     }
 }
 

@@ -94,7 +94,11 @@ fn larger_window_fills_high_bdp_link() {
     // Queue sized >= window so slow-start overshoot does not overflow it;
     // goodput ceiling is 9 MB/s * 1460/1500 = 8.76 MB/s (header overhead).
     let wan = LinkParams::mbps(9.0, Duration::from_micros(21_500)).with_queue(2 << 20);
-    let cfg = TcpConfig { send_buf: 1 << 20, recv_buf: 1 << 20, ..TcpConfig::default() };
+    let cfg = TcpConfig {
+        send_buf: 1 << 20,
+        recv_buf: 1 << 20,
+        ..TcpConfig::default()
+    };
     let bw = measure_bulk(wan, cfg, 48 << 20, 3);
     assert!(
         bw > 6.5e6,
@@ -114,7 +118,11 @@ fn loss_degrades_single_stream_throughput() {
         "0.4% loss must keep plain TCP clearly below capacity, got {:.2} MB/s",
         bw / 1e6
     );
-    assert!(bw > 0.3e6, "but the transfer should still make progress, got {:.2} MB/s", bw / 1e6);
+    assert!(
+        bw > 0.3e6,
+        "but the transfer should still make progress, got {:.2} MB/s",
+        bw / 1e6
+    );
 }
 
 #[test]
@@ -127,7 +135,9 @@ fn transfer_is_reliable_under_heavy_loss() {
     let ha = SimHost::new(&net, a);
     let hb = SimHost::new(&net, b);
     let b_ip = hb.ip();
-    let payload: Vec<u8> = (0..300_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+    let payload: Vec<u8> = (0..300_000u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+        .collect();
     let expect = payload.clone();
     let done = sim.spawn("recv", move || {
         let l = hb.listen(7000).unwrap();
@@ -171,7 +181,10 @@ fn connect_to_closed_port_is_refused_quickly() {
     sim.run();
     let (kind, dur) = out.lock().take().unwrap();
     assert_eq!(kind, std::io::ErrorKind::ConnectionRefused);
-    assert!(dur < Duration::from_millis(100), "RST makes refusal fast, took {dur:?}");
+    assert!(
+        dur < Duration::from_millis(100),
+        "RST makes refusal fast, took {dur:?}"
+    );
 }
 
 /// Build two firewalled sites and return hosts on each plus their public
@@ -228,10 +241,19 @@ fn client_server_fails_through_double_firewall() {
         gridsim_net::ctx::sleep(Duration::from_secs(40));
     });
     let r = sim.spawn("client", move || {
-        let cfg = TcpConfig { syn_retries: 2, ..TcpConfig::default() };
-        ha.connect_opts(SockAddr::new(bip, 5000), ConnectOpts { cfg: Some(cfg), local_port: None })
-            .err()
-            .map(|e| e.kind())
+        let cfg = TcpConfig {
+            syn_retries: 2,
+            ..TcpConfig::default()
+        };
+        ha.connect_opts(
+            SockAddr::new(bip, 5000),
+            ConnectOpts {
+                cfg: Some(cfg),
+                local_port: None,
+            },
+        )
+        .err()
+        .map(|e| e.kind())
     });
     sim.run();
     let out = std::sync::Arc::new(parking_lot::Mutex::new(None));
@@ -240,7 +262,10 @@ fn client_server_fails_through_double_firewall() {
         *o2.lock() = Some(r.join());
     });
     sim.run();
-    assert_eq!(out.lock().take().unwrap(), Some(std::io::ErrorKind::TimedOut));
+    assert_eq!(
+        out.lock().take().unwrap(),
+        Some(std::io::ErrorKind::TimedOut)
+    );
 }
 
 #[test]
@@ -252,7 +277,10 @@ fn splicing_succeeds_through_double_firewall() {
         let s = ha
             .connect_opts(
                 SockAddr::new(bip, 6001),
-                ConnectOpts { local_port: Some(6000), cfg: None },
+                ConnectOpts {
+                    local_port: Some(6000),
+                    cfg: None,
+                },
             )
             .unwrap();
         s.write_all_blocking(b"from-a").unwrap();
@@ -265,7 +293,10 @@ fn splicing_succeeds_through_double_firewall() {
         let s = hb
             .connect_opts(
                 SockAddr::new(aip, 6000),
-                ConnectOpts { local_port: Some(6001), cfg: None },
+                ConnectOpts {
+                    local_port: Some(6001),
+                    cfg: None,
+                },
             )
             .unwrap();
         s.write_all_blocking(b"from-b").unwrap();

@@ -20,7 +20,10 @@ fn transfer(data: Vec<u8>, chunks: Vec<usize>, loss: f64, seed: u64) -> Vec<u8> 
     let net = sim.net();
     let ha = SimHost::new(&net, a);
     let hb = SimHost::new(&net, b);
-    let cfg = TcpConfig { nodelay: true, ..TcpConfig::default() };
+    let cfg = TcpConfig {
+        nodelay: true,
+        ..TcpConfig::default()
+    };
     ha.set_tcp_config(cfg);
     hb.set_tcp_config(cfg);
     let b_ip = hb.ip();

@@ -21,7 +21,10 @@ fn two_listeners_same_port_rejected() {
     let (_ha, hb) = pair(&sim);
     let done = sim.spawn("t", move || {
         let _l1 = hb.listen(5000).unwrap();
-        assert_eq!(hb.listen(5000).unwrap_err().kind(), std::io::ErrorKind::AddrInUse);
+        assert_eq!(
+            hb.listen(5000).unwrap_err().kind(),
+            std::io::ErrorKind::AddrInUse
+        );
     });
     sim.run();
     assert!(done.is_finished());
@@ -110,7 +113,10 @@ fn same_four_tuple_reusable_after_close() {
             let s = ha
                 .connect_opts(
                     SockAddr::new(b_ip, 5000),
-                    ConnectOpts { local_port: Some(9000), cfg: None },
+                    ConnectOpts {
+                        local_port: Some(9000),
+                        cfg: None,
+                    },
                 )
                 .unwrap_or_else(|e| panic!("round {round}: {e}"));
             s.write_all_blocking(b"x").unwrap();
@@ -199,13 +205,17 @@ fn udp_datagrams_roundtrip_and_unreliable() {
     sim.spawn("send", move || {
         let sock = ha.udp_bind(4001).unwrap();
         for i in 0..100u32 {
-            sock.send_to(&i.to_le_bytes(), SockAddr::new(b_ip, 4000)).unwrap();
+            sock.send_to(&i.to_le_bytes(), SockAddr::new(b_ip, 4000))
+                .unwrap();
         }
         gridsim_net::ctx::sleep(Duration::from_secs(1));
     });
     sim.run();
     let got = *received.lock();
-    assert!(got > 40 && got < 95, "30% loss: expected ~70 of 100, got {got}");
+    assert!(
+        got > 40 && got < 95,
+        "30% loss: expected ~70 of 100, got {got}"
+    );
 }
 
 #[test]
@@ -218,7 +228,10 @@ fn config_is_per_connection_snapshot() {
     let done = sim.spawn("t", move || {
         let _l = hb.listen(5000).unwrap();
         let s1 = ha.connect(SockAddr::new(b_ip, 5000)).unwrap();
-        ha.set_tcp_config(TcpConfig { nodelay: true, ..TcpConfig::default() });
+        ha.set_tcp_config(TcpConfig {
+            nodelay: true,
+            ..TcpConfig::default()
+        });
         let s2 = ha.connect(SockAddr::new(b_ip, 5000)).unwrap();
         // s1 snapshot: Nagle on; s2: nodelay. Four rapid small writes:
         // Nagle coalesces writes 2..4 into one segment once the first is
@@ -231,7 +244,10 @@ fn config_is_per_connection_snapshot() {
         gridsim_net::ctx::sleep(Duration::from_millis(200));
         let seg1 = s1.stats().unwrap().segs_sent;
         let seg2 = s2.stats().unwrap().segs_sent;
-        assert!(seg2 > seg1, "nodelay sends more, smaller segments: {seg1} vs {seg2}");
+        assert!(
+            seg2 > seg1,
+            "nodelay sends more, smaller segments: {seg1} vs {seg2}"
+        );
     });
     sim.run();
     assert!(done.is_finished());

@@ -62,15 +62,14 @@ fn main() {
         let joined = Arc::clone(&joined);
         sim.spawn(format!("node-{name}"), move || {
             let node = GridNode::join(&env, host, name, profile).unwrap();
-            let rp = node.create_receive_port(&format!("inbox-{name}"), StackSpec::plain()).unwrap();
+            let rp = node
+                .create_receive_port(&format!("inbox-{name}"), StackSpec::plain())
+                .unwrap();
             joined.lock()[i] = Some(node);
-            gridsim_net::ctx::handle().spawn_daemon(format!("drain-{name}"), move || loop {
-                match rp.receive() {
-                    Ok(mut m) => {
-                        let from = m.read_str().unwrap();
-                        println!("[{name}] got greeting from {from}");
-                    }
-                    Err(_) => break,
+            gridsim_net::ctx::handle().spawn_daemon(format!("drain-{name}"), move || {
+                while let Ok(mut m) = rp.receive() {
+                    let from = m.read_str().unwrap();
+                    println!("[{name}] got greeting from {from}");
                 }
             });
         });

@@ -9,9 +9,7 @@
 
 use gridsim_net::{topology, LinkParams, Sim, SockAddr};
 use gridsim_tcp::SimHost;
-use netgrid::{
-    spawn_name_service, spawn_relay, ConnectivityProfile, GridEnv, GridNode, StackSpec,
-};
+use netgrid::{spawn_name_service, spawn_relay, ConnectivityProfile, GridEnv, GridNode, StackSpec};
 use std::time::Duration;
 
 fn main() {
@@ -22,7 +20,10 @@ fn main() {
     let (services, alice_host, bob_host) = net.with(|w| {
         let mut grid = gridsim_net::topology::Grid::build(
             w,
-            &[topology::SiteSpec::open("site-a", 1, wan), topology::SiteSpec::open("site-b", 1, wan)],
+            &[
+                topology::SiteSpec::open("site-a", 1, wan),
+                topology::SiteSpec::open("site-b", 1, wan),
+            ],
         );
         let (srv, _) = grid.add_public_host(w, "services");
         (srv, grid.sites[0].hosts[0], grid.sites[1].hosts[0])
@@ -44,7 +45,9 @@ fn main() {
     let hb = SimHost::new(&net, bob_host);
     sim.spawn("bob", move || {
         let node = GridNode::join(&env_bob, hb, "bob", ConnectivityProfile::open()).unwrap();
-        let port = node.create_receive_port("bob-inbox", StackSpec::plain()).unwrap();
+        let port = node
+            .create_receive_port("bob-inbox", StackSpec::plain())
+            .unwrap();
         println!("[bob]   listening on receive port 'bob-inbox'");
         for _ in 0..3 {
             let mut msg = port.receive().unwrap();

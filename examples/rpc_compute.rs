@@ -12,7 +12,9 @@
 
 use gridsim_net::{topology, LinkParams, Sim, SockAddr};
 use gridsim_tcp::SimHost;
-use netgrid::{rpc, spawn_name_service, spawn_relay, ConnectivityProfile, GridEnv, GridNode, RpcClient};
+use netgrid::{
+    rpc, spawn_name_service, spawn_relay, ConnectivityProfile, GridEnv, GridNode, RpcClient,
+};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
@@ -24,10 +26,13 @@ fn main() {
     let sim = Sim::new(8);
     let net = sim.net();
     let wan = LinkParams::mbps(2.0, Duration::from_millis(10));
-    let mut specs =
-        vec![topology::SiteSpec::firewalled("coordinator-site", 1, wan)];
+    let mut specs = vec![topology::SiteSpec::firewalled("coordinator-site", 1, wan)];
     for i in 0..WORKERS {
-        specs.push(topology::SiteSpec::firewalled(&format!("worker-site-{i}"), 1, wan));
+        specs.push(topology::SiteSpec::firewalled(
+            &format!("worker-site-{i}"),
+            1,
+            wan,
+        ));
     }
     let (srv, hosts) = net.with(|w| {
         let mut grid = gridsim_net::topology::Grid::build(w, &specs);
@@ -49,9 +54,13 @@ fn main() {
         let env = env.clone();
         let host = SimHost::new(&net, hosts[1 + i]);
         sim.spawn(format!("worker-{i}"), move || {
-            let node =
-                GridNode::join(&env, host, &format!("worker-{i}"), ConnectivityProfile::firewalled())
-                    .unwrap();
+            let node = GridNode::join(
+                &env,
+                host,
+                &format!("worker-{i}"),
+                ConnectivityProfile::firewalled(),
+            )
+            .unwrap();
             rpc::serve(
                 &node,
                 &format!("sum-squares-{i}"),
@@ -60,7 +69,9 @@ fn main() {
                     let to = u64::from_le_bytes(req[8..16].try_into().unwrap());
                     // Simulated compute: 1 µs per element of the range.
                     gridsim_net::ctx::sleep(Duration::from_micros(to - from));
-                    let sum: u64 = (from..to).map(|v| v.wrapping_mul(v)).fold(0, u64::wrapping_add);
+                    let sum: u64 = (from..to)
+                        .map(|v| v.wrapping_mul(v))
+                        .fold(0, u64::wrapping_add);
                     println!(
                         "[worker-{i}] t={} computed [{from}, {to}) -> {sum}",
                         gridsim_net::ctx::now()
@@ -80,8 +91,8 @@ fn main() {
         let host = SimHost::new(&net, hosts[0]);
         let total = Arc::clone(&total);
         sim.spawn("coordinator", move || {
-            let node =
-                GridNode::join(&env, host, "coordinator", ConnectivityProfile::firewalled()).unwrap();
+            let node = GridNode::join(&env, host, "coordinator", ConnectivityProfile::firewalled())
+                .unwrap();
             let clients: Vec<RpcClient> = (0..WORKERS)
                 .map(|i| RpcClient::connect(&node, &format!("sum-squares-{i}")).unwrap())
                 .collect();
@@ -92,7 +103,11 @@ fn main() {
                 .enumerate()
                 .map(|(i, client)| {
                     let from = i as u64 * chunk;
-                    let to = if i == WORKERS - 1 { RANGE_END } else { from + chunk };
+                    let to = if i == WORKERS - 1 {
+                        RANGE_END
+                    } else {
+                        from + chunk
+                    };
                     gridsim_net::ctx::handle().spawn(format!("farm-{i}"), move || {
                         let mut req = Vec::new();
                         req.extend_from_slice(&from.to_le_bytes());
@@ -102,13 +117,21 @@ fn main() {
                     })
                 })
                 .collect();
-            let sum = handles.into_iter().map(|h| h.join()).fold(0u64, u64::wrapping_add);
+            let sum = handles
+                .into_iter()
+                .map(|h| h.join())
+                .fold(0u64, u64::wrapping_add);
             *total.lock() = sum;
-            println!("[coordinator] t={} combined result: {sum}", gridsim_net::ctx::now());
+            println!(
+                "[coordinator] t={} combined result: {sum}",
+                gridsim_net::ctx::now()
+            );
         });
     }
     sim.run();
-    let expect: u64 = (0..RANGE_END).map(|v| v.wrapping_mul(v)).fold(0, u64::wrapping_add);
+    let expect: u64 = (0..RANGE_END)
+        .map(|v| v.wrapping_mul(v))
+        .fold(0, u64::wrapping_add);
     assert_eq!(*total.lock(), expect);
     println!(
         "verified against local computation; wall-clock (simulated): {} — \

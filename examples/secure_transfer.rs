@@ -10,9 +10,7 @@
 
 use gridsim_net::{topology, LinkParams, Sim, SockAddr};
 use gridsim_tcp::SimHost;
-use netgrid::{
-    spawn_name_service, spawn_relay, ConnectivityProfile, GridEnv, GridNode, StackSpec,
-};
+use netgrid::{spawn_name_service, spawn_relay, ConnectivityProfile, GridEnv, GridNode, StackSpec};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
@@ -23,7 +21,10 @@ fn world(sim: &Sim) -> (GridEnv, SimHost, SimHost) {
     let (srv, a, b) = net.with(|w| {
         let mut grid = gridsim_net::topology::Grid::build(
             w,
-            &[topology::SiteSpec::open("a", 1, wan), topology::SiteSpec::open("b", 1, wan)],
+            &[
+                topology::SiteSpec::open("a", 1, wan),
+                topology::SiteSpec::open("b", 1, wan),
+            ],
         );
         let (srv, _) = grid.add_public_host(w, "services");
         (srv, grid.sites[0].hosts[0], grid.sites[1].hosts[0])
@@ -44,7 +45,10 @@ fn main() {
     // (a) secure + compressed + striped transfer.
     let sim = Sim::new(99);
     let (env, ha, hb) = world(&sim);
-    let spec = StackSpec::plain().with_streams(4).with_compression(1).with_security();
+    let spec = StackSpec::plain()
+        .with_streams(4)
+        .with_compression(1)
+        .with_security();
     println!("stack: {}\n", spec.describe());
     {
         let env = env.clone();
@@ -53,7 +57,10 @@ fn main() {
             let node = GridNode::join(&env, hb, "bob", ConnectivityProfile::open()).unwrap();
             let rp = node.create_receive_port("secure-sink", spec).unwrap();
             let mut m = rp.receive().unwrap();
-            println!("[bob]   received {} bytes (decrypted + decompressed)", m.len());
+            println!(
+                "[bob]   received {} bytes (decrypted + decompressed)",
+                m.len()
+            );
             let header = m.read_str().unwrap();
             println!("[bob]   header: {header:?}");
         });

@@ -11,9 +11,7 @@
 
 use gridsim_net::{topology, LinkParams, Sim, SockAddr};
 use gridsim_tcp::{SimHost, TcpConfig};
-use netgrid::{
-    spawn_name_service, spawn_relay, ConnectivityProfile, GridEnv, GridNode, StackSpec,
-};
+use netgrid::{spawn_name_service, spawn_relay, ConnectivityProfile, GridEnv, GridNode, StackSpec};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
@@ -43,7 +41,11 @@ fn transfer(spec: StackSpec) -> (f64, netgrid::EstablishMethod) {
     let ha = SimHost::new(&net, a);
     let hb = SimHost::new(&net, b);
     // 2004-era OS socket buffers: 64 KiB.
-    let cfg = TcpConfig { send_buf: 64 * 1024, recv_buf: 64 * 1024, ..TcpConfig::default() };
+    let cfg = TcpConfig {
+        send_buf: 64 * 1024,
+        recv_buf: 64 * 1024,
+        ..TcpConfig::default()
+    };
     ha.set_tcp_config(cfg);
     hb.set_tcp_config(cfg);
     let env = GridEnv::new(net.clone(), SockAddr::new(hsrv.ip(), 563))

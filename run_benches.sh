@@ -13,3 +13,9 @@ for b in table1_matrix lan_aggregation establishment_delay latency_streams \
   "$BIN/$b" "$@"
   echo
 done
+
+echo "################################################################"
+echo "### bench_datapath (writes BENCH_datapath.json)"
+echo "################################################################"
+"$BIN/bench_datapath"
+echo

@@ -50,7 +50,10 @@ fn full_stack_through_splice_survives_loss() {
     });
     let (ns_addr, relay_addr) = services(&sim, SimHost::new(&net, srv));
     let env = GridEnv::new(net.clone(), ns_addr).with_relay(relay_addr);
-    let spec = StackSpec::plain().with_streams(4).with_compression(1).with_security();
+    let spec = StackSpec::plain()
+        .with_streams(4)
+        .with_compression(1)
+        .with_security();
     let payload = gridzip::synth::grid_payload(2 << 20, 0.5, 99);
     let digest_sent = gridcrypt::sha256::sha256(&payload);
 
@@ -87,7 +90,11 @@ fn full_stack_through_splice_survives_loss() {
         });
     }
     sim.run();
-    assert_eq!(got_digest.lock().take(), Some(digest_sent), "payload corrupted in transit");
+    assert_eq!(
+        got_digest.lock().take(),
+        Some(digest_sent),
+        "payload corrupted in transit"
+    );
 }
 
 /// A "severe firewall" site with private addresses: all communication —
@@ -105,7 +112,9 @@ fn strict_private_site_joins_and_sends_via_proxy() {
         // Outbound only towards the proxy's own addresses is irrelevant
         // here: the proxy is ON the gateway, so host->proxy never crosses
         // the firewall; deny everything outbound.
-        spec_strict.policy = FirewallPolicy::Strict { allowed_remotes: vec![] };
+        spec_strict.policy = FirewallPolicy::Strict {
+            allowed_remotes: vec![],
+        };
         let mut grid = gridsim_net::topology::Grid::build(
             w,
             &[spec_strict, topology::SiteSpec::open("open", 1, wan)],
@@ -152,7 +161,9 @@ fn strict_private_site_joins_and_sends_via_proxy() {
         let delivered = Arc::clone(&delivered);
         sim.spawn("recv", move || {
             let node = GridNode::join(&env, host, "open0", ConnectivityProfile::open()).unwrap();
-            let rp = node.create_receive_port("results", StackSpec::plain()).unwrap();
+            let rp = node
+                .create_receive_port("results", StackSpec::plain())
+                .unwrap();
             let mut m = rp.receive().unwrap();
             *delivered.lock() = Some(m.read_str().unwrap());
         });
@@ -165,7 +176,11 @@ fn strict_private_site_joins_and_sends_via_proxy() {
             let node = GridNode::join(&env, host, "bunker0", strict_profile).unwrap();
             let mut sp = node.create_send_port();
             let method = sp.connect("results").unwrap();
-            assert_eq!(method, EstablishMethod::Proxy, "strict site must use its proxy");
+            assert_eq!(
+                method,
+                EstablishMethod::Proxy,
+                "strict site must use its proxy"
+            );
             let mut m = sp.message();
             m.write_str("escaped the bunker");
             m.finish().unwrap();
@@ -173,7 +188,10 @@ fn strict_private_site_joins_and_sends_via_proxy() {
         });
     }
     sim.run();
-    assert_eq!(delivered.lock().take().as_deref(), Some("escaped the bunker"));
+    assert_eq!(
+        delivered.lock().take().as_deref(),
+        Some("escaped the bunker")
+    );
 }
 
 /// Determinism: two runs with the same seed end at the exact same
@@ -187,7 +205,10 @@ fn same_seed_is_bit_for_bit_reproducible() {
         let (srv, a, b) = net.with(|w| {
             let mut grid = gridsim_net::topology::Grid::build(
                 w,
-                &[topology::SiteSpec::open("a", 1, wan), topology::SiteSpec::open("b", 1, wan)],
+                &[
+                    topology::SiteSpec::open("a", 1, wan),
+                    topology::SiteSpec::open("b", 1, wan),
+                ],
             );
             let (srv, _) = grid.add_public_host(w, "services");
             (srv, grid.sites[0].hosts[0], grid.sites[1].hosts[0])
@@ -211,7 +232,9 @@ fn same_seed_is_bit_for_bit_reproducible() {
             let got = Arc::clone(&got);
             sim.spawn("recv", move || {
                 let node = GridNode::join(&env, host, "b0", ConnectivityProfile::open()).unwrap();
-                let rp = node.create_receive_port("sink", StackSpec::plain()).unwrap();
+                let rp = node
+                    .create_receive_port("sink", StackSpec::plain())
+                    .unwrap();
                 for _ in 0..8 {
                     *got.lock() += rp.receive().unwrap().len();
                 }
@@ -260,7 +283,12 @@ fn multicast_spans_different_establishment_methods() {
             ],
         );
         let (srv, _) = grid.add_public_host(w, "services");
-        (srv, grid.sites[0].hosts[0], grid.sites[1].hosts[0], grid.sites[2].hosts[0])
+        (
+            srv,
+            grid.sites[0].hosts[0],
+            grid.sites[1].hosts[0],
+            grid.sites[2].hosts[0],
+        )
     });
     let (ns_addr, relay_addr) = services(&sim, SimHost::new(&net, srv));
     let env = GridEnv::new(net.clone(), ns_addr).with_relay(relay_addr);
@@ -334,13 +362,27 @@ fn private_addresses_are_unroutable_from_outside() {
     let result = Arc::new(Mutex::new(None));
     let r2 = Arc::clone(&result);
     sim.spawn("dial", move || {
-        let cfg = gridsim_tcp::TcpConfig { syn_retries: 1, ..ha.tcp_config() };
+        let cfg = gridsim_tcp::TcpConfig {
+            syn_retries: 1,
+            ..ha.tcp_config()
+        };
         let e = ha
-            .connect_opts(SockAddr::new(priv_ip, 80), gridsim_tcp::ConnectOpts { cfg: Some(cfg), local_port: None })
+            .connect_opts(
+                SockAddr::new(priv_ip, 80),
+                gridsim_tcp::ConnectOpts {
+                    cfg: Some(cfg),
+                    local_port: None,
+                },
+            )
             .unwrap_err();
         *r2.lock() = Some(e.kind());
     });
     sim.run();
     assert_eq!(result.lock().take(), Some(std::io::ErrorKind::TimedOut));
-    net.with(|w| assert!(w.stats.drop_no_route > 0, "packets must die at the backbone"));
+    net.with(|w| {
+        assert!(
+            w.stats.drop_no_route > 0,
+            "packets must die at the backbone"
+        )
+    });
 }

@@ -1,0 +1,442 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! Provides the subset the workspace relies on: `Bytes` as a cheaply
+//! cloneable, sliceable view over shared immutable storage, and
+//! `BytesMut` as a growable buffer that freezes into `Bytes`. The
+//! implementation is an `Arc<dyn AsRef<[u8]>>` plus an offset/length
+//! window; `clone()` and `slice()` are refcount bumps, never copies.
+//! `Bytes::from_owner` (stabilised in bytes 1.9) is included because the
+//! block pool uses owner-drop to recycle buffers.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<dyn AsRef<[u8]> + Send + Sync>),
+}
+
+/// A cheaply cloneable, contiguous slice of immutable memory.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// The empty slice. Does not allocate.
+    pub const fn new() -> Bytes {
+        Bytes {
+            repr: Repr::Static(&[]),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// View over a `'static` slice. Does not allocate.
+    pub const fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes {
+            repr: Repr::Static(data),
+            off: 0,
+            len: data.len(),
+        }
+    }
+
+    /// Copy `data` into fresh shared storage.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Wrap an arbitrary owner whose `AsRef<[u8]>` is stable for its
+    /// lifetime. The owner is dropped when the last clone/slice of the
+    /// returned `Bytes` is dropped — the hook the block pool recycles on.
+    pub fn from_owner<T>(owner: T) -> Bytes
+    where
+        T: AsRef<[u8]> + Send + Sync + 'static,
+    {
+        let len = owner.as_ref().len();
+        Bytes {
+            repr: Repr::Shared(Arc::new(owner)),
+            off: 0,
+            len,
+        }
+    }
+
+    pub const fn len(&self) -> usize {
+        self.len
+    }
+
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A sub-view sharing the same storage; O(1), refcount bump only.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds, matching `bytes`.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end, "slice start {start} > end {end}");
+        assert!(end <= self.len, "slice end {end} out of range {}", self.len);
+        if start == end {
+            return Bytes::new();
+        }
+        Bytes {
+            repr: self.repr.clone(),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Split off the first `at` bytes, leaving `self` with the rest.
+    /// Both halves share the original storage.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        let head = self.slice(..at);
+        self.off += at;
+        self.len -= at;
+        head
+    }
+
+    /// Split off everything from `at`, leaving `self` with the front.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        let tail = self.slice(at..);
+        self.len = at;
+        tail
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        let full: &[u8] = match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(arc) => arc.as_ref().as_ref(),
+        };
+        &full[self.off..self.off + self.len]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        if v.is_empty() {
+            return Bytes::new();
+        }
+        Bytes::from_owner(v)
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(b: Box<[u8]>) -> Bytes {
+        Bytes::from(b.into_vec())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(m: BytesMut) -> Bytes {
+        m.freeze()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice().iter().take(64) {
+            if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        if self.len > 64 {
+            write!(f, "\" + {} more", self.len - 64)
+        } else {
+            write!(f, "\"")
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// A unique, growable byte buffer that can be frozen into `Bytes`.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    pub const fn new() -> BytesMut {
+        BytesMut { vec: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    pub fn truncate(&mut self, len: usize) {
+        self.vec.truncate(len);
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.vec.resize(new_len, value);
+    }
+
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.vec.extend_from_slice(data);
+    }
+
+    /// `bytes::BufMut::put_slice`, inherent here for simplicity.
+    pub fn put_slice(&mut self, data: &[u8]) {
+        self.vec.extend_from_slice(data);
+    }
+
+    pub fn put_u8(&mut self, b: u8) {
+        self.vec.push(b);
+    }
+
+    /// Convert into an immutable, cheaply cloneable `Bytes`.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+
+    /// Recover the backing `Vec` (stub extension; handy for reuse).
+    pub fn into_vec(self) -> Vec<u8> {
+        self.vec
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(vec: Vec<u8>) -> BytesMut {
+        BytesMut { vec }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
+        self.vec.extend(iter);
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut(len={})", self.vec.len())
+    }
+}
+
+impl std::io::Write for BytesMut {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.vec.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn slice_shares_storage() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let ss = s.slice(1..2);
+        assert_eq!(&ss[..], &[3]);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn split_to_and_off() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        let head = b.split_to(1);
+        assert_eq!(&head[..], &[1]);
+        assert_eq!(&b[..], &[2, 3, 4]);
+        let tail = b.split_off(2);
+        assert_eq!(&b[..], &[2, 3]);
+        assert_eq!(&tail[..], &[4]);
+    }
+
+    #[test]
+    fn from_owner_drops_with_last_clone() {
+        static DROPPED: AtomicBool = AtomicBool::new(false);
+        struct Owner(Vec<u8>);
+        impl AsRef<[u8]> for Owner {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        impl Drop for Owner {
+            fn drop(&mut self) {
+                DROPPED.store(true, Ordering::SeqCst);
+            }
+        }
+        let b = Bytes::from_owner(Owner(vec![9; 16]));
+        let s = b.slice(4..8);
+        drop(b);
+        assert!(!DROPPED.load(Ordering::SeqCst), "slice still alive");
+        drop(s);
+        assert!(
+            DROPPED.load(Ordering::SeqCst),
+            "owner dropped with last view"
+        );
+    }
+
+    #[test]
+    fn freeze_round_trip() {
+        let mut m = BytesMut::with_capacity(8);
+        m.extend_from_slice(b"abc");
+        m.put_u8(b'd');
+        let b = m.freeze();
+        assert_eq!(&b[..], b"abcd");
+        assert_eq!(b, *b"abcd");
+    }
+
+    #[test]
+    fn empty_slices_do_not_panic() {
+        let b = Bytes::new();
+        assert_eq!(b.slice(0..0).len(), 0);
+        let v = Bytes::from(vec![1]);
+        assert_eq!(v.slice(1..1).len(), 0);
+    }
+}

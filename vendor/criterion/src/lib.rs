@@ -1,0 +1,350 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Implements the group/bench API subset the workspace's benches use and
+//! reports mean wall-clock time per iteration (median-of-samples) plus
+//! throughput. No plotting, no statistics beyond median/min/max, no
+//! baseline persistence — those belong to the real crate; this keeps
+//! `cargo bench` runnable in an offline build environment with the same
+//! bench source.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub mod measurement {
+    /// Marker for the only measurement this stub supports.
+    pub struct WallTime;
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        if self.function.is_empty() {
+            self.parameter.clone()
+        } else if self.parameter.is_empty() {
+            self.function.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: String::new(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId {
+            function: s,
+            parameter: String::new(),
+        }
+    }
+}
+
+/// One measured result, exposed so wrapper bins can collect numbers.
+#[derive(Clone, Debug)]
+pub struct Sampled {
+    pub id: String,
+    pub median_ns: f64,
+    pub throughput: Option<Throughput>,
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Sampled>,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        eprintln!("\n== group {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_secs(1),
+            samples: 20,
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group(name);
+        g.bench_function(BenchmarkId::from_parameter(""), f);
+        g.finish();
+    }
+
+    /// All results measured so far (stub extension for JSON emitters).
+    pub fn results(&self) -> &[Sampled] {
+        &self.results
+    }
+}
+
+pub struct BenchmarkGroup<'a, M> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measure: Duration,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure = d;
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(id.render(), &mut |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.render(), &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = if id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        let mut b = Bencher {
+            mode: Mode::WarmUp,
+            budget: self.warm_up,
+            per_iter: Vec::new(),
+        };
+        f(&mut b); // warm-up pass, discarded
+        let mut samples = Vec::with_capacity(self.samples);
+        let per_sample = self.measure / self.samples as u32;
+        for _ in 0..self.samples {
+            let mut b = Bencher {
+                mode: Mode::Measure,
+                budget: per_sample,
+                per_iter: Vec::new(),
+            };
+            f(&mut b);
+            samples.extend(b.per_iter);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if samples.is_empty() {
+            eprintln!("{full}: no samples");
+            return;
+        }
+        let median = samples[samples.len() / 2];
+        let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+        let thr = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  thrpt: {}/s", human_bytes(n as f64 / (median * 1e-9)))
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {:.2} Melem/s", n as f64 / (median * 1e-9) / 1e6)
+            }
+            None => String::new(),
+        };
+        eprintln!(
+            "{full}: time [{} {} {}]{thr}",
+            human_ns(lo),
+            human_ns(median),
+            human_ns(hi)
+        );
+        self.criterion.results.push(Sampled {
+            id: full,
+            median_ns: median,
+            throughput: self.throughput,
+        });
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_bytes(bps: f64) -> String {
+    if bps < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", bps / 1024.0)
+    } else if bps < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.2} MiB", bps / 1024.0 / 1024.0)
+    } else {
+        format!("{:.3} GiB", bps / 1024.0 / 1024.0 / 1024.0)
+    }
+}
+
+enum Mode {
+    WarmUp,
+    Measure,
+}
+
+pub struct Bencher {
+    mode: Mode,
+    budget: Duration,
+    per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time the routine repeatedly until this sample's budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One calibration call so a slow routine still yields >= 1 iter.
+        let t0 = Instant::now();
+        black_box(f());
+        let first = t0.elapsed();
+        match self.mode {
+            Mode::WarmUp => {
+                let deadline = Instant::now() + self.budget.saturating_sub(first);
+                while Instant::now() < deadline {
+                    black_box(f());
+                }
+            }
+            Mode::Measure => {
+                self.per_iter.push(first.as_nanos() as f64);
+                let deadline = Instant::now() + self.budget.saturating_sub(first);
+                while Instant::now() < deadline {
+                    let t = Instant::now();
+                    black_box(f());
+                    self.per_iter.push(t.elapsed().as_nanos() as f64);
+                }
+            }
+        }
+    }
+
+    /// `iter_batched`-style API occasionally useful; setup is untimed.
+    pub fn iter_with_setup<S, O, FS: FnMut() -> S, F: FnMut(S) -> O>(
+        &mut self,
+        mut setup: FS,
+        mut f: F,
+    ) {
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(f(input));
+            if let Mode::Measure = self.mode {
+                self.per_iter.push(t.elapsed().as_nanos() as f64);
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Criterion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Criterion({} results)", self.results.len())
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(10));
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("with", 7), &7, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results()[0].median_ns >= 0.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Minimal offline stand-in for `rand` 0.9.
+//!
+//! The workspace uses rand only for deterministic, seeded simulation
+//! randomness (`StdRng::seed_from_u64`) — never for cryptographic key
+//! material quality (gridcrypt derives its own keys; its RNG input is
+//! test-seeded). This stub implements xoshiro256** seeded through
+//! splitmix64: high-quality, fast, and — critically — deterministic
+//! across builds, which the simulator's reproducibility story requires.
+//! Stream values differ from the real `rand` crate's StdRng (ChaCha12);
+//! all in-repo expectations are invariant-based, not golden-value.
+
+pub mod rngs {
+    /// The standard deterministic generator (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_state(s: [u64; 4]) -> StdRng {
+            StdRng { s }
+        }
+
+        #[inline]
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Seeding interface (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> rngs::StdRng {
+        let mut sm = seed;
+        rngs::StdRng::from_state([
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ])
+    }
+}
+
+mod sealed {
+    /// Types samplable uniformly over their full domain via `Rng::random`.
+    pub trait Standard: Sized {
+        fn sample(bits: &mut dyn FnMut() -> u64) -> Self;
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Standard for $t {
+                #[inline]
+                fn sample(bits: &mut dyn FnMut() -> u64) -> $t {
+                    bits() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Standard for u128 {
+        fn sample(bits: &mut dyn FnMut() -> u64) -> u128 {
+            ((bits() as u128) << 64) | bits() as u128
+        }
+    }
+
+    impl Standard for bool {
+        fn sample(bits: &mut dyn FnMut() -> u64) -> bool {
+            bits() & 1 == 1
+        }
+    }
+
+    impl Standard for f64 {
+        fn sample(bits: &mut dyn FnMut() -> u64) -> f64 {
+            // 53 uniform mantissa bits in [0, 1).
+            (bits() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Standard for f32 {
+        fn sample(bits: &mut dyn FnMut() -> u64) -> f32 {
+            (bits() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    /// Integer types usable as `random_range` endpoints.
+    pub trait RangeInt: Copy + PartialOrd {
+        fn to_u64(self) -> u64;
+        fn from_u64(v: u64) -> Self;
+        fn span(lo: Self, hi_incl: Self) -> u64;
+    }
+
+    macro_rules! impl_range_int {
+        ($($t:ty),*) => {$(
+            impl RangeInt for $t {
+                #[inline]
+                fn to_u64(self) -> u64 {
+                    self as u64
+                }
+                #[inline]
+                fn from_u64(v: u64) -> $t {
+                    v as $t
+                }
+                #[inline]
+                fn span(lo: $t, hi_incl: $t) -> u64 {
+                    (hi_incl as u64).wrapping_sub(lo as u64)
+                }
+            }
+        )*};
+    }
+    impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+use sealed::{RangeInt, Standard};
+
+/// Ranges accepted by `Rng::random_range`.
+pub trait SampleRange<T> {
+    fn sample_from(self, bits: &mut dyn FnMut() -> u64) -> T;
+}
+
+/// Uniform draw in [0, span] (span inclusive) by rejection, no modulo bias.
+fn uniform_u64(span_incl: u64, bits: &mut dyn FnMut() -> u64) -> u64 {
+    if span_incl == u64::MAX {
+        return bits();
+    }
+    let span = span_incl + 1;
+    // Zone is the largest multiple of `span` that fits in u64.
+    let zone = u64::MAX - (u64::MAX % span) - 1;
+    loop {
+        let v = bits();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+impl<T: RangeInt> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from(self, bits: &mut dyn FnMut() -> u64) -> T {
+        assert!(self.start < self.end, "random_range: empty range");
+        let span = T::span(self.start, self.end) - 1;
+        T::from_u64(T::to_u64(self.start).wrapping_add(uniform_u64(span, bits)))
+    }
+}
+
+impl<T: RangeInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from(self, bits: &mut dyn FnMut() -> u64) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "random_range: empty range");
+        let span = T::span(lo, hi);
+        T::from_u64(T::to_u64(lo).wrapping_add(uniform_u64(span, bits)))
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from(self, bits: &mut dyn FnMut() -> u64) -> f64 {
+        let unit = f64::sample(bits);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// The user-facing generator trait (rand 0.9 method names).
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(&mut || self.next_u64())
+    }
+
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(&mut || self.next_u64())
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let b = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&b[..rem.len()]);
+        }
+    }
+}
+
+impl Rng for rngs::StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.random_range(10u16..20);
+            assert!((10..20).contains(&v));
+            let w = r.random_range(b'a'..=b'z');
+            assert!(w.is_ascii_lowercase());
+            let f = r.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn fill_covers_tail() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        r.fill(&mut buf[..]);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn full_domain_range_works() {
+        let mut r = StdRng::seed_from_u64(4);
+        // 0..=u64::MAX must not overflow the rejection zone math.
+        let _ = r.random_range(0u64..=u64::MAX);
+        let _ = r.random_range(0u64..u64::MAX);
+    }
+}
