@@ -10,6 +10,9 @@ cargo fmt --check
 echo "=== cargo clippy --workspace -- -D warnings ==="
 cargo clippy --workspace -- -D warnings
 
+echo "=== fault-matrix smoke (link flaps, relay crashes, dead peers) ==="
+cargo test -q -p netgrid --test faults
+
 echo "=== cargo test -q ==="
 cargo test -q
 

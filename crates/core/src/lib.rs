@@ -91,6 +91,6 @@ pub use node::{GridEnv, GridNode};
 pub use pool::{BlockBuf, BlockPool, PoolStats};
 pub use port::{ReadMessage, ReceivePort, SendPort, WriteMessage};
 pub use profile::{ConnectivityProfile, FirewallClass, NatClass};
-pub use relay::{spawn_relay, RelayClient, RoutedStream};
+pub use relay::{spawn_relay, RelayClient, RelayDelegate, RoutedStream};
 pub use rpc::RpcClient;
 pub use socks::{socks_connect, spawn_proxy};

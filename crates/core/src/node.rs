@@ -24,6 +24,25 @@ use crate::relay::{RelayClient, RelayDelegate, RoutedStream};
 use crate::socks::socks_connect;
 use crate::wire::{read_frame, FrameReader, FrameWriter};
 
+/// High bit of the stream preamble's channel field: set when the
+/// connection *resumes* an existing channel after a detected failure (the
+/// preamble then carries a fourth field, the reconnect generation). Fresh
+/// connects never set it, so fault-free preambles stay byte-identical.
+pub(crate) const RESUME_FLAG: u64 = 1 << 63;
+
+/// Reconnect schedule for failed data connections: attempts and backoff.
+const RECOVER_ATTEMPTS: u32 = 8;
+const RECOVER_BASE: Duration = Duration::from_millis(50);
+const RECOVER_DELAY_CAP: Duration = Duration::from_secs(2);
+/// How long a resuming sender waits for the receiver's delivered-count
+/// reply before abandoning the attempt (polled, so a second failure during
+/// resume cannot wedge recovery).
+const RESUME_REPLY_TIMEOUT: Duration = Duration::from_secs(10);
+/// Service-request deadline used during recovery, where the peer may have
+/// died mid-request. Fault-free establishment passes no deadline (and thus
+/// schedules no timer events).
+const RECOVER_SVC_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// First local port used for receive-port data listeners.
 const DATA_PORT_BASE: u16 = 20_000;
 /// First local port used for spliced connections (distinct from the
@@ -333,7 +352,19 @@ impl GridNode {
         let channel = fr.u64()?;
         let idx = fr.u64()? as u16;
         let total = fr.u64()? as u16;
-        port.add_raw_link(&self.ctx(), channel, idx, total, RawLink::Tcp(stream))
+        if channel & RESUME_FLAG != 0 {
+            let gen = fr.u64()?;
+            port.add_resume_link(
+                &self.ctx(),
+                channel & !RESUME_FLAG,
+                idx,
+                total,
+                gen,
+                RawLink::Tcp(stream),
+            )
+        } else {
+            port.add_raw_link(&self.ctx(), channel, idx, total, RawLink::Tcp(stream))
+        }
     }
 
     // ------------------------------------------------- establishment
@@ -348,6 +379,21 @@ impl GridNode {
         port_name: &str,
         streams_override: Option<u16>,
     ) -> io::Result<SendConnection> {
+        let channel = self.alloc_channel();
+        self.establish(port_name, streams_override, channel, None)
+            .map(|(conn, _)| conn)
+    }
+
+    /// One full walk of the decision tree. With `resume: Some(gen)` the
+    /// preambles carry the resume flag + generation and the receiver's
+    /// delivered-count reply is read and returned alongside the connection.
+    fn establish(
+        &self,
+        port_name: &str,
+        streams_override: Option<u16>,
+        channel: u64,
+        resume: Option<u64>,
+    ) -> io::Result<(SendConnection, Option<u64>)> {
         let (rec, peer_profile, _peer_name) =
             self.nat_gated(|| self.inner.ns.lookup_port(port_name))?;
         let mut spec = StackSpec::decode(&rec.stack)?;
@@ -355,29 +401,32 @@ impl GridNode {
             spec.streams = n.max(1);
         }
         let methods = choose_methods(&self.inner.profile, &peer_profile, LinkPurpose::Data);
-        let channel = self.alloc_channel();
         let mut last_err = io::Error::new(
             io::ErrorKind::NotFound,
             "no establishment method applicable",
         );
         for method in methods {
-            match self.try_method(method, &rec, &peer_profile, &spec, channel) {
+            match self.try_method(method, &rec, &peer_profile, &spec, channel, resume) {
                 Ok((links, total)) => {
-                    let spec_eff = StackSpec {
-                        streams: total,
-                        ..spec.clone()
-                    };
-                    let ctx = self.ctx();
-                    let sec = ctx.security(&spec_eff);
-                    let (writer, pool) =
-                        build_sender(links, &spec_eff, self.inner.cpu.clone(), sec.as_ref())?;
-                    return Ok(SendConnection {
-                        writer,
-                        pool,
-                        method,
-                        peer_port: port_name.to_string(),
-                        channel,
-                    });
+                    match self
+                        .finish_establish(links, total, &spec, method, port_name, channel, resume)
+                    {
+                        Ok((conn, expected)) => {
+                            return Ok((
+                                SendConnection {
+                                    streams_override,
+                                    ..conn
+                                },
+                                expected,
+                            ))
+                        }
+                        Err(e) => {
+                            if std::env::var("NETGRID_DEBUG").is_ok() {
+                                eprintln!("[netgrid] method {method} stack failed: {e}");
+                            }
+                            last_err = e;
+                        }
+                    }
                 }
                 Err(e) => {
                     if std::env::var("NETGRID_DEBUG").is_ok() {
@@ -393,6 +442,121 @@ impl GridNode {
         ))
     }
 
+    /// Read the resume reply (if resuming) and assemble the sender stack.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_establish(
+        &self,
+        links: Vec<RawLink>,
+        total: u16,
+        spec: &StackSpec,
+        method: EstablishMethod,
+        port_name: &str,
+        channel: u64,
+        resume: Option<u64>,
+    ) -> io::Result<(SendConnection, Option<u64>)> {
+        let expected = if resume.is_some() {
+            // The receiver replies on stream 0 once every stream arrived.
+            // Poll readability first: a plain blocking read on a link that
+            // dies again right here would park forever.
+            let mut l0 = links[0].clone();
+            let ready = wait_until(RESUME_REPLY_TIMEOUT, Duration::from_millis(10), || {
+                link_readable(&l0)
+            });
+            if !ready {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "no resume reply from receiver",
+                ));
+            }
+            let frame = read_frame(&mut l0)?;
+            Some(FrameReader::new(&frame).u64()?)
+        } else {
+            None
+        };
+        let spec_eff = StackSpec {
+            streams: total,
+            ..spec.clone()
+        };
+        let ctx = self.ctx();
+        let sec = ctx.security(&spec_eff);
+        let probes = links.clone();
+        let (writer, pool) = build_sender(links, &spec_eff, self.inner.cpu.clone(), sec.as_ref())?;
+        Ok((
+            SendConnection {
+                writer,
+                pool,
+                method,
+                peer_port: port_name.to_string(),
+                channel,
+                links: probes,
+                streams_override: None,
+                next_seq: 0,
+                resend: std::collections::VecDeque::new(),
+                resend_bytes: 0,
+                gen: resume.unwrap_or(0),
+            },
+            expected,
+        ))
+    }
+
+    /// Re-establish a failed data connection in place: back off, walk the
+    /// decision tree again (possibly landing on a *different* method —
+    /// e.g. spliced before the failure, routed after), learn the receiver's
+    /// delivered count, and replay the retained gap. Exactly-once holds
+    /// because the receiver drops anything below its watermark.
+    pub(crate) fn recover_connection(&self, c: &mut SendConnection) -> io::Result<()> {
+        let mut delay = RECOVER_BASE;
+        let mut last_err: io::Error = io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            format!("data connection to '{}' lost", c.peer_port),
+        );
+        for _ in 0..RECOVER_ATTEMPTS {
+            gridsim_net::ctx::sleep(delay);
+            delay = (delay * 2).min(RECOVER_DELAY_CAP);
+            c.gen += 1;
+            let fresh =
+                match self.establish(&c.peer_port, c.streams_override, c.channel, Some(c.gen)) {
+                    Ok((fresh, Some(e))) => (fresh, e),
+                    Ok((_, None)) => unreachable!("resume always reads a reply"),
+                    Err(e) => {
+                        last_err = e;
+                        continue;
+                    }
+                };
+            let (fresh, e) = fresh;
+            let oldest = c.next_seq - c.resend.len() as u64;
+            if e > c.next_seq || e < oldest {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "cannot resume channel {}: receiver delivered {e}, \
+                         retained range [{oldest}, {})",
+                        c.channel, c.next_seq
+                    ),
+                ));
+            }
+            c.writer = fresh.writer;
+            c.pool = fresh.pool;
+            c.method = fresh.method;
+            c.links = fresh.links;
+            c.prune_acked(e);
+            // Replay the gap through the new stack. Payload handles are
+            // cheap clones; a failure here falls back into another attempt.
+            let replay: Vec<_> = c.resend.iter().map(|(_, p)| p.clone()).collect();
+            match replay.iter().try_for_each(|p| c.write_msg(p)) {
+                Ok(()) => return Ok(()),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(io::Error::new(
+            last_err.kind(),
+            format!(
+                "could not recover connection to '{}' after {RECOVER_ATTEMPTS} attempts: {last_err}",
+                c.peer_port
+            ),
+        ))
+    }
+
     /// Attempt one establishment method; returns the raw links in stream
     /// order plus the effective stream count.
     fn try_method(
@@ -402,6 +566,7 @@ impl GridNode {
         peer_profile: &ConnectivityProfile,
         spec: &StackSpec,
         channel: u64,
+        resume: Option<u64>,
     ) -> io::Result<(Vec<RawLink>, u16)> {
         match method {
             EstablishMethod::ClientServer => {
@@ -411,7 +576,7 @@ impl GridNode {
                 let mut links = Vec::with_capacity(spec.streams as usize);
                 for idx in 0..spec.streams {
                     let s = self.nat_gated(|| self.inner.host.connect(listener))?;
-                    self.send_preamble(&s, channel, idx, spec.streams)?;
+                    self.send_preamble(&s, channel, idx, spec.streams, resume)?;
                     links.push(RawLink::Tcp(s));
                 }
                 Ok((links, spec.streams))
@@ -433,7 +598,7 @@ impl GridNode {
                 let mut links = Vec::with_capacity(spec.streams as usize);
                 for idx in 0..spec.streams {
                     let s = self.nat_gated(|| socks_connect(&self.inner.host, proxy, listener))?;
-                    self.send_preamble(&s, channel, idx, spec.streams)?;
+                    self.send_preamble(&s, channel, idx, spec.streams, resume)?;
                     links.push(RawLink::Tcp(s));
                 }
                 Ok((links, spec.streams))
@@ -450,7 +615,7 @@ impl GridNode {
                             Duration::from_millis(200 * attempt as u64 + (channel % 7) * 50);
                         gridsim_net::ctx::sleep(stagger);
                     }
-                    match self.splice_initiate(rec, spec, channel) {
+                    match self.splice_initiate(rec, spec, channel, resume) {
                         Ok(links) => return Ok((links, spec.streams)),
                         Err(e) => last = Some(e),
                     }
@@ -459,7 +624,17 @@ impl GridNode {
             }
             EstablishMethod::Routed => {
                 let relay = self.relay()?;
-                let stream = relay.open_stream(rec.owner, &rec.name, channel)?;
+                let wire_channel = match resume {
+                    Some(_) => channel | RESUME_FLAG,
+                    None => channel,
+                };
+                let stream = relay.open_stream(rec.owner, &rec.name, wire_channel)?;
+                if let Some(gen) = resume {
+                    // The generation travels as the first stream frame (the
+                    // OPEN frame layout stays untouched).
+                    let mut w = stream.clone();
+                    FrameWriter::new().u64(gen).send(&mut w)?;
+                }
                 Ok((vec![RawLink::Routed(stream)], 1))
             }
         }
@@ -474,14 +649,27 @@ impl GridNode {
         })
     }
 
-    fn send_preamble(&self, s: &TcpStream, channel: u64, idx: u16, total: u16) -> io::Result<()> {
+    fn send_preamble(
+        &self,
+        s: &TcpStream,
+        channel: u64,
+        idx: u16,
+        total: u16,
+        resume: Option<u64>,
+    ) -> io::Result<()> {
         s.set_nodelay(true)?;
         let mut w = s.clone();
-        FrameWriter::new()
-            .u64(channel)
+        let mut fw = FrameWriter::new()
+            .u64(match resume {
+                Some(_) => channel | RESUME_FLAG,
+                None => channel,
+            })
             .u64(idx as u64)
-            .u64(total as u64)
-            .send(&mut w)
+            .u64(total as u64);
+        if let Some(gen) = resume {
+            fw = fw.u64(gen);
+        }
+        fw.send(&mut w)
     }
 
     /// TCP configuration used for spliced connects: bounded retries so a
@@ -541,9 +729,13 @@ impl GridNode {
         rec: &PortRecord,
         spec: &StackSpec,
         channel: u64,
+        resume: Option<u64>,
     ) -> io::Result<Vec<RawLink>> {
         let relay = self.relay()?.clone();
         let total = spec.streams;
+        // During recovery the responder may have died mid-negotiation;
+        // bound the brokering round-trips so the tree can fall through.
+        let svc_timeout = resume.map(|_| RECOVER_SVC_TIMEOUT);
         // 1. Request: responder allocates + predicts.
         let req = FrameWriter::new()
             .u8(svc::SPLICE_REQ)
@@ -551,7 +743,7 @@ impl GridNode {
             .str(&rec.name)
             .u64(total as u64)
             .into_bytes();
-        let rsp = relay.service_request(rec.owner, &req)?;
+        let rsp = relay.service_request_timeout(rec.owner, &req, svc_timeout)?;
         let mut r = FrameReader::new(&rsp);
         if r.u8()? != 1 {
             let msg = r.str().unwrap_or_default();
@@ -615,7 +807,7 @@ impl GridNode {
         for ep in &my_eps {
             go = go.addr(*ep);
         }
-        let go_rsp = relay.service_request(rec.owner, &go.into_bytes())?;
+        let go_rsp = relay.service_request_timeout(rec.owner, &go.into_bytes(), svc_timeout)?;
         let mut r = FrameReader::new(&go_rsp);
         if r.u8()? != 1 {
             return Err(io::Error::new(
@@ -628,7 +820,7 @@ impl GridNode {
         let mut links = Vec::with_capacity(streams.len());
         for (idx, stream) in streams.into_iter().enumerate() {
             stream.wait_established()?;
-            self.send_preamble(&stream, channel, idx as u16, total)?;
+            self.send_preamble(&stream, channel, idx as u16, total, resume)?;
             links.push(RawLink::Tcp(stream));
         }
         Ok(links)
@@ -821,8 +1013,32 @@ impl RelayDelegate for NodeDelegate {
             .get(port_name)
             .cloned()
             .ok_or_else(|| format!("unknown receive port '{port_name}'"))?;
-        port.add_raw_link(&node.ctx(), channel, 0, 1, RawLink::Routed(stream))
+        if channel & RESUME_FLAG != 0 {
+            // Resumed routed link: the generation is the first stream frame.
+            let mut r = stream.clone();
+            let frame = read_frame(&mut r).map_err(|e| e.to_string())?;
+            let gen = FrameReader::new(&frame).u64().map_err(|e| e.to_string())?;
+            port.add_resume_link(
+                &node.ctx(),
+                channel & !RESUME_FLAG,
+                0,
+                1,
+                gen,
+                RawLink::Routed(stream),
+            )
             .map_err(|e| e.to_string())
+        } else {
+            port.add_raw_link(&node.ctx(), channel, 0, 1, RawLink::Routed(stream))
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Does the link have bytes (or a pending error/EOF) to read right now?
+fn link_readable(l: &RawLink) -> bool {
+    match l {
+        RawLink::Tcp(s) => s.readable(),
+        RawLink::Routed(s) => s.readable(),
     }
 }
 

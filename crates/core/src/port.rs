@@ -20,6 +20,7 @@ use crate::drivers::{build_receiver, BlockWrite, RawLink, ReceiverStack, SenderS
 use crate::establish::EstablishMethod;
 use crate::node::{GridNode, NodeCtx};
 use crate::pool::{BlockBuf, BlockPool, PoolStats};
+use crate::wire::FrameWriter;
 
 /// Upper bound on a single message (sanity against corrupt frames).
 pub const MAX_MESSAGE: u64 = 256 << 20;
@@ -58,11 +59,17 @@ impl ReadMessage {
     }
 
     pub fn read_bytes(&mut self, n: usize) -> io::Result<&[u8]> {
-        if self.pos + n > self.data.len() {
+        // Checked: a corrupt length near usize::MAX must not overflow `pos`
+        // (which would panic in debug and silently wrap in release).
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(io::ErrorKind::UnexpectedEof)?;
+        if end > self.data.len() {
             return Err(io::ErrorKind::UnexpectedEof.into());
         }
-        let s = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        let s = &self.data[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 
@@ -79,8 +86,11 @@ impl ReadMessage {
     }
 
     pub fn read_str(&mut self) -> io::Result<String> {
-        let n = self.read_u64()? as usize;
-        let b = self.read_bytes(n)?;
+        let n = self.read_u64()?;
+        if n > MAX_MESSAGE {
+            return Err(io::ErrorKind::InvalidData.into());
+        }
+        let b = self.read_bytes(n as usize)?;
         // Validate on the borrow; only valid strings pay for the copy.
         std::str::from_utf8(b)
             .map(str::to_owned)
@@ -130,6 +140,12 @@ impl WriteMessage<'_> {
     }
 }
 
+/// Bytes of recently sent messages retained per connection for replay
+/// after a reconnect. Messages older than this are considered delivered;
+/// if a failure proves otherwise, recovery fails loudly rather than
+/// violating exactly-once.
+pub(crate) const RESEND_BUDGET: usize = 8 * 1024 * 1024;
+
 pub(crate) struct SendConnection {
     pub writer: SenderStack,
     /// The stack's block pool (aggregation/striping staging buffers).
@@ -137,6 +153,81 @@ pub(crate) struct SendConnection {
     pub method: EstablishMethod,
     pub peer_port: String,
     pub channel: u64,
+    /// Raw links under the stack, cloned for health probes (a clone shares
+    /// the underlying socket).
+    pub links: Vec<RawLink>,
+    /// Stream-count override the connection was established with, so a
+    /// reconnect re-runs the same establishment parameters.
+    pub streams_override: Option<u16>,
+    /// Messages sent on this channel so far; doubles as the next implicit
+    /// sequence number (never on the wire in fault-free runs).
+    pub next_seq: u64,
+    /// Retained `(seq, payload)` pairs for post-reconnect replay.
+    pub resend: std::collections::VecDeque<(u64, Bytes)>,
+    pub resend_bytes: usize,
+    /// Reconnect attempt counter; rides the resume preamble so the receiver
+    /// can supersede stale partial assemblies.
+    pub gen: u64,
+}
+
+impl SendConnection {
+    /// Keepalive probe: has any underlying link failed since the last send?
+    /// Costs nothing on the wire — it reads error state the transport
+    /// already detected (RTO abort, reset, closed relay stream).
+    pub fn healthy(&self) -> bool {
+        self.links.iter().all(|l| match l {
+            RawLink::Tcp(s) => s.health().is_none(),
+            RawLink::Routed(s) => !s.is_closed(),
+        })
+    }
+
+    /// Retain a sent message for replay, evicting the oldest past the
+    /// byte budget (the in-flight message itself is always kept).
+    fn retain(&mut self, seq: u64, payload: &Bytes) {
+        self.resend_bytes += payload.len();
+        self.resend.push_back((seq, payload.clone()));
+        while self.resend_bytes > RESEND_BUDGET && self.resend.len() > 1 {
+            if let Some((_, old)) = self.resend.pop_front() {
+                self.resend_bytes -= old.len();
+            }
+        }
+    }
+
+    /// Drop retained messages the receiver confirmed (seq < `e`).
+    pub(crate) fn prune_acked(&mut self, e: u64) {
+        while self.resend.front().is_some_and(|(s, _)| *s < e) {
+            if let Some((_, old)) = self.resend.pop_front() {
+                self.resend_bytes -= old.len();
+            }
+        }
+    }
+
+    /// Frame and flush one message payload down the stack.
+    pub(crate) fn write_msg(&mut self, payload: &Bytes) -> io::Result<()> {
+        let mut hdr = Vec::with_capacity(8);
+        varint::put(&mut hdr, payload.len() as u64);
+        self.writer.write_all(&hdr)?;
+        // Refcounted handoff: group communication clones the handle,
+        // not the payload, and block-aligned stacks slice it straight
+        // onto the wire.
+        self.writer.write_block(payload.clone())?;
+        self.writer.flush()
+    }
+
+    /// Wait until queued bytes left the host and check the links survived.
+    fn settle(&self) -> io::Result<()> {
+        for l in &self.links {
+            match l {
+                RawLink::Tcp(s) => s.drain()?,
+                RawLink::Routed(s) => s.drain()?,
+            }
+        }
+        if self.healthy() {
+            Ok(())
+        } else {
+            Err(io::ErrorKind::ConnectionReset.into())
+        }
+    }
 }
 
 /// Nominal checkout size of the message pool. Messages may grow past it
@@ -236,24 +327,34 @@ impl SendPort {
                 "send port not connected",
             ));
         }
-        let mut hdr = Vec::with_capacity(8);
-        varint::put(&mut hdr, payload.len() as u64);
+        let node = self.node.clone();
         for c in &mut self.conns {
-            c.writer.write_all(&hdr)?;
-            // Refcounted handoff: group communication clones the handle,
-            // not the payload, and block-aligned stacks slice it straight
-            // onto the wire.
-            c.writer.write_block(payload.clone())?;
-            c.writer.flush()?;
+            let seq = c.next_seq;
+            c.retain(seq, &payload);
+            c.next_seq += 1;
+            // Fast path: links healthy and the write succeeds. A detected
+            // failure (before or during the write) re-runs establishment
+            // and replays the retained gap — including this message.
+            if c.healthy() && c.write_msg(&payload).is_ok() {
+                continue;
+            }
+            node.recover_connection(c)?;
         }
         Ok(())
     }
 
     /// Flush and close all connections (graceful: peers see EOF after the
-    /// last message).
+    /// last message). If a link died with messages still unconfirmed, the
+    /// connection is recovered and the tail replayed before closing.
     pub fn close(mut self) -> io::Result<()> {
+        let node = self.node.clone();
         for c in &mut self.conns {
-            c.writer.flush()?;
+            let flushed = c.writer.flush().and_then(|()| c.settle());
+            if flushed.is_err() {
+                node.recover_connection(c)?;
+                c.writer.flush()?;
+                c.settle()?;
+            }
         }
         self.conns.clear();
         Ok(())
@@ -267,12 +368,17 @@ pub struct ReceivePortInner {
     msgq: SimQueue<ReadMessage>,
     /// Streams collected per channel until a connection is complete.
     pending: Mutex<HashMap<u64, PendingChannel>>,
+    /// Messages delivered per channel — the exactly-once watermark a
+    /// resuming sender replays from.
+    delivered: Mutex<HashMap<u64, u64>>,
     connections: Mutex<u64>,
 }
 
 struct PendingChannel {
     links: Vec<Option<RawLink>>,
     received: usize,
+    /// Reconnect generation this assembly belongs to (0 = first connect).
+    gen: u64,
 }
 
 impl ReceivePortInner {
@@ -282,6 +388,7 @@ impl ReceivePortInner {
             spec,
             msgq: SimQueue::bounded(64),
             pending: Mutex::new(HashMap::new()),
+            delivered: Mutex::new(HashMap::new()),
             connections: Mutex::new(0),
         })
     }
@@ -297,18 +404,58 @@ impl ReceivePortInner {
         total: u16,
         link: RawLink,
     ) -> io::Result<()> {
+        self.add_link(ctx, channel, idx, total, link, None)
+    }
+
+    /// Register one raw link of a *resumed* connection (the sender
+    /// reconnected after a failure, generation `gen`).
+    pub(crate) fn add_resume_link(
+        self: &Arc<Self>,
+        ctx: &NodeCtx,
+        channel: u64,
+        idx: u16,
+        total: u16,
+        gen: u64,
+        link: RawLink,
+    ) -> io::Result<()> {
+        self.add_link(ctx, channel, idx, total, link, Some(gen))
+    }
+
+    fn add_link(
+        self: &Arc<Self>,
+        ctx: &NodeCtx,
+        channel: u64,
+        idx: u16,
+        total: u16,
+        link: RawLink,
+        resume: Option<u64>,
+    ) -> io::Result<()> {
         if total == 0 || idx >= total {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "bad stream preamble",
             ));
         }
+        let gen = resume.unwrap_or(0);
         let ready = {
             let mut pending = self.pending.lock();
+            // A newer generation supersedes a stale partial assembly (links
+            // of a reconnect attempt that itself failed mid-establishment);
+            // an older generation is a straggler and is rejected.
+            if pending.get(&channel).is_some_and(|e| e.gen < gen) {
+                pending.remove(&channel);
+            }
             let entry = pending.entry(channel).or_insert_with(|| PendingChannel {
                 links: (0..total).map(|_| None).collect(),
                 received: 0,
+                gen,
             });
+            if gen < entry.gen {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "stale stream generation",
+                ));
+            }
             if entry.links.len() != total as usize {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -338,6 +485,19 @@ impl ReceivePortInner {
             }
         };
         if let Some(links) = ready {
+            // Resume handshake: tell the sender how many messages were
+            // actually delivered, so it replays exactly the gap. Written
+            // before the stack assembles (raw, ahead of any handshake) and
+            // only on resumed connections — fresh connects stay
+            // byte-identical.
+            let start = if resume.is_some() {
+                let e = *self.delivered.lock().entry(channel).or_insert(0);
+                let mut w0 = links[0].clone();
+                FrameWriter::new().u64(e).send(&mut w0)?;
+                e
+            } else {
+                0
+            };
             // Routed links arrive as a single stream regardless of the
             // spec; the preamble's `total` is authoritative.
             let spec = StackSpec {
@@ -355,13 +515,14 @@ impl ReceivePortInner {
             let me = Arc::clone(self);
             ctx.sched
                 .spawn_daemon(format!("rp-pump-{}-{}", self.name, channel), move || {
-                    me.pump(channel, stack);
+                    me.pump(channel, stack, start);
                 });
         }
         Ok(())
     }
 
-    fn pump(&self, channel: u64, mut stack: ReceiverStack) {
+    fn pump(&self, channel: u64, mut stack: ReceiverStack, start_seq: u64) {
+        let mut seq = start_seq;
         loop {
             let len = match varint::read_from(&mut stack) {
                 Ok(l) if l <= MAX_MESSAGE => l as usize,
@@ -371,7 +532,21 @@ impl ReceivePortInner {
             if stack.read_exact(&mut data).is_err() {
                 break;
             }
-            if self.msgq.push(ReadMessage::new(channel, data)).is_err() {
+            // Exactly-once dedupe: advance the watermark under the lock,
+            // then deliver. A message a previous incarnation of this
+            // channel already delivered is dropped.
+            let fresh = {
+                let mut d = self.delivered.lock();
+                let e = d.entry(channel).or_insert(0);
+                if seq < *e {
+                    false
+                } else {
+                    *e = seq + 1;
+                    true
+                }
+            };
+            seq += 1;
+            if fresh && self.msgq.push(ReadMessage::new(channel, data)).is_err() {
                 break; // port closed
             }
         }
@@ -428,5 +603,49 @@ impl ReceivePort {
         self.inner.msgq.close();
         let _ = self.node.ns().unregister_port(&self.inner.name);
         self.node.forget_port(&self.inner.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A corrupt varint length near `u64::MAX` (e.g. from a damaged or
+    /// hostile frame) must surface as an error from every typed reader, not
+    /// overflow the cursor and panic.
+    #[test]
+    fn corrupt_length_fields_error_cleanly() {
+        // varint encoding of u64::MAX followed by a few payload bytes.
+        let mut data = Vec::new();
+        gridzip::varint::put(&mut data, u64::MAX);
+        data.extend_from_slice(b"xyz");
+        let mut m = ReadMessage::new(1, data.clone());
+        assert_eq!(
+            m.read_str().unwrap_err().kind(),
+            io::ErrorKind::InvalidData,
+            "length beyond MAX_MESSAGE is invalid, not a panic"
+        );
+        // Direct read_bytes with a huge count: checked add, clean error.
+        let mut m = ReadMessage::new(1, data);
+        assert_eq!(
+            m.read_bytes(usize::MAX).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // A plausible-but-too-long length must not read past the buffer.
+        let mut short = Vec::new();
+        gridzip::varint::put(&mut short, 64);
+        short.extend_from_slice(b"only-9ch");
+        let mut m = ReadMessage::new(1, short);
+        assert!(m.read_str().is_err());
+    }
+
+    /// Truncated input leaves the reader usable (cursor not advanced past
+    /// the end) and keeps failing rather than panicking.
+    #[test]
+    fn truncated_message_reads_fail_not_panic() {
+        let mut m = ReadMessage::new(7, vec![0x80]); // dangling varint byte
+        assert!(m.read_u64().is_err());
+        assert!(m.read_str().is_err());
+        assert!(m.read_bytes(2).is_err(), "read past the truncated end");
     }
 }

@@ -80,7 +80,12 @@ fn serve_relay_conn(
         return Err(io::ErrorKind::InvalidData.into());
     }
     let id = r.u64()?;
-    conns.lock().insert(id, SimMutex::new(conn.clone()));
+    // Register, superseding any stale connection for the same id (a client
+    // that reconnected while its old TCP connection lingers). The old
+    // serve loop's removal below is identity-guarded, so it cannot
+    // unregister this newer connection when it finally exits.
+    let me = SimMutex::new(conn.clone());
+    conns.lock().insert(id, me.clone());
     let result = (|| -> io::Result<()> {
         loop {
             let frame = read_frame(&mut reader)?;
@@ -90,27 +95,41 @@ fn serve_relay_conn(
                     let to = r.u64()?;
                     let inner = r.bytes()?;
                     let target = conns.lock().get(&to).cloned();
-                    match target {
-                        Some(t) => {
-                            // Forward; the write blocks under backpressure,
-                            // which is exactly the relay-bottleneck
-                            // behaviour of the paper's §3.4.
-                            let mut w = t.lock();
+                    let mut delivered = false;
+                    if let Some(t) = target {
+                        // Forward; the write blocks under backpressure,
+                        // which is exactly the relay-bottleneck behaviour
+                        // of the paper's §3.4. A write *error* means the
+                        // recipient is dead — that must not tear down the
+                        // innocent sender's connection.
+                        let mut w = t.lock();
+                        if FrameWriter::new()
+                            .u8(relay_op::RECV)
+                            .u64(id)
+                            .bytes(inner)
+                            .send(&mut *w)
+                            .is_ok()
+                        {
+                            delivered = true;
+                        } else {
+                            drop(w);
+                            let mut c = conns.lock();
+                            if c.get(&to).is_some_and(|cur| cur.ptr_eq(&t)) {
+                                c.remove(&to);
+                            }
+                        }
+                    }
+                    if !delivered {
+                        // Echo the inner frame so the sender can match the
+                        // failure to the exact outstanding request.
+                        let back = conns.lock().get(&id).cloned();
+                        if let Some(b) = back {
+                            let mut w = b.lock();
                             FrameWriter::new()
-                                .u8(relay_op::RECV)
-                                .u64(id)
+                                .u8(relay_op::NOPEER)
+                                .u64(to)
                                 .bytes(inner)
                                 .send(&mut *w)?;
-                        }
-                        None => {
-                            let back = conns.lock().get(&id).cloned();
-                            if let Some(b) = back {
-                                let mut w = b.lock();
-                                FrameWriter::new()
-                                    .u8(relay_op::NOPEER)
-                                    .u64(to)
-                                    .send(&mut *w)?;
-                            }
                         }
                     }
                 }
@@ -118,7 +137,14 @@ fn serve_relay_conn(
             }
         }
     })();
-    conns.lock().remove(&id);
+    // Unregister only if the table still holds *this* connection; a
+    // reconnect may have superseded it while this loop was alive.
+    {
+        let mut c = conns.lock();
+        if c.get(&id).is_some_and(|cur| cur.ptr_eq(&me)) {
+            c.remove(&id);
+        }
+    }
     result
 }
 
@@ -163,7 +189,16 @@ struct RcInner {
     outbound: Mutex<HashMap<(GridId, u64), RoutedStream>>,
     delegate: Mutex<Option<Arc<dyn RelayDelegate>>>,
     sched: SchedHandle,
+    /// Redial state so the pump can reconnect after a relay restart.
+    host: SimHost,
+    relay_addr: SockAddr,
+    via_proxy: Option<SockAddr>,
 }
+
+/// Redial schedule after the relay connection drops: attempts and backoff.
+const RECONNECT_ATTEMPTS: u32 = 6;
+const RECONNECT_BASE: std::time::Duration = std::time::Duration::from_millis(100);
+const RECONNECT_CAP: std::time::Duration = std::time::Duration::from_secs(2);
 
 /// A node's connection to the relay.
 #[derive(Clone)]
@@ -197,13 +232,16 @@ impl RelayClient {
             outbound: Mutex::new(HashMap::new()),
             delegate: Mutex::new(None),
             sched: host.net().sched().clone(),
+            host: host.clone(),
+            relay_addr,
+            via_proxy,
         });
         let client = RelayClient { inner };
         let pump = client.clone();
         host.net()
             .sched()
             .spawn_daemon(format!("relay-pump-{id}"), move || {
-                pump.pump(stream);
+                pump.pump_loop(stream);
             });
         Ok(client)
     }
@@ -229,6 +267,20 @@ impl RelayClient {
 
     /// Blocking service request/response — the brokering channel.
     pub fn service_request(&self, to: GridId, payload: &[u8]) -> io::Result<Vec<u8>> {
+        self.service_request_timeout(to, payload, None)
+    }
+
+    /// Like [`service_request`](Self::service_request), but with an optional
+    /// deadline: if no response (or NOPEER) arrives in time the call fails
+    /// with `TimedOut`. Used on recovery paths where the target may have
+    /// silently died mid-request; fault-free paths pass `None` so no timer
+    /// event is ever scheduled.
+    pub fn service_request_timeout(
+        &self,
+        to: GridId,
+        payload: &[u8],
+        timeout: Option<std::time::Duration>,
+    ) -> io::Result<Vec<u8>> {
         let req_id = self.inner.next_req.fetch_add(1, Ordering::Relaxed);
         self.inner.pending.lock().insert(
             req_id,
@@ -238,12 +290,32 @@ impl RelayClient {
                 waker: None,
             },
         );
+        if let Some(dt) = timeout {
+            let weak = Arc::downgrade(&self.inner);
+            self.inner
+                .sched
+                .call_at(self.inner.sched.now() + dt, move || {
+                    let Some(inner) = weak.upgrade() else { return };
+                    let mut p = inner.pending.lock();
+                    if let Some(slot) = p.get_mut(&req_id) {
+                        if slot.result.is_none() {
+                            slot.result = Some(Err(io::ErrorKind::TimedOut.into()));
+                        }
+                        if let Some(w) = slot.waker.take() {
+                            w.wake();
+                        }
+                    }
+                });
+        }
         let frame = FrameWriter::new()
             .u8(inner_op::SVC_REQ)
             .u64(req_id)
             .bytes(payload)
             .into_bytes();
-        self.send_inner(to, frame)?;
+        if let Err(e) = self.send_inner(to, frame) {
+            self.inner.pending.lock().remove(&req_id);
+            return Err(e);
+        }
         loop {
             {
                 let mut p = self.inner.pending.lock();
@@ -303,15 +375,35 @@ impl RelayClient {
         }
     }
 
-    /// The receive pump: dispatch frames from the relay.
-    fn pump(&self, stream: TcpStream) {
+    /// The receive pump with supervision: dispatch frames until the relay
+    /// connection dies, fail everything in flight with a retryable error,
+    /// then redial with exponential backoff and re-HELLO. Gives up after
+    /// [`RECONNECT_ATTEMPTS`] consecutive failures.
+    fn pump_loop(&self, stream: TcpStream) {
+        let mut current = stream;
+        loop {
+            self.pump_one(current);
+            // Relay connection gone: fail everything in flight. Callers see
+            // `ConnectionReset` — retryable once the pump has redialed.
+            self.fail_inflight();
+            match self.redial() {
+                Some(next) => current = next,
+                None => return,
+            }
+        }
+    }
+
+    /// Dispatch frames from one relay connection until it fails.
+    fn pump_one(&self, stream: TcpStream) {
         let mut reader = stream;
         while let Ok(frame) = read_frame(&mut reader) {
             if self.dispatch(&frame).is_err() {
                 break;
             }
         }
-        // Relay connection gone: fail everything.
+    }
+
+    fn fail_inflight(&self) {
         for slot in self.inner.pending.lock().values_mut() {
             if slot.result.is_none() {
                 slot.result = Some(Err(io::ErrorKind::ConnectionReset.into()));
@@ -328,12 +420,40 @@ impl RelayClient {
                 w.wake();
             }
         }
-        for s in self.inner.inbound.lock().values() {
+        // Routed streams are not resumable across a relay restart: close and
+        // forget them so post-reconnect traffic cannot hit a stale stream.
+        for (_, s) in self.inner.inbound.lock().drain() {
             s.inner.rx.close();
         }
-        for s in self.inner.outbound.lock().values() {
+        for (_, s) in self.inner.outbound.lock().drain() {
             s.inner.rx.close();
         }
+    }
+
+    /// Reconnect to the relay with exponential backoff; on success re-HELLO,
+    /// swap the shared writer, and return the fresh stream for the pump.
+    fn redial(&self) -> Option<TcpStream> {
+        let mut delay = RECONNECT_BASE;
+        for _ in 0..RECONNECT_ATTEMPTS {
+            gridsim_net::ctx::sleep(delay);
+            delay = (delay * 2).min(RECONNECT_CAP);
+            let factory =
+                BootstrapSocketFactory::new(self.inner.host.clone(), self.inner.via_proxy);
+            let Ok(stream) = factory.connect(self.inner.relay_addr) else {
+                continue;
+            };
+            let mut w = stream.clone();
+            let hello = FrameWriter::new()
+                .u8(relay_op::HELLO)
+                .u64(self.inner.id)
+                .send(&mut w);
+            if hello.is_err() {
+                continue;
+            }
+            *self.inner.writer.lock() = stream.clone();
+            return Some(stream);
+        }
+        None
     }
 
     fn dispatch(&self, frame: &[u8]) -> io::Result<()> {
@@ -341,28 +461,17 @@ impl RelayClient {
         match r.u8()? {
             relay_op::NOPEER => {
                 let to = r.u64()?;
-                let mut p = self.inner.pending.lock();
-                for slot in p.values_mut() {
-                    if slot.to == to && slot.result.is_none() {
-                        slot.result = Some(Err(io::Error::new(
-                            io::ErrorKind::NotFound,
-                            format!("relay: no peer {to}"),
-                        )));
-                        if let Some(w) = slot.waker.take() {
-                            w.wake();
-                        }
+                // The relay echoes the undeliverable inner frame, letting us
+                // fail only the request it actually belonged to. Without the
+                // echo (or if it does not parse), fall back to failing every
+                // outstanding request towards that peer.
+                let echoed = r.bytes().ok().filter(|b| !b.is_empty());
+                if let Some(inner) = echoed {
+                    if self.nopeer_precise(to, inner) {
+                        return Ok(());
                     }
                 }
-                drop(p);
-                let mut ow = self.inner.open_waits.lock();
-                for slot in ow.values_mut() {
-                    if slot.to == to && slot.result.is_none() {
-                        slot.result = Some(Err(format!("relay: no peer {to}")));
-                        if let Some(w) = slot.waker.take() {
-                            w.wake();
-                        }
-                    }
-                }
+                self.nopeer_all(to);
                 Ok(())
             }
             relay_op::RECV => {
@@ -371,6 +480,92 @@ impl RelayClient {
                 self.dispatch_inner(from, inner)
             }
             _ => Err(io::ErrorKind::InvalidData.into()),
+        }
+    }
+
+    /// Fail exactly the request the echoed inner frame belonged to. Returns
+    /// false when the frame doesn't identify one (caller falls back to
+    /// failing everything towards the peer).
+    fn nopeer_precise(&self, to: GridId, inner: &[u8]) -> bool {
+        let mut r = FrameReader::new(inner);
+        let Ok(op) = r.u8() else { return false };
+        match op {
+            inner_op::SVC_REQ => {
+                let Ok(req_id) = r.u64() else { return false };
+                let mut p = self.inner.pending.lock();
+                let Some(slot) = p.get_mut(&req_id) else {
+                    return true; // already resolved; nothing else to fail
+                };
+                if slot.result.is_none() {
+                    slot.result = Some(Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("relay: no peer {to}"),
+                    )));
+                }
+                if let Some(w) = slot.waker.take() {
+                    w.wake();
+                }
+                true
+            }
+            inner_op::OPEN => {
+                let Ok(sid) = r.u64() else { return false };
+                let mut ow = self.inner.open_waits.lock();
+                let Some(slot) = ow.get_mut(&sid) else {
+                    return true;
+                };
+                if slot.result.is_none() {
+                    slot.result = Some(Err(format!("relay: no peer {to}")));
+                }
+                if let Some(w) = slot.waker.take() {
+                    w.wake();
+                }
+                true
+            }
+            inner_op::DATA | inner_op::FIN => {
+                // The peer behind an open routed stream vanished: close the
+                // stream so readers see Eof instead of parking forever.
+                let Ok(opener) = r.u8() else { return false };
+                let Ok(sid) = r.u64() else { return false };
+                let stream = if opener == 1 {
+                    self.inner.outbound.lock().remove(&(to, sid))
+                } else {
+                    self.inner.inbound.lock().remove(&(to, sid))
+                };
+                if let Some(s) = stream {
+                    s.inner.rx.close();
+                }
+                true
+            }
+            // SVC_RSP / OPEN_OK / OPEN_ERR bounced: the requester is gone,
+            // nothing is waiting on our side.
+            inner_op::SVC_RSP | inner_op::OPEN_OK | inner_op::OPEN_ERR => true,
+            _ => false,
+        }
+    }
+
+    /// Legacy behaviour: fail every outstanding request towards `to`.
+    fn nopeer_all(&self, to: GridId) {
+        let mut p = self.inner.pending.lock();
+        for slot in p.values_mut() {
+            if slot.to == to && slot.result.is_none() {
+                slot.result = Some(Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("relay: no peer {to}"),
+                )));
+                if let Some(w) = slot.waker.take() {
+                    w.wake();
+                }
+            }
+        }
+        drop(p);
+        let mut ow = self.inner.open_waits.lock();
+        for slot in ow.values_mut() {
+            if slot.to == to && slot.result.is_none() {
+                slot.result = Some(Err(format!("relay: no peer {to}")));
+                if let Some(w) = slot.waker.take() {
+                    w.wake();
+                }
+            }
         }
     }
 
@@ -562,6 +757,35 @@ impl RoutedStream {
 
     pub fn peer(&self) -> GridId {
         self.inner.peer
+    }
+
+    /// Has the stream been torn down (FIN, relay loss, or peer death)?
+    pub fn is_closed(&self) -> bool {
+        self.inner.rx.is_closed()
+    }
+
+    /// Wait until every frame written so far has been acknowledged by the
+    /// relay host. Surfaces a dead relay connection that silently buffered
+    /// writes — without this, a sender could "finish" into a connection
+    /// whose abort only fires after its last write.
+    pub fn drain(&self) -> io::Result<()> {
+        if self.is_closed() {
+            return Err(io::ErrorKind::ConnectionReset.into());
+        }
+        self.inner.client.inner.writer.lock().drain()?;
+        if self.is_closed() {
+            return Err(io::ErrorKind::ConnectionReset.into());
+        }
+        Ok(())
+    }
+
+    /// Would a read return without parking (buffered bytes or EOF)?
+    pub fn readable(&self) -> bool {
+        if !self.inner.rx.is_empty() || self.inner.rx.is_closed() {
+            return true;
+        }
+        let cur = self.inner.cursor.lock();
+        cur.1 < cur.0.len()
     }
 
     /// Signal end of stream to the peer.

@@ -113,12 +113,16 @@ impl<'a> FrameReader<'a> {
     }
 
     pub fn bytes(&mut self) -> io::Result<&'a [u8]> {
-        let len = self.u64()? as usize;
-        if self.pos + len > self.buf.len() {
-            return Err(bad("truncated bytes"));
-        }
-        let s = &self.buf[self.pos..self.pos + len];
-        self.pos += len;
+        let len = self.u64()?;
+        // Checked: a corrupt varint near u64::MAX must not overflow `pos`.
+        let len = usize::try_from(len).map_err(|_| bad("length overflow"))?;
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad("truncated bytes"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 

@@ -1,0 +1,518 @@
+//! Fault-injection end-to-end tests: link flaps mid-transfer under every
+//! establishment method (exactly-once FIFO recovery), relay crash handling,
+//! and relay registry regressions (stale unregister, innocent senders).
+
+use gridsim_net::{topology, FaultPlan, LinkParams, NatKind, Sim, SockAddr};
+use gridsim_tcp::{crash_node, SimHost, TcpConfig};
+use netgrid::wire::{read_frame, FrameReader, FrameWriter};
+use netgrid::{
+    spawn_name_service, spawn_proxy, spawn_relay, ConnectivityProfile, EstablishMethod, GridNode,
+    RelayClient, RelayDelegate, StackSpec,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const NS_PORT: u16 = 563;
+const RELAY_PORT: u16 = 600;
+const SOCKS_PORT: u16 = 1080;
+
+/// Endpoint TCP config that detects a dead path in about a second instead
+/// of minutes, so flap tests exercise abort + re-establishment quickly.
+fn fast_abort() -> TcpConfig {
+    TcpConfig {
+        initial_rto: Duration::from_millis(200),
+        min_rto: Duration::from_millis(200),
+        max_rto: Duration::from_millis(400),
+        max_rto_strikes: 2,
+        ..TcpConfig::default()
+    }
+}
+
+/// Build a grid from `specs` plus a public services host running the name
+/// service and relay (and optionally a SOCKS proxy on site 1's gateway).
+/// Returns the env, one host per site, and the proxy address if spawned.
+fn fault_world(
+    sim: &Sim,
+    specs: Vec<topology::SiteSpec>,
+    with_proxy: bool,
+) -> (netgrid::GridEnv, SimHost, SimHost, Option<SockAddr>) {
+    let net = sim.net();
+    let (srv, a, b, gw_b) = net.with(|w| {
+        let mut grid = topology::Grid::build(w, &specs);
+        let (srv, _) = grid.add_public_host(w, "services");
+        (
+            srv,
+            grid.sites[0].hosts[0],
+            grid.sites[1].hosts[0],
+            grid.sites[1].gateway,
+        )
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let ha = SimHost::new(&net, a);
+    let hb = SimHost::new(&net, b);
+    let env = netgrid::GridEnv::new(net.clone(), SockAddr::new(hsrv.ip(), NS_PORT))
+        .with_relay(SockAddr::new(hsrv.ip(), RELAY_PORT));
+    let proxy_addr =
+        with_proxy.then(|| SockAddr::new(net.with(|w| w.node(gw_b).addrs[1]), SOCKS_PORT));
+    let hgw = SimHost::new(&net, gw_b);
+    let hsrv2 = hsrv.clone();
+    sim.spawn("services", move || {
+        spawn_name_service(&hsrv2, NS_PORT).unwrap();
+        spawn_relay(&hsrv2, RELAY_PORT).unwrap();
+        if with_proxy {
+            spawn_proxy(&hgw, SOCKS_PORT).unwrap();
+        }
+    });
+    sim.run();
+    (env, ha, hb, proxy_addr)
+}
+
+fn wan() -> LinkParams {
+    LinkParams::mbps(2.0, Duration::from_millis(10))
+}
+
+/// Send `msgs` sequenced messages a→b. The receiver asserts strict
+/// `0..msgs` order: one assert covers no-loss, no-duplicate, and
+/// no-reorder at once. Returns the establishment method used.
+fn sequenced_roundtrip(
+    sim: &Sim,
+    env: &netgrid::GridEnv,
+    ha: SimHost,
+    hb: SimHost,
+    port_name: &'static str,
+    profile_a: ConnectivityProfile,
+    profile_b: ConnectivityProfile,
+    msgs: u64,
+) -> EstablishMethod {
+    let env_b = env.clone();
+    let recv = sim.spawn("receiver", move || {
+        let node = GridNode::join(&env_b, hb, &format!("{port_name}-recv"), profile_b).unwrap();
+        let rp = node
+            .create_receive_port(port_name, StackSpec::plain())
+            .unwrap();
+        for i in 0..msgs {
+            let mut m = rp.receive().unwrap();
+            assert_eq!(m.read_u64().unwrap(), i, "exactly-once FIFO violated");
+            let payload = m.read_bytes(64).unwrap();
+            assert!(payload.iter().all(|&b| b == 0x5a));
+        }
+    });
+    let env_a = env.clone();
+    let send = sim.spawn("sender", move || {
+        gridsim_net::ctx::sleep(Duration::from_millis(200));
+        let node = GridNode::join(&env_a, ha, &format!("{port_name}-send"), profile_a).unwrap();
+        let mut sp = node.create_send_port();
+        let method = sp.connect(port_name).unwrap();
+        for i in 0..msgs {
+            let mut m = sp.message();
+            m.write_u64(i);
+            m.write_bytes(&[0x5au8; 64]);
+            m.finish().unwrap();
+            gridsim_net::ctx::sleep(Duration::from_millis(40));
+        }
+        sp.close().unwrap();
+        method
+    });
+    sim.run();
+    assert!(recv.is_finished(), "receiver wedged after link flap");
+    assert!(send.is_finished(), "sender wedged after link flap");
+    let out = Arc::new(parking_lot::Mutex::new(None));
+    let o = out.clone();
+    sim.spawn("collect", move || {
+        recv.join();
+        *o.lock() = Some(send.join());
+    });
+    sim.run();
+    let got = out.lock().take().unwrap();
+    got
+}
+
+/// Flap the whole a↔b path mid-transfer (which also cuts both endpoints
+/// off from the services host — relay and name service included) at 1.5 s,
+/// restore at 2.7 s: squarely inside the transfer window.
+fn flap_roundtrip(
+    sim: &Sim,
+    env: &netgrid::GridEnv,
+    ha: SimHost,
+    hb: SimHost,
+    port_name: &'static str,
+    profile_a: ConnectivityProfile,
+    profile_b: ConnectivityProfile,
+    expect: EstablishMethod,
+) {
+    ha.set_tcp_config(fast_abort());
+    hb.set_tcp_config(fast_abort());
+    let net = ha.net().clone();
+    let links = net.with(|w| w.path_links(ha.node(), hb.node()));
+    let plan = links.iter().fold(FaultPlan::new(), |p, &l| {
+        p.flap(Duration::from_millis(1500), l, Duration::from_millis(1200))
+    });
+    net.with(|w| w.install_faults(plan));
+    let got = sequenced_roundtrip(sim, env, ha, hb, port_name, profile_a, profile_b, 50);
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn flap_recovers_client_server() {
+    let sim = Sim::new(31);
+    let (env, ha, hb, _) = fault_world(
+        &sim,
+        vec![
+            topology::SiteSpec::open("site-a", 1, wan()),
+            topology::SiteSpec::open("site-b", 1, wan()),
+        ],
+        false,
+    );
+    flap_roundtrip(
+        &sim,
+        &env,
+        ha,
+        hb,
+        "flap-cs",
+        ConnectivityProfile::open(),
+        ConnectivityProfile::open(),
+        EstablishMethod::ClientServer,
+    );
+}
+
+#[test]
+fn flap_recovers_splicing() {
+    let sim = Sim::new(32);
+    let (env, ha, hb, _) = fault_world(
+        &sim,
+        vec![
+            topology::SiteSpec::firewalled("vu", 1, wan()),
+            topology::SiteSpec::firewalled("rennes", 1, wan()),
+        ],
+        false,
+    );
+    flap_roundtrip(
+        &sim,
+        &env,
+        ha,
+        hb,
+        "flap-splice",
+        ConnectivityProfile::firewalled(),
+        ConnectivityProfile::firewalled(),
+        EstablishMethod::Splicing,
+    );
+}
+
+#[test]
+fn flap_recovers_proxy() {
+    let sim = Sim::new(33);
+    let (env, ha, hb, proxy_addr) = fault_world(
+        &sim,
+        vec![
+            topology::SiteSpec::natted("broken", 1, NatKind::SymmetricRandom, wan()),
+            topology::SiteSpec::firewalled("vu", 1, wan()),
+        ],
+        true,
+    );
+    flap_roundtrip(
+        &sim,
+        &env,
+        ha,
+        hb,
+        "flap-proxy",
+        ConnectivityProfile::natted(netgrid::NatClass::SymmetricRandom),
+        ConnectivityProfile::firewalled().with_proxy(proxy_addr.unwrap()),
+        EstablishMethod::Proxy,
+    );
+}
+
+#[test]
+fn flap_recovers_routed() {
+    let sim = Sim::new(34);
+    let (env, ha, hb, _) = fault_world(
+        &sim,
+        vec![
+            topology::SiteSpec::natted("broken", 1, NatKind::SymmetricRandom, wan()),
+            topology::SiteSpec::firewalled("vu", 1, wan()),
+        ],
+        false,
+    );
+    flap_roundtrip(
+        &sim,
+        &env,
+        ha,
+        hb,
+        "flap-routed",
+        ConnectivityProfile::natted(netgrid::NatClass::SymmetricRandom),
+        ConnectivityProfile::firewalled(),
+        EstablishMethod::Routed,
+    );
+}
+
+// ------------------------------------------------------- relay regressions
+
+// Relay protocol opcodes (mirrors the private `relay_op` module; the raw
+// tests below speak the wire protocol directly).
+const OP_HELLO: u8 = 1;
+const OP_SEND: u8 = 2;
+const OP_RECV: u8 = 3;
+
+/// A reconnecting client must not be unregistered by its stale predecessor:
+/// when the old serve loop finally exits, the registry entry now belongs to
+/// the new connection and must survive.
+#[test]
+fn relay_stale_connection_does_not_unregister_successor() {
+    let sim = Sim::new(35);
+    let (_env, ha, _hb, _) = fault_world(
+        &sim,
+        vec![
+            topology::SiteSpec::open("site-a", 1, wan()),
+            topology::SiteSpec::open("site-b", 1, wan()),
+        ],
+        false,
+    );
+    let relay_addr = _env.relay_addr.unwrap();
+    let done = sim.spawn("scenario", move || {
+        let hello = |s: &gridsim_tcp::TcpStream, id: u64| {
+            FrameWriter::new()
+                .u8(OP_HELLO)
+                .u64(id)
+                .send(&mut s.clone())
+                .unwrap();
+        };
+        let c1 = ha.connect(relay_addr).unwrap();
+        hello(&c1, 7);
+        gridsim_net::ctx::sleep(Duration::from_millis(50));
+        // Reconnect as the same id: supersedes c1 in the registry.
+        let c2 = ha.connect(relay_addr).unwrap();
+        hello(&c2, 7);
+        gridsim_net::ctx::sleep(Duration::from_millis(50));
+        // The stale connection dies; its serve loop exits and must leave
+        // c2's registration alone.
+        c1.shutdown_write().unwrap();
+        gridsim_net::ctx::sleep(Duration::from_millis(200));
+        let c3 = ha.connect(relay_addr).unwrap();
+        hello(&c3, 9);
+        FrameWriter::new()
+            .u8(OP_SEND)
+            .u64(7)
+            .bytes(b"ping")
+            .send(&mut c3.clone())
+            .unwrap();
+        let frame = read_frame(&mut c2.clone()).unwrap();
+        let mut r = FrameReader::new(&frame);
+        assert_eq!(r.u8().unwrap(), OP_RECV, "expected delivery, got NOPEER");
+        assert_eq!(r.u64().unwrap(), 9);
+        assert_eq!(r.bytes().unwrap(), b"ping");
+    });
+    sim.run();
+    assert!(done.is_finished(), "raw relay scenario wedged");
+}
+
+/// Immediate echo for a service delegate.
+struct Echo;
+impl RelayDelegate for Echo {
+    fn on_service_request(&self, _from: u64, payload: &[u8]) -> Vec<u8> {
+        payload.to_vec()
+    }
+    fn on_open(
+        &self,
+        _from: u64,
+        _port: &str,
+        _channel: u64,
+        _stream: netgrid::RoutedStream,
+    ) -> Result<(), String> {
+        Err("no ports".into())
+    }
+}
+
+/// A peer that dies mid-request must not tear down the innocent sender's
+/// relay connection, and a NOPEER must fail only the request it echoes —
+/// other outstanding requests to the same dead peer keep their own fate.
+#[test]
+fn relay_dead_peer_fails_precisely_and_spares_sender() {
+    let sim = Sim::new(36);
+    let net = sim.net();
+    let (srv, a, b, c) = net.with(|w| {
+        let mut grid = topology::Grid::build(
+            w,
+            &[
+                topology::SiteSpec::open("x", 1, wan()),
+                topology::SiteSpec::open("y", 1, wan()),
+                topology::SiteSpec::open("z", 1, wan()),
+            ],
+        );
+        let (srv, _) = grid.add_public_host(w, "services");
+        (
+            srv,
+            grid.sites[0].hosts[0],
+            grid.sites[1].hosts[0],
+            grid.sites[2].hosts[0],
+        )
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let ha = SimHost::new(&net, a);
+    let hb = SimHost::new(&net, b);
+    let hc = SimHost::new(&net, c);
+    let relay_addr = SockAddr::new(hsrv.ip(), RELAY_PORT);
+    let hsrv2 = hsrv.clone();
+    sim.spawn("services", move || {
+        spawn_relay(&hsrv2, RELAY_PORT).unwrap();
+    });
+    sim.run();
+
+    // B registers with the raw protocol and never answers: a silent peer
+    // with no reconnect logic, so `crash_node` leaves it dead for good.
+    let sched = net.sched().clone();
+    let hb2 = hb.clone();
+    sched.spawn_daemon("silent-b", move || {
+        let cb = hb2.connect(relay_addr).unwrap();
+        FrameWriter::new()
+            .u8(OP_HELLO)
+            .u64(7)
+            .send(&mut cb.clone())
+            .unwrap();
+        loop {
+            gridsim_net::ctx::park("hold relay conn");
+        }
+    });
+
+    let client_a = Arc::new(parking_lot::Mutex::new(None::<RelayClient>));
+    let slot = client_a.clone();
+    sim.spawn("setup", move || {
+        let rc = RelayClient::connect(&ha, relay_addr, None, 1).unwrap();
+        rc.set_delegate(Arc::new(Echo));
+        // C's pump daemon keeps its own clone alive, so dropping `rb`
+        // here does not stop it from serving echoes.
+        let rb = RelayClient::connect(&hc, relay_addr, None, 9).unwrap();
+        rb.set_delegate(Arc::new(Echo));
+        *slot.lock() = Some(rc);
+    });
+    sim.run();
+    let rc = client_a.lock().take().unwrap();
+
+    // req1: outstanding when B dies; must end in its *own* timeout, not be
+    // collateral damage of a later request's NOPEER.
+    let rc1 = rc.clone();
+    let req1 = sim.spawn("req1", move || {
+        rc1.service_request_timeout(7, b"first", Some(Duration::from_secs(5)))
+            .unwrap_err()
+            .kind()
+    });
+    // B dies at 0.5 s. The relay only notices asynchronously, once a write
+    // towards B is answered with RST and its serve loop errors out.
+    {
+        let b_node = hb.node();
+        net.with(|w| {
+            w.schedule_after(Duration::from_millis(500), move |w| crash_node(w, b_node));
+        });
+    }
+    // req2 at 0.6 s: the sacrificial detector. The relay's forward write
+    // still succeeds into the socket buffer, so no NOPEER comes back; the
+    // RST it provokes evicts B. req2 then dies by its own timeout.
+    let rc2 = rc.clone();
+    let req2 = sim.spawn("req2", move || {
+        gridsim_net::ctx::sleep(Duration::from_millis(600));
+        rc2.service_request_timeout(7, b"second", Some(Duration::from_secs(1)))
+            .unwrap_err()
+            .kind()
+    });
+    // req3 at 1.5 s: B is evicted by now, so the relay echoes NOPEER and
+    // the failure is immediate — and scoped to req3 alone.
+    let rc3 = rc.clone();
+    let req3 = sim.spawn("req3", move || {
+        gridsim_net::ctx::sleep(Duration::from_millis(1500));
+        let t0 = gridsim_net::ctx::now();
+        let kind = rc3.service_request(7, b"third").unwrap_err().kind();
+        let dt = gridsim_net::ctx::now().since(t0);
+        assert!(
+            dt < Duration::from_millis(200),
+            "NOPEER should fail fast, took {dt:?}"
+        );
+        kind
+    });
+    // req4 at 1.6 s to the living C: A's relay connection must have
+    // survived B's death (the innocent-sender guarantee).
+    let rc4 = rc.clone();
+    let req4 = sim.spawn("req4", move || {
+        gridsim_net::ctx::sleep(Duration::from_millis(1600));
+        rc4.service_request(9, b"alive?").unwrap()
+    });
+    sim.run();
+    for (name, h) in [("req1", &req1), ("req2", &req2), ("req3", &req3)] {
+        assert!(h.is_finished(), "{name} wedged");
+    }
+    assert!(req4.is_finished(), "req4 wedged");
+    let out = Arc::new(parking_lot::Mutex::new(None));
+    let o = out.clone();
+    sim.spawn("collect", move || {
+        *o.lock() = Some((req1.join(), req2.join(), req3.join(), req4.join()));
+    });
+    sim.run();
+    let (k1, k2, k3, r4) = out.lock().take().unwrap();
+    assert_eq!(k3, std::io::ErrorKind::NotFound, "req3 expects NOPEER");
+    assert_eq!(
+        k1,
+        std::io::ErrorKind::TimedOut,
+        "req1 must keep its own fate"
+    );
+    assert_eq!(
+        k2,
+        std::io::ErrorKind::TimedOut,
+        "req2 times out, no NOPEER"
+    );
+    assert_eq!(r4, b"alive?", "sender connection must survive peer death");
+}
+
+// ----------------------------------------------------- property: no wedge
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary bounded flap schedules — any subset of the a↔b path links,
+    /// overlapping outages included — never deadlock the runtime and never
+    /// break exactly-once FIFO delivery. Schedules start after connection
+    /// establishment (~0.4 s) and every outage is shorter than the recovery
+    /// budget, so delivery must always complete.
+    #[test]
+    fn random_flap_schedules_never_wedge(
+        flaps in proptest::collection::vec(
+            (500u64..2500, 100u64..800, any::<u8>()),
+            1..4,
+        ),
+    ) {
+        let sim = Sim::new(41);
+        let (env, ha, hb, _) = fault_world(
+            &sim,
+            vec![
+                topology::SiteSpec::open("site-a", 1, wan()),
+                topology::SiteSpec::open("site-b", 1, wan()),
+            ],
+            false,
+        );
+        ha.set_tcp_config(fast_abort());
+        hb.set_tcp_config(fast_abort());
+        let net = ha.net().clone();
+        let links = net.with(|w| w.path_links(ha.node(), hb.node()));
+        let mut plan = FaultPlan::new();
+        for &(at, down, mask) in &flaps {
+            for (i, &l) in links.iter().enumerate() {
+                if mask & (1 << (i % 8)) != 0 {
+                    plan = plan.flap(
+                        Duration::from_millis(at),
+                        l,
+                        Duration::from_millis(down),
+                    );
+                }
+            }
+        }
+        net.with(|w| w.install_faults(plan));
+        sequenced_roundtrip(
+            &sim,
+            &env,
+            ha,
+            hb,
+            "prop-flap",
+            ConnectivityProfile::open(),
+            ConnectivityProfile::open(),
+            20,
+        );
+    }
+}

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod addr;
+pub mod fault;
 pub mod firewall;
 pub mod link;
 pub mod nat;
@@ -47,6 +48,7 @@ pub mod topology;
 pub mod world;
 
 pub use addr::{Ip, SockAddr};
+pub use fault::FaultPlan;
 pub use firewall::{Firewall, FirewallPolicy};
 pub use link::{LinkDirId, LinkParams, LinkStats};
 pub use nat::{Nat, NatKind};

@@ -77,6 +77,9 @@ pub struct LinkDir {
     pub to_iface: usize,
     /// Time at which the wire becomes free.
     pub busy_until: SimTime,
+    /// Administrative state: a downed link drops every packet offered to
+    /// it (fault injection). Packets already propagating still arrive.
+    pub up: bool,
     pub stats: LinkStats,
 }
 
@@ -111,6 +114,7 @@ mod tests {
             to_node: NodeId(0),
             to_iface: 0,
             busy_until: SimTime::ZERO,
+            up: true,
             stats: LinkStats::default(),
         }
     }

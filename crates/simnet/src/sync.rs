@@ -75,6 +75,12 @@ impl<T: ?Sized> SimMutex<T> {
         }
     }
 
+    /// Do two handles refer to the same mutex? Lets registries guard
+    /// removal on identity when an entry may have been superseded.
+    pub fn ptr_eq(&self, other: &SimMutex<T>) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
     /// Try to acquire without parking.
     pub fn try_lock(&self) -> Option<SimMutexGuard<'_, T>> {
         let mut ctl = self.inner.ctl.lock();
@@ -253,6 +259,11 @@ impl<T> SimQueue<T> {
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Has the queue been closed? (Items may still be draining.)
+    pub fn is_closed(&self) -> bool {
+        self.inner.state.lock().closed
     }
 }
 

@@ -97,6 +97,7 @@ pub struct WorldStats {
     pub drop_queue: u64,
     pub drop_not_local: u64,
     pub drop_no_handler: u64,
+    pub drop_link_down: u64,
 }
 
 /// Why a packet was dropped or what happened to it — fed to the optional
@@ -113,6 +114,7 @@ pub enum TraceKind {
     DropQueue,
     DropNotLocal,
     DropNoHandler,
+    DropLinkDown,
 }
 
 type Tracer = Box<dyn Fn(SimTime, TraceKind, &Packet) + Send>;
@@ -233,6 +235,7 @@ impl World {
             to_node: b,
             to_iface: iface_b,
             busy_until: SimTime::ZERO,
+            up: true,
             stats: LinkStats::default(),
         });
         let ba = LinkDirId(self.links.len());
@@ -242,6 +245,7 @@ impl World {
             to_node: a,
             to_iface: iface_a,
             busy_until: SimTime::ZERO,
+            up: true,
             stats: LinkStats::default(),
         });
         self.nodes[a.0].ifaces.push(Iface {
@@ -329,6 +333,86 @@ impl World {
     /// The outgoing link-direction id of `node`'s interface `iface`.
     pub fn iface_link(&self, node: NodeId, iface: usize) -> LinkDirId {
         self.nodes[node.0].ifaces[iface].link_out
+    }
+
+    // ---------------- fault injection ----------------
+
+    /// Mutable access to one link direction (fault injection: loss bursts,
+    /// parameter changes).
+    pub fn link_mut(&mut self, id: LinkDirId) -> &mut LinkDir {
+        &mut self.links[id.0]
+    }
+
+    /// Administrative up/down of one link direction. While down, every
+    /// packet offered to the link is dropped (counted as
+    /// [`WorldStats::drop_link_down`]); packets already propagating still
+    /// arrive, like photons in flight on a cut fibre.
+    pub fn set_link_up(&mut self, id: LinkDirId, up: bool) {
+        self.links[id.0].up = up;
+    }
+
+    /// Is this link direction administratively up?
+    pub fn link_up(&self, id: LinkDirId) -> bool {
+        self.links[id.0].up
+    }
+
+    /// Every link direction incident to `node` (both the node's outgoing
+    /// directions and the peers' directions pointing at it).
+    pub fn node_links(&self, node: NodeId) -> Vec<LinkDirId> {
+        let mut out: Vec<LinkDirId> = self.nodes[node.0]
+            .ifaces
+            .iter()
+            .map(|i| i.link_out)
+            .collect();
+        out.extend(
+            self.links
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.to_node == node)
+                .map(|(i, _)| LinkDirId(i)),
+        );
+        out.sort_by_key(|l| l.0);
+        out.dedup();
+        out
+    }
+
+    /// Take every link incident to `node` down (or back up): the network
+    /// view of a host or relay crash.
+    pub fn set_node_up(&mut self, node: NodeId, up: bool) {
+        for id in self.node_links(node) {
+            self.links[id.0].up = up;
+        }
+    }
+
+    /// The link directions on the routed path from `a` to `b` *and* back,
+    /// following each hop's routing table (bounded at 32 hops). Used to
+    /// partition two nodes that are not directly adjacent.
+    pub fn path_links(&self, a: NodeId, b: NodeId) -> Vec<LinkDirId> {
+        let mut out = Vec::new();
+        for (from, to) in [(a, b), (b, a)] {
+            let dst = self.addr_of(to);
+            let mut cur = from;
+            for _ in 0..32 {
+                if cur == to || self.nodes[cur.0].owns(dst) {
+                    break;
+                }
+                let Some(iface) = self.nodes[cur.0].route_for(dst) else {
+                    break;
+                };
+                let link = self.nodes[cur.0].ifaces[iface].link_out;
+                out.push(link);
+                cur = self.links[link.0].to_node;
+            }
+        }
+        out.sort_by_key(|l| l.0);
+        out.dedup();
+        out
+    }
+
+    /// Schedule every event of a [`crate::fault::FaultPlan`] on the
+    /// simulation clock.
+    pub fn install_faults(&mut self, plan: crate::fault::FaultPlan) {
+        plan.install(self);
     }
 
     /// Deterministic RNG for protocol use (loss draws, NAT ports...).
@@ -438,6 +522,11 @@ impl World {
         let now = self.sched.now();
         let wire_len = pkt.wire_len();
         let link = &mut self.links[link_id.0];
+        if !link.up {
+            self.stats.drop_link_down += 1;
+            self.trace(TraceKind::DropLinkDown, &pkt);
+            return;
+        }
         let Some(deliver_at) = link.admit(now, wire_len) else {
             self.stats.drop_queue += 1;
             self.trace(TraceKind::DropQueue, &pkt);

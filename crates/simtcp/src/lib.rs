@@ -50,6 +50,6 @@ pub mod udp;
 
 pub use seg::{Flags, Segment, TCP_HEADER_LEN};
 pub use sock::{ConnectOpts, SimHost, TcpListener, TcpStream};
-pub use stack::{ConnId, TcpHost};
+pub use stack::{crash_node, ConnId, TcpHost};
 pub use tcb::{ConnStats, State, Tcb, TcpConfig};
 pub use udp::{Datagram, UdpSocket};

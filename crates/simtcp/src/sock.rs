@@ -363,6 +363,23 @@ impl TcpStream {
         self.with_tcb(|tcb, _| tcb.stats)
     }
 
+    /// Health probe for supervision code: `Some(kind)` if the connection
+    /// has failed (reset, dead-peer timeout, crashed stack), `None` while
+    /// it is usable. Never blocks.
+    pub fn health(&self) -> Option<io::ErrorKind> {
+        match self.with_tcb(|tcb, _| tcb.error()) {
+            Ok(e) => e,
+            Err(e) => Some(e.kind()),
+        }
+    }
+
+    /// Is data (or EOF/error) immediately available to a reader? Lets
+    /// callers poll with a timeout instead of committing to a blocking
+    /// read. Never blocks.
+    pub fn readable(&self) -> bool {
+        self.with_tcb(|tcb, _| tcb.readable()).unwrap_or(true)
+    }
+
     /// Current congestion window (diagnostics).
     pub fn cwnd(&self) -> io::Result<u64> {
         self.with_tcb(|tcb, _| tcb.cwnd())

@@ -377,6 +377,33 @@ enum Timer {
     TimeWait,
 }
 
+/// Simulate a process/host crash at the TCP level: every connection fails
+/// with `ConnectionReset` (waking parked readers and writers), listeners
+/// wake their accept waiters, and the whole stack state is dropped. A
+/// restarted service simply binds again on the fresh stack; packets from
+/// old connections arriving afterwards hit an empty connection table and
+/// are answered with RST, so remote peers learn of the crash quickly.
+///
+/// Combine with `World::set_node_up` for a full kill-restart: take the
+/// node's links down, crash the stack, bring the links back up.
+pub fn crash_node(w: &mut World, node: NodeId) {
+    let Some(boxed) = w.take_proto_state(node, proto::TCP) else {
+        return;
+    };
+    let mut host = boxed.downcast::<TcpHost>().expect("proto state type");
+    for tcb in host.conns.values_mut() {
+        tcb.crash();
+    }
+    for l in host.listeners.values_mut() {
+        l.closed = true;
+        for waker in l.accept_wakers.drain(..) {
+            waker.wake();
+        }
+    }
+    // The state is intentionally not put back: the next packet or socket
+    // call sees a brand-new stack.
+}
+
 /// Run `f` with the host's TCP state temporarily taken out of the world
 /// (installing a fresh stack on first use).
 pub fn with_host<R>(

@@ -56,6 +56,11 @@ pub struct TcpConfig {
     pub min_rto: Duration,
     /// Upper bound on the RTO.
     pub max_rto: Duration,
+    /// Consecutive retransmission timeouts *at* `max_rto` before the
+    /// connection aborts with [`io::ErrorKind::TimedOut`] instead of
+    /// retransmitting forever (0 disables the abort). Counted only once
+    /// the backoff has saturated, so transient loss never trips it.
+    pub max_rto_strikes: u32,
     /// TIME-WAIT linger (kept short; a full 2·MSL would only slow sims).
     pub time_wait: Duration,
 }
@@ -72,6 +77,7 @@ impl Default for TcpConfig {
             initial_rto: Duration::from_secs(1),
             min_rto: Duration::from_millis(200),
             max_rto: Duration::from_secs(60),
+            max_rto_strikes: 8,
             time_wait: Duration::from_millis(500),
         }
     }
@@ -349,6 +355,9 @@ pub struct Tcb {
     /// Outstanding RTT sample: (sequence that acks it, send time).
     rtt_sample: Option<(u64, SimTime)>,
     syn_rtx_left: u32,
+    /// Consecutive RTO expiries with the backoff saturated at `max_rto`;
+    /// reset whenever an ACK advances `snd_una`.
+    rto_strikes: u32,
 
     // --- timers ---
     pub rtx_timer: TimerSlot,
@@ -402,6 +411,7 @@ impl Tcb {
             rto: cfg.initial_rto,
             rtt_sample: None,
             syn_rtx_left: cfg.syn_retries,
+            rto_strikes: 0,
             rtx_timer: TimerSlot::default(),
             persist_timer: TimerSlot::default(),
             persist_backoff: 0,
@@ -564,6 +574,20 @@ impl Tcb {
         self.wake_all();
     }
 
+    /// Kill the connection as a crash would: record `ConnectionReset`, wake
+    /// every parked task, and emit nothing (a crashed process sends no
+    /// farewell).
+    pub fn crash(&mut self) {
+        self.fail(io::ErrorKind::ConnectionReset);
+        self.out.clear();
+    }
+
+    /// Is data (or a pending EOF/error) immediately available to a reader?
+    /// Lets supervision code poll instead of blocking in a read.
+    pub fn readable(&self) -> bool {
+        !self.recv_q.is_empty() || self.fin_rcvd || self.error.is_some()
+    }
+
     fn enter_established(&mut self) {
         self.state = State::Established;
         self.became_established = true;
@@ -647,8 +671,9 @@ impl Tcb {
             if let Some(e) = self.error {
                 // A reset with buffered data still delivers the data first;
                 // here the buffer is empty, so surface the error. EOF after
-                // normal FIN is not an error.
-                if e == io::ErrorKind::ConnectionReset {
+                // normal FIN is not an error, but a reset or a dead-peer
+                // timeout is.
+                if matches!(e, io::ErrorKind::ConnectionReset | io::ErrorKind::TimedOut) {
                     return Err(e.into());
                 }
                 return Ok(ReadOutcome::Eof);
@@ -684,7 +709,7 @@ impl Tcb {
     ) -> io::Result<ReadOutcome> {
         if self.recv_q.is_empty() {
             if let Some(e) = self.error {
-                if e == io::ErrorKind::ConnectionReset {
+                if matches!(e, io::ErrorKind::ConnectionReset | io::ErrorKind::TimedOut) {
                     return Err(e.into());
                 }
                 return Ok(ReadOutcome::Eof);
@@ -862,6 +887,18 @@ impl Tcb {
                     return; // spurious
                 }
                 self.stats.rtx_timeouts += 1;
+                // Dead-peer detection: once the backoff has saturated at
+                // max_rto, each further expiry is a strike; too many in a
+                // row and the connection fails detectably instead of
+                // retransmitting forever.
+                if self.rto >= self.cfg.max_rto {
+                    self.rto_strikes += 1;
+                    if self.cfg.max_rto_strikes > 0 && self.rto_strikes >= self.cfg.max_rto_strikes
+                    {
+                        self.fail(io::ErrorKind::TimedOut);
+                        return;
+                    }
+                }
                 // Reno on timeout: collapse to one segment, halve ssthresh.
                 let flight = self.flight() as f64;
                 self.ssthresh = (flight / 2.0).max((2 * self.cfg.mss) as f64);
@@ -1055,6 +1092,7 @@ impl Tcb {
             self.snd_una = ack;
             self.snd_nxt = self.snd_nxt.max(ack);
             self.peer_wnd = seg.wnd;
+            self.rto_strikes = 0;
             // RTT sample.
             if let Some((end, sent_at)) = self.rtt_sample {
                 if ack >= end {
@@ -1461,6 +1499,79 @@ mod tests {
             a.on_segment(deadline, s);
         }
         assert!(a.flight() > 0, "go-back-N continues with remaining data");
+    }
+
+    #[test]
+    fn saturated_rto_strikes_abort_detectably() {
+        let cfg = TcpConfig {
+            initial_rto: Duration::from_millis(200),
+            min_rto: Duration::from_millis(200),
+            max_rto: Duration::from_millis(400),
+            max_rto_strikes: 3,
+            ..TcpConfig::default()
+        };
+        let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
+        let syn = a.take_out().remove(0);
+        let mut b = Tcb::server(cfg, ra(), la(), 2, &syn, T0);
+        pump(&mut a, &mut b, T0);
+        a.try_write(T0, &[7u8; 1000]).unwrap();
+        let _lost = a.take_out(); // peer is gone: nothing ever arrives
+        let mut fired = 0;
+        while a.error().is_none() {
+            let now = a.rtx_timer.deadline.expect("rtx stays armed until abort");
+            a.on_rto(now);
+            let _ = a.take_out();
+            fired += 1;
+            assert!(fired < 20, "must abort, not retransmit forever");
+        }
+        // Expiry 1 at 200ms doubles to the 400ms cap; expiries 2-4 are
+        // saturated strikes 1-3, and the third strike aborts.
+        assert_eq!(fired, 4);
+        assert_eq!(a.error(), Some(io::ErrorKind::TimedOut));
+        assert_eq!(a.state, State::Closed);
+        let mut buf = [0u8; 8];
+        let e = a.try_read(T0, &mut buf).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::TimedOut, "reads surface the abort");
+        let e = a.try_write(T0, &[1]).unwrap_err();
+        assert_eq!(
+            e.kind(),
+            io::ErrorKind::TimedOut,
+            "writes surface the abort"
+        );
+    }
+
+    #[test]
+    fn ack_progress_resets_rto_strikes() {
+        let cfg = TcpConfig {
+            initial_rto: Duration::from_millis(200),
+            min_rto: Duration::from_millis(200),
+            max_rto: Duration::from_millis(200), // every expiry is saturated
+            max_rto_strikes: 2,
+            ..TcpConfig::default()
+        };
+        let mut a = Tcb::client(cfg, la(), ra(), 1, T0);
+        let syn = a.take_out().remove(0);
+        let mut b = Tcb::server(cfg, ra(), la(), 2, &syn, T0);
+        pump(&mut a, &mut b, T0);
+        a.try_write(T0, &[7u8; 1000]).unwrap();
+        let _ = a.take_out();
+        // One strike, then the retransmission gets through.
+        let now = a.rtx_timer.deadline.unwrap();
+        a.on_rto(now);
+        for s in a.take_out() {
+            b.on_segment(now, s);
+        }
+        for s in b.take_out() {
+            a.on_segment(now, s);
+        }
+        assert_eq!(a.error(), None);
+        // A fresh stall needs the full strike budget again.
+        a.try_write(now, &[8u8; 1000]).unwrap();
+        let _ = a.take_out();
+        let d1 = a.rtx_timer.deadline.unwrap();
+        a.on_rto(d1);
+        let _ = a.take_out();
+        assert_eq!(a.error(), None, "strike counter was reset by the ACK");
     }
 
     #[test]

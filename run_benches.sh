@@ -19,3 +19,9 @@ echo "### bench_datapath (writes BENCH_datapath.json)"
 echo "################################################################"
 "$BIN/bench_datapath"
 echo
+
+echo "################################################################"
+echo "### bench_faults (writes BENCH_faults.json)"
+echo "################################################################"
+"$BIN/bench_faults"
+echo
