@@ -1,8 +1,26 @@
 #!/bin/bash
-# Repo gate: formatting, lints (deny warnings), and the full test suite.
-# Run before every push; run_benches.sh covers the perf side separately.
+# Repo gate. Stages:
+#   1. cargo fmt --check
+#   2. cargo clippy --workspace -D warnings
+#   3. release build (bench bins are used by later stages)
+#   4. golden wire-trace gate: re-run the traced scenarios and byte-diff
+#      their digests against tests/golden/*.trace. `./ci.sh --bless`
+#      regenerates the snapshots instead of failing (commit the diff).
+#   5. quick bench-regression gate: bench_datapath --quick and
+#      bench_faults --quick vs the committed BENCH_*.json baselines via
+#      check_bench (loose tolerance — quick runs are noisier).
+#   6. fault-matrix smoke + proptests under three fixed RNG seeds
+#      (NETGRID_TEST_SEED shifts every Sim seed; the seed is printed on
+#      failure so the exact run can be replayed).
+#   7. full workspace test suite.
+# run_benches.sh covers the full (slow) perf side separately.
 set -eu
 cd "$(dirname "$0")"
+
+BLESS=0
+for a in "$@"; do
+  [ "$a" = "--bless" ] && BLESS=1
+done
 
 echo "=== cargo fmt --check ==="
 cargo fmt --check
@@ -10,10 +28,70 @@ cargo fmt --check
 echo "=== cargo clippy --workspace -- -D warnings ==="
 cargo clippy --workspace -- -D warnings
 
-echo "=== fault-matrix smoke (link flaps, relay crashes, dead peers) ==="
-cargo test -q -p netgrid --test faults
+echo "=== cargo build --release --workspace ==="
+cargo build --release --workspace
 
-echo "=== cargo test -q ==="
-cargo test -q
+BIN=./target/release
+GOLD=tests/golden
+FRESH=target/golden
+mkdir -p "$FRESH"
+
+echo "=== golden wire-trace gate ==="
+# Each entry: trace-name :: command. The digest file hashes every packet
+# event of every run in the binary, so any wire-level divergence fails.
+run_trace() { # name cmd...
+  local name=$1; shift
+  echo "--- $name: $*"
+  NETGRID_TRACE="$FRESH/$name.trace" "$@" > /dev/null
+}
+run_trace fig9_quick "$BIN/fig9_amsterdam_rennes" --quick
+run_trace dbg_bw "$BIN/dbg_bw" --total 2097152
+# table1's golden is the binary's full stdout (method matrix + establishment
+# outcomes), which pins the same simulations at the application level.
+echo "--- table1: $BIN/table1_matrix (stdout snapshot)"
+"$BIN/table1_matrix" > "$FRESH/table1.trace"
+
+fail=0
+for t in fig9_quick dbg_bw table1; do
+  if [ "$BLESS" = 1 ]; then
+    cp "$FRESH/$t.trace" "$GOLD/$t.trace"
+    echo "blessed $GOLD/$t.trace"
+  elif ! cmp -s "$GOLD/$t.trace" "$FRESH/$t.trace"; then
+    echo "GOLDEN TRACE DIFF: $t"
+    diff "$GOLD/$t.trace" "$FRESH/$t.trace" | head -20 || true
+    fail=1
+  else
+    echo "golden $t: identical"
+  fi
+done
+if [ "$fail" = 1 ]; then
+  echo "wire traces diverged from tests/golden/. If the change is intended,"
+  echo "re-run './ci.sh --bless' and commit the updated snapshots."
+  exit 1
+fi
+
+echo "=== quick bench-regression gate ==="
+"$BIN/bench_datapath" --quick --out "$FRESH/BENCH_datapath_quick.json" > /dev/null 2>&1
+"$BIN/bench_faults" --quick --out "$FRESH/BENCH_faults_quick.json" > /dev/null
+# Quick runs shorten criterion measurement time only, so medians are
+# comparable — but noisier, and host speed varies: use a loose tolerance.
+# run_benches.sh applies the strict 20% gate on full runs.
+"$BIN/check_bench" \
+  --datapath "$FRESH/BENCH_datapath_quick.json" \
+  --faults "$FRESH/BENCH_faults_quick.json" \
+  --tolerance 0.35
+
+echo "=== fault-matrix smoke + proptests, 3 fixed seeds ==="
+for seed in 0 7 13; do
+  echo "--- NETGRID_TEST_SEED=$seed"
+  if ! NETGRID_TEST_SEED=$seed cargo test -q -p netgrid --test faults --release; then
+    echo "FAULT MATRIX FAILED under NETGRID_TEST_SEED=$seed"
+    echo "replay with: NETGRID_TEST_SEED=$seed cargo test -p netgrid --test faults"
+    exit 1
+  fi
+done
+
+echo "=== cargo test -q --workspace ==="
+cargo test -q --workspace
 
 echo "ci: all checks passed"

@@ -141,14 +141,18 @@ fn json_escape(s: &str) -> String {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = has_flag(&args, "--quick");
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_datapath.json".into());
     let mut c = Criterion::default();
     let mut entries: Vec<Entry> = Vec::new();
 
     // Scale: big enough to dominate setup cost, small enough to iterate.
+    // Quick mode shortens measurement *time* only — per-run work is
+    // identical, so quick medians stay comparable to committed baselines.
     let tcb_bytes = 16usize << 20;
     let e2e_msg = 256 * 1024;
-    let e2e_msgs = if quick { 8 } else { 32 };
+    let e2e_msgs = 32;
     let e2e_bytes = (e2e_msg * e2e_msgs) as u64;
 
     {
@@ -216,7 +220,7 @@ fn main() {
         ));
     }
     out.push_str("]\n");
-    std::fs::write("BENCH_datapath.json", &out).expect("write BENCH_datapath.json");
-    eprintln!("\nwrote BENCH_datapath.json");
+    std::fs::write(&out_path, &out).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("\nwrote {out_path}");
     print!("{out}");
 }

@@ -125,14 +125,110 @@ fn run_one(down_ms: u64) -> RunOut {
     }
 }
 
+/// Recovery under a hard resend cap: a 256 KiB budget (32 KiB ack cadence)
+/// through a 5 s outage, on hosts with 16 KiB socket buffers so the pipe
+/// itself fits the cap. Asserts the transfer completes exactly-once AND
+/// that the resend buffer's pre-eviction peak stayed within the cap —
+/// i.e. the cumulative-ack protocol, not eviction, bounded memory, and
+/// recovery never needed an evicted message (no `ResendOverflow`).
+fn cap_check() {
+    const CAP: usize = 256 * 1024;
+    const CAP_MSG: usize = 16 * 1024;
+    const CAP_MSGS: u64 = 40;
+    let wan = Wan {
+        name: "fault-wan",
+        capacity: 1.6e6,
+        rtt: Duration::from_millis(30),
+        loss: 0.0,
+        queue: 320 * 1024,
+    };
+    let sim = Sim::new(43);
+    let (env, ha, hb) = measurement_world(&sim, &wan, 16 * 1024);
+    let env = env.with_resend_budget(CAP);
+    let cfg = TcpConfig {
+        send_buf: 16 * 1024,
+        recv_buf: 16 * 1024,
+        initial_rto: Duration::from_millis(200),
+        min_rto: Duration::from_millis(200),
+        max_rto: Duration::from_millis(800),
+        max_rto_strikes: 3,
+        ..TcpConfig::default()
+    };
+    ha.set_tcp_config(cfg);
+    hb.set_tcp_config(cfg);
+    let net = sim.net();
+    let links = net.with(|w| w.path_links(ha.node(), hb.node()));
+    let plan = links.iter().fold(FaultPlan::new(), |p, &l| {
+        p.flap(FLAP_AT, l, Duration::from_millis(5000))
+    });
+    net.with(|w| w.install_faults(plan));
+
+    let env_b = env.clone();
+    sim.spawn("receiver", move || {
+        let node =
+            netgrid::GridNode::join(&env_b, hb, "recv", netgrid::ConnectivityProfile::open())
+                .unwrap();
+        let rp = node.create_receive_port("cap", StackSpec::plain()).unwrap();
+        for i in 0..CAP_MSGS {
+            let mut m = rp.receive().unwrap();
+            assert_eq!(m.read_u64().unwrap(), i, "exactly-once FIFO violated");
+        }
+    });
+    let peak_out = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let peaks = peak_out.clone();
+    let env_a = env.clone();
+    sim.spawn("sender", move || {
+        gridsim_net::ctx::sleep(Duration::from_millis(100));
+        let node =
+            netgrid::GridNode::join(&env_a, ha, "send", netgrid::ConnectivityProfile::open())
+                .unwrap();
+        let mut sp = node.create_send_port();
+        sp.connect("cap").unwrap();
+        let body = vec![0xC4u8; CAP_MSG - 8];
+        for i in 0..CAP_MSGS {
+            let mut m = sp.message();
+            m.write_u64(i);
+            m.write_bytes(&body);
+            m.finish().unwrap();
+        }
+        *peaks.lock() = sp.resend_stats();
+        sp.close().unwrap();
+    });
+    let outcome = sim.run_for(Duration::from_secs(120));
+    let peaks = peak_out.lock();
+    assert!(
+        !peaks.is_empty(),
+        "cap-check transfer did not complete (outcome {outcome:?})"
+    );
+    let peak = peaks.iter().map(|&(_, p)| p).max().unwrap();
+    assert!(
+        peak <= CAP,
+        "resend peak {peak} exceeded the {CAP} byte cap"
+    );
+    println!(
+        "cap-check: {CAP_MSGS} x {} KiB through a 5 s outage with a {} KiB resend cap: \
+         recovered exactly-once, peak resend {} KiB",
+        CAP_MSG / 1024,
+        CAP / 1024,
+        peak / 1024
+    );
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = has_flag(&args, "--quick");
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_faults.json".into());
     println!(
         "Fault recovery: {MSGS} x {} KiB over 1.6 MB/s / 30 ms RTT, path flaps at t=2 s",
         MSG / 1024
     );
-    let downs = [0u64, 500, 1000, 2000, 5000];
+    let downs: &[u64] = if quick {
+        &[0, 2000]
+    } else {
+        &[0, 500, 1000, 2000, 5000]
+    };
     let mut outs = Vec::new();
-    for &d in &downs {
+    for &d in downs {
         let o = run_one(d);
         println!(
             "down={:>4} ms  total={:>8.1} ms  longest_stall={:>7.1} ms  recovery_after_restore={:>7.1} ms",
@@ -164,6 +260,7 @@ fn main() {
         ));
     }
     json.push_str("]\n");
-    std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
-    eprintln!("wrote BENCH_faults.json");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+    cap_check();
 }

@@ -1,0 +1,178 @@
+//! Bench-regression gate: compare fresh `bench_datapath` / `bench_faults`
+//! output against the committed baselines and fail CI on meaningful
+//! regressions.
+//!
+//! Usage:
+//!   check_bench [--datapath fresh.json] [--base-datapath BENCH_datapath.json]
+//!               [--faults fresh.json]   [--base-faults BENCH_faults.json]
+//!               [--tolerance 0.2]
+//!
+//! Rules (per scenario, matched by `id` / `down_ms`):
+//!   * datapath: fresh `mb_per_sec` below `(1 - tolerance) x` baseline fails.
+//!   * faults: fresh `recovery_ms` above `2 x baseline + 50 ms` fails
+//!     (baselines at or below zero are skipped — no recovery happened);
+//!     fresh `total_ms` above `(1 + tolerance) x baseline + 50 ms` fails.
+//!
+//! Baselines are host-speed sensitive, so the default tolerance is loose;
+//! quick CI runs pass `--tolerance 0.3`. The JSON is the flat array of
+//! flat objects our bench binaries emit — parsed by hand, no serde.
+
+use netgrid_bench::*;
+use std::collections::HashMap;
+
+type Obj = HashMap<String, String>;
+
+/// Parse a `[ {..}, {..} ]` array of flat objects with string/number
+/// values (no nesting, no commas inside values — the shape our benches
+/// write).
+fn parse_objects(src: &str, path: &str) -> Vec<Obj> {
+    let mut out = Vec::new();
+    let mut rest = src;
+    while let Some(start) = rest.find('{') {
+        let end = rest[start..]
+            .find('}')
+            .unwrap_or_else(|| panic!("{path}: unterminated object"))
+            + start;
+        let mut map = Obj::new();
+        for field in rest[start + 1..end].split(',') {
+            let (k, v) = field
+                .split_once(':')
+                .unwrap_or_else(|| panic!("{path}: malformed field {field:?}"));
+            map.insert(
+                k.trim().trim_matches('"').to_string(),
+                v.trim().trim_matches('"').to_string(),
+            );
+        }
+        out.push(map);
+        rest = &rest[end + 1..];
+    }
+    assert!(!out.is_empty(), "{path}: no objects found");
+    out
+}
+
+fn load(path: &str) -> Vec<Obj> {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    parse_objects(&src, path)
+}
+
+fn num(o: &Obj, key: &str, path: &str) -> f64 {
+    o.get(key)
+        .unwrap_or_else(|| panic!("{path}: missing key {key:?} in {o:?}"))
+        .parse()
+        .unwrap_or_else(|e| panic!("{path}: non-numeric {key:?}: {e}"))
+}
+
+/// Index rows by a key column, panicking on duplicates.
+fn index<'a>(rows: &'a [Obj], key: &str, path: &str) -> HashMap<String, &'a Obj> {
+    let mut m = HashMap::new();
+    for r in rows {
+        let k = r
+            .get(key)
+            .unwrap_or_else(|| panic!("{path}: row without {key:?}"))
+            .clone();
+        assert!(m.insert(k, r).is_none(), "{path}: duplicate {key:?}");
+    }
+    m
+}
+
+fn check_datapath(fresh_path: &str, base_path: &str, tolerance: f64, failures: &mut Vec<String>) {
+    let fresh = load(fresh_path);
+    let base = load(base_path);
+    let fresh_by_id = index(&fresh, "id", fresh_path);
+    for b in &base {
+        let id = &b["id"];
+        let Some(f) = fresh_by_id.get(id) else {
+            failures.push(format!(
+                "datapath: scenario {id:?} missing from {fresh_path}"
+            ));
+            continue;
+        };
+        let base_mb = num(b, "mb_per_sec", base_path);
+        let fresh_mb = num(f, "mb_per_sec", fresh_path);
+        let floor = base_mb * (1.0 - tolerance);
+        let verdict = if fresh_mb < floor { "FAIL" } else { "ok" };
+        println!(
+            "datapath {id:>24}: {fresh_mb:>9.2} MB/s vs baseline {base_mb:>9.2} (floor {floor:>9.2})  {verdict}"
+        );
+        if fresh_mb < floor {
+            failures.push(format!(
+                "datapath {id:?}: {fresh_mb:.2} MB/s regressed more than {:.0}% below baseline {base_mb:.2}",
+                tolerance * 100.0
+            ));
+        }
+    }
+}
+
+fn check_faults(fresh_path: &str, base_path: &str, tolerance: f64, failures: &mut Vec<String>) {
+    let fresh = load(fresh_path);
+    let base = load(base_path);
+    let fresh_by_down = index(&fresh, "down_ms", fresh_path);
+    for b in &base {
+        let down = &b["down_ms"];
+        let Some(f) = fresh_by_down.get(down) else {
+            // Quick runs cover a subset of the outage matrix; only points
+            // present in BOTH files are compared.
+            continue;
+        };
+        let base_rec = num(b, "recovery_ms", base_path);
+        let fresh_rec = num(f, "recovery_ms", fresh_path);
+        if base_rec > 0.0 {
+            let ceil = base_rec * 2.0 + 50.0;
+            let verdict = if fresh_rec > ceil { "FAIL" } else { "ok" };
+            println!(
+                "faults down={down:>5} ms recovery: {fresh_rec:>8.1} ms vs baseline {base_rec:>8.1} (ceil {ceil:>8.1})  {verdict}"
+            );
+            if fresh_rec > ceil {
+                failures.push(format!(
+                    "faults down={down}: recovery {fresh_rec:.1} ms more than doubled baseline {base_rec:.1} ms"
+                ));
+            }
+        }
+        let base_total = num(b, "total_ms", base_path);
+        let fresh_total = num(f, "total_ms", fresh_path);
+        let ceil = base_total * (1.0 + tolerance) + 50.0;
+        let verdict = if fresh_total > ceil { "FAIL" } else { "ok" };
+        println!(
+            "faults down={down:>5} ms total:    {fresh_total:>8.1} ms vs baseline {base_total:>8.1} (ceil {ceil:>8.1})  {verdict}"
+        );
+        if fresh_total > ceil {
+            failures.push(format!(
+                "faults down={down}: total {fresh_total:.1} ms regressed more than {:.0}% over baseline {base_total:.1} ms",
+                tolerance * 100.0
+            ));
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tolerance: f64 = arg_value(&args, "--tolerance")
+        .map(|s| s.parse().expect("--tolerance takes a fraction"))
+        .unwrap_or(0.2);
+    let datapath = arg_value(&args, "--datapath");
+    let faults = arg_value(&args, "--faults");
+    assert!(
+        datapath.is_some() || faults.is_some(),
+        "nothing to check: pass --datapath and/or --faults"
+    );
+
+    let mut failures = Vec::new();
+    if let Some(fresh) = datapath {
+        let base =
+            arg_value(&args, "--base-datapath").unwrap_or_else(|| "BENCH_datapath.json".into());
+        check_datapath(&fresh, &base, tolerance, &mut failures);
+    }
+    if let Some(fresh) = faults {
+        let base = arg_value(&args, "--base-faults").unwrap_or_else(|| "BENCH_faults.json".into());
+        check_faults(&fresh, &base, tolerance, &mut failures);
+    }
+    if failures.is_empty() {
+        println!("check_bench: no regressions");
+    } else {
+        eprintln!("check_bench: {} regression(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -121,4 +121,5 @@ fn main() {
             }
         }
     });
+    trace::flush();
 }

@@ -68,4 +68,5 @@ fn main() {
     println!();
     println!("Paper reference points (at large messages):");
     println!("  plain TCP 0.90 MB/s (56%) | 4 streams 1.50 (93%) | compression 3.25 (203%) | comp+par 3.40");
+    trace::flush();
 }

@@ -18,6 +18,151 @@ pub const NS_PORT: u16 = 563;
 pub const RELAY_PORT: u16 = 600;
 pub const SOCKS_PORT: u16 = 1080;
 
+/// Wire-trace digests for the golden-snapshot CI gate.
+///
+/// When `NETGRID_TRACE=<path>` is set, every simulation built through
+/// [`measurement_world`] (or any binary that calls [`trace::install`] on its
+/// own `Sim`) records a digest of *every packet event* the world sees: a
+/// rolling FNV-1a hash over `(time_ns, kind, src, dst, proto, wire_len)`
+/// plus per-disposition counters. [`trace::flush`] writes one line per
+/// simulation run and a combined footer to the path. Any wire-level
+/// divergence — an extra packet, a shifted timestamp, a different drop —
+/// changes the digest, so a byte-diff against `tests/golden/*.trace` is an
+/// exact "traces are byte-identical" check at a fraction of the storage.
+///
+/// Recording is a pure observation: the tracer draws no randomness and
+/// schedules no events, so enabling it cannot perturb the simulation.
+pub mod trace {
+    use gridsim_net::{Packet, Sim, SimTime, TraceKind};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    #[derive(Default)]
+    struct RunAcc {
+        events: u64,
+        sent: u64,
+        forwarded: u64,
+        delivered: u64,
+        dropped: u64,
+        hash: u64,
+        last_ns: u64,
+    }
+
+    struct Sink {
+        path: String,
+        lines: Vec<String>,
+        current: Option<Arc<Mutex<RunAcc>>>,
+        combined: u64,
+    }
+
+    static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn fnv_u64(mut h: u64, v: u64) -> u64 {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
+    fn kind_code(k: TraceKind) -> u64 {
+        match k {
+            TraceKind::Sent => 0,
+            TraceKind::Forwarded => 1,
+            TraceKind::Delivered => 2,
+            TraceKind::DropNoRoute => 3,
+            TraceKind::DropFirewall => 4,
+            TraceKind::DropNat => 5,
+            TraceKind::DropLoss => 6,
+            TraceKind::DropQueue => 7,
+            TraceKind::DropNotLocal => 8,
+            TraceKind::DropNoHandler => 9,
+            TraceKind::DropLinkDown => 10,
+        }
+    }
+
+    fn seal(sink: &mut Sink) {
+        if let Some(acc) = sink.current.take() {
+            let a = acc.lock();
+            let run = sink.lines.len();
+            sink.lines.push(format!(
+                "run={} events={} sent={} fwd={} delivered={} drops={} last_ns={} hash={:016x}\n",
+                run, a.events, a.sent, a.forwarded, a.delivered, a.dropped, a.last_ns, a.hash
+            ));
+            sink.combined = fnv_u64(sink.combined, a.hash);
+        }
+    }
+
+    /// Attach a digest tracer to this simulation's world. No-op unless
+    /// `NETGRID_TRACE` is set. Call once per `Sim`, before it runs traffic;
+    /// each call seals the previous run into its own digest line.
+    pub fn install(sim: &Sim) {
+        let Ok(path) = std::env::var("NETGRID_TRACE") else {
+            return;
+        };
+        let acc = {
+            let mut g = SINK.lock();
+            let sink = g.get_or_insert_with(|| Sink {
+                path,
+                lines: Vec::new(),
+                current: None,
+                combined: FNV_OFFSET,
+            });
+            seal(sink);
+            let acc = Arc::new(Mutex::new(RunAcc {
+                hash: FNV_OFFSET,
+                ..RunAcc::default()
+            }));
+            sink.current = Some(Arc::clone(&acc));
+            acc
+        };
+        sim.net().with(move |w| {
+            w.set_tracer(Box::new(
+                move |t: SimTime, kind: TraceKind, pkt: &Packet| {
+                    let mut a = acc.lock();
+                    a.events += 1;
+                    a.last_ns = t.as_nanos();
+                    match kind {
+                        TraceKind::Sent => a.sent += 1,
+                        TraceKind::Forwarded => a.forwarded += 1,
+                        TraceKind::Delivered => a.delivered += 1,
+                        _ => a.dropped += 1,
+                    }
+                    let mut h = a.hash;
+                    h = fnv_u64(h, t.as_nanos());
+                    h = fnv_u64(h, kind_code(kind));
+                    h = fnv_u64(h, (pkt.src.ip.0 as u64) << 16 | pkt.src.port as u64);
+                    h = fnv_u64(h, (pkt.dst.ip.0 as u64) << 16 | pkt.dst.port as u64);
+                    h = fnv_u64(h, pkt.proto as u64);
+                    h = fnv_u64(h, pkt.wire_len() as u64);
+                    a.hash = h;
+                },
+            ));
+        });
+    }
+
+    /// Seal the last run and write the digest file. Call at the end of
+    /// `main` in every traced binary. No-op unless `NETGRID_TRACE` is set.
+    pub fn flush() {
+        let mut g = SINK.lock();
+        let Some(sink) = g.as_mut() else { return };
+        seal(sink);
+        let mut out = String::new();
+        for l in &sink.lines {
+            out.push_str(l);
+        }
+        out.push_str(&format!(
+            "total runs={} hash={:016x}\n",
+            sink.lines.len(),
+            sink.combined
+        ));
+        std::fs::write(&sink.path, out).expect("write NETGRID_TRACE file");
+    }
+}
+
 /// An emulated WAN path between two sites.
 #[derive(Clone, Debug)]
 pub struct Wan {
@@ -103,6 +248,7 @@ impl BwRun {
 /// site B, services on the public backbone. The bottleneck (capacity,
 /// loss, queue) sits on the sender uplink; delay is split across both.
 pub fn measurement_world(sim: &Sim, wan: &Wan, window: u32) -> (GridEnv, SimHost, SimHost) {
+    trace::install(sim);
     let net = sim.net();
     let half_delay = wan.rtt / 4; // one-way = rtt/2, split over two uplinks
     let bottleneck = LinkParams::new(wan.capacity, half_delay)

@@ -89,7 +89,7 @@ pub use establish::{choose_methods, EstablishMethod, LinkPurpose};
 pub use nameservice::{spawn_name_service, GridId, NsClient};
 pub use node::{GridEnv, GridNode};
 pub use pool::{BlockBuf, BlockPool, PoolStats};
-pub use port::{ReadMessage, ReceivePort, SendPort, WriteMessage};
+pub use port::{ReadMessage, ReceivePort, ResendOverflow, SendPort, WriteMessage};
 pub use profile::{ConnectivityProfile, FirewallClass, NatClass};
 pub use relay::{spawn_relay, RelayClient, RelayDelegate, RoutedStream};
 pub use rpc::RpcClient;

@@ -50,6 +50,10 @@ pub struct NodeRecord {
     pub id: GridId,
     pub name: String,
     pub profile: ConnectivityProfile,
+    /// The node's ordered relay list (primary first), published only by
+    /// nodes configured with failover relays. Peers and operators can read
+    /// which relays a node will converge on after a failover.
+    pub relays: Vec<SockAddr>,
 }
 
 /// What the name service knows about a receive port.
@@ -108,6 +112,9 @@ fn serve_conn(state: &Mutex<NsState>, host: &SimHost, conn: TcpStream) -> io::Re
             op::REGISTER => {
                 let name = r.str()?;
                 let profile = ConnectivityProfile::decode(&mut r)?;
+                // Optional trailing field (older clients omit it): the
+                // node's ordered relay list for failover.
+                let relays = if r.is_empty() { Vec::new() } else { r.addrs()? };
                 let mut st = state.lock();
                 let id = st.next_id;
                 st.next_id += 1;
@@ -117,6 +124,7 @@ fn serve_conn(state: &Mutex<NsState>, host: &SimHost, conn: TcpStream) -> io::Re
                         id,
                         name: name.clone(),
                         profile,
+                        relays,
                     },
                 );
                 st.by_name.insert(name, id);
@@ -176,7 +184,14 @@ fn serve_conn(state: &Mutex<NsState>, host: &SimHost, conn: TcpStream) -> io::Re
                 match st.nodes.get(&id) {
                     Some(n) => {
                         let w = FrameWriter::new().u8(1).str(&n.name);
-                        n.profile.encode(w)
+                        let w = n.profile.encode(w);
+                        // Trailing relay list, present only when the node
+                        // registered one (keeps old replies byte-identical).
+                        if n.relays.is_empty() {
+                            w
+                        } else {
+                            w.addrs(&n.relays)
+                        }
                     }
                     None => FrameWriter::new().u8(0).str("unknown node"),
                 }
@@ -271,9 +286,20 @@ impl NsClient {
         }
     }
 
-    /// Register this node; returns its grid-wide id.
-    pub fn register(&self, name: &str, profile: &ConnectivityProfile) -> io::Result<GridId> {
-        let w = profile.encode(FrameWriter::new().u8(op::REGISTER).str(name));
+    /// Register this node; returns its grid-wide id. `relays` is the
+    /// node's ordered relay list (primary first) — pass an empty slice to
+    /// omit the field, which keeps the frame identical to older clients'
+    /// (single-relay deployments don't publish).
+    pub fn register(
+        &self,
+        name: &str,
+        profile: &ConnectivityProfile,
+        relays: &[SockAddr],
+    ) -> io::Result<GridId> {
+        let mut w = profile.encode(FrameWriter::new().u8(op::REGISTER).str(name));
+        if !relays.is_empty() {
+            w = w.addrs(relays);
+        }
         let rsp = self.request_ok(w)?;
         let mut r = FrameReader::new(&rsp);
         r.u8()?;
@@ -327,13 +353,19 @@ impl NsClient {
     }
 
     /// Look up a node by id.
-    pub fn lookup_node(&self, id: GridId) -> io::Result<(String, ConnectivityProfile)> {
+    pub fn lookup_node(&self, id: GridId) -> io::Result<NodeRecord> {
         let rsp = self.request_ok(FrameWriter::new().u8(op::LOOKUP_NODE).u64(id))?;
         let mut r = FrameReader::new(&rsp);
         r.u8()?;
         let name = r.str()?;
         let profile = ConnectivityProfile::decode(&mut r)?;
-        Ok((name, profile))
+        let relays = if r.is_empty() { Vec::new() } else { r.addrs()? };
+        Ok(NodeRecord {
+            id,
+            name,
+            profile,
+            relays,
+        })
     }
 
     /// All registered port names (diagnostics).

@@ -18,7 +18,9 @@ use crate::cpu::{CpuModel, CpuRates, HostCpu};
 use crate::drivers::{build_sender, RawLink, SecurityContext, StackSpec};
 use crate::establish::{choose_methods, EstablishMethod, LinkPurpose};
 use crate::nameservice::{GridId, NsClient, PortRecord};
-use crate::port::{ReceivePort, ReceivePortInner, SendConnection, SendPort};
+use crate::port::{
+    AckCell, AckSender, ReceivePort, ReceivePortInner, ResendOverflow, SendConnection, SendPort,
+};
 use crate::profile::{ConnectivityProfile, FirewallClass, NatClass};
 use crate::relay::{RelayClient, RelayDelegate, RoutedStream};
 use crate::socks::socks_connect;
@@ -56,10 +58,19 @@ pub struct GridEnv {
     pub net: Net,
     pub ns_addr: SockAddr,
     pub relay_addr: Option<SockAddr>,
+    /// Ordered failover relays dialed (after `relay_addr`) when the
+    /// current relay stays dead past the redial backoff. Every node must
+    /// share the order so failed-over peers converge on the same relay.
+    pub relay_fallbacks: Vec<SockAddr>,
     /// The virtual organization's shared secret, for GTLS stacks.
     pub psk: Vec<u8>,
     pub cpu: CpuModel,
     pub rates: CpuRates,
+    /// Per-connection resend-buffer byte budget (replay window).
+    pub resend_budget: usize,
+    /// Receiver cumulative-ack cadence: one CACK service frame per this
+    /// many delivered bytes. `usize::MAX` disables the ack protocol.
+    pub ack_bytes: usize,
 }
 
 impl GridEnv {
@@ -68,14 +79,25 @@ impl GridEnv {
             net,
             ns_addr,
             relay_addr: None,
+            relay_fallbacks: Vec::new(),
             psk: b"netgrid-vo-secret".to_vec(),
             cpu: CpuModel::new(),
             rates: CpuRates::default(),
+            resend_budget: crate::port::RESEND_BUDGET,
+            ack_bytes: crate::port::ACK_BYTES_DEFAULT,
         }
     }
 
     pub fn with_relay(mut self, relay: SockAddr) -> Self {
         self.relay_addr = Some(relay);
+        self
+    }
+
+    /// Configure an ordered relay list: the first is the primary every
+    /// node dials at join; the rest are failover targets.
+    pub fn with_relays(mut self, relays: &[SockAddr]) -> Self {
+        self.relay_addr = relays.first().copied();
+        self.relay_fallbacks = relays.get(1..).unwrap_or_default().to_vec();
         self
     }
 
@@ -86,6 +108,23 @@ impl GridEnv {
 
     pub fn with_rates(mut self, rates: CpuRates) -> Self {
         self.rates = rates;
+        self
+    }
+
+    /// Cap the per-connection resend buffer. The ack cadence follows (an
+    /// eighth of the cap, at least 16 KiB) so continuous pruning keeps
+    /// steady-state usage under the cap instead of hitting eviction. The
+    /// cadence must leave room for in-flight pipe buffering on top of the
+    /// unacked window — the routed path traverses four socket buffers.
+    pub fn with_resend_budget(mut self, bytes: usize) -> Self {
+        self.resend_budget = bytes.max(1);
+        self.ack_bytes = (bytes / 8).max(16 * 1024);
+        self
+    }
+
+    /// Override the ack cadence independently of the resend budget.
+    pub fn with_ack_bytes(mut self, bytes: usize) -> Self {
+        self.ack_bytes = bytes.max(1);
         self
     }
 }
@@ -129,6 +168,9 @@ pub(crate) struct NodeInner {
     nat_gate: NatGate,
     /// Responder-side splice negotiations awaiting the initiator's GO.
     pending_splices: Mutex<HashMap<u64, PendingSplice>>,
+    /// Cumulative-ack watermarks of this node's open send channels, keyed
+    /// by channel id, advanced by incoming CACK service frames.
+    ack_cells: Mutex<HashMap<u64, Arc<AckCell>>>,
 }
 
 struct PendingSplice {
@@ -193,9 +235,21 @@ impl GridNode {
             None
         };
         let ns = NsClient::new(host.clone(), env.ns_addr, via_proxy);
-        let id = ns.register(name, &profile)?;
+        // Publish the ordered relay list only when there are fallbacks —
+        // single-relay deployments keep their registration frames (and
+        // wire traces) byte-identical.
+        let mut relay_list: Vec<SockAddr> = Vec::new();
+        if !env.relay_fallbacks.is_empty() {
+            relay_list.extend(env.relay_addr);
+            relay_list.extend(env.relay_fallbacks.iter().copied());
+        }
+        let id = ns.register(name, &profile, &relay_list)?;
         let relay = match env.relay_addr {
-            Some(addr) => Some(RelayClient::connect(&host, addr, via_proxy, id)?),
+            Some(addr) => {
+                let mut addrs = vec![addr];
+                addrs.extend(env.relay_fallbacks.iter().copied());
+                Some(RelayClient::connect_multi(&host, addrs, via_proxy, id)?)
+            }
             None => None,
         };
         let seed_base = env.net.with(|w| rand::Rng::random::<u64>(w.rng()));
@@ -216,6 +270,7 @@ impl GridNode {
             seed_base,
             nat_gate: NatGate::default(),
             pending_splices: Mutex::new(HashMap::new()),
+            ack_cells: Mutex::new(HashMap::new()),
         });
         let node = GridNode { inner };
         if let Some(r) = relay {
@@ -306,7 +361,17 @@ impl GridNode {
                 .ns
                 .register_port(self.inner.id, name, Some(listen_addr), &spec.encode())
         })?;
-        let inner = ReceivePortInner::new(name.to_string(), spec);
+        // The receive port acks over the service link when one exists;
+        // without a relay the watermark still travels in resume replies.
+        let ack = match &self.inner.relay {
+            Some(r) if self.inner.env.ack_bytes != usize::MAX => Some(AckSender {
+                relay: r.clone(),
+                sched: self.inner.env.net.sched().clone(),
+                every: self.inner.env.ack_bytes,
+            }),
+            _ => None,
+        };
+        let inner = ReceivePortInner::new(name.to_string(), spec, ack);
         self.inner
             .ports
             .lock()
@@ -380,8 +445,22 @@ impl GridNode {
         streams_override: Option<u16>,
     ) -> io::Result<SendConnection> {
         let channel = self.alloc_channel();
-        self.establish(port_name, streams_override, channel, None)
-            .map(|(conn, _)| conn)
+        let conn = self
+            .establish(port_name, streams_override, channel, None)
+            .map(|(conn, _)| conn)?;
+        // Register the connection's ack watermark so CACK service frames
+        // arriving on the relay pump reach it. Survives recovery: the
+        // cell rides the connection, not the link.
+        self.inner
+            .ack_cells
+            .lock()
+            .insert(channel, Arc::clone(&conn.acked));
+        Ok(conn)
+    }
+
+    /// Unregister a closed channel's ack watermark.
+    pub(crate) fn release_channel(&self, channel: u64) {
+        self.inner.ack_cells.lock().remove(&channel);
     }
 
     /// One full walk of the decision tree. With `resume: Some(gen)` the
@@ -493,6 +572,9 @@ impl GridNode {
                 next_seq: 0,
                 resend: std::collections::VecDeque::new(),
                 resend_bytes: 0,
+                budget: self.inner.env.resend_budget,
+                acked: Arc::new(AckCell::new()),
+                peak_resend: 0,
                 gen: resume.unwrap_or(0),
             },
             expected,
@@ -505,6 +587,13 @@ impl GridNode {
     /// delivered count, and replay the retained gap. Exactly-once holds
     /// because the receiver drops anything below its watermark.
     pub(crate) fn recover_connection(&self, c: &mut SendConnection) -> io::Result<()> {
+        // Whatever killed the data connection may also have silently
+        // killed the idle relay service link (an abort whose RST the
+        // outage swallowed). Probe it now so incoming service traffic —
+        // the receiver's CACKs in particular — finds us registered again.
+        if let Some(relay) = &self.inner.relay {
+            relay.nudge();
+        }
         let mut delay = RECOVER_BASE;
         let mut last_err: io::Error = io::Error::new(
             io::ErrorKind::ConnectionReset,
@@ -525,12 +614,26 @@ impl GridNode {
                 };
             let (fresh, e) = fresh;
             let oldest = c.next_seq - c.resend.len() as u64;
-            if e > c.next_seq || e < oldest {
+            if e < oldest {
+                // The replay gap includes messages the resend buffer
+                // evicted past its budget: unrecoverable without
+                // violating exactly-once. Typed, so callers can size
+                // budgets (or flag a lost receiver) programmatically.
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    ResendOverflow {
+                        channel: c.channel,
+                        acked: e,
+                        oldest,
+                    },
+                ));
+            }
+            if e > c.next_seq {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!(
                         "cannot resume channel {}: receiver delivered {e}, \
-                         retained range [{oldest}, {})",
+                         but only {} were sent",
                         c.channel, c.next_seq
                     ),
                 ));
@@ -853,6 +956,14 @@ impl GridNode {
                 "this side cannot splice",
             ));
         }
+        // A duplicate REQ for the same channel is a retry whose response
+        // was lost to a relay failover: drop the stale negotiation (and
+        // its gate hold) instead of deadlocking on a second acquire.
+        if let Some(p) = self.inner.pending_splices.lock().remove(&channel) {
+            if p.holds_gate {
+                self.inner.nat_gate.release();
+            }
+        }
         let natted = self.inner.profile.nat.is_some();
         if natted {
             self.inner.nat_gate.acquire();
@@ -935,6 +1046,19 @@ impl GridNode {
         result.map(|()| FrameWriter::new().u8(1).into_bytes())
     }
 
+    /// Handle `CACK{channel, delivered}` from a receive port: advance the
+    /// matching send connection's cumulative-ack watermark. Unknown
+    /// channels (already closed) still ack — the frame is advisory and a
+    /// stale CACK needs no error.
+    fn handle_cack(&self, r: &mut FrameReader<'_>) -> io::Result<Vec<u8>> {
+        let channel = r.u64()?;
+        let delivered = r.u64()?;
+        if let Some(cell) = self.inner.ack_cells.lock().get(&channel) {
+            cell.advance(delivered);
+        }
+        Ok(FrameWriter::new().u8(1).into_bytes())
+    }
+
     /// Handle `SPLICE_ABORT`: drop the pending negotiation and free the gate.
     fn handle_splice_abort(&self, r: &mut FrameReader<'_>) -> io::Result<Vec<u8>> {
         let channel = r.u64()?;
@@ -957,10 +1081,12 @@ impl GridNode {
 }
 
 /// Service-message opcodes (carried in SVC_REQ payloads).
-mod svc {
+pub(crate) mod svc {
     pub const SPLICE_REQ: u8 = 1;
     pub const SPLICE_GO: u8 = 2;
     pub const SPLICE_ABORT: u8 = 3;
+    /// Receiver-driven cumulative ack: `CACK {channel, delivered}`.
+    pub const CACK: u8 = 4;
 }
 
 /// The relay delegate: routes service requests and routed-link opens into
@@ -985,6 +1111,7 @@ impl RelayDelegate for NodeDelegate {
             Ok(svc::SPLICE_REQ) => node.handle_splice_request(from, &mut r),
             Ok(svc::SPLICE_GO) => node.handle_splice_go(from, &mut r),
             Ok(svc::SPLICE_ABORT) => node.handle_splice_abort(&mut r),
+            Ok(svc::CACK) => node.handle_cack(&mut r),
             _ => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "unknown service request",

@@ -9,17 +9,20 @@
 //! aggregation + explicit flush of paper §4.1.
 
 use bytes::Bytes;
-use gridsim_net::SimQueue;
+use gridsim_net::{SchedHandle, SimQueue};
 use gridzip::varint;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::drivers::{build_receiver, BlockWrite, RawLink, ReceiverStack, SenderStack, StackSpec};
 use crate::establish::EstablishMethod;
 use crate::node::{GridNode, NodeCtx};
 use crate::pool::{BlockBuf, BlockPool, PoolStats};
+use crate::relay::RelayClient;
 use crate::wire::FrameWriter;
 
 /// Upper bound on a single message (sanity against corrupt frames).
@@ -140,11 +143,79 @@ impl WriteMessage<'_> {
     }
 }
 
-/// Bytes of recently sent messages retained per connection for replay
-/// after a reconnect. Messages older than this are considered delivered;
-/// if a failure proves otherwise, recovery fails loudly rather than
-/// violating exactly-once.
+/// Default resend-buffer byte budget per connection: bytes of recently
+/// sent messages retained for replay after a reconnect (override with
+/// [`GridEnv::with_resend_budget`]). With the cumulative-ack protocol the
+/// buffer is continuously pruned to the receiver's watermark, so this is a
+/// backstop, not the steady-state size; if eviction ever discards a
+/// message recovery later needs, the resume fails with [`ResendOverflow`]
+/// rather than violating exactly-once.
+///
+/// [`GridEnv::with_resend_budget`]: crate::node::GridEnv::with_resend_budget
 pub(crate) const RESEND_BUDGET: usize = 8 * 1024 * 1024;
+
+/// Default cumulative-ack cadence: the receive port sends one
+/// `CACK{channel, delivered}` service frame per this many delivered bytes.
+/// Three quarters of the resend budget: pruning still lands well before
+/// the eviction cliff, while fault-free transfers up to 6 MiB per channel
+/// never cross it — their wire traces carry no ack traffic at all.
+pub(crate) const ACK_BYTES_DEFAULT: usize = RESEND_BUDGET / 4 * 3;
+
+/// An idle channel (no deliveries for this long) with unacknowledged
+/// delivered bytes flushes a CACK so a stalled sender still prunes. Longer
+/// than any fault-free inter-message gap in the benches, so active
+/// transfers only ack on the byte cadence.
+const ACK_IDLE_FLUSH: Duration = Duration::from_secs(2);
+
+/// Deadline on a CACK service round-trip. Acks are advisory and
+/// cumulative: a lost or timed-out one is subsumed by the next.
+const ACK_SVC_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Monotonic cumulative-ack watermark, shared between a [`SendConnection`]
+/// and the node's CACK service handler. CACK frames can arrive reordered
+/// (independent service round-trips); only the maximum matters.
+pub(crate) struct AckCell(AtomicU64);
+
+impl AckCell {
+    pub(crate) fn new() -> AckCell {
+        AckCell(AtomicU64::new(0))
+    }
+
+    pub(crate) fn advance(&self, delivered: u64) {
+        self.0.fetch_max(delivered, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Typed error: a resume needed messages the resend buffer had already
+/// evicted past its byte budget, so replay would leave a gap. Carried as
+/// the source of an `InvalidData` [`io::Error`]; retrieve it with
+/// `err.get_ref().and_then(|s| s.downcast_ref::<ResendOverflow>())`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResendOverflow {
+    /// The channel whose replay gap is unrecoverable.
+    pub channel: u64,
+    /// The receiver's delivered watermark at the failed resume.
+    pub acked: u64,
+    /// Oldest sequence number still retained; `[acked, oldest)` is gone.
+    pub oldest: u64,
+}
+
+impl std::fmt::Display for ResendOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "resend buffer overflowed on channel {}: receiver delivered {}, \
+             oldest retained message is {} — the gap was evicted past the budget",
+            self.channel, self.acked, self.oldest
+        )
+    }
+}
+
+impl std::error::Error for ResendOverflow {}
 
 pub(crate) struct SendConnection {
     pub writer: SenderStack,
@@ -165,6 +236,15 @@ pub(crate) struct SendConnection {
     /// Retained `(seq, payload)` pairs for post-reconnect replay.
     pub resend: std::collections::VecDeque<(u64, Bytes)>,
     pub resend_bytes: usize,
+    /// Resend-buffer byte budget ([`GridEnv::resend_budget`]).
+    ///
+    /// [`GridEnv::resend_budget`]: crate::node::GridEnv::resend_budget
+    pub budget: usize,
+    /// Receiver-confirmed delivery watermark, advanced by CACK frames.
+    pub acked: Arc<AckCell>,
+    /// High-water mark of retained bytes, measured before eviction: what
+    /// the buffer demanded, not what the cap allowed it to keep.
+    pub peak_resend: usize,
     /// Reconnect attempt counter; rides the resume preamble so the receiver
     /// can supersede stale partial assemblies.
     pub gen: u64,
@@ -184,9 +264,14 @@ impl SendConnection {
     /// Retain a sent message for replay, evicting the oldest past the
     /// byte budget (the in-flight message itself is always kept).
     fn retain(&mut self, seq: u64, payload: &Bytes) {
+        // Continuous pruning: everything the receiver has cumulatively
+        // acked is dropped before this message is added, so steady-state
+        // memory follows the ack cadence, not the transfer size.
+        self.prune_acked(self.acked.get());
         self.resend_bytes += payload.len();
         self.resend.push_back((seq, payload.clone()));
-        while self.resend_bytes > RESEND_BUDGET && self.resend.len() > 1 {
+        self.peak_resend = self.peak_resend.max(self.resend_bytes);
+        while self.resend_bytes > self.budget && self.resend.len() > 1 {
             if let Some((_, old)) = self.resend.pop_front() {
                 self.resend_bytes -= old.len();
             }
@@ -294,6 +379,16 @@ impl SendPort {
             .collect()
     }
 
+    /// Resend-buffer usage per connection: `(current_bytes, peak_bytes)`.
+    /// Peak is measured before eviction, so `peak <= cap` proves the ack
+    /// protocol — not the eviction cliff — kept the buffer bounded.
+    pub fn resend_stats(&self) -> Vec<(usize, usize)> {
+        self.conns
+            .iter()
+            .map(|c| (c.resend_bytes, c.peak_resend))
+            .collect()
+    }
+
     /// Start a new message.
     pub fn message(&mut self) -> WriteMessage<'_> {
         let buf = self.msg_pool.checkout();
@@ -356,8 +451,22 @@ impl SendPort {
                 c.settle()?;
             }
         }
+        for c in &self.conns {
+            node.release_channel(c.channel);
+        }
         self.conns.clear();
         Ok(())
+    }
+}
+
+impl Drop for SendPort {
+    fn drop(&mut self) {
+        // A port dropped without close() must still unregister its ack
+        // watermarks, or the node would route CACKs to dead channels
+        // forever. close() clears `conns`, making this a no-op.
+        for c in &self.conns {
+            self.node.release_channel(c.channel);
+        }
     }
 }
 
@@ -372,6 +481,10 @@ pub struct ReceivePortInner {
     /// resuming sender replays from.
     delivered: Mutex<HashMap<u64, u64>>,
     connections: Mutex<u64>,
+    /// CACK transport + cadence (`None`: no relay, or acks disabled).
+    ack: Option<AckSender>,
+    /// Per-channel ack and lifecycle bookkeeping.
+    ack_state: Mutex<HashMap<u64, ChannelAck>>,
 }
 
 struct PendingChannel {
@@ -381,8 +494,55 @@ struct PendingChannel {
     gen: u64,
 }
 
+/// How a receive port reports `CACK{channel, delivered}` back to the
+/// sending node: as service requests on the relay link — never on the data
+/// path, so fault-free data-path wire traces stay byte-identical.
+pub(crate) struct AckSender {
+    pub(crate) relay: RelayClient,
+    pub(crate) sched: SchedHandle,
+    /// Emit one CACK per this many delivered payload bytes.
+    pub(crate) every: usize,
+}
+
+impl AckSender {
+    /// Fire-and-forget from a fresh daemon (a service round-trip parks,
+    /// and the callers — the pump and the idle timer — must not). A lost
+    /// or timed-out CACK is subsumed by the next: the watermark is
+    /// cumulative and the handler takes the max.
+    fn send(&self, channel: u64, delivered: u64) {
+        let relay = self.relay.clone();
+        self.sched.spawn_daemon("cack-send", move || {
+            let frame = FrameWriter::new()
+                .u8(crate::node::svc::CACK)
+                .u64(channel)
+                .u64(delivered)
+                .into_bytes();
+            // Channel ids embed the sender's grid id in the high bits.
+            let _ = relay.service_request_timeout(channel >> 24, &frame, Some(ACK_SVC_TIMEOUT));
+        });
+    }
+}
+
+#[derive(Default)]
+struct ChannelAck {
+    /// Live pump tasks (briefly 2 while a resume supersedes a stale pump).
+    pumps: u32,
+    /// Delivered bytes not yet covered by a sent CACK.
+    bytes_since: usize,
+    /// Total delivered bytes, for idle detection.
+    total: u64,
+    /// `total` when the pending idle timer was scheduled.
+    seen: u64,
+    /// An idle-flush timer is pending.
+    timer: bool,
+}
+
 impl ReceivePortInner {
-    pub(crate) fn new(name: String, spec: StackSpec) -> Arc<ReceivePortInner> {
+    pub(crate) fn new(
+        name: String,
+        spec: StackSpec,
+        ack: Option<AckSender>,
+    ) -> Arc<ReceivePortInner> {
         Arc::new(ReceivePortInner {
             name,
             spec,
@@ -390,6 +550,8 @@ impl ReceivePortInner {
             pending: Mutex::new(HashMap::new()),
             delivered: Mutex::new(HashMap::new()),
             connections: Mutex::new(0),
+            ack,
+            ack_state: Mutex::new(HashMap::new()),
         })
     }
 
@@ -504,6 +666,9 @@ impl ReceivePortInner {
                 streams: total,
                 ..self.spec.clone()
             };
+            // Health probes for the GC decision at pump exit: clones
+            // sharing the underlying sockets, like the sender's.
+            let probes = links.clone();
             let stack = build_receiver(
                 links,
                 &spec,
@@ -515,13 +680,20 @@ impl ReceivePortInner {
             let me = Arc::clone(self);
             ctx.sched
                 .spawn_daemon(format!("rp-pump-{}-{}", self.name, channel), move || {
-                    me.pump(channel, stack, start);
+                    me.pump(channel, stack, start, probes);
                 });
         }
         Ok(())
     }
 
-    fn pump(&self, channel: u64, mut stack: ReceiverStack, start_seq: u64) {
+    fn pump(
+        self: &Arc<Self>,
+        channel: u64,
+        mut stack: ReceiverStack,
+        start_seq: u64,
+        probes: Vec<RawLink>,
+    ) {
+        self.ack_state.lock().entry(channel).or_default().pumps += 1;
         let mut seq = start_seq;
         loop {
             let len = match varint::read_from(&mut stack) {
@@ -546,11 +718,119 @@ impl ReceivePortInner {
                 }
             };
             seq += 1;
-            if fresh && self.msgq.push(ReadMessage::new(channel, data)).is_err() {
-                break; // port closed
+            if fresh {
+                let bytes = data.len();
+                if self.msgq.push(ReadMessage::new(channel, data)).is_err() {
+                    break; // port closed
+                }
+                self.note_delivered(channel, seq, bytes);
             }
         }
         *self.connections.lock() -= 1;
+        // Clean EOF — every link closed gracefully — means the sender
+        // flushed and closed the channel: it will never resume, so the
+        // exactly-once watermark and ack state can be garbage-collected.
+        // Any aborted link keeps them for the resume handshake.
+        let clean = probes.iter().all(|l| match l {
+            RawLink::Tcp(s) => s.health().is_none(),
+            RawLink::Routed(s) => s.fin_received(),
+        });
+        self.pump_exit(channel, clean);
+    }
+
+    /// Ack bookkeeping after delivering one message: send a CACK when the
+    /// byte cadence is crossed, and keep an idle-flush timer armed so a
+    /// sender stalled mid-transfer still learns the watermark.
+    fn note_delivered(self: &Arc<Self>, channel: u64, watermark: u64, bytes: usize) {
+        let Some(ack) = &self.ack else { return };
+        let mut send = false;
+        let mut arm = false;
+        {
+            let mut st = self.ack_state.lock();
+            let e = st.entry(channel).or_default();
+            e.total += bytes as u64;
+            e.bytes_since += bytes;
+            if e.bytes_since >= ack.every {
+                e.bytes_since = 0;
+                send = true;
+            } else if !e.timer {
+                e.timer = true;
+                e.seen = e.total;
+                arm = true;
+            }
+        }
+        if send {
+            ack.send(channel, watermark);
+        }
+        if arm {
+            self.schedule_idle_flush(channel);
+        }
+    }
+
+    fn schedule_idle_flush(self: &Arc<Self>, channel: u64) {
+        let Some(ack) = &self.ack else { return };
+        let weak = Arc::downgrade(self);
+        ack.sched
+            .call_at(ack.sched.now() + ACK_IDLE_FLUSH, move || {
+                if let Some(me) = weak.upgrade() {
+                    me.idle_flush(channel);
+                }
+            });
+    }
+
+    /// Idle-flush timer body (scheduler context — never blocks). Re-arms
+    /// only while the channel is open and progressing, so a finished
+    /// simulation still quiesces; sends only when genuinely idle, so
+    /// fault-free transfers never emit timer-driven acks mid-flight.
+    fn idle_flush(self: &Arc<Self>, channel: u64) {
+        let Some(ack) = &self.ack else { return };
+        let mut send = false;
+        let mut rearm = false;
+        {
+            let mut st = self.ack_state.lock();
+            let Some(e) = st.get_mut(&channel) else {
+                return;
+            };
+            if e.pumps == 0 {
+                // Channel closed (or a resume not yet re-established):
+                // stop. A resumed pump re-arms on its next delivery.
+                e.timer = false;
+            } else if e.total != e.seen {
+                // Still progressing: the byte cadence covers acking.
+                e.seen = e.total;
+                rearm = true;
+            } else if e.bytes_since > 0 {
+                e.bytes_since = 0;
+                e.timer = false;
+                send = true;
+            } else {
+                e.timer = false;
+            }
+        }
+        if send {
+            let d = *self.delivered.lock().get(&channel).unwrap_or(&0);
+            ack.send(channel, d);
+        }
+        if rearm {
+            self.schedule_idle_flush(channel);
+        }
+    }
+
+    fn pump_exit(&self, channel: u64, clean: bool) {
+        let last = {
+            let mut st = self.ack_state.lock();
+            match st.get_mut(&channel) {
+                Some(e) => {
+                    e.pumps -= 1;
+                    e.pumps == 0
+                }
+                None => true,
+            }
+        };
+        if clean && last {
+            self.delivered.lock().remove(&channel);
+            self.ack_state.lock().remove(&channel);
+        }
     }
 
     /// Messages waiting.

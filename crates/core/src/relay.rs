@@ -133,6 +133,14 @@ fn serve_relay_conn(
                         }
                     }
                 }
+                relay_op::HELLO => {
+                    // A re-HELLO probe from a client that suspects its link
+                    // after an outage: re-assert the registration, which may
+                    // have been evicted towards this same still-live
+                    // connection when a forward to it failed transiently.
+                    let _ = r.u64()?;
+                    conns.lock().insert(id, me.clone());
+                }
                 _ => return Err(io::ErrorKind::InvalidData.into()),
             }
         }
@@ -191,7 +199,13 @@ struct RcInner {
     sched: SchedHandle,
     /// Redial state so the pump can reconnect after a relay restart.
     host: SimHost,
-    relay_addr: SockAddr,
+    /// Ordered relay addresses: `[0]` is the primary; the rest are
+    /// failover targets once the current relay stays dead past the first
+    /// backoff attempt. Every node must share the order, so failed-over
+    /// peers converge on the same relay.
+    relay_addrs: Vec<SockAddr>,
+    /// Index into `relay_addrs` of the relay currently connected.
+    current: std::sync::atomic::AtomicUsize,
     via_proxy: Option<SockAddr>,
 }
 
@@ -199,6 +213,10 @@ struct RcInner {
 const RECONNECT_ATTEMPTS: u32 = 6;
 const RECONNECT_BASE: std::time::Duration = std::time::Duration::from_millis(100);
 const RECONNECT_CAP: std::time::Duration = std::time::Duration::from_secs(2);
+/// In-flight service requests failed by a relay loss are retried for this
+/// long (spanning the redial backoff) before the error surfaces.
+const SVC_RETRY_WINDOW: std::time::Duration = std::time::Duration::from_secs(6);
+const SVC_RETRY_DELAY: std::time::Duration = std::time::Duration::from_millis(250);
 
 /// A node's connection to the relay.
 #[derive(Clone)]
@@ -215,12 +233,39 @@ impl RelayClient {
         via_proxy: Option<SockAddr>,
         id: GridId,
     ) -> io::Result<RelayClient> {
-        let stream = BootstrapSocketFactory::new(host.clone(), via_proxy).connect(relay_addr)?;
-        let mut w = stream.clone();
-        FrameWriter::new()
-            .u8(relay_op::HELLO)
-            .u64(id)
-            .send(&mut w)?;
+        Self::connect_multi(host, vec![relay_addr], via_proxy, id)
+    }
+
+    /// Like [`connect`](Self::connect), with an ordered relay list: the
+    /// first reachable relay wins (in order), and the pump's redial fails
+    /// over along the same list when the current relay stays dead.
+    pub fn connect_multi(
+        host: &SimHost,
+        relay_addrs: Vec<SockAddr>,
+        via_proxy: Option<SockAddr>,
+        id: GridId,
+    ) -> io::Result<RelayClient> {
+        if relay_addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no relay addresses",
+            ));
+        }
+        let factory = BootstrapSocketFactory::new(host.clone(), via_proxy);
+        let mut dialed = None;
+        let mut last_err: io::Error = io::ErrorKind::AddrNotAvailable.into();
+        for (idx, &addr) in relay_addrs.iter().enumerate() {
+            match Self::dial_hello(&factory, addr, id) {
+                Ok(stream) => {
+                    dialed = Some((stream, idx));
+                    break;
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        let Some((stream, idx)) = dialed else {
+            return Err(last_err);
+        };
         let inner = Arc::new(RcInner {
             id,
             writer: SimMutex::new(stream.clone()),
@@ -233,7 +278,8 @@ impl RelayClient {
             delegate: Mutex::new(None),
             sched: host.net().sched().clone(),
             host: host.clone(),
-            relay_addr,
+            relay_addrs,
+            current: std::sync::atomic::AtomicUsize::new(idx),
             via_proxy,
         });
         let client = RelayClient { inner };
@@ -244,6 +290,41 @@ impl RelayClient {
                 pump.pump_loop(stream);
             });
         Ok(client)
+    }
+
+    /// One connect + HELLO towards a relay address.
+    fn dial_hello(
+        factory: &BootstrapSocketFactory,
+        addr: SockAddr,
+        id: GridId,
+    ) -> io::Result<TcpStream> {
+        let stream = factory.connect(addr)?;
+        let mut w = stream.clone();
+        FrameWriter::new()
+            .u8(relay_op::HELLO)
+            .u64(id)
+            .send(&mut w)?;
+        Ok(stream)
+    }
+
+    /// Probe the service link after a suspected outage by re-sending
+    /// HELLO on the current connection. Healthy link: the relay re-asserts
+    /// the registration (harmless, and it heals a one-sided eviction). Dead
+    /// link whose RST was lost in the outage: the write provokes a fresh
+    /// reset that wakes the pump into its redial-and-re-HELLO path. Errors
+    /// are ignored — the pump owns reconnection.
+    pub fn nudge(&self) {
+        let mut w = self.inner.writer.lock();
+        let _ = FrameWriter::new()
+            .u8(relay_op::HELLO)
+            .u64(self.inner.id)
+            .send(&mut *w);
+    }
+
+    /// The relay address this client is currently connected to.
+    pub fn current_relay(&self) -> SockAddr {
+        let idx = self.inner.current.load(Ordering::Relaxed);
+        self.inner.relay_addrs[idx.min(self.inner.relay_addrs.len() - 1)]
     }
 
     pub fn id(&self) -> GridId {
@@ -276,6 +357,32 @@ impl RelayClient {
     /// silently died mid-request; fault-free paths pass `None` so no timer
     /// event is ever scheduled.
     pub fn service_request_timeout(
+        &self,
+        to: GridId,
+        payload: &[u8],
+        timeout: Option<std::time::Duration>,
+    ) -> io::Result<Vec<u8>> {
+        // A request failed by a relay-connection loss (`ConnectionReset`,
+        // from `fail_inflight` or a dead writer) is retried while the pump
+        // redials — possibly onto a failover relay — until the window
+        // closes. Fault-free requests resolve on the first try and never
+        // enter the loop; other errors (TimedOut, NotFound, refusals)
+        // surface immediately.
+        let deadline = gridsim_net::ctx::now() + SVC_RETRY_WINDOW;
+        loop {
+            match self.try_service_request(to, payload, timeout) {
+                Err(e)
+                    if e.kind() == io::ErrorKind::ConnectionReset
+                        && gridsim_net::ctx::now() < deadline =>
+                {
+                    gridsim_net::ctx::sleep(SVC_RETRY_DELAY);
+                }
+                r => return r,
+            }
+        }
+    }
+
+    fn try_service_request(
         &self,
         to: GridId,
         payload: &[u8],
@@ -430,28 +537,33 @@ impl RelayClient {
         }
     }
 
-    /// Reconnect to the relay with exponential backoff; on success re-HELLO,
-    /// swap the shared writer, and return the fresh stream for the pump.
+    /// Reconnect with exponential backoff; on success re-HELLO, swap the
+    /// shared writer, and return the fresh stream for the pump. The first
+    /// attempt targets only the relay that just died (a restart is the
+    /// common case); once it stays dead past that backoff step, each
+    /// attempt walks the whole ordered relay list from the current index —
+    /// the failover the ordered registration promises.
     fn redial(&self) -> Option<TcpStream> {
+        let n = self.inner.relay_addrs.len();
         let mut delay = RECONNECT_BASE;
-        for _ in 0..RECONNECT_ATTEMPTS {
+        for attempt in 0..RECONNECT_ATTEMPTS {
             gridsim_net::ctx::sleep(delay);
             delay = (delay * 2).min(RECONNECT_CAP);
             let factory =
                 BootstrapSocketFactory::new(self.inner.host.clone(), self.inner.via_proxy);
-            let Ok(stream) = factory.connect(self.inner.relay_addr) else {
-                continue;
-            };
-            let mut w = stream.clone();
-            let hello = FrameWriter::new()
-                .u8(relay_op::HELLO)
-                .u64(self.inner.id)
-                .send(&mut w);
-            if hello.is_err() {
-                continue;
+            let start = self.inner.current.load(Ordering::Relaxed).min(n - 1);
+            let span = if attempt == 0 { 1 } else { n };
+            for k in 0..span {
+                let idx = (start + k) % n;
+                let Ok(stream) =
+                    Self::dial_hello(&factory, self.inner.relay_addrs[idx], self.inner.id)
+                else {
+                    continue;
+                };
+                self.inner.current.store(idx, Ordering::Relaxed);
+                *self.inner.writer.lock() = stream.clone();
+                return Some(stream);
             }
-            *self.inner.writer.lock() = stream.clone();
-            return Some(stream);
         }
         None
     }
@@ -711,6 +823,7 @@ impl RelayClient {
                     self.inner.outbound.lock().remove(&(from, sid))
                 };
                 if let Some(s) = stream {
+                    s.inner.fin_received.store(true, Ordering::Relaxed);
                     s.inner.rx.close();
                 }
                 Ok(())
@@ -731,6 +844,10 @@ struct RsInner {
     rx: SimQueue<Vec<u8>>,
     cursor: Mutex<(Vec<u8>, usize)>,
     fin_sent: Mutex<bool>,
+    /// Set only when the peer's FIN arrived — a *graceful* end of stream.
+    /// Relay loss and NOPEER teardowns close `rx` without setting it, so
+    /// readers can distinguish clean EOF from an abort.
+    fin_received: std::sync::atomic::AtomicBool,
 }
 
 /// A byte stream tunneled through the relay ("routed messages" link).
@@ -751,6 +868,7 @@ impl RoutedStream {
                 rx: SimQueue::bounded(STREAM_QUEUE),
                 cursor: Mutex::new((Vec::new(), 0)),
                 fin_sent: Mutex::new(false),
+                fin_received: std::sync::atomic::AtomicBool::new(false),
             }),
         }
     }
@@ -762,6 +880,12 @@ impl RoutedStream {
     /// Has the stream been torn down (FIN, relay loss, or peer death)?
     pub fn is_closed(&self) -> bool {
         self.inner.rx.is_closed()
+    }
+
+    /// Did the peer end the stream *gracefully* (its FIN arrived)? False
+    /// while open and after abortive teardowns (relay loss, dead peer).
+    pub fn fin_received(&self) -> bool {
+        self.inner.fin_received.load(Ordering::Relaxed)
     }
 
     /// Wait until every frame written so far has been acknowledged by the

@@ -56,6 +56,15 @@ impl FrameWriter {
         }
     }
 
+    /// Write a counted list of socket addresses.
+    pub fn addrs(mut self, list: &[SockAddr]) -> Self {
+        varint::put(&mut self.buf, list.len() as u64);
+        for a in list {
+            self = self.addr(*a);
+        }
+        self
+    }
+
     /// Write the frame (`[varint len][payload]`) to `w` and flush.
     pub fn send<W: Write>(self, w: &mut W) -> io::Result<()> {
         let mut hdr = Vec::with_capacity(4);
@@ -154,6 +163,21 @@ impl<'a> FrameReader<'a> {
         }
     }
 
+    /// Read a counted list of socket addresses.
+    pub fn addrs(&mut self) -> io::Result<Vec<SockAddr>> {
+        let n = self.u64()?;
+        // Each addr is at least 2 bytes on the wire; a count beyond the
+        // remaining payload is corrupt, not just large.
+        if n as usize > self.buf.len().saturating_sub(self.pos) {
+            return Err(bad("addr list count out of range"));
+        }
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            out.push(self.addr()?);
+        }
+        Ok(out)
+    }
+
     /// Remaining undecoded payload.
     pub fn rest(&mut self) -> &'a [u8] {
         let r = &self.buf[self.pos..];
@@ -195,6 +219,31 @@ mod tests {
         assert_eq!(r.opt_addr().unwrap(), Some(addr));
         assert_eq!(r.bytes().unwrap(), b"\x00\x01\x02");
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn addr_list_roundtrip() {
+        let list = vec![
+            SockAddr::new(Ip::new(131, 1, 0, 10), 600),
+            SockAddr::new(Ip::new(131, 2, 0, 10), 601),
+        ];
+        let mut wire = Vec::new();
+        FrameWriter::new()
+            .addrs(&list)
+            .addrs(&[])
+            .send(&mut wire)
+            .unwrap();
+        let frame = read_frame(&mut io::Cursor::new(wire)).unwrap();
+        let mut r = FrameReader::new(&frame);
+        assert_eq!(r.addrs().unwrap(), list);
+        assert_eq!(r.addrs().unwrap(), Vec::new());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn addr_list_bad_count_rejected() {
+        let frame = FrameWriter::new().u64(1 << 40).into_bytes();
+        assert!(FrameReader::new(&frame).addrs().is_err());
     }
 
     #[test]

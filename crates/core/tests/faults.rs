@@ -16,6 +16,20 @@ const NS_PORT: u16 = 563;
 const RELAY_PORT: u16 = 600;
 const SOCKS_PORT: u16 = 1080;
 
+/// Base RNG seed shifted by `NETGRID_TEST_SEED` (when set) so CI can sweep
+/// this whole file across fixed seeds. The effective seed is printed —
+/// the harness shows it on failure, making any failing run reproducible
+/// with `NETGRID_TEST_SEED=<n> cargo test --test faults`.
+fn seed(base: u64) -> u64 {
+    let shift: u64 = std::env::var("NETGRID_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let s = base.wrapping_add(shift.wrapping_mul(1000));
+    eprintln!("effective sim seed: {s} (base {base}, NETGRID_TEST_SEED shift {shift})");
+    s
+}
+
 /// Endpoint TCP config that detects a dead path in about a second instead
 /// of minutes, so flap tests exercise abort + re-establishment quickly.
 fn fast_abort() -> TcpConfig {
@@ -154,7 +168,7 @@ fn flap_roundtrip(
 
 #[test]
 fn flap_recovers_client_server() {
-    let sim = Sim::new(31);
+    let sim = Sim::new(seed(31));
     let (env, ha, hb, _) = fault_world(
         &sim,
         vec![
@@ -177,7 +191,7 @@ fn flap_recovers_client_server() {
 
 #[test]
 fn flap_recovers_splicing() {
-    let sim = Sim::new(32);
+    let sim = Sim::new(seed(32));
     let (env, ha, hb, _) = fault_world(
         &sim,
         vec![
@@ -200,7 +214,7 @@ fn flap_recovers_splicing() {
 
 #[test]
 fn flap_recovers_proxy() {
-    let sim = Sim::new(33);
+    let sim = Sim::new(seed(33));
     let (env, ha, hb, proxy_addr) = fault_world(
         &sim,
         vec![
@@ -223,7 +237,7 @@ fn flap_recovers_proxy() {
 
 #[test]
 fn flap_recovers_routed() {
-    let sim = Sim::new(34);
+    let sim = Sim::new(seed(34));
     let (env, ha, hb, _) = fault_world(
         &sim,
         vec![
@@ -257,7 +271,7 @@ const OP_RECV: u8 = 3;
 /// the new connection and must survive.
 #[test]
 fn relay_stale_connection_does_not_unregister_successor() {
-    let sim = Sim::new(35);
+    let sim = Sim::new(seed(35));
     let (_env, ha, _hb, _) = fault_world(
         &sim,
         vec![
@@ -326,7 +340,7 @@ impl RelayDelegate for Echo {
 /// other outstanding requests to the same dead peer keep their own fate.
 #[test]
 fn relay_dead_peer_fails_precisely_and_spares_sender() {
-    let sim = Sim::new(36);
+    let sim = Sim::new(seed(36));
     let net = sim.net();
     let (srv, a, b, c) = net.with(|w| {
         let mut grid = topology::Grid::build(
@@ -459,6 +473,372 @@ fn relay_dead_peer_fails_precisely_and_spares_sender() {
     assert_eq!(r4, b"alive?", "sender connection must survive peer death");
 }
 
+// ------------------------------------------------------- relay failover
+
+/// Like `fault_world`, but connectivity services are spread over three
+/// public hosts: the name service on its own host and a relay on each of
+/// two others. Every node registers the ordered relay pair, so killing the
+/// primary exercises client-side redial failover to the secondary.
+/// Returns the env, one host per site, and the two relay node ids.
+fn failover_world(
+    sim: &Sim,
+    specs: Vec<topology::SiteSpec>,
+) -> (
+    netgrid::GridEnv,
+    SimHost,
+    SimHost,
+    gridsim_net::NodeId,
+    gridsim_net::NodeId,
+) {
+    let net = sim.net();
+    let (srv, r1, r2, a, b) = net.with(|w| {
+        let mut grid = topology::Grid::build(w, &specs);
+        let (srv, _) = grid.add_public_host(w, "services");
+        let (r1, _) = grid.add_public_host(w, "relay1");
+        let (r2, _) = grid.add_public_host(w, "relay2");
+        (srv, r1, r2, grid.sites[0].hosts[0], grid.sites[1].hosts[0])
+    });
+    let hsrv = SimHost::new(&net, srv);
+    let hr1 = SimHost::new(&net, r1);
+    let hr2 = SimHost::new(&net, r2);
+    let ha = SimHost::new(&net, a);
+    let hb = SimHost::new(&net, b);
+    let relays = [
+        SockAddr::new(hr1.ip(), RELAY_PORT),
+        SockAddr::new(hr2.ip(), RELAY_PORT),
+    ];
+    let env =
+        netgrid::GridEnv::new(net.clone(), SockAddr::new(hsrv.ip(), NS_PORT)).with_relays(&relays);
+    sim.spawn("services", move || {
+        spawn_name_service(&hsrv, NS_PORT).unwrap();
+        spawn_relay(&hr1, RELAY_PORT).unwrap();
+        spawn_relay(&hr2, RELAY_PORT).unwrap();
+    });
+    sim.run();
+    (env, ha, hb, r1, r2)
+}
+
+/// NAT + firewall profiles that force the Routed method, so the transfer
+/// itself rides the relay being killed.
+fn routed_profiles() -> (ConnectivityProfile, ConnectivityProfile) {
+    (
+        ConnectivityProfile::natted(netgrid::NatClass::SymmetricRandom),
+        ConnectivityProfile::firewalled(),
+    )
+}
+
+fn routed_specs() -> Vec<topology::SiteSpec> {
+    vec![
+        topology::SiteSpec::natted("broken", 1, NatKind::SymmetricRandom, wan()),
+        topology::SiteSpec::firewalled("vu", 1, wan()),
+    ]
+}
+
+/// Crash the primary relay host mid-routed-transfer: both endpoints must
+/// redial to the secondary relay (re-HELLO, re-register the service link)
+/// and the stream must resume with the exact byte sequence — strict FIFO,
+/// no loss, no duplicates.
+#[test]
+fn relay_failover_mid_routed_transfer() {
+    let sim = Sim::new(seed(51));
+    let (env, ha, hb, r1, _r2) = failover_world(&sim, routed_specs());
+    ha.set_tcp_config(fast_abort());
+    hb.set_tcp_config(fast_abort());
+    let net = ha.net().clone();
+    net.with(|w| {
+        w.schedule_after(Duration::from_millis(1500), move |w| crash_node(w, r1));
+    });
+    let (pa, pb) = routed_profiles();
+    let got = sequenced_roundtrip(&sim, &env, ha, hb, "failover-routed", pa, pb, 50);
+    assert_eq!(got, EstablishMethod::Routed);
+}
+
+/// Both relays dead: the transfer cannot recover, but it must fail with a
+/// clean retryable I/O error on the sender — never a wedge, never a panic,
+/// and never a protocol-corruption error. The receiver polls so the test
+/// itself cannot deadlock, and asserts the delivered prefix stayed FIFO.
+#[test]
+fn relay_failover_all_relays_dead_errors_cleanly() {
+    let sim = Sim::new(seed(52));
+    let (env, ha, hb, r1, r2) = failover_world(&sim, routed_specs());
+    ha.set_tcp_config(fast_abort());
+    hb.set_tcp_config(fast_abort());
+    let net = ha.net().clone();
+    net.with(|w| {
+        w.schedule_after(Duration::from_millis(1500), move |w| {
+            crash_node(w, r1);
+            crash_node(w, r2);
+        });
+    });
+    let (pa, pb) = routed_profiles();
+    let env_b = env.clone();
+    let recv = sim.spawn("receiver", move || {
+        let node = GridNode::join(&env_b, hb, "dead-recv", pb).unwrap();
+        let rp = node
+            .create_receive_port("dead-relays", StackSpec::plain())
+            .unwrap();
+        let deadline = gridsim_net::ctx::now() + Duration::from_secs(60);
+        let mut next = 0u64;
+        while gridsim_net::ctx::now() < deadline {
+            while let Some(mut m) = rp.try_receive() {
+                assert_eq!(m.read_u64().unwrap(), next, "FIFO violated before cutoff");
+                next += 1;
+            }
+            gridsim_net::ctx::sleep(Duration::from_millis(250));
+        }
+    });
+    let env_a = env.clone();
+    let send = sim.spawn("sender", move || {
+        gridsim_net::ctx::sleep(Duration::from_millis(200));
+        let node = GridNode::join(&env_a, ha, "dead-send", pa).unwrap();
+        let mut sp = node.create_send_port();
+        assert_eq!(sp.connect("dead-relays").unwrap(), EstablishMethod::Routed);
+        let mut err = None;
+        for i in 0..200u64 {
+            let mut m = sp.message();
+            m.write_u64(i);
+            m.write_bytes(&[0x5au8; 64]);
+            if let Err(e) = m.finish() {
+                err = Some(e);
+                break;
+            }
+            gridsim_net::ctx::sleep(Duration::from_millis(40));
+        }
+        let err = match err {
+            Some(e) => e,
+            None => sp
+                .close()
+                .expect_err("send must fail with every relay dead"),
+        };
+        err.kind()
+    });
+    sim.run();
+    assert!(recv.is_finished(), "receiver wedged with all relays dead");
+    assert!(send.is_finished(), "sender wedged with all relays dead");
+    let out = Arc::new(parking_lot::Mutex::new(None));
+    let o = out.clone();
+    sim.spawn("collect", move || {
+        recv.join();
+        *o.lock() = Some(send.join());
+    });
+    sim.run();
+    let kind = out.lock().take().unwrap();
+    assert_ne!(
+        kind,
+        std::io::ErrorKind::InvalidData,
+        "relay loss must surface as a retryable transport error, not corruption"
+    );
+}
+
+// ------------------------------------------- bounded resend under a cap
+
+/// Resend-buffer cap for the bounded-memory tests: far below the 8 MiB
+/// default so the ack cadence (cap/8 = 32 KiB) does real work.
+const CAP: usize = 256 * 1024;
+
+/// `fast_abort` plus small socket buffers. The resend floor is whatever
+/// the path itself buffers (the routed pipe crosses four sockets plus the
+/// ack round-trip) — with default 64 KiB buffers that floor already
+/// exceeds a 256 KiB cap, so the cap tests model hosts tuned for bounded
+/// memory: 16 KiB per socket.
+fn small_buffers() -> TcpConfig {
+    TcpConfig {
+        send_buf: 16 * 1024,
+        recv_buf: 16 * 1024,
+        ..fast_abort()
+    }
+}
+
+/// Apply `cfg` to the host owning `ip` (used for the relay host, which
+/// `fault_world` does not hand back).
+fn tcp_config_by_ip(net: &gridsim_net::Net, ip: gridsim_net::Ip, cfg: TcpConfig) {
+    let node = net
+        .with(|w| {
+            (0..w.node_count())
+                .map(gridsim_net::NodeId)
+                .find(|&n| w.node(n).addrs.contains(&ip))
+        })
+        .expect("no host owns the relay ip");
+    SimHost::new(net, node).set_tcp_config(cfg);
+}
+
+/// Send forty 16 KiB messages (640 KiB — 2.5× the cap) through a 5 s
+/// full-path outage. Recovery must replay exactly once from the ack point,
+/// and the resend buffer's *pre-eviction* peak must stay within the cap:
+/// proof the cumulative-ack protocol, not the eviction cliff, bounded it.
+fn capped_flap_roundtrip(
+    sim: &Sim,
+    env: &netgrid::GridEnv,
+    ha: SimHost,
+    hb: SimHost,
+    port_name: &'static str,
+    profile_a: ConnectivityProfile,
+    profile_b: ConnectivityProfile,
+    expect: EstablishMethod,
+) {
+    let net = ha.net().clone();
+    let links = net.with(|w| w.path_links(ha.node(), hb.node()));
+    let plan = links.iter().fold(FaultPlan::new(), |p, &l| {
+        p.flap(Duration::from_millis(1500), l, Duration::from_millis(5000))
+    });
+    net.with(|w| w.install_faults(plan));
+    capped_roundtrip(sim, env, ha, hb, port_name, profile_a, profile_b, expect);
+}
+
+/// The transfer + assertions behind [`capped_flap_roundtrip`], with no
+/// fault plan of its own — callers install whatever outage schedule they
+/// want first.
+#[allow(clippy::too_many_arguments)]
+fn capped_roundtrip(
+    sim: &Sim,
+    env: &netgrid::GridEnv,
+    ha: SimHost,
+    hb: SimHost,
+    port_name: &'static str,
+    profile_a: ConnectivityProfile,
+    profile_b: ConnectivityProfile,
+    expect: EstablishMethod,
+) {
+    ha.set_tcp_config(small_buffers());
+    hb.set_tcp_config(small_buffers());
+    if let Some(relay) = env.relay_addr {
+        tcp_config_by_ip(ha.net(), relay.ip, small_buffers());
+    }
+    let msgs = 40u64;
+    let env_b = env.clone();
+    let recv = sim.spawn("receiver", move || {
+        let node = GridNode::join(&env_b, hb, &format!("{port_name}-recv"), profile_b).unwrap();
+        let rp = node
+            .create_receive_port(port_name, StackSpec::plain())
+            .unwrap();
+        for i in 0..msgs {
+            let mut m = rp.receive().unwrap();
+            assert_eq!(m.read_u64().unwrap(), i, "exactly-once FIFO violated");
+        }
+    });
+    let env_a = env.clone();
+    let send = sim.spawn("sender", move || {
+        gridsim_net::ctx::sleep(Duration::from_millis(200));
+        let node = GridNode::join(&env_a, ha, &format!("{port_name}-send"), profile_a).unwrap();
+        let mut sp = node.create_send_port();
+        let method = sp.connect(port_name).unwrap();
+        let payload = vec![0x5au8; 16 * 1024 - 8];
+        for i in 0..msgs {
+            let mut m = sp.message();
+            m.write_u64(i);
+            m.write_bytes(&payload);
+            m.finish().unwrap();
+        }
+        let stats = sp.resend_stats();
+        sp.close().unwrap();
+        (method, stats)
+    });
+    sim.run();
+    assert!(recv.is_finished(), "receiver wedged through 5 s outage");
+    assert!(send.is_finished(), "sender wedged through 5 s outage");
+    let out = Arc::new(parking_lot::Mutex::new(None));
+    let o = out.clone();
+    sim.spawn("collect", move || {
+        recv.join();
+        *o.lock() = Some(send.join());
+    });
+    sim.run();
+    let (method, stats) = out.lock().take().unwrap();
+    assert_eq!(method, expect);
+    for (cur, peak) in stats {
+        assert!(
+            peak <= CAP,
+            "resend peak {peak} exceeded the {CAP} byte cap (current {cur})"
+        );
+    }
+}
+
+#[test]
+fn capped_resend_survives_outage_client_server() {
+    let sim = Sim::new(seed(61));
+    let (env, ha, hb, _) = fault_world(
+        &sim,
+        vec![
+            topology::SiteSpec::open("site-a", 1, wan()),
+            topology::SiteSpec::open("site-b", 1, wan()),
+        ],
+        false,
+    );
+    capped_flap_roundtrip(
+        &sim,
+        &env.with_resend_budget(CAP),
+        ha,
+        hb,
+        "cap-cs",
+        ConnectivityProfile::open(),
+        ConnectivityProfile::open(),
+        EstablishMethod::ClientServer,
+    );
+}
+
+#[test]
+fn capped_resend_survives_outage_splicing() {
+    let sim = Sim::new(seed(62));
+    let (env, ha, hb, _) = fault_world(
+        &sim,
+        vec![
+            topology::SiteSpec::firewalled("vu", 1, wan()),
+            topology::SiteSpec::firewalled("rennes", 1, wan()),
+        ],
+        false,
+    );
+    capped_flap_roundtrip(
+        &sim,
+        &env.with_resend_budget(CAP),
+        ha,
+        hb,
+        "cap-splice",
+        ConnectivityProfile::firewalled(),
+        ConnectivityProfile::firewalled(),
+        EstablishMethod::Splicing,
+    );
+}
+
+#[test]
+fn capped_resend_survives_outage_proxy() {
+    let sim = Sim::new(seed(63));
+    let (env, ha, hb, proxy_addr) = fault_world(
+        &sim,
+        vec![
+            topology::SiteSpec::natted("broken", 1, NatKind::SymmetricRandom, wan()),
+            topology::SiteSpec::firewalled("vu", 1, wan()),
+        ],
+        true,
+    );
+    capped_flap_roundtrip(
+        &sim,
+        &env.with_resend_budget(CAP),
+        ha,
+        hb,
+        "cap-proxy",
+        ConnectivityProfile::natted(netgrid::NatClass::SymmetricRandom),
+        ConnectivityProfile::firewalled().with_proxy(proxy_addr.unwrap()),
+        EstablishMethod::Proxy,
+    );
+}
+
+#[test]
+fn capped_resend_survives_outage_routed() {
+    let sim = Sim::new(seed(64));
+    let (env, ha, hb, _) = fault_world(&sim, routed_specs(), false);
+    let (pa, pb) = routed_profiles();
+    capped_flap_roundtrip(
+        &sim,
+        &env.with_resend_budget(CAP),
+        ha,
+        hb,
+        "cap-routed",
+        pa,
+        pb,
+        EstablishMethod::Routed,
+    );
+}
+
 // ----------------------------------------------------- property: no wedge
 
 use proptest::prelude::*;
@@ -478,7 +858,7 @@ proptest! {
             1..4,
         ),
     ) {
-        let sim = Sim::new(41);
+        let sim = Sim::new(seed(41));
         let (env, ha, hb, _) = fault_world(
             &sim,
             vec![
@@ -513,6 +893,57 @@ proptest! {
             ConnectivityProfile::open(),
             ConnectivityProfile::open(),
             20,
+        );
+    }
+
+    /// CACK frames ride best-effort service round-trips, so arbitrary flap
+    /// schedules lose, delay, and reorder them freely. Whatever happens to
+    /// the acks, delivery must stay exactly-once FIFO and the resend
+    /// buffer's pre-eviction peak must stay within the 256 KiB cap — a
+    /// dropped ack may defer pruning by one cadence, never unbound it.
+    #[test]
+    fn random_cack_loss_keeps_resend_bounded(
+        flaps in proptest::collection::vec(
+            (600u64..3000, 100u64..800, any::<u8>()),
+            1..4,
+        ),
+        case_seed in 0u64..64,
+    ) {
+        let sim = Sim::new(seed(71).wrapping_add(case_seed));
+        let (env, ha, hb, _) = fault_world(
+            &sim,
+            vec![
+                topology::SiteSpec::open("site-a", 1, wan()),
+                topology::SiteSpec::open("site-b", 1, wan()),
+            ],
+            false,
+        );
+        ha.set_tcp_config(fast_abort());
+        hb.set_tcp_config(fast_abort());
+        let net = ha.net().clone();
+        let links = net.with(|w| w.path_links(ha.node(), hb.node()));
+        let mut plan = FaultPlan::new();
+        for &(at, down, mask) in &flaps {
+            for (i, &l) in links.iter().enumerate() {
+                if mask & (1 << (i % 8)) != 0 {
+                    plan = plan.flap(
+                        Duration::from_millis(at),
+                        l,
+                        Duration::from_millis(down),
+                    );
+                }
+            }
+        }
+        net.with(|w| w.install_faults(plan));
+        capped_roundtrip(
+            &sim,
+            &env.with_resend_budget(CAP),
+            ha,
+            hb,
+            "prop-cack",
+            ConnectivityProfile::open(),
+            ConnectivityProfile::open(),
+            EstablishMethod::ClientServer,
         );
     }
 }

@@ -52,7 +52,9 @@ fn name_service_crud() {
     sim.run();
     let done = sim.spawn("client", move || {
         let ns = NsClient::new(ha.clone(), ns_addr, None);
-        let id = ns.register("node-a", &ConnectivityProfile::open()).unwrap();
+        let id = ns
+            .register("node-a", &ConnectivityProfile::open(), &[])
+            .unwrap();
         assert!(id > 0);
         // Port registration + lookup.
         let listen = SockAddr::new(ha.ip(), 20000);
@@ -69,8 +71,9 @@ fn name_service_crud() {
         // Listing.
         assert_eq!(ns.list_ports().unwrap(), vec!["my-port".to_string()]);
         // Node lookup.
-        let (nname, _nprofile) = ns.lookup_node(id).unwrap();
-        assert_eq!(nname, "node-a");
+        let rec = ns.lookup_node(id).unwrap();
+        assert_eq!(rec.name, "node-a");
+        assert!(rec.relays.is_empty());
         // Unregister.
         ns.unregister_port("my-port").unwrap();
         assert!(ns.lookup_port("my-port").is_err());

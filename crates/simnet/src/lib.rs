@@ -56,7 +56,7 @@ pub use packet::{proto, Packet, Payload, RawBytes};
 pub use runtime::{ctx, JoinHandle, RunOutcome, SchedHandle, Scheduler, TaskId, Waker};
 pub use sync::{SimMutex, SimMutexGuard, SimQueue};
 pub use time::SimTime;
-pub use world::{Net, NodeId, Trust, World, WorldStats};
+pub use world::{Net, NodeId, TraceKind, Trust, World, WorldStats};
 
 use std::time::Duration;
 

@@ -1,18 +1,27 @@
 #!/bin/bash
 # Regenerates every table and figure (see EXPERIMENTS.md). ~15-30 min.
+# Also refreshes the committed bench baselines (BENCH_datapath.json,
+# BENCH_faults.json) and gates the fresh numbers against the previous
+# ones with check_bench (strict 20% throughput / 2x recovery rule).
 set -u
 cd "$(dirname "$0")"
 BIN=./target/release
 for b in table1_matrix lan_aggregation establishment_delay latency_streams \
          qualitative_deployment compression_crossover relay_bottleneck \
          fig9_amsterdam_rennes fig10_delft_sophia adaptive_compression \
-         autotune_streams; do
+         autotune_streams bench_ack; do
   echo "################################################################"
   echo "### $b"
   echo "################################################################"
   "$BIN/$b" "$@"
   echo
 done
+
+# Snapshot the previous baselines so the regression gate compares the new
+# full runs against what was committed before this invocation.
+mkdir -p target
+cp BENCH_datapath.json target/BENCH_datapath.baseline.json
+cp BENCH_faults.json target/BENCH_faults.baseline.json
 
 echo "################################################################"
 echo "### bench_datapath (writes BENCH_datapath.json)"
@@ -25,3 +34,11 @@ echo "### bench_faults (writes BENCH_faults.json)"
 echo "################################################################"
 "$BIN/bench_faults"
 echo
+
+echo "################################################################"
+echo "### check_bench (fresh full runs vs previous baselines)"
+echo "################################################################"
+"$BIN/check_bench" \
+  --datapath BENCH_datapath.json --base-datapath target/BENCH_datapath.baseline.json \
+  --faults BENCH_faults.json --base-faults target/BENCH_faults.baseline.json \
+  --tolerance 0.2
