@@ -46,13 +46,14 @@ run_trace() { # name cmd...
 }
 run_trace fig9_quick "$BIN/fig9_amsterdam_rennes" --quick
 run_trace dbg_bw "$BIN/dbg_bw" --total 2097152
+run_trace mux_pair "$BIN/bench_mux" --pair
 # table1's golden is the binary's full stdout (method matrix + establishment
 # outcomes), which pins the same simulations at the application level.
 echo "--- table1: $BIN/table1_matrix (stdout snapshot)"
 "$BIN/table1_matrix" > "$FRESH/table1.trace"
 
 fail=0
-for t in fig9_quick dbg_bw table1; do
+for t in fig9_quick dbg_bw mux_pair table1; do
   if [ "$BLESS" = 1 ]; then
     cp "$FRESH/$t.trace" "$GOLD/$t.trace"
     echo "blessed $GOLD/$t.trace"
@@ -73,12 +74,15 @@ fi
 echo "=== quick bench-regression gate ==="
 "$BIN/bench_datapath" --quick --out "$FRESH/BENCH_datapath_quick.json" > /dev/null 2>&1
 "$BIN/bench_faults" --quick --out "$FRESH/BENCH_faults_quick.json" > /dev/null
+"$BIN/bench_mux" --quick --out "$FRESH/BENCH_mux_quick.json" > /dev/null
 # Quick runs shorten criterion measurement time only, so medians are
 # comparable — but noisier, and host speed varies: use a loose tolerance.
-# run_benches.sh applies the strict 20% gate on full runs.
+# run_benches.sh applies the strict 20% gate on full runs. The mux gate's
+# links/walks==1 invariant is exact regardless of tolerance.
 "$BIN/check_bench" \
   --datapath "$FRESH/BENCH_datapath_quick.json" \
   --faults "$FRESH/BENCH_faults_quick.json" \
+  --mux "$FRESH/BENCH_mux_quick.json" \
   --tolerance 0.35
 
 echo "=== fault-matrix smoke + proptests, 3 fixed seeds ==="

@@ -5,13 +5,18 @@
 //! Usage:
 //!   check_bench [--datapath fresh.json] [--base-datapath BENCH_datapath.json]
 //!               [--faults fresh.json]   [--base-faults BENCH_faults.json]
+//!               [--mux fresh.json]      [--base-mux BENCH_mux.json]
 //!               [--tolerance 0.2]
 //!
-//! Rules (per scenario, matched by `id` / `down_ms`):
+//! Rules (per scenario, matched by `id` / `down_ms` / `channels`):
 //!   * datapath: fresh `mb_per_sec` below `(1 - tolerance) x` baseline fails.
 //!   * faults: fresh `recovery_ms` above `2 x baseline + 50 ms` fails
 //!     (baselines at or below zero are skipped — no recovery happened);
 //!     fresh `total_ms` above `(1 + tolerance) x baseline + 50 ms` fails.
+//!   * mux: `links` / `walks` other than exactly 1 fail unconditionally (N
+//!     same-spec channels must share ONE link found by ONE walk — no
+//!     baseline involved); fresh `setup_ms` or `recovery_ms` above
+//!     `2 x baseline + 50 ms` fails.
 //!
 //! Baselines are host-speed sensitive, so the default tolerance is loose;
 //! quick CI runs pass `--tolerance 0.3`. The JSON is the flat array of
@@ -144,6 +149,46 @@ fn check_faults(fresh_path: &str, base_path: &str, tolerance: f64, failures: &mu
     }
 }
 
+fn check_mux(fresh_path: &str, base_path: &str, failures: &mut Vec<String>) {
+    let fresh = load(fresh_path);
+    let base = load(base_path);
+    // Invariant gate first: every fresh row must show exactly one link and
+    // one establishment walk, whatever the baseline says.
+    for f in &fresh {
+        let n = &f["channels"];
+        for key in ["links", "walks"] {
+            let v = num(f, key, fresh_path);
+            if v != 1.0 {
+                failures.push(format!(
+                    "mux channels={n}: {key} = {v} (must be exactly 1 — channels stopped sharing a link)"
+                ));
+            }
+        }
+    }
+    let fresh_by_n = index(&fresh, "channels", fresh_path);
+    for b in &base {
+        let n = &b["channels"];
+        let Some(f) = fresh_by_n.get(n) else {
+            // Quick runs cover a subset of the channel matrix.
+            continue;
+        };
+        for key in ["setup_ms", "recovery_ms"] {
+            let base_v = num(b, key, base_path);
+            let fresh_v = num(f, key, fresh_path);
+            let ceil = base_v * 2.0 + 50.0;
+            let verdict = if fresh_v > ceil { "FAIL" } else { "ok" };
+            println!(
+                "mux channels={n:>3} {key:>11}: {fresh_v:>8.1} ms vs baseline {base_v:>8.1} (ceil {ceil:>8.1})  {verdict}"
+            );
+            if fresh_v > ceil {
+                failures.push(format!(
+                    "mux channels={n}: {key} {fresh_v:.1} ms more than doubled baseline {base_v:.1} ms"
+                ));
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let tolerance: f64 = arg_value(&args, "--tolerance")
@@ -151,9 +196,10 @@ fn main() {
         .unwrap_or(0.2);
     let datapath = arg_value(&args, "--datapath");
     let faults = arg_value(&args, "--faults");
+    let mux = arg_value(&args, "--mux");
     assert!(
-        datapath.is_some() || faults.is_some(),
-        "nothing to check: pass --datapath and/or --faults"
+        datapath.is_some() || faults.is_some() || mux.is_some(),
+        "nothing to check: pass --datapath, --faults and/or --mux"
     );
 
     let mut failures = Vec::new();
@@ -165,6 +211,10 @@ fn main() {
     if let Some(fresh) = faults {
         let base = arg_value(&args, "--base-faults").unwrap_or_else(|| "BENCH_faults.json".into());
         check_faults(&fresh, &base, tolerance, &mut failures);
+    }
+    if let Some(fresh) = mux {
+        let base = arg_value(&args, "--base-mux").unwrap_or_else(|| "BENCH_mux.json".into());
+        check_mux(&fresh, &base, &mut failures);
     }
     if failures.is_empty() {
         println!("check_bench: no regressions");

@@ -75,6 +75,37 @@ impl RawLink {
             RawLink::Routed(s) => s.shutdown_write(),
         }
     }
+
+    /// Has the transport detected a failure on this link? Costs nothing on
+    /// the wire — it reads error state the transport already recorded (RTO
+    /// abort, reset, closed relay stream). The session layer probes every
+    /// link of a shared stack with this before committing a write.
+    pub fn is_healthy(&self) -> bool {
+        match self {
+            RawLink::Tcp(s) => s.health().is_none(),
+            RawLink::Routed(s) => !s.is_closed(),
+        }
+    }
+
+    /// Block until bytes queued on this link have left the host, then
+    /// report whether the link survived the drain. Graceful close runs
+    /// this so buffered writes cannot silently die with the socket.
+    pub fn drain(&self) -> io::Result<()> {
+        match self {
+            RawLink::Tcp(s) => s.drain(),
+            RawLink::Routed(s) => s.drain(),
+        }
+    }
+
+    /// Did the peer close its sending side cleanly (EOF rather than abort)?
+    /// The receive pump uses this to decide whether a channel ended or
+    /// merely flapped.
+    pub fn closed_cleanly(&self) -> bool {
+        match self {
+            RawLink::Tcp(s) => s.health().is_none(),
+            RawLink::Routed(s) => s.fin_received(),
+        }
+    }
 }
 
 impl Read for RawLink {

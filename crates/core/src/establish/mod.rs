@@ -7,6 +7,31 @@ pub mod factory;
 pub use decision::{choose_methods, LinkPurpose};
 pub use factory::BootstrapSocketFactory;
 
+/// Identity of a shared data link in the session layer: establishment is
+/// keyed by `(peer node, stack equivalence class)`, so every channel whose
+/// effective [`StackSpec`] encodes identically rides one established link
+/// to that peer. The spec is compared in its wire encoding — the same bytes
+/// the name service distributes — which makes "equivalent" exact: any field
+/// that changes the assembled driver stack changes the key.
+///
+/// [`StackSpec`]: crate::drivers::StackSpec
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LinkKey {
+    /// The receive-port owner's grid id.
+    pub peer: crate::nameservice::GridId,
+    /// Encoded effective stack spec (stream-count overrides applied).
+    pub spec: Vec<u8>,
+}
+
+impl LinkKey {
+    pub fn new(peer: crate::nameservice::GridId, spec: &crate::drivers::StackSpec) -> LinkKey {
+        LinkKey {
+            peer,
+            spec: spec.encode(),
+        }
+    }
+}
+
 /// The four establishment methods of the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum EstablishMethod {

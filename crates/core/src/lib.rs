@@ -80,6 +80,7 @@ pub mod port;
 pub mod profile;
 pub mod relay;
 pub mod rpc;
+pub(crate) mod session;
 pub mod socks;
 pub mod wire;
 

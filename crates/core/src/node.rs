@@ -3,6 +3,13 @@
 //! client/server, TCP splicing with NAT port prediction, SOCKS proxies and
 //! relay-routed messages behind one API, chosen by the Figure-4 decision
 //! tree with runtime fallback.
+//!
+//! Establishment feeds the *session layer* ([`crate::session`]): the node
+//! keeps a [`LinkTable`] of established data links keyed by
+//! `(peer node, stack spec)`, and every channel between one node pair
+//! rides ONE shared, supervised link. Concurrent `connect()`s to the same
+//! peer are deduplicated to a single Figure-4 walk, and a link failure
+//! triggers ONE re-establishment that replays every attached channel.
 
 use gridcrypt::SecureConfig;
 use gridsim_net::{Net, SchedHandle, SockAddr};
@@ -16,13 +23,15 @@ use std::time::Duration;
 
 use crate::cpu::{CpuModel, CpuRates, HostCpu};
 use crate::drivers::{build_sender, RawLink, SecurityContext, StackSpec};
-use crate::establish::{choose_methods, EstablishMethod, LinkPurpose};
+use crate::establish::{choose_methods, EstablishMethod, LinkKey, LinkPurpose};
 use crate::nameservice::{GridId, NsClient, PortRecord};
 use crate::port::{
-    AckCell, AckSender, ReceivePort, ReceivePortInner, ResendOverflow, SendConnection, SendPort,
+    AckCell, AckSender, ReceivePort, ReceivePortInner, ResumeMeta, RxShared, SendConnection,
+    SendPort,
 };
 use crate::profile::{ConnectivityProfile, FirewallClass, NatClass};
 use crate::relay::{RelayClient, RelayDelegate, RoutedStream};
+use crate::session::{Channel, Claim, LinkIo, LinkTable, RecoveryRole, SharedLink};
 use crate::socks::socks_connect;
 use crate::wire::{read_frame, FrameReader, FrameWriter};
 
@@ -32,7 +41,19 @@ use crate::wire::{read_frame, FrameReader, FrameWriter};
 /// connects never set it, so fault-free preambles stay byte-identical.
 pub(crate) const RESUME_FLAG: u64 = 1 << 63;
 
-/// Reconnect schedule for failed data connections: attempts and backoff.
+/// Second-highest preamble bit: the resumed link is *multiplexed* — the
+/// preamble carries, after the generation, the list of extra channels
+/// (id + receive-port name) riding the link, so the receiver can register
+/// their routes before the replay arrives. Single-channel resumes never
+/// set it, keeping their preambles byte-identical to the pre-session
+/// format.
+pub(crate) const MUX_FLAG: u64 = 1 << 62;
+
+/// Upper bound on the extra-channel list a resume preamble may carry
+/// (sanity against corrupt frames).
+const MAX_MUX_CHANNELS: u64 = 1 << 16;
+
+/// Reconnect schedule for failed data links: attempts and backoff.
 const RECOVER_ATTEMPTS: u32 = 8;
 const RECOVER_BASE: Duration = Duration::from_millis(50);
 const RECOVER_DELAY_CAP: Duration = Duration::from_secs(2);
@@ -51,6 +72,19 @@ const DATA_PORT_BASE: u16 = 20_000;
 /// ephemeral range 10000+, data listeners 20000+, NAT mappings 40000+).
 const SPLICE_PORT_BASE: u16 = 31_000;
 
+/// What a resuming sender tells the receiver in the preamble: the
+/// reconnect generation, plus the extra channels multiplexed on the link
+/// (beyond the anchor channel the preamble itself names).
+pub(crate) struct ResumePlan {
+    pub gen: u64,
+    /// `(channel id, receive-port name)` of every non-anchor channel.
+    pub extras: Vec<(u64, String)>,
+}
+
+/// How receive-side pumps resolve OPEN frames (and resume extras) to
+/// receive ports by name: a weak hook back into the node's port table.
+pub(crate) type PortResolver = Arc<dyn Fn(&str) -> Option<Arc<ReceivePortInner>> + Send + Sync>;
+
 /// Shared environment of one grid deployment: where the name service and
 /// relay live, plus the security and CPU models.
 #[derive(Clone)]
@@ -66,7 +100,7 @@ pub struct GridEnv {
     pub psk: Vec<u8>,
     pub cpu: CpuModel,
     pub rates: CpuRates,
-    /// Per-connection resend-buffer byte budget (replay window).
+    /// Per-channel resend-buffer byte budget (replay window).
     pub resend_budget: usize,
     /// Receiver cumulative-ack cadence: one CACK service frame per this
     /// many delivered bytes. `usize::MAX` disables the ack protocol.
@@ -111,7 +145,7 @@ impl GridEnv {
         self
     }
 
-    /// Cap the per-connection resend buffer. The ack cadence follows (an
+    /// Cap the per-channel resend buffer. The ack cadence follows (an
     /// eighth of the cap, at least 16 KiB) so continuous pruning keeps
     /// steady-state usage under the cap instead of hitting eviction. The
     /// cadence must leave room for in-flight pipe buffering on top of the
@@ -135,6 +169,9 @@ pub struct NodeCtx {
     pub sched: SchedHandle,
     pub psk: Vec<u8>,
     pub seed_base: u64,
+    /// Resolves receive-port names for mux routing (OPEN frames, resume
+    /// extras).
+    pub(crate) resolve: PortResolver,
 }
 
 impl NodeCtx {
@@ -171,6 +208,14 @@ pub(crate) struct NodeInner {
     /// Cumulative-ack watermarks of this node's open send channels, keyed
     /// by channel id, advanced by incoming CACK service frames.
     ack_cells: Mutex<HashMap<u64, Arc<AckCell>>>,
+    /// The session layer's cache of established data links (at most one
+    /// per peer + stack spec).
+    links: LinkTable,
+    /// Receive-side per-channel state shared across this node's receive
+    /// ports (delivered watermarks + ack bookkeeping): mux links can carry
+    /// channels of several ports, and a resume can re-anchor a channel on
+    /// a different port's listener.
+    rx: Arc<RxShared>,
 }
 
 struct PendingSplice {
@@ -271,6 +316,8 @@ impl GridNode {
             nat_gate: NatGate::default(),
             pending_splices: Mutex::new(HashMap::new()),
             ack_cells: Mutex::new(HashMap::new()),
+            links: LinkTable::new(),
+            rx: RxShared::new(),
         });
         let node = GridNode { inner };
         if let Some(r) = relay {
@@ -316,12 +363,36 @@ impl GridNode {
         &self.inner.cpu
     }
 
+    /// Established data links right now (the session layer's link cache).
+    /// N same-spec channels to one peer count as ONE link here.
+    pub fn data_link_count(&self) -> usize {
+        self.inner.links.ready_count()
+    }
+
+    /// Fresh Figure-4 establishment walks this node has run — the
+    /// single-flight dedupe probe: racing `connect()`s to the same peer
+    /// must not add more than one.
+    pub fn establishment_walks(&self) -> u64 {
+        self.inner.links.walks()
+    }
+
+    /// Completed link-level recoveries: each re-established ONE shared
+    /// link and replayed every channel attached to it.
+    pub fn link_recoveries(&self) -> u64 {
+        self.inner.links.recoveries()
+    }
+
     fn ctx(&self) -> NodeCtx {
+        let weak = Arc::downgrade(&self.inner);
         NodeCtx {
             cpu: self.inner.cpu.clone(),
             sched: self.inner.env.net.sched().clone(),
             psk: self.inner.env.psk.clone(),
             seed_base: self.inner.seed_base,
+            resolve: Arc::new(move |name: &str| {
+                weak.upgrade()
+                    .and_then(|inner| inner.ports.lock().get(name).cloned())
+            }),
         }
     }
 
@@ -371,7 +442,7 @@ impl GridNode {
             }),
             _ => None,
         };
-        let inner = ReceivePortInner::new(name.to_string(), spec, ack);
+        let inner = ReceivePortInner::new(name.to_string(), spec, ack, Arc::clone(&self.inner.rx));
         self.inner
             .ports
             .lock()
@@ -414,17 +485,23 @@ impl GridNode {
         let mut r = stream.clone();
         let frame = read_frame(&mut r)?;
         let mut fr = FrameReader::new(&frame);
-        let channel = fr.u64()?;
+        let raw = fr.u64()?;
         let idx = fr.u64()? as u16;
         let total = fr.u64()? as u16;
-        if channel & RESUME_FLAG != 0 {
+        let channel = raw & !(RESUME_FLAG | MUX_FLAG);
+        if raw & RESUME_FLAG != 0 {
             let gen = fr.u64()?;
+            let extras = if raw & MUX_FLAG != 0 {
+                read_mux_extras(&mut fr)?
+            } else {
+                Vec::new()
+            };
             port.add_resume_link(
                 &self.ctx(),
-                channel & !RESUME_FLAG,
+                channel,
                 idx,
                 total,
-                gen,
+                ResumeMeta { gen, extras },
                 RawLink::Tcp(stream),
             )
         } else {
@@ -434,8 +511,11 @@ impl GridNode {
 
     // ------------------------------------------------- establishment
 
-    /// Establish a data connection to a named receive port, following the
-    /// decision tree with runtime fallback. Used by [`SendPort::connect`].
+    /// Establish a data connection to a named receive port. The session
+    /// layer deduplicates: if an established link to that peer with the
+    /// same effective stack spec already exists, the new channel attaches
+    /// to it (announced with an OPEN frame) instead of re-running the
+    /// Figure-4 walk. Used by [`SendPort::connect`].
     /// `streams_override` replaces the registered stream count (receive
     /// ports accept any count — the stream preamble is authoritative),
     /// which is what stream-count autotuning builds on.
@@ -445,16 +525,14 @@ impl GridNode {
         streams_override: Option<u16>,
     ) -> io::Result<SendConnection> {
         let channel = self.alloc_channel();
-        let conn = self
-            .establish(port_name, streams_override, channel, None)
-            .map(|(conn, _)| conn)?;
-        // Register the connection's ack watermark so CACK service frames
+        let conn = self.establish_channel(port_name, streams_override, channel)?;
+        // Register the channel's ack watermark so CACK service frames
         // arriving on the relay pump reach it. Survives recovery: the
-        // cell rides the connection, not the link.
+        // cell rides the channel, not the link.
         self.inner
             .ack_cells
             .lock()
-            .insert(channel, Arc::clone(&conn.acked));
+            .insert(channel, Arc::clone(&conn.chan.acked));
         Ok(conn)
     }
 
@@ -463,50 +541,130 @@ impl GridNode {
         self.inner.ack_cells.lock().remove(&channel);
     }
 
-    /// One full walk of the decision tree. With `resume: Some(gen)` the
-    /// preambles carry the resume flag + generation and the receiver's
-    /// delivered-count reply is read and returned alongside the connection.
-    fn establish(
+    /// Resolve the peer + spec, then either attach to the cached link or
+    /// run establishment (single-flight per link key).
+    fn establish_channel(
         &self,
         port_name: &str,
         streams_override: Option<u16>,
         channel: u64,
-        resume: Option<u64>,
-    ) -> io::Result<(SendConnection, Option<u64>)> {
+    ) -> io::Result<SendConnection> {
         let (rec, peer_profile, _peer_name) =
             self.nat_gated(|| self.inner.ns.lookup_port(port_name))?;
         let mut spec = StackSpec::decode(&rec.stack)?;
         if let Some(n) = streams_override {
             spec.streams = n.max(1);
         }
-        let methods = choose_methods(&self.inner.profile, &peer_profile, LinkPurpose::Data);
+        let key = LinkKey::new(rec.owner, &spec);
+        loop {
+            match self.inner.links.claim(&key) {
+                Claim::Ready(link) => {
+                    let chan = Arc::new(Channel::new(
+                        channel,
+                        port_name,
+                        self.inner.env.resend_budget,
+                    ));
+                    if !link.attach(Arc::clone(&chan)) {
+                        // The link is tearing down; GC the stale entry and
+                        // re-claim (next round establishes fresh).
+                        self.inner.links.remove(&key, &link);
+                        continue;
+                    }
+                    if let Err(e) = self.open_on_link(&link, &chan) {
+                        link.detach(channel);
+                        self.gc_link_if_empty(&key, &link);
+                        return Err(e);
+                    }
+                    return Ok(SendConnection { link, chan });
+                }
+                Claim::Mine => {
+                    return match self.establish_link(
+                        &key,
+                        &rec,
+                        &peer_profile,
+                        &spec,
+                        channel,
+                        port_name,
+                    ) {
+                        Ok(conn) => {
+                            self.inner.links.fulfill(&key, &conn.link);
+                            Ok(conn)
+                        }
+                        Err(e) => {
+                            self.inner.links.abandon(&key);
+                            Err(e)
+                        }
+                    };
+                }
+            }
+        }
+    }
+
+    /// Announce a channel joining an established link. Rewritten after
+    /// any recovery observed mid-open: a recovery whose replay snapshot
+    /// predated our attach did not announce us, and the receiver treats
+    /// duplicate OPENs as no-ops, so always-rewrite is safe.
+    fn open_on_link(&self, link: &Arc<SharedLink>, chan: &Arc<Channel>) -> io::Result<()> {
+        loop {
+            let seen = link.incarnation();
+            let wrote = {
+                let mut io = link.io();
+                if io.healthy() {
+                    io.write_open(chan.channel, &chan.peer_port).is_ok()
+                } else {
+                    false
+                }
+            };
+            if wrote {
+                return Ok(());
+            }
+            self.recover_link(link, seen)?;
+        }
+    }
+
+    /// One full walk of the decision tree for a fresh link, anchored at
+    /// `channel`.
+    fn establish_link(
+        &self,
+        key: &LinkKey,
+        rec: &PortRecord,
+        peer_profile: &ConnectivityProfile,
+        spec: &StackSpec,
+        channel: u64,
+        port_name: &str,
+    ) -> io::Result<SendConnection> {
+        self.inner.links.note_walk();
+        let methods = choose_methods(&self.inner.profile, peer_profile, LinkPurpose::Data);
         let mut last_err = io::Error::new(
             io::ErrorKind::NotFound,
             "no establishment method applicable",
         );
         for method in methods {
-            match self.try_method(method, &rec, &peer_profile, &spec, channel, resume) {
-                Ok((links, total)) => {
-                    match self
-                        .finish_establish(links, total, &spec, method, port_name, channel, resume)
-                    {
-                        Ok((conn, expected)) => {
-                            return Ok((
-                                SendConnection {
-                                    streams_override,
-                                    ..conn
-                                },
-                                expected,
-                            ))
-                        }
-                        Err(e) => {
-                            if std::env::var("NETGRID_DEBUG").is_ok() {
-                                eprintln!("[netgrid] method {method} stack failed: {e}");
-                            }
-                            last_err = e;
-                        }
+            match self.try_method(method, rec, peer_profile, spec, channel, None) {
+                Ok((links, total)) => match self.build_link_io(links, total, spec, None) {
+                    Ok((io, _)) => {
+                        let chan = Arc::new(Channel::new(
+                            channel,
+                            port_name,
+                            self.inner.env.resend_budget,
+                        ));
+                        let link = Arc::new(SharedLink::new(
+                            key.clone(),
+                            spec.clone(),
+                            method,
+                            io,
+                            channel,
+                        ));
+                        link.attach(Arc::clone(&chan));
+                        return Ok(SendConnection { link, chan });
                     }
-                }
+                    Err(e) => {
+                        if std::env::var("NETGRID_DEBUG").is_ok() {
+                            eprintln!("[netgrid] method {method} stack failed: {e}");
+                        }
+                        last_err = e;
+                    }
+                },
                 Err(e) => {
                     if std::env::var("NETGRID_DEBUG").is_ok() {
                         eprintln!("[netgrid] method {method} failed: {e}");
@@ -522,18 +680,16 @@ impl GridNode {
     }
 
     /// Read the resume reply (if resuming) and assemble the sender stack.
-    #[allow(clippy::too_many_arguments)]
-    fn finish_establish(
+    /// `resume_expect` is the number of delivered-count values the reply
+    /// must carry (anchor first, then the extras in preamble order).
+    fn build_link_io(
         &self,
         links: Vec<RawLink>,
         total: u16,
         spec: &StackSpec,
-        method: EstablishMethod,
-        port_name: &str,
-        channel: u64,
-        resume: Option<u64>,
-    ) -> io::Result<(SendConnection, Option<u64>)> {
-        let expected = if resume.is_some() {
+        resume_expect: Option<usize>,
+    ) -> io::Result<(LinkIo, Vec<u64>)> {
+        let deliveries = if let Some(n) = resume_expect {
             // The receiver replies on stream 0 once every stream arrived.
             // Poll readability first: a plain blocking read on a link that
             // dies again right here would park forever.
@@ -548,9 +704,10 @@ impl GridNode {
                 ));
             }
             let frame = read_frame(&mut l0)?;
-            Some(FrameReader::new(&frame).u64()?)
+            let mut fr = FrameReader::new(&frame);
+            (0..n).map(|_| fr.u64()).collect::<io::Result<Vec<_>>>()?
         } else {
-            None
+            Vec::new()
         };
         let spec_eff = StackSpec {
             streams: total,
@@ -561,103 +718,260 @@ impl GridNode {
         let probes = links.clone();
         let (writer, pool) = build_sender(links, &spec_eff, self.inner.cpu.clone(), sec.as_ref())?;
         Ok((
-            SendConnection {
+            LinkIo {
                 writer,
                 pool,
-                method,
-                peer_port: port_name.to_string(),
-                channel,
                 links: probes,
-                streams_override: None,
-                next_seq: 0,
-                resend: std::collections::VecDeque::new(),
-                resend_bytes: 0,
-                budget: self.inner.env.resend_budget,
-                acked: Arc::new(AckCell::new()),
-                peak_resend: 0,
-                gen: resume.unwrap_or(0),
+                mux: false,
             },
-            expected,
+            deliveries,
         ))
     }
 
-    /// Re-establish a failed data connection in place: back off, walk the
+    // ------------------------------------------------- the data path
+
+    /// Send one message payload on a channel. The fast path writes under
+    /// the link's FIFO gate; a detected failure (before or during the
+    /// write) funnels into the link's single-flight recovery, whose replay
+    /// covers this message — the `wire_seq` check notices that and skips
+    /// the duplicate write.
+    pub(crate) fn send_on(&self, c: &SendConnection, payload: &bytes::Bytes) -> io::Result<()> {
+        let seq = c.chan.retain(payload);
+        loop {
+            let seen = c.link.incarnation();
+            let wrote = {
+                let mut io = c.link.io();
+                if c.chan.wire_seq() > seq {
+                    // A recovery replayed this message while we waited on
+                    // the gate.
+                    return Ok(());
+                }
+                io.healthy() && io.write_msg(c.chan.channel, payload).is_ok()
+            };
+            if wrote {
+                c.chan.advance_wire(seq + 1);
+                return Ok(());
+            }
+            self.recover_link(&c.link, seen)?;
+        }
+    }
+
+    /// Flush a channel, announce its clean close, and wait for the bytes
+    /// to leave the host; then detach it (tearing the link down if it was
+    /// the last channel) and unregister its ack watermark.
+    pub(crate) fn close_channel(&self, c: &SendConnection) -> io::Result<()> {
+        let r = self.graceful_close(&c.link, &c.chan);
+        if c.link.attached(c.chan.channel) {
+            c.link.detach(c.chan.channel);
+        }
+        self.gc_link_if_empty(&c.link.key, &c.link);
+        self.release_channel(c.chan.channel);
+        r
+    }
+
+    /// Abrupt release (port dropped without `close()`): detach without
+    /// touching the wire — exactly what dropping a dedicated stack did
+    /// before the session layer.
+    pub(crate) fn drop_channel(&self, c: &SendConnection) {
+        if c.link.attached(c.chan.channel) {
+            c.link.detach(c.chan.channel);
+        }
+        self.gc_link_if_empty(&c.link.key, &c.link);
+        self.release_channel(c.chan.channel);
+    }
+
+    fn graceful_close(&self, link: &Arc<SharedLink>, chan: &Arc<Channel>) -> io::Result<()> {
+        loop {
+            if !link.attached(chan.channel) {
+                return Ok(());
+            }
+            let seen = link.incarnation();
+            let r = {
+                let mut io = link.io();
+                let res = io.writer.flush();
+                let res = res.and_then(|()| {
+                    if io.mux {
+                        io.write_close(chan.channel)
+                    } else {
+                        Ok(())
+                    }
+                });
+                // Settle under the gate: no concurrent writer can queue
+                // fresh bytes between our CLOSE and the drain check.
+                res.and_then(|()| io.settle())
+            };
+            match r {
+                Ok(()) => return Ok(()),
+                Err(_) => self.recover_link(link, seen)?,
+            }
+        }
+    }
+
+    fn gc_link_if_empty(&self, key: &LinkKey, link: &Arc<SharedLink>) {
+        if link.channel_count() == 0 {
+            self.inner.links.remove(key, link);
+        }
+    }
+
+    // ------------------------------------------------- link recovery
+
+    /// Funnel a failed write into the link's single-flight recovery:
+    /// exactly one task re-establishes and replays all channels; everyone
+    /// else parks until that round completes (or learns a completed round
+    /// already covered them).
+    pub(crate) fn recover_link(&self, link: &Arc<SharedLink>, seen: u64) -> io::Result<()> {
+        match link.begin_recovery(seen) {
+            RecoveryRole::Recovered => Ok(()),
+            RecoveryRole::Failed(e) => Err(e),
+            RecoveryRole::Recoverer => {
+                let result = self.do_recover_link(link);
+                match &result {
+                    Ok(()) => self.inner.links.note_recovery(),
+                    // A dead link must not be handed to new claimants;
+                    // attached channels keep their state and retry
+                    // recovery on their next send.
+                    Err(_) => self.inner.links.remove(&link.key, link),
+                }
+                link.finish_recovery(&result);
+                result
+            }
+        }
+    }
+
+    /// Re-establish a failed shared link in place: back off, walk the
     /// decision tree again (possibly landing on a *different* method —
-    /// e.g. spliced before the failure, routed after), learn the receiver's
-    /// delivered count, and replay the retained gap. Exactly-once holds
-    /// because the receiver drops anything below its watermark.
-    pub(crate) fn recover_connection(&self, c: &mut SendConnection) -> io::Result<()> {
-        // Whatever killed the data connection may also have silently
-        // killed the idle relay service link (an abort whose RST the
-        // outage swallowed). Probe it now so incoming service traffic —
-        // the receiver's CACKs in particular — finds us registered again.
+    /// e.g. spliced before the failure, routed after), learn the
+    /// receiver's delivered count for EVERY attached channel, and replay
+    /// the retained gaps. Exactly-once holds because the receiver drops
+    /// anything below its per-channel watermark.
+    fn do_recover_link(&self, link: &Arc<SharedLink>) -> io::Result<()> {
+        // Whatever killed the data link may also have silently killed the
+        // idle relay service link (an abort whose RST the outage
+        // swallowed). Probe it now so incoming service traffic — the
+        // receiver's CACKs in particular — finds us registered again.
         if let Some(relay) = &self.inner.relay {
             relay.nudge();
         }
+        let peer_desc = link
+            .replay_order()
+            .first()
+            .map(|c| c.peer_port.clone())
+            .unwrap_or_default();
         let mut delay = RECOVER_BASE;
         let mut last_err: io::Error = io::Error::new(
             io::ErrorKind::ConnectionReset,
-            format!("data connection to '{}' lost", c.peer_port),
+            format!("data link to '{peer_desc}' lost"),
         );
         for _ in 0..RECOVER_ATTEMPTS {
             gridsim_net::ctx::sleep(delay);
             delay = (delay * 2).min(RECOVER_DELAY_CAP);
-            c.gen += 1;
-            let fresh =
-                match self.establish(&c.peer_port, c.streams_override, c.channel, Some(c.gen)) {
-                    Ok((fresh, Some(e))) => (fresh, e),
-                    Ok((_, None)) => unreachable!("resume always reads a reply"),
+            let chans = link.replay_order();
+            let Some(anchor) = chans.first() else {
+                // Every channel detached while we backed off: nothing to
+                // recover. The link stays dead and gets GC'd by the last
+                // detach.
+                return Ok(());
+            };
+            // Re-anchor on the surviving head channel (the original anchor
+            // may have closed); establishment dials ITS receive port.
+            link.set_anchor(anchor.channel);
+            let gen = link.next_gen();
+            let extras: Vec<(u64, String)> = chans[1..]
+                .iter()
+                .map(|c| (c.channel, c.peer_port.clone()))
+                .collect();
+            let plan = ResumePlan { gen, extras };
+            let (rec, peer_profile, _) =
+                match self.nat_gated(|| self.inner.ns.lookup_port(&anchor.peer_port)) {
+                    Ok(x) => x,
                     Err(e) => {
                         last_err = e;
                         continue;
                     }
                 };
-            let (fresh, e) = fresh;
-            let oldest = c.next_seq - c.resend.len() as u64;
-            if e < oldest {
-                // The replay gap includes messages the resend buffer
-                // evicted past its budget: unrecoverable without
-                // violating exactly-once. Typed, so callers can size
-                // budgets (or flag a lost receiver) programmatically.
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    ResendOverflow {
-                        channel: c.channel,
-                        acked: e,
-                        oldest,
-                    },
-                ));
-            }
-            if e > c.next_seq {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!(
-                        "cannot resume channel {}: receiver delivered {e}, \
-                         but only {} were sent",
-                        c.channel, c.next_seq
-                    ),
-                ));
-            }
-            c.writer = fresh.writer;
-            c.pool = fresh.pool;
-            c.method = fresh.method;
-            c.links = fresh.links;
-            c.prune_acked(e);
-            // Replay the gap through the new stack. Payload handles are
-            // cheap clones; a failure here falls back into another attempt.
-            let replay: Vec<_> = c.resend.iter().map(|(_, p)| p.clone()).collect();
-            match replay.iter().try_for_each(|p| c.write_msg(p)) {
-                Ok(()) => return Ok(()),
-                Err(e) => last_err = e,
+            let methods = choose_methods(&self.inner.profile, &peer_profile, LinkPurpose::Data);
+            for method in methods {
+                let built = self
+                    .try_method(
+                        method,
+                        &rec,
+                        &peer_profile,
+                        &link.spec,
+                        anchor.channel,
+                        Some(&plan),
+                    )
+                    .and_then(|(raw, total)| {
+                        self.build_link_io(raw, total, &link.spec, Some(chans.len()))
+                    });
+                let (io, deliveries) = match built {
+                    Ok(x) => x,
+                    Err(e) => {
+                        if std::env::var("NETGRID_DEBUG").is_ok() {
+                            eprintln!("[netgrid] recovery method {method} failed: {e}");
+                        }
+                        last_err = e;
+                        continue;
+                    }
+                };
+                // Validate every channel's replay BEFORE swapping the
+                // stack in: a resume-bounds violation (evicted gap,
+                // impossible watermark) is fatal and must not be retried.
+                let mut replays = Vec::with_capacity(chans.len());
+                let mut fatal = Ok(());
+                for (c, &e) in chans.iter().zip(&deliveries) {
+                    match c.prepare_replay(e) {
+                        Ok(r) => replays.push(r),
+                        Err(err) => {
+                            fatal = Err(err);
+                            break;
+                        }
+                    }
+                }
+                fatal?;
+                match self.swap_and_replay(link, io, &chans, &replays) {
+                    Ok(()) => {
+                        link.set_method(method);
+                        link.bump_incarnation();
+                        return Ok(());
+                    }
+                    Err(e) => {
+                        // Replay write failure: the fresh link died too.
+                        // Messages stay retained; fall into another attempt.
+                        last_err = e;
+                    }
+                }
             }
         }
         Err(io::Error::new(
             last_err.kind(),
             format!(
-                "could not recover connection to '{}' after {RECOVER_ATTEMPTS} attempts: {last_err}",
-                c.peer_port
+                "could not recover link to '{peer_desc}' after {RECOVER_ATTEMPTS} attempts: {last_err}"
             ),
         ))
+    }
+
+    /// Swap the fresh stack in and replay every channel's retained gap
+    /// through it, all under the write gate so concurrent senders observe
+    /// either the dead stack or the fully replayed one.
+    fn swap_and_replay(
+        &self,
+        link: &Arc<SharedLink>,
+        mut new_io: LinkIo,
+        chans: &[Arc<Channel>],
+        replays: &[Vec<bytes::Bytes>],
+    ) -> io::Result<()> {
+        // A resumed link re-negotiates framing by channel count: back to
+        // the legacy byte format when one channel remains, tagged when
+        // several do (the resume preamble already told the receiver).
+        new_io.mux = chans.len() > 1;
+        let mut io = link.io();
+        *io = new_io;
+        for (c, msgs) in chans.iter().zip(replays) {
+            for p in msgs {
+                io.write_msg(c.channel, p)?;
+            }
+        }
+        Ok(())
     }
 
     /// Attempt one establishment method; returns the raw links in stream
@@ -669,7 +983,7 @@ impl GridNode {
         peer_profile: &ConnectivityProfile,
         spec: &StackSpec,
         channel: u64,
-        resume: Option<u64>,
+        resume: Option<&ResumePlan>,
     ) -> io::Result<(Vec<RawLink>, u16)> {
         match method {
             EstablishMethod::ClientServer => {
@@ -728,15 +1042,24 @@ impl GridNode {
             EstablishMethod::Routed => {
                 let relay = self.relay()?;
                 let wire_channel = match resume {
+                    Some(p) if !p.extras.is_empty() => channel | RESUME_FLAG | MUX_FLAG,
                     Some(_) => channel | RESUME_FLAG,
                     None => channel,
                 };
                 let stream = relay.open_stream(rec.owner, &rec.name, wire_channel)?;
-                if let Some(gen) = resume {
-                    // The generation travels as the first stream frame (the
-                    // OPEN frame layout stays untouched).
+                if let Some(p) = resume {
+                    // The generation (and mux channel list) travels as the
+                    // first stream frame (the OPEN frame layout stays
+                    // untouched).
                     let mut w = stream.clone();
-                    FrameWriter::new().u64(gen).send(&mut w)?;
+                    let mut fw = FrameWriter::new().u64(p.gen);
+                    if !p.extras.is_empty() {
+                        fw = fw.u64(p.extras.len() as u64);
+                        for (ch, name) in &p.extras {
+                            fw = fw.u64(*ch).str(name);
+                        }
+                    }
+                    fw.send(&mut w)?;
                 }
                 Ok((vec![RawLink::Routed(stream)], 1))
             }
@@ -758,19 +1081,27 @@ impl GridNode {
         channel: u64,
         idx: u16,
         total: u16,
-        resume: Option<u64>,
+        resume: Option<&ResumePlan>,
     ) -> io::Result<()> {
         s.set_nodelay(true)?;
         let mut w = s.clone();
+        let wire_channel = match resume {
+            Some(p) if !p.extras.is_empty() => channel | RESUME_FLAG | MUX_FLAG,
+            Some(_) => channel | RESUME_FLAG,
+            None => channel,
+        };
         let mut fw = FrameWriter::new()
-            .u64(match resume {
-                Some(_) => channel | RESUME_FLAG,
-                None => channel,
-            })
+            .u64(wire_channel)
             .u64(idx as u64)
             .u64(total as u64);
-        if let Some(gen) = resume {
-            fw = fw.u64(gen);
+        if let Some(p) = resume {
+            fw = fw.u64(p.gen);
+            if !p.extras.is_empty() {
+                fw = fw.u64(p.extras.len() as u64);
+                for (ch, name) in &p.extras {
+                    fw = fw.u64(*ch).str(name);
+                }
+            }
         }
         fw.send(&mut w)
     }
@@ -832,7 +1163,7 @@ impl GridNode {
         rec: &PortRecord,
         spec: &StackSpec,
         channel: u64,
-        resume: Option<u64>,
+        resume: Option<&ResumePlan>,
     ) -> io::Result<Vec<RawLink>> {
         let relay = self.relay()?.clone();
         let total = spec.streams;
@@ -1047,9 +1378,9 @@ impl GridNode {
     }
 
     /// Handle `CACK{channel, delivered}` from a receive port: advance the
-    /// matching send connection's cumulative-ack watermark. Unknown
-    /// channels (already closed) still ack — the frame is advisory and a
-    /// stale CACK needs no error.
+    /// matching send channel's cumulative-ack watermark. Unknown channels
+    /// (already closed) still ack — the frame is advisory and a stale CACK
+    /// needs no error.
     fn handle_cack(&self, r: &mut FrameReader<'_>) -> io::Result<Vec<u8>> {
         let channel = r.u64()?;
         let delivered = r.u64()?;
@@ -1078,6 +1409,25 @@ impl GridNode {
         // Same as an accepted connection: read the initiator's preamble.
         self.handle_incoming_tcp(port, stream)
     }
+}
+
+/// Decode the resume preamble's extra-channel list: `n`, then `n` pairs of
+/// `(channel id, receive-port name)`.
+fn read_mux_extras(fr: &mut FrameReader<'_>) -> io::Result<Vec<(u64, String)>> {
+    let n = fr.u64()?;
+    if n > MAX_MUX_CHANNELS {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "mux channel list too long",
+        ));
+    }
+    let mut extras = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let ch = fr.u64()?;
+        let name = fr.str()?;
+        extras.push((ch, name));
+    }
+    Ok(extras)
 }
 
 /// Service-message opcodes (carried in SVC_REQ payloads).
@@ -1141,16 +1491,23 @@ impl RelayDelegate for NodeDelegate {
             .cloned()
             .ok_or_else(|| format!("unknown receive port '{port_name}'"))?;
         if channel & RESUME_FLAG != 0 {
-            // Resumed routed link: the generation is the first stream frame.
+            // Resumed routed link: the generation (and mux channel list)
+            // is the first stream frame.
             let mut r = stream.clone();
             let frame = read_frame(&mut r).map_err(|e| e.to_string())?;
-            let gen = FrameReader::new(&frame).u64().map_err(|e| e.to_string())?;
+            let mut fr = FrameReader::new(&frame);
+            let gen = fr.u64().map_err(|e| e.to_string())?;
+            let extras = if channel & MUX_FLAG != 0 {
+                read_mux_extras(&mut fr).map_err(|e| e.to_string())?
+            } else {
+                Vec::new()
+            };
             port.add_resume_link(
                 &node.ctx(),
-                channel & !RESUME_FLAG,
+                channel & !(RESUME_FLAG | MUX_FLAG),
                 0,
                 1,
-                gen,
+                ResumeMeta { gen, extras },
                 RawLink::Routed(stream),
             )
             .map_err(|e| e.to_string())

@@ -7,23 +7,28 @@
 //! receive port's [`StackSpec`]. Message boundaries are explicit: data is
 //! aggregated until `finish()` flushes the stack — the user-space
 //! aggregation + explicit flush of paper §4.1.
+//!
+//! Connections are *channels* riding shared session-layer links
+//! ([`crate::session`]): every channel a node opens to the same peer with
+//! the same effective stack spec multiplexes over ONE established link.
 
 use bytes::Bytes;
 use gridsim_net::{SchedHandle, SimQueue};
 use gridzip::varint;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::drivers::{build_receiver, BlockWrite, RawLink, ReceiverStack, SenderStack, StackSpec};
+use crate::drivers::{build_receiver, RawLink, ReceiverStack, StackSpec};
 use crate::establish::EstablishMethod;
-use crate::node::{GridNode, NodeCtx};
+use crate::node::{GridNode, NodeCtx, PortResolver};
 use crate::pool::{BlockBuf, BlockPool, PoolStats};
 use crate::relay::RelayClient;
-use crate::wire::FrameWriter;
+use crate::session::{Channel, SharedLink};
+use crate::wire::{mux, FrameWriter};
 
 /// Upper bound on a single message (sanity against corrupt frames).
 pub const MAX_MESSAGE: u64 = 256 << 20;
@@ -171,8 +176,8 @@ const ACK_IDLE_FLUSH: Duration = Duration::from_secs(2);
 /// cumulative: a lost or timed-out one is subsumed by the next.
 const ACK_SVC_TIMEOUT: Duration = Duration::from_secs(5);
 
-/// Monotonic cumulative-ack watermark, shared between a [`SendConnection`]
-/// and the node's CACK service handler. CACK frames can arrive reordered
+/// Monotonic cumulative-ack watermark, shared between a send channel and
+/// the node's CACK service handler. CACK frames can arrive reordered
 /// (independent service round-trips); only the maximum matters.
 pub(crate) struct AckCell(AtomicU64);
 
@@ -217,101 +222,40 @@ impl std::fmt::Display for ResendOverflow {
 
 impl std::error::Error for ResendOverflow {}
 
+/// One logical connection of a [`SendPort`]: a channel attached to a
+/// shared session-layer link.
 pub(crate) struct SendConnection {
-    pub writer: SenderStack,
-    /// The stack's block pool (aggregation/striping staging buffers).
-    pub pool: BlockPool,
-    pub method: EstablishMethod,
-    pub peer_port: String,
-    pub channel: u64,
-    /// Raw links under the stack, cloned for health probes (a clone shares
-    /// the underlying socket).
-    pub links: Vec<RawLink>,
-    /// Stream-count override the connection was established with, so a
-    /// reconnect re-runs the same establishment parameters.
-    pub streams_override: Option<u16>,
-    /// Messages sent on this channel so far; doubles as the next implicit
-    /// sequence number (never on the wire in fault-free runs).
-    pub next_seq: u64,
-    /// Retained `(seq, payload)` pairs for post-reconnect replay.
-    pub resend: std::collections::VecDeque<(u64, Bytes)>,
-    pub resend_bytes: usize,
-    /// Resend-buffer byte budget ([`GridEnv::resend_budget`]).
-    ///
-    /// [`GridEnv::resend_budget`]: crate::node::GridEnv::resend_budget
-    pub budget: usize,
-    /// Receiver-confirmed delivery watermark, advanced by CACK frames.
-    pub acked: Arc<AckCell>,
-    /// High-water mark of retained bytes, measured before eviction: what
-    /// the buffer demanded, not what the cap allowed it to keep.
-    pub peak_resend: usize,
-    /// Reconnect attempt counter; rides the resume preamble so the receiver
-    /// can supersede stale partial assemblies.
-    pub gen: u64,
+    pub link: Arc<SharedLink>,
+    pub chan: Arc<Channel>,
 }
 
-impl SendConnection {
-    /// Keepalive probe: has any underlying link failed since the last send?
-    /// Costs nothing on the wire — it reads error state the transport
-    /// already detected (RTO abort, reset, closed relay stream).
-    pub fn healthy(&self) -> bool {
-        self.links.iter().all(|l| match l {
-            RawLink::Tcp(s) => s.health().is_none(),
-            RawLink::Routed(s) => !s.is_closed(),
+/// Decoded resume preamble metadata: the sender's reconnect generation
+/// plus the extra channels multiplexed on the resumed link (beyond the
+/// anchor channel the preamble names), as `(channel, receive-port name)`.
+pub(crate) struct ResumeMeta {
+    pub gen: u64,
+    pub extras: Vec<(u64, String)>,
+}
+
+/// Receive-side per-channel state shared across ALL of a node's receive
+/// ports: exactly-once delivered watermarks and ack bookkeeping. Node-wide
+/// because a multiplexed link can carry channels of several ports, and a
+/// resume can re-anchor a channel on a different port's listener — the
+/// watermark must follow the channel, not the port.
+pub(crate) struct RxShared {
+    /// Messages delivered per channel — the exactly-once watermark a
+    /// resuming sender replays from.
+    delivered: Mutex<HashMap<u64, u64>>,
+    /// Per-channel ack and lifecycle bookkeeping.
+    ack_state: Mutex<HashMap<u64, ChannelAck>>,
+}
+
+impl RxShared {
+    pub(crate) fn new() -> Arc<RxShared> {
+        Arc::new(RxShared {
+            delivered: Mutex::new(HashMap::new()),
+            ack_state: Mutex::new(HashMap::new()),
         })
-    }
-
-    /// Retain a sent message for replay, evicting the oldest past the
-    /// byte budget (the in-flight message itself is always kept).
-    fn retain(&mut self, seq: u64, payload: &Bytes) {
-        // Continuous pruning: everything the receiver has cumulatively
-        // acked is dropped before this message is added, so steady-state
-        // memory follows the ack cadence, not the transfer size.
-        self.prune_acked(self.acked.get());
-        self.resend_bytes += payload.len();
-        self.resend.push_back((seq, payload.clone()));
-        self.peak_resend = self.peak_resend.max(self.resend_bytes);
-        while self.resend_bytes > self.budget && self.resend.len() > 1 {
-            if let Some((_, old)) = self.resend.pop_front() {
-                self.resend_bytes -= old.len();
-            }
-        }
-    }
-
-    /// Drop retained messages the receiver confirmed (seq < `e`).
-    pub(crate) fn prune_acked(&mut self, e: u64) {
-        while self.resend.front().is_some_and(|(s, _)| *s < e) {
-            if let Some((_, old)) = self.resend.pop_front() {
-                self.resend_bytes -= old.len();
-            }
-        }
-    }
-
-    /// Frame and flush one message payload down the stack.
-    pub(crate) fn write_msg(&mut self, payload: &Bytes) -> io::Result<()> {
-        let mut hdr = Vec::with_capacity(8);
-        varint::put(&mut hdr, payload.len() as u64);
-        self.writer.write_all(&hdr)?;
-        // Refcounted handoff: group communication clones the handle,
-        // not the payload, and block-aligned stacks slice it straight
-        // onto the wire.
-        self.writer.write_block(payload.clone())?;
-        self.writer.flush()
-    }
-
-    /// Wait until queued bytes left the host and check the links survived.
-    fn settle(&self) -> io::Result<()> {
-        for l in &self.links {
-            match l {
-                RawLink::Tcp(s) => s.drain()?,
-                RawLink::Routed(s) => s.drain()?,
-            }
-        }
-        if self.healthy() {
-            Ok(())
-        } else {
-            Err(io::ErrorKind::ConnectionReset.into())
-        }
     }
 }
 
@@ -337,11 +281,14 @@ impl SendPort {
         }
     }
 
-    /// Connect to the named receive port, trying establishment methods in
-    /// the decision-tree order; returns the method that succeeded.
+    /// Connect to the named receive port. If the session layer already
+    /// holds an established link to that peer with the same stack spec,
+    /// the new channel attaches to it (no new establishment); otherwise
+    /// the decision tree runs, single-flighted against concurrent
+    /// connects. Returns the link's establishment method.
     pub fn connect(&mut self, port_name: &str) -> io::Result<EstablishMethod> {
         let conn = self.node.establish_connection(port_name, None)?;
-        let method = conn.method;
+        let method = conn.link.method();
         self.conns.push(conn);
         Ok(method)
     }
@@ -349,14 +296,15 @@ impl SendPort {
     /// Connect with an explicit parallel-stream count, overriding the
     /// stream count the receive port registered (paper §8 future work:
     /// "selection of the optimal number of parallel TCP streams" — see the
-    /// `autotune_streams` benchmark).
+    /// `autotune_streams` benchmark). The override is part of the link
+    /// key: channels with different stream counts use separate links.
     pub fn connect_with_streams(
         &mut self,
         port_name: &str,
         streams: u16,
     ) -> io::Result<EstablishMethod> {
         let conn = self.node.establish_connection(port_name, Some(streams))?;
-        let method = conn.method;
+        let method = conn.link.method();
         self.conns.push(conn);
         Ok(method)
     }
@@ -366,16 +314,17 @@ impl SendPort {
         self.conns.len()
     }
 
-    /// Establishment method of connection `i`.
+    /// Establishment method of connection `i` (of its underlying link,
+    /// which recovery may have migrated to a different method).
     pub fn method_of(&self, i: usize) -> Option<EstablishMethod> {
-        self.conns.get(i).map(|c| c.method)
+        self.conns.get(i).map(|c| c.link.method())
     }
 
     /// (peer port name, method, channel id) per connection — diagnostics.
     pub fn connections(&self) -> Vec<(String, EstablishMethod, u64)> {
         self.conns
             .iter()
-            .map(|c| (c.peer_port.clone(), c.method, c.channel))
+            .map(|c| (c.chan.peer_port.clone(), c.link.method(), c.chan.channel))
             .collect()
     }
 
@@ -383,10 +332,7 @@ impl SendPort {
     /// Peak is measured before eviction, so `peak <= cap` proves the ack
     /// protocol — not the eviction cliff — kept the buffer bounded.
     pub fn resend_stats(&self) -> Vec<(usize, usize)> {
-        self.conns
-            .iter()
-            .map(|c| (c.resend_bytes, c.peak_resend))
-            .collect()
+        self.conns.iter().map(|c| c.chan.resend_stats()).collect()
     }
 
     /// Start a new message.
@@ -396,11 +342,18 @@ impl SendPort {
     }
 
     /// Buffer-pool counters aggregated over the message pool and every
-    /// connection's driver-stack pool.
+    /// distinct link's driver-stack pool (connections sharing a link share
+    /// its pool — counted once).
     pub fn pool_stats(&self) -> PoolStats {
         let mut agg = self.msg_pool.stats();
+        let mut seen: Vec<*const SharedLink> = Vec::new();
         for c in &self.conns {
-            let s = c.pool.stats();
+            let p = Arc::as_ptr(&c.link);
+            if seen.contains(&p) {
+                continue;
+            }
+            seen.push(p);
+            let s = c.link.io().pool.stats();
             agg.hits += s.hits;
             agg.misses += s.misses;
         }
@@ -423,49 +376,40 @@ impl SendPort {
             ));
         }
         let node = self.node.clone();
-        for c in &mut self.conns {
-            let seq = c.next_seq;
-            c.retain(seq, &payload);
-            c.next_seq += 1;
-            // Fast path: links healthy and the write succeeds. A detected
-            // failure (before or during the write) re-runs establishment
-            // and replays the retained gap — including this message.
-            if c.healthy() && c.write_msg(&payload).is_ok() {
-                continue;
-            }
-            node.recover_connection(c)?;
+        for c in &self.conns {
+            node.send_on(c, &payload)?;
         }
         Ok(())
     }
 
-    /// Flush and close all connections (graceful: peers see EOF after the
-    /// last message). If a link died with messages still unconfirmed, the
-    /// connection is recovered and the tail replayed before closing.
+    /// Flush and close all connections (graceful: the peer observes each
+    /// channel's clean close). A channel sharing its link with others
+    /// announces the close in-band and leaves the link up; the LAST
+    /// channel's close tears the link down and the peer sees EOF. If a
+    /// link died with messages still unconfirmed, it is recovered and the
+    /// tail replayed before closing.
     pub fn close(mut self) -> io::Result<()> {
         let node = self.node.clone();
-        for c in &mut self.conns {
-            let flushed = c.writer.flush().and_then(|()| c.settle());
-            if flushed.is_err() {
-                node.recover_connection(c)?;
-                c.writer.flush()?;
-                c.settle()?;
+        let mut first_err: Option<io::Error> = None;
+        for c in self.conns.drain(..) {
+            if let Err(e) = node.close_channel(&c) {
+                first_err.get_or_insert(e);
             }
         }
-        for c in &self.conns {
-            node.release_channel(c.channel);
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        self.conns.clear();
-        Ok(())
     }
 }
 
 impl Drop for SendPort {
     fn drop(&mut self) {
-        // A port dropped without close() must still unregister its ack
-        // watermarks, or the node would route CACKs to dead channels
-        // forever. close() clears `conns`, making this a no-op.
-        for c in &self.conns {
-            self.node.release_channel(c.channel);
+        // A port dropped without close() must still detach its channels
+        // (so shared links stop replaying them) and unregister its ack
+        // watermarks. close() drains `conns`, making this a no-op.
+        for c in self.conns.drain(..) {
+            self.node.drop_channel(&c);
         }
     }
 }
@@ -477,14 +421,12 @@ pub struct ReceivePortInner {
     msgq: SimQueue<ReadMessage>,
     /// Streams collected per channel until a connection is complete.
     pending: Mutex<HashMap<u64, PendingChannel>>,
-    /// Messages delivered per channel — the exactly-once watermark a
-    /// resuming sender replays from.
-    delivered: Mutex<HashMap<u64, u64>>,
     connections: Mutex<u64>,
     /// CACK transport + cadence (`None`: no relay, or acks disabled).
     ack: Option<AckSender>,
-    /// Per-channel ack and lifecycle bookkeeping.
-    ack_state: Mutex<HashMap<u64, ChannelAck>>,
+    /// Node-wide delivered watermarks + ack state (channels can migrate
+    /// between ports' pumps via mux routing).
+    rx: Arc<RxShared>,
 }
 
 struct PendingChannel {
@@ -535,6 +477,17 @@ struct ChannelAck {
     seen: u64,
     /// An idle-flush timer is pending.
     timer: bool,
+    /// The sender announced a clean close (mux CLOSE frame) — the channel
+    /// will never resume even though its link stays up.
+    closed: bool,
+}
+
+/// One channel a pump is routing: its next expected sequence number and
+/// the receive port it delivers to (`None` after that port closed — the
+/// channel's bytes still drain to keep the link's other channels alive).
+struct LiveChan {
+    seq: u64,
+    inner: Option<Arc<ReceivePortInner>>,
 }
 
 impl ReceivePortInner {
@@ -542,16 +495,16 @@ impl ReceivePortInner {
         name: String,
         spec: StackSpec,
         ack: Option<AckSender>,
+        rx: Arc<RxShared>,
     ) -> Arc<ReceivePortInner> {
         Arc::new(ReceivePortInner {
             name,
             spec,
             msgq: SimQueue::bounded(64),
             pending: Mutex::new(HashMap::new()),
-            delivered: Mutex::new(HashMap::new()),
             connections: Mutex::new(0),
             ack,
-            ack_state: Mutex::new(HashMap::new()),
+            rx,
         })
     }
 
@@ -570,17 +523,18 @@ impl ReceivePortInner {
     }
 
     /// Register one raw link of a *resumed* connection (the sender
-    /// reconnected after a failure, generation `gen`).
+    /// reconnected after a failure; `meta` carries the generation and the
+    /// mux channel list).
     pub(crate) fn add_resume_link(
         self: &Arc<Self>,
         ctx: &NodeCtx,
         channel: u64,
         idx: u16,
         total: u16,
-        gen: u64,
+        meta: ResumeMeta,
         link: RawLink,
     ) -> io::Result<()> {
-        self.add_link(ctx, channel, idx, total, link, Some(gen))
+        self.add_link(ctx, channel, idx, total, link, Some(meta))
     }
 
     fn add_link(
@@ -590,7 +544,7 @@ impl ReceivePortInner {
         idx: u16,
         total: u16,
         link: RawLink,
-        resume: Option<u64>,
+        resume: Option<ResumeMeta>,
     ) -> io::Result<()> {
         if total == 0 || idx >= total {
             return Err(io::Error::new(
@@ -598,7 +552,7 @@ impl ReceivePortInner {
                 "bad stream preamble",
             ));
         }
-        let gen = resume.unwrap_or(0);
+        let gen = resume.as_ref().map(|m| m.gen).unwrap_or(0);
         let ready = {
             let mut pending = self.pending.lock();
             // A newer generation supersedes a stale partial assembly (links
@@ -648,18 +602,37 @@ impl ReceivePortInner {
         };
         if let Some(links) = ready {
             // Resume handshake: tell the sender how many messages were
-            // actually delivered, so it replays exactly the gap. Written
-            // before the stack assembles (raw, ahead of any handshake) and
-            // only on resumed connections — fresh connects stay
-            // byte-identical.
-            let start = if resume.is_some() {
-                let e = *self.delivered.lock().entry(channel).or_insert(0);
+            // actually delivered — for the anchor channel AND every mux
+            // extra, anchor first, preamble order — so it replays exactly
+            // the gaps. Written before the stack assembles (raw, ahead of
+            // any handshake) and only on resumed connections; a
+            // single-channel resume reply is byte-identical to the
+            // pre-session-layer format.
+            let mut init: Vec<(u64, u64, Option<Arc<ReceivePortInner>>)> = Vec::new();
+            let mut muxed_start = false;
+            if let Some(meta) = &resume {
+                let watermarks: Vec<u64> = {
+                    let mut d = self.rx.delivered.lock();
+                    let mut ws = vec![*d.entry(channel).or_insert(0)];
+                    for (ch, _) in &meta.extras {
+                        ws.push(*d.entry(*ch).or_insert(0));
+                    }
+                    ws
+                };
+                let mut fw = FrameWriter::new();
+                for w in &watermarks {
+                    fw = fw.u64(*w);
+                }
                 let mut w0 = links[0].clone();
-                FrameWriter::new().u64(e).send(&mut w0)?;
-                e
+                fw.send(&mut w0)?;
+                init.push((channel, watermarks[0], Some(Arc::clone(self))));
+                for ((ch, name), w) in meta.extras.iter().zip(&watermarks[1..]) {
+                    init.push((*ch, *w, (ctx.resolve)(name)));
+                }
+                muxed_start = !meta.extras.is_empty();
             } else {
-                0
-            };
+                init.push((channel, 0, Some(Arc::clone(self))));
+            }
             // Routed links arrive as a single stream regardless of the
             // spec; the preamble's `total` is authoritative.
             let spec = StackSpec {
@@ -678,38 +651,122 @@ impl ReceivePortInner {
             )?;
             *self.connections.lock() += 1;
             let me = Arc::clone(self);
+            let resolve = Arc::clone(&ctx.resolve);
             ctx.sched
                 .spawn_daemon(format!("rp-pump-{}-{}", self.name, channel), move || {
-                    me.pump(channel, stack, start, probes);
+                    me.pump(stack, probes, init, muxed_start, resolve);
                 });
         }
         Ok(())
     }
 
+    /// The pump: one task per assembled link, draining framed messages and
+    /// routing them to channels. Starts in the legacy single-channel
+    /// format (anchor channel implicit) unless the link resumed
+    /// multiplexed; a [`mux::SENTINEL`] length escapes into tagged frames,
+    /// after which OPEN/CLOSE manage the channel set dynamically.
     fn pump(
         self: &Arc<Self>,
-        channel: u64,
         mut stack: ReceiverStack,
-        start_seq: u64,
         probes: Vec<RawLink>,
+        init: Vec<(u64, u64, Option<Arc<ReceivePortInner>>)>,
+        muxed_start: bool,
+        resolve: PortResolver,
     ) {
-        self.ack_state.lock().entry(channel).or_default().pumps += 1;
-        let mut seq = start_seq;
-        loop {
-            let len = match varint::read_from(&mut stack) {
-                Ok(l) if l <= MAX_MESSAGE => l as usize,
-                _ => break, // EOF or corrupt
+        let anchor = init[0].0;
+        let mut live: HashMap<u64, LiveChan> = HashMap::new();
+        {
+            let mut st = self.rx.ack_state.lock();
+            for (ch, seq, inner) in init {
+                st.entry(ch).or_default().pumps += 1;
+                live.insert(ch, LiveChan { seq, inner });
+            }
+        }
+        let mut muxed = muxed_start;
+        // Loop runs until EOF (read error) or a corrupt frame.
+        while let Ok(first) = varint::read_from(&mut stack) {
+            let (ch, len) = if !muxed {
+                if first == mux::SENTINEL {
+                    muxed = true;
+                    continue;
+                }
+                if first > MAX_MESSAGE {
+                    break; // corrupt
+                }
+                (anchor, first as usize)
+            } else {
+                match first {
+                    mux::MSG => {
+                        let Ok(ch) = varint::read_from(&mut stack) else {
+                            break;
+                        };
+                        let Ok(len) = varint::read_from(&mut stack) else {
+                            break;
+                        };
+                        if len > MAX_MESSAGE {
+                            break;
+                        }
+                        (ch, len as usize)
+                    }
+                    mux::OPEN => {
+                        let Ok(ch) = varint::read_from(&mut stack) else {
+                            break;
+                        };
+                        let Ok(name_len) = varint::read_from(&mut stack) else {
+                            break;
+                        };
+                        if name_len > 4096 {
+                            break;
+                        }
+                        let mut name = vec![0u8; name_len as usize];
+                        if stack.read_exact(&mut name).is_err() {
+                            break;
+                        }
+                        let Ok(name) = String::from_utf8(name) else {
+                            break;
+                        };
+                        // Idempotent: a recovery replays OPENs for channels
+                        // whose announcement the flap may have eaten.
+                        if let std::collections::hash_map::Entry::Vacant(slot) = live.entry(ch) {
+                            let seq = {
+                                let mut st = self.rx.ack_state.lock();
+                                st.entry(ch).or_default().pumps += 1;
+                                *self.rx.delivered.lock().entry(ch).or_insert(0)
+                            };
+                            slot.insert(LiveChan {
+                                seq,
+                                inner: resolve(&name),
+                            });
+                        }
+                        continue;
+                    }
+                    mux::CLOSE => {
+                        let Ok(ch) = varint::read_from(&mut stack) else {
+                            break;
+                        };
+                        if live.remove(&ch).is_some() {
+                            self.channel_closed(ch);
+                        }
+                        continue;
+                    }
+                    _ => break, // corrupt tag
+                }
             };
             let mut data = vec![0u8; len];
             if stack.read_exact(&mut data).is_err() {
                 break;
             }
+            let Some(lc) = live.get_mut(&ch) else {
+                break; // MSG on a channel never opened: corrupt
+            };
+            let seq = lc.seq;
+            lc.seq += 1;
             // Exactly-once dedupe: advance the watermark under the lock,
             // then deliver. A message a previous incarnation of this
             // channel already delivered is dropped.
             let fresh = {
-                let mut d = self.delivered.lock();
-                let e = d.entry(channel).or_insert(0);
+                let mut d = self.rx.delivered.lock();
+                let e = d.entry(ch).or_insert(0);
                 if seq < *e {
                     false
                 } else {
@@ -717,25 +774,58 @@ impl ReceivePortInner {
                     true
                 }
             };
-            seq += 1;
-            if fresh {
+            if !fresh {
+                continue;
+            }
+            // `inner: None` channels are drained and dropped.
+            if let Some(port) = lc.inner.clone() {
                 let bytes = data.len();
-                if self.msgq.push(ReadMessage::new(channel, data)).is_err() {
-                    break; // port closed
+                if port.msgq.push(ReadMessage::new(ch, data)).is_err() {
+                    // That port closed. Keep draining its channel's bytes
+                    // (the link's other channels live on), but if no live
+                    // channel has a destination left, the pump has no
+                    // reason to exist.
+                    if let Some(lc) = live.get_mut(&ch) {
+                        lc.inner = None;
+                    }
+                    if live.values().all(|l| l.inner.is_none()) {
+                        break;
+                    }
+                } else {
+                    port.note_delivered(ch, seq + 1, bytes);
                 }
-                self.note_delivered(channel, seq, bytes);
             }
         }
         *self.connections.lock() -= 1;
         // Clean EOF — every link closed gracefully — means the sender
-        // flushed and closed the channel: it will never resume, so the
-        // exactly-once watermark and ack state can be garbage-collected.
+        // flushed and closed its channels: they will never resume, so the
+        // exactly-once watermarks and ack state can be garbage-collected.
         // Any aborted link keeps them for the resume handshake.
-        let clean = probes.iter().all(|l| match l {
-            RawLink::Tcp(s) => s.health().is_none(),
-            RawLink::Routed(s) => s.fin_received(),
-        });
-        self.pump_exit(channel, clean);
+        let clean = probes.iter().all(|l| l.closed_cleanly());
+        for ch in live.keys().copied().collect::<Vec<_>>() {
+            self.pump_exit(ch, clean);
+        }
+    }
+
+    /// A channel announced a clean in-band close (mux CLOSE frame): it
+    /// will never resume, so its watermark and ack state go now unless a
+    /// superseding pump still references them.
+    fn channel_closed(&self, channel: u64) {
+        let last = {
+            let mut st = self.rx.ack_state.lock();
+            match st.get_mut(&channel) {
+                Some(e) => {
+                    e.closed = true;
+                    e.pumps -= 1;
+                    e.pumps == 0
+                }
+                None => true,
+            }
+        };
+        if last {
+            self.rx.delivered.lock().remove(&channel);
+            self.rx.ack_state.lock().remove(&channel);
+        }
     }
 
     /// Ack bookkeeping after delivering one message: send a CACK when the
@@ -746,7 +836,7 @@ impl ReceivePortInner {
         let mut send = false;
         let mut arm = false;
         {
-            let mut st = self.ack_state.lock();
+            let mut st = self.rx.ack_state.lock();
             let e = st.entry(channel).or_default();
             e.total += bytes as u64;
             e.bytes_since += bytes;
@@ -787,7 +877,7 @@ impl ReceivePortInner {
         let mut send = false;
         let mut rearm = false;
         {
-            let mut st = self.ack_state.lock();
+            let mut st = self.rx.ack_state.lock();
             let Some(e) = st.get_mut(&channel) else {
                 return;
             };
@@ -808,7 +898,7 @@ impl ReceivePortInner {
             }
         }
         if send {
-            let d = *self.delivered.lock().get(&channel).unwrap_or(&0);
+            let d = *self.rx.delivered.lock().get(&channel).unwrap_or(&0);
             ack.send(channel, d);
         }
         if rearm {
@@ -817,19 +907,19 @@ impl ReceivePortInner {
     }
 
     fn pump_exit(&self, channel: u64, clean: bool) {
-        let last = {
-            let mut st = self.ack_state.lock();
+        let (last, closed) = {
+            let mut st = self.rx.ack_state.lock();
             match st.get_mut(&channel) {
                 Some(e) => {
                     e.pumps -= 1;
-                    e.pumps == 0
+                    (e.pumps == 0, e.closed)
                 }
-                None => true,
+                None => (true, false),
             }
         };
-        if clean && last {
-            self.delivered.lock().remove(&channel);
-            self.ack_state.lock().remove(&channel);
+        if last && (clean || closed) {
+            self.rx.delivered.lock().remove(&channel);
+            self.rx.ack_state.lock().remove(&channel);
         }
     }
 

@@ -1,0 +1,577 @@
+//! The session layer (DESIGN.md §8): at most one established, supervised
+//! data link per `(peer node, stack equivalence class)`, shared by every
+//! channel between that pair.
+//!
+//! The paper separates ports/channels from the links that carry them
+//! (§5, Fig. 6); this module implements that separation for the sender
+//! side. A [`LinkTable`] caches established links by [`LinkKey`] with
+//! single-flight establishment (concurrent `connect()`s to the same peer
+//! run ONE Figure-4 walk and share the result). A [`SharedLink`] owns the
+//! assembled driver stack and multiplexes the channels attached to it with
+//! channel-tagged frames ([`crate::wire::mux`]); per-channel state —
+//! sequence numbers, the resend buffer, the cumulative-ack watermark —
+//! lives in [`Channel`] and survives link re-establishment.
+//!
+//! Concurrency model: the shared stack sits behind a [`SimMutex`], the
+//! simulator's FIFO parking lock, so writers from many channels interleave
+//! at message granularity and flush fairness is arrival order — no channel
+//! can starve another. Channel bookkeeping uses short `parking_lot`
+//! sections that are never held across a parking operation.
+
+use bytes::Bytes;
+use gridsim_net::{SimMutex, SimMutexGuard, Waker};
+use gridzip::varint;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::drivers::{RawLink, SenderStack, StackSpec};
+use crate::establish::{EstablishMethod, LinkKey};
+use crate::pool::BlockPool;
+use crate::port::{AckCell, ResendOverflow};
+use crate::wire::mux;
+
+// ------------------------------------------------------------- channels
+
+/// Sender-side state of one logical channel riding a [`SharedLink`].
+/// Everything here survives link failure: after a re-establishment the
+/// retained tail is replayed from `resend` through the fresh stack.
+pub(crate) struct Channel {
+    /// Globally unique channel id (the sender's grid id in the high bits).
+    pub channel: u64,
+    /// The receive port this channel is bound to.
+    pub peer_port: String,
+    /// Receiver-confirmed delivery watermark, advanced by CACK frames.
+    pub acked: Arc<AckCell>,
+    state: Mutex<ChanState>,
+}
+
+struct ChanState {
+    /// Messages sent on this channel so far; doubles as the next implicit
+    /// sequence number (never on the wire in fault-free runs).
+    next_seq: u64,
+    /// First sequence number NOT yet written to the current link
+    /// incarnation. A recovery replay advances it past everything it
+    /// replayed, so a sender that lost the write race simply skips.
+    wire_seq: u64,
+    /// Retained `(seq, payload)` pairs for post-reconnect replay.
+    resend: VecDeque<(u64, Bytes)>,
+    resend_bytes: usize,
+    /// Resend-buffer byte budget ([`GridEnv::resend_budget`]).
+    ///
+    /// [`GridEnv::resend_budget`]: crate::node::GridEnv::resend_budget
+    budget: usize,
+    /// High-water mark of retained bytes, measured before eviction.
+    peak: usize,
+}
+
+impl Channel {
+    pub fn new(channel: u64, peer_port: &str, budget: usize) -> Channel {
+        Channel {
+            channel,
+            peer_port: peer_port.to_string(),
+            acked: Arc::new(AckCell::new()),
+            state: Mutex::new(ChanState {
+                next_seq: 0,
+                wire_seq: 0,
+                resend: VecDeque::new(),
+                resend_bytes: 0,
+                budget,
+                peak: 0,
+            }),
+        }
+    }
+
+    /// Allocate the next sequence number and retain the payload for
+    /// replay, evicting the oldest past the byte budget (the in-flight
+    /// message itself is always kept). Everything the receiver has
+    /// cumulatively acked is pruned first, so steady-state memory follows
+    /// the ack cadence, not the transfer size.
+    pub fn retain(&self, payload: &Bytes) -> u64 {
+        let acked = self.acked.get();
+        let mut st = self.state.lock();
+        prune(&mut st, acked);
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.resend_bytes += payload.len();
+        st.resend.push_back((seq, payload.clone()));
+        st.peak = st.peak.max(st.resend_bytes);
+        while st.resend_bytes > st.budget && st.resend.len() > 1 {
+            if let Some((_, old)) = st.resend.pop_front() {
+                st.resend_bytes -= old.len();
+            }
+        }
+        seq
+    }
+
+    pub fn wire_seq(&self) -> u64 {
+        self.state.lock().wire_seq
+    }
+
+    pub fn advance_wire(&self, past: u64) {
+        let mut st = self.state.lock();
+        st.wire_seq = st.wire_seq.max(past);
+    }
+
+    /// `(current_bytes, peak_bytes)` of the resend buffer.
+    pub fn resend_stats(&self) -> (usize, usize) {
+        let st = self.state.lock();
+        (st.resend_bytes, st.peak)
+    }
+
+    /// Prepare a recovery replay given the receiver's delivered count `e`:
+    /// validate the bounds, prune the confirmed prefix, advance `wire_seq`
+    /// past everything about to be replayed, and hand back the payloads.
+    pub fn prepare_replay(&self, e: u64) -> io::Result<Vec<Bytes>> {
+        let mut st = self.state.lock();
+        let oldest = st.next_seq - st.resend.len() as u64;
+        if e < oldest {
+            // The replay gap includes messages the resend buffer evicted
+            // past its budget: unrecoverable without violating
+            // exactly-once. Typed, so callers can size budgets (or flag a
+            // lost receiver) programmatically.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                ResendOverflow {
+                    channel: self.channel,
+                    acked: e,
+                    oldest,
+                },
+            ));
+        }
+        if e > st.next_seq {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "cannot resume channel {}: receiver delivered {e}, \
+                     but only {} were sent",
+                    self.channel, st.next_seq
+                ),
+            ));
+        }
+        prune(&mut st, e);
+        st.wire_seq = st.next_seq;
+        Ok(st.resend.iter().map(|(_, p)| p.clone()).collect())
+    }
+}
+
+/// Drop retained messages the receiver confirmed (seq < `e`).
+fn prune(st: &mut ChanState, e: u64) {
+    while st.resend.front().is_some_and(|(s, _)| *s < e) {
+        if let Some((_, old)) = st.resend.pop_front() {
+            st.resend_bytes -= old.len();
+        }
+    }
+}
+
+// ---------------------------------------------------------- shared links
+
+/// The mutable wire side of a shared link: the assembled sender stack and
+/// the raw links under it. Swapped wholesale by a recovery. Guarded by the
+/// link's FIFO [`SimMutex`], which doubles as the flush-fairness mechanism:
+/// each message is written and flushed under the gate, so concurrent
+/// channels interleave at message granularity in arrival order.
+pub(crate) struct LinkIo {
+    pub writer: SenderStack,
+    /// The stack's block pool (aggregation/striping staging buffers).
+    pub pool: BlockPool,
+    /// Raw links under the stack, cloned for health probes.
+    pub links: Vec<RawLink>,
+    /// Tagged (multiplexed) framing is active. Starts false: a link speaks
+    /// the legacy single-channel byte format until a second channel
+    /// attaches, so single-channel wire traces stay byte-identical.
+    pub mux: bool,
+}
+
+impl LinkIo {
+    pub fn healthy(&self) -> bool {
+        self.links.iter().all(RawLink::is_healthy)
+    }
+
+    /// Wait until queued bytes left the host and check the links survived.
+    pub fn settle(&self) -> io::Result<()> {
+        for l in &self.links {
+            l.drain()?;
+        }
+        if self.healthy() {
+            Ok(())
+        } else {
+            Err(io::ErrorKind::ConnectionReset.into())
+        }
+    }
+
+    /// Frame and flush one message payload down the shared stack. Legacy
+    /// format while `mux` is off; tagged [`mux::MSG`] frame after.
+    pub fn write_msg(&mut self, channel: u64, payload: &Bytes) -> io::Result<()> {
+        let mut hdr = Vec::with_capacity(20);
+        if self.mux {
+            varint::put(&mut hdr, mux::MSG);
+            varint::put(&mut hdr, channel);
+        }
+        varint::put(&mut hdr, payload.len() as u64);
+        self.writer.write_all(&hdr)?;
+        // Refcounted handoff: group communication clones the handle, not
+        // the payload, and block-aligned stacks slice it straight onto the
+        // wire.
+        self.writer.write_block(payload.clone())?;
+        self.writer.flush()
+    }
+
+    /// Escape into tagged framing (idempotent). Receivers watching the
+    /// legacy stream treat the sentinel length as the upgrade signal; a
+    /// legacy sender can never emit it.
+    fn upgrade_mux(&mut self) -> io::Result<()> {
+        if self.mux {
+            return Ok(());
+        }
+        let mut hdr = Vec::with_capacity(10);
+        varint::put(&mut hdr, mux::SENTINEL);
+        self.writer.write_all(&hdr)?;
+        self.mux = true;
+        Ok(())
+    }
+
+    /// Announce a channel joining the link, upgrading to tagged framing
+    /// first if this is the second channel.
+    pub fn write_open(&mut self, channel: u64, port_name: &str) -> io::Result<()> {
+        self.upgrade_mux()?;
+        let mut hdr = Vec::with_capacity(24 + port_name.len());
+        varint::put(&mut hdr, mux::OPEN);
+        varint::put(&mut hdr, channel);
+        varint::put(&mut hdr, port_name.len() as u64);
+        hdr.extend_from_slice(port_name.as_bytes());
+        self.writer.write_all(&hdr)?;
+        self.writer.flush()
+    }
+
+    /// Announce a clean per-channel close (the link itself stays up).
+    /// Only meaningful in tagged framing — a legacy link closes by EOF.
+    pub fn write_close(&mut self, channel: u64) -> io::Result<()> {
+        debug_assert!(self.mux, "CLOSE frames exist only in mux framing");
+        let mut hdr = Vec::with_capacity(12);
+        varint::put(&mut hdr, mux::CLOSE);
+        varint::put(&mut hdr, channel);
+        self.writer.write_all(&hdr)?;
+        self.writer.flush()
+    }
+}
+
+struct ChannelMap {
+    map: BTreeMap<u64, Arc<Channel>>,
+    /// Set when the last channel detaches: the link is being torn down and
+    /// must not accept new attaches (the claimant re-establishes instead).
+    closing: bool,
+}
+
+struct RecoveryCtl {
+    running: bool,
+    /// Completed recovery rounds, so waiters can match an outcome to the
+    /// round they actually waited on.
+    round: u64,
+    /// Outcome of the last completed round (kind + message; `io::Error`
+    /// is not `Clone`).
+    last_err: Option<(io::ErrorKind, String)>,
+    waiters: Vec<Waker>,
+}
+
+/// What [`SharedLink::begin_recovery`] decided for the caller.
+pub(crate) enum RecoveryRole {
+    /// The caller must run the recovery and report via `finish_recovery`.
+    Recoverer,
+    /// Another task's recovery already advanced the incarnation; the
+    /// caller's failed write was covered by its replay.
+    Recovered,
+    /// The recovery the caller waited on failed; the link is down.
+    Failed(io::Error),
+}
+
+/// One established, supervised data link shared by every channel between
+/// one `(peer node, stack spec)` pair.
+pub(crate) struct SharedLink {
+    pub key: LinkKey,
+    /// Effective stack spec (stream-count override applied) — what
+    /// recovery re-establishes with.
+    pub spec: StackSpec,
+    io: SimMutex<LinkIo>,
+    channels: Mutex<ChannelMap>,
+    /// Channel whose receive port anchors establishment (its listener is
+    /// dialed; its port accepts the streams). Re-anchored by recovery if
+    /// the original anchor channel has detached.
+    anchor: AtomicU64,
+    /// Reconnect attempt counter; rides the resume preamble so the
+    /// receiver can supersede stale partial assemblies.
+    gen: AtomicU64,
+    /// Bumped once per completed recovery. Writers snapshot it before a
+    /// write; a failed write with an already-advanced incarnation needs no
+    /// recovery of its own.
+    incarnation: AtomicU64,
+    method: Mutex<EstablishMethod>,
+    recovery: Mutex<RecoveryCtl>,
+}
+
+impl SharedLink {
+    pub fn new(
+        key: LinkKey,
+        spec: StackSpec,
+        method: EstablishMethod,
+        io: LinkIo,
+        anchor_channel: u64,
+    ) -> SharedLink {
+        SharedLink {
+            key,
+            spec,
+            io: SimMutex::new(io),
+            channels: Mutex::new(ChannelMap {
+                map: BTreeMap::new(),
+                closing: false,
+            }),
+            anchor: AtomicU64::new(anchor_channel),
+            gen: AtomicU64::new(0),
+            incarnation: AtomicU64::new(0),
+            method: Mutex::new(method),
+            recovery: Mutex::new(RecoveryCtl {
+                running: false,
+                round: 0,
+                last_err: None,
+                waiters: Vec::new(),
+            }),
+        }
+    }
+
+    /// Acquire the write gate. FIFO and sim-aware: contending channel
+    /// writers and recovery line up in arrival order.
+    pub fn io(&self) -> SimMutexGuard<'_, LinkIo> {
+        self.io.lock()
+    }
+
+    /// Attach a channel; fails when the link is already tearing down.
+    pub fn attach(&self, chan: Arc<Channel>) -> bool {
+        let mut cm = self.channels.lock();
+        if cm.closing {
+            return false;
+        }
+        cm.map.insert(chan.channel, chan);
+        true
+    }
+
+    /// Detach a channel. The link flips to `closing` the moment it empties,
+    /// so a concurrent attach can never resurrect a torn-down link.
+    pub fn detach(&self, channel: u64) {
+        let mut cm = self.channels.lock();
+        cm.map.remove(&channel);
+        if cm.map.is_empty() {
+            cm.closing = true;
+        }
+    }
+
+    pub fn attached(&self, channel: u64) -> bool {
+        self.channels.lock().map.contains_key(&channel)
+    }
+
+    pub fn channel_count(&self) -> usize {
+        self.channels.lock().map.len()
+    }
+
+    /// Snapshot of the attached channels in deterministic replay order:
+    /// the anchor first, the rest by channel id.
+    pub fn replay_order(&self) -> Vec<Arc<Channel>> {
+        let cm = self.channels.lock();
+        let anchor = self.anchor.load(Ordering::Relaxed);
+        let mut v: Vec<_> = cm.map.values().cloned().collect();
+        v.sort_by_key(|c| (c.channel != anchor, c.channel));
+        v
+    }
+
+    pub fn set_anchor(&self, channel: u64) {
+        self.anchor.store(channel, Ordering::Relaxed);
+    }
+
+    pub fn method(&self) -> EstablishMethod {
+        *self.method.lock()
+    }
+
+    pub fn set_method(&self, m: EstablishMethod) {
+        *self.method.lock() = m;
+    }
+
+    pub fn next_gen(&self) -> u64 {
+        self.gen.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation.load(Ordering::SeqCst)
+    }
+
+    pub fn bump_incarnation(&self) {
+        self.incarnation.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Single-flight recovery entry. `seen` is the incarnation the caller
+    /// observed when its write failed: if it already advanced, the replay
+    /// of the completed recovery covered the caller's retained message.
+    /// Otherwise the first caller becomes the recoverer and everyone else
+    /// parks until that round completes.
+    pub fn begin_recovery(&self, seen: u64) -> RecoveryRole {
+        loop {
+            if self.incarnation() != seen {
+                return RecoveryRole::Recovered;
+            }
+            let waited_round = {
+                let mut rc = self.recovery.lock();
+                if !rc.running {
+                    rc.running = true;
+                    return RecoveryRole::Recoverer;
+                }
+                rc.waiters.push(gridsim_net::ctx::waker());
+                rc.round
+            };
+            gridsim_net::ctx::park("link recovery wait");
+            let completed = {
+                let rc = self.recovery.lock();
+                if rc.round > waited_round {
+                    Some(rc.last_err.clone())
+                } else {
+                    None // spurious wake; re-queue
+                }
+            };
+            match completed {
+                Some(_) if self.incarnation() != seen => return RecoveryRole::Recovered,
+                Some(Some((kind, msg))) => return RecoveryRole::Failed(io::Error::new(kind, msg)),
+                // Round completed without error but the incarnation is
+                // unchanged — cannot happen (success always bumps it), but
+                // looping is the safe answer.
+                _ => {}
+            }
+        }
+    }
+
+    /// Report the outcome of a recovery round and wake the waiters.
+    pub fn finish_recovery(&self, result: &io::Result<()>) {
+        let mut rc = self.recovery.lock();
+        rc.running = false;
+        rc.round += 1;
+        rc.last_err = result.as_ref().err().map(|e| (e.kind(), e.to_string()));
+        for w in rc.waiters.drain(..) {
+            w.wake();
+        }
+    }
+}
+
+// ------------------------------------------------------------ link table
+
+enum Entry {
+    /// A walk is in flight; parked claimants are woken on fulfill/abandon.
+    Establishing(Vec<Waker>),
+    Ready(Arc<SharedLink>),
+}
+
+/// What [`LinkTable::claim`] resolved to.
+pub(crate) enum Claim {
+    /// An established link exists — attach to it.
+    Ready(Arc<SharedLink>),
+    /// The caller owns establishment for this key: it must run the walk
+    /// and then `fulfill` (or `abandon`) the entry.
+    Mine,
+}
+
+/// The per-node cache of established data links, keyed by [`LinkKey`],
+/// with single-flight establishment: the first claimant of a key runs the
+/// Figure-4 walk; concurrent claimants park and attach to the result.
+pub(crate) struct LinkTable {
+    entries: Mutex<HashMap<LinkKey, Entry>>,
+    /// Fresh Figure-4 walks run (establishment dedupe probe).
+    walks: AtomicU64,
+    /// Completed link-level recoveries (each re-established ONE link and
+    /// replayed every attached channel).
+    recoveries: AtomicU64,
+}
+
+impl LinkTable {
+    pub fn new() -> LinkTable {
+        LinkTable {
+            entries: Mutex::new(HashMap::new()),
+            walks: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+        }
+    }
+
+    pub fn claim(&self, key: &LinkKey) -> Claim {
+        loop {
+            {
+                let mut e = self.entries.lock();
+                match e.get_mut(key) {
+                    None => {
+                        e.insert(key.clone(), Entry::Establishing(Vec::new()));
+                        return Claim::Mine;
+                    }
+                    Some(Entry::Ready(l)) => return Claim::Ready(Arc::clone(l)),
+                    Some(Entry::Establishing(ws)) => ws.push(gridsim_net::ctx::waker()),
+                }
+            }
+            gridsim_net::ctx::park("link establishment wait");
+        }
+    }
+
+    /// Publish the established link and wake parked claimants.
+    pub fn fulfill(&self, key: &LinkKey, link: &Arc<SharedLink>) {
+        let prev = self
+            .entries
+            .lock()
+            .insert(key.clone(), Entry::Ready(Arc::clone(link)));
+        wake_entry(prev);
+    }
+
+    /// Establishment failed: drop the claim so a parked claimant can retry
+    /// its own walk (its connect may succeed where ours failed — e.g. the
+    /// outage just healed).
+    pub fn abandon(&self, key: &LinkKey) {
+        let prev = self.entries.lock().remove(key);
+        wake_entry(prev);
+    }
+
+    /// Identity-guarded removal: GC the entry only if it still maps to
+    /// `link` (a replacement established meanwhile must survive).
+    pub fn remove(&self, key: &LinkKey, link: &Arc<SharedLink>) {
+        let mut e = self.entries.lock();
+        if let Some(Entry::Ready(l)) = e.get(key) {
+            if Arc::ptr_eq(l, link) {
+                e.remove(key);
+            }
+        }
+    }
+
+    /// Established (ready) links right now.
+    pub fn ready_count(&self) -> usize {
+        self.entries
+            .lock()
+            .values()
+            .filter(|e| matches!(e, Entry::Ready(_)))
+            .count()
+    }
+
+    pub fn note_walk(&self) {
+        self.walks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn walks(&self) -> u64 {
+        self.walks.load(Ordering::Relaxed)
+    }
+
+    pub fn note_recovery(&self) {
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.load(Ordering::Relaxed)
+    }
+}
+
+fn wake_entry(prev: Option<Entry>) {
+    if let Some(Entry::Establishing(ws)) = prev {
+        for w in ws {
+            w.wake();
+        }
+    }
+}

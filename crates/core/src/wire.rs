@@ -10,6 +10,34 @@ use std::io::{self, Read, Write};
 /// Maximum accepted control frame, to bound allocations from bad peers.
 pub const MAX_FRAME: usize = 1 << 20;
 
+/// Multiplexed data-path framing (the session layer, DESIGN.md §8).
+///
+/// A data link starts in the legacy single-channel format — each message is
+/// `[varint len][payload]`, exactly what pre-session-layer senders wrote —
+/// and stays there as long as one channel uses it, so single-channel wire
+/// traces are byte-identical to the old format. The moment a second channel
+/// attaches, the sender emits [`mux::SENTINEL`] as a message length: legacy
+/// senders can never produce it (it exceeds any accepted message size), so
+/// it unambiguously escapes the stream into tagged framing. After the
+/// sentinel every frame starts with a varint tag:
+///
+/// ```text
+/// MSG   [tag=0][varint channel][varint len][payload]
+/// OPEN  [tag=1][varint channel][varint name_len][port name]
+/// CLOSE [tag=2][varint channel]
+/// ```
+pub(crate) mod mux {
+    /// Escapes the legacy `[len][payload]` stream into tagged framing.
+    /// Larger than any legal message length, so it cannot collide.
+    pub const SENTINEL: u64 = u64::MAX;
+    /// One message on a channel.
+    pub const MSG: u64 = 0;
+    /// A new channel joins the link, bound to a named receive port.
+    pub const OPEN: u64 = 1;
+    /// A channel closed cleanly; the link itself stays up.
+    pub const CLOSE: u64 = 2;
+}
+
 /// An encoder for one frame.
 #[derive(Default)]
 pub struct FrameWriter {
