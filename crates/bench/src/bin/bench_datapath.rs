@@ -10,17 +10,22 @@
 //!   * `tcb/transfer`        — raw Tcb<->Tcb pump, app writes via `&[u8]`
 //!   * `e2e/tcp_block_plain` — full sim, plain TCP_Block stack (headline)
 //!   * `e2e/stripe4`         — full sim, 4 parallel streams
+//!   * `stage/*`             — each driver-stack stage in isolation (null
+//!     sink, no transport): where inside the stack a regression lives
 //!
 //! Simulated time is pinned by the figure binaries (byte-identical traces);
 //! this harness only watches the host-side cost of producing them.
 
+use bytes::Bytes;
 use criterion::{Criterion, Throughput};
 use gridsim_net::SimTime;
 use gridsim_tcp::tcb::{ReadOutcome, Tcb, WriteOutcome};
 use gridsim_tcp::TcpConfig;
-use netgrid::StackSpec;
+use netgrid::drivers::{BlockWrite, BlockWriter, StripeWriter};
+use netgrid::{BlockPool, CpuModel, CpuRates, HostCpu, StackSpec};
 use netgrid_bench::*;
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::{self, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -129,6 +134,110 @@ fn e2e_run(spec: &StackSpec, msg_size: usize, n_msgs: usize) {
     assert!(point.bandwidth > 0.0);
 }
 
+// ----------------------------------------------------- per-stage benches
+
+/// Discarding sink: stage benches measure framing/pool/slicing cost, not
+/// the memcpy into a capture buffer.
+struct NullSink;
+
+impl Write for NullSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+impl BlockWrite for NullSink {}
+
+/// Stage unit: the stack's aggregation block.
+const STAGE_BLOCK: usize = 32 * 1024;
+
+/// Cut a payload into pooled full-size blocks once; runs clone the handles
+/// (refcount, alloc-free), so per-iteration allocations belong to the
+/// stage under test.
+fn stage_blocks(data: &[u8], pool: &BlockPool) -> Vec<Bytes> {
+    data.chunks(STAGE_BLOCK)
+        .map(|c| {
+            let mut b = pool.checkout();
+            b.extend_from_slice(c);
+            b.freeze()
+        })
+        .collect()
+}
+
+/// Aggregation stage alone: pooled blocks through `BlockWriter` framing.
+fn stage_agg(blocks: &[Bytes]) {
+    let sim = gridsim_net::Sim::new(3);
+    let blocks = blocks.to_vec();
+    sim.spawn("agg", move || {
+        let mut w = BlockWriter::new(NullSink, BlockPool::new(STAGE_BLOCK));
+        for b in &blocks {
+            w.write_block(b.clone()).unwrap();
+        }
+        w.flush().unwrap();
+    });
+    sim.run();
+}
+
+/// Striping stage alone: 4 per-stream daemons splitting the run.
+fn stage_stripe4(blocks: &[Bytes]) {
+    let sim = gridsim_net::Sim::new(3);
+    let blocks = blocks.to_vec();
+    sim.spawn("stripe", move || {
+        let cpu = HostCpu::new(
+            CpuModel::new(),
+            gridsim_net::NodeId(0),
+            CpuRates::unlimited(),
+        );
+        let streams: Vec<Box<dyn BlockWrite + Send>> =
+            (0..4).map(|_| Box::new(NullSink) as _).collect();
+        let copy_rate = cpu.rates.copy;
+        let mut w = StripeWriter::with_pool(
+            streams,
+            BlockPool::new(STAGE_BLOCK),
+            cpu,
+            copy_rate,
+            &gridsim_net::ctx::handle(),
+        );
+        for b in &blocks {
+            w.write_block(b.clone()).unwrap();
+        }
+        w.flush().unwrap();
+        drop(w);
+        gridsim_net::ctx::sleep(Duration::from_millis(1));
+    });
+    sim.run();
+}
+
+/// Compression stage alone: LZSS over aggregation framing.
+fn stage_gridzip(blocks: &[Bytes]) {
+    let sim = gridsim_net::Sim::new(3);
+    let blocks = blocks.to_vec();
+    sim.spawn("zip", move || {
+        let agg = BlockWriter::new(NullSink, BlockPool::new(STAGE_BLOCK));
+        let mut w = gridzip::CompressWriter::with_block_size(agg, 3, STAGE_BLOCK);
+        for b in &blocks {
+            w.write_block(b.clone()).unwrap();
+        }
+        w.flush().unwrap();
+    });
+    sim.run();
+}
+
+/// Record-seal stage alone: the AEAD cost GTLS pays per block.
+fn stage_crypt(blocks: &[Bytes]) {
+    let key = [7u8; gridcrypt::aead::KEY_LEN];
+    let mut nonce = [0u8; 12];
+    let mut buf = vec![0u8; STAGE_BLOCK];
+    for (i, b) in blocks.iter().enumerate() {
+        buf[..b.len()].copy_from_slice(b);
+        nonce[..8].copy_from_slice(&(i as u64).to_le_bytes());
+        let tag = gridcrypt::seal_in_place(&key, &nonce, &[], &mut buf[..b.len()]);
+        std::hint::black_box(tag);
+    }
+}
+
 struct Entry {
     id: String,
     median_ns: f64,
@@ -196,6 +305,42 @@ fn main() {
             bytes: e2e_bytes,
             allocs_per_run: per_run,
         });
+    }
+
+    // Per-stage breakdown: the same run through each stack stage in
+    // isolation. Compressible grid payload so gridzip does real work;
+    // every stage sees identical input blocks.
+    {
+        let stage_bytes = 8usize << 20;
+        let data = gridzip::synth::grid_payload(stage_bytes, gridzip::synth::GRID_REDUNDANCY, 11);
+        let pool = BlockPool::new(STAGE_BLOCK);
+        let blocks = stage_blocks(&data, &pool);
+        type StageFn = fn(&[Bytes]);
+        let stages: [(&str, StageFn); 4] = [
+            ("agg", stage_agg),
+            ("stripe4", stage_stripe4),
+            ("gridzip", stage_gridzip),
+            ("crypt", stage_crypt),
+        ];
+        for (name, run) in stages {
+            let mut g = c.benchmark_group("stage");
+            g.warm_up_time(Duration::from_millis(300));
+            g.measurement_time(Duration::from_secs(if quick { 1 } else { 3 }));
+            g.sample_size(10);
+            g.throughput(Throughput::Bytes(stage_bytes as u64));
+            g.bench_function(name, |b| b.iter(|| run(&blocks)));
+            g.finish();
+            let a0 = allocs();
+            run(&blocks);
+            let per_run = allocs() - a0;
+            let r = c.results().last().unwrap();
+            entries.push(Entry {
+                id: r.id.clone(),
+                median_ns: r.median_ns,
+                bytes: stage_bytes as u64,
+                allocs_per_run: per_run,
+            });
+        }
     }
 
     // BENCH_datapath.json: one object per scenario. blocks/sec uses the

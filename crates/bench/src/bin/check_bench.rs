@@ -9,7 +9,8 @@
 //!               [--tolerance 0.2]
 //!
 //! Rules (per scenario, matched by `id` / `down_ms` / `channels`):
-//!   * datapath: fresh `mb_per_sec` below `(1 - tolerance) x` baseline fails.
+//!   * datapath: fresh `mb_per_sec` below `(1 - tolerance) x` baseline fails;
+//!     fresh `allocs_per_block` above `(1 + tolerance) x baseline + 1` fails.
 //!   * faults: fresh `recovery_ms` above `2 x baseline + 50 ms` fails
 //!     (baselines at or below zero are skipped — no recovery happened);
 //!     fresh `total_ms` above `(1 + tolerance) x baseline + 50 ms` fails.
@@ -102,6 +103,23 @@ fn check_datapath(fresh_path: &str, base_path: &str, tolerance: f64, failures: &
         if fresh_mb < floor {
             failures.push(format!(
                 "datapath {id:?}: {fresh_mb:.2} MB/s regressed more than {:.0}% below baseline {base_mb:.2}",
+                tolerance * 100.0
+            ));
+        }
+        // Allocation gate: allocs/block creeping past the blessed baseline
+        // means a pool stopped recycling or a per-block Box came back.
+        // One alloc of absolute slack keeps near-zero baselines (the stage
+        // rows) from failing on counting jitter.
+        let base_ab = num(b, "allocs_per_block", base_path);
+        let fresh_ab = num(f, "allocs_per_block", fresh_path);
+        let ceil = base_ab * (1.0 + tolerance) + 1.0;
+        let verdict = if fresh_ab > ceil { "FAIL" } else { "ok" };
+        println!(
+            "datapath {id:>24}: {fresh_ab:>9.1} allocs/block vs baseline {base_ab:>9.1} (ceil {ceil:>9.1})  {verdict}"
+        );
+        if fresh_ab > ceil {
+            failures.push(format!(
+                "datapath {id:?}: {fresh_ab:.1} allocs/block grew more than {:.0}% over baseline {base_ab:.1}",
                 tolerance * 100.0
             ));
         }

@@ -5,7 +5,7 @@
 //!
 //! Run: `cargo run --release -p netgrid-bench --bin slice_probe`
 
-use gridsim_net::runtime::host_work_counters;
+use gridsim_net::runtime::{host_work_counters, host_work_ns, park_stats};
 use gridsim_net::{ctx, Sim};
 use netgrid::StackSpec;
 use netgrid_bench::*;
@@ -93,11 +93,32 @@ fn main() {
     run.total_bytes = msg * msgs;
     run.rates = netgrid::CpuRates::unlimited();
     run.window = 1 << 20;
+    // Back-to-back repeats: catches cross-run interference (threads from a
+    // finished sim still winding down compete for the two host cores).
+    for i in 0..3 {
+        let t = Instant::now();
+        let p = measure_bandwidth(&run);
+        println!(
+            "e2e warm run {i}: {:?} ({:.2} MB/s sim)",
+            t.elapsed(),
+            p.bandwidth / 1e6
+        );
+    }
+    let parks0: std::collections::HashMap<&str, u64> = park_stats().into_iter().collect();
     let (s0, e0) = host_work_counters();
+    let (sn0, en0) = host_work_ns();
     let t0 = Instant::now();
     let point = measure_bandwidth(&run);
     let dt = t0.elapsed();
     let (s1, e1) = host_work_counters();
+    let (sn1, en1) = host_work_ns();
+    println!("park reasons (this run):");
+    for (reason, n) in park_stats() {
+        let before = parks0.get(reason).copied().unwrap_or(0);
+        if n > before {
+            println!("  {:>8}  {}", n - before, reason);
+        }
+    }
 
     // Packet-hop accounting: rerun the same scenario with the world kept
     // alive so link/world counters can be read afterwards.
@@ -156,6 +177,15 @@ fn main() {
         slices as f64 / segs as f64,
         events as f64 / segs as f64,
         dt.as_secs_f64() * 1e6 / slices as f64
+    );
+    let (slice_ns, event_ns) = (sn1 - sn0, en1 - en0);
+    println!(
+        "  time split: slices {:.3}s ({:.1} us each), events {:.3}s ({:.2} us each), other {:.3}s",
+        slice_ns as f64 * 1e-9,
+        slice_ns as f64 * 1e-3 / slices as f64,
+        event_ns as f64 * 1e-9,
+        event_ns as f64 * 1e-3 / events as f64,
+        dt.as_secs_f64() - (slice_ns + event_ns) as f64 * 1e-9
     );
     assert!(point.bandwidth > 0.0);
 }

@@ -27,6 +27,17 @@ pub trait BlockWrite: Write {
     fn write_block(&mut self, block: Bytes) -> io::Result<()> {
         self.write_all(&block)
     }
+
+    /// Submit a run of blocks in one call. Byte-stream equivalent to
+    /// `write_block` per element; vectored writers override so the whole
+    /// run crosses the layer (and ultimately the simulated socket) in a
+    /// single submission instead of one handoff per block.
+    fn write_blocks(&mut self, blocks: &[Bytes]) -> io::Result<()> {
+        for b in blocks {
+            self.write_block(b.clone())?;
+        }
+        Ok(())
+    }
 }
 
 /// A byte source that can also hand data out as refcounted chunks.
@@ -36,6 +47,29 @@ pub trait BlockRead: Read {
     /// `read` call; zero-copy readers override.
     fn read_chunks(&mut self, max: usize, out: &mut Vec<Bytes>) -> io::Result<usize> {
         copy_read_chunks(self, max, out)
+    }
+
+    /// Pull at least `min` bytes unless EOF intervenes, with up to `max`
+    /// bytes of read-ahead past the demand. Returns the byte count
+    /// appended; less than `min` means EOF. Stating the real demand lets a
+    /// demand-aware source (the simulated TCP socket) satisfy it with one
+    /// parked wait serviced at event time instead of one wakeup per
+    /// arriving chunk. The default loops `read_chunks`.
+    fn read_chunks_min(
+        &mut self,
+        min: usize,
+        max: usize,
+        out: &mut Vec<Bytes>,
+    ) -> io::Result<usize> {
+        let mut got = 0;
+        while got < min {
+            let n = self.read_chunks((min - got).max(max), out)?;
+            if n == 0 {
+                break;
+            }
+            got += n;
+        }
+        Ok(got)
     }
 }
 
@@ -63,11 +97,22 @@ impl BlockWrite for Box<dyn BlockWrite + Send> {
     fn write_block(&mut self, block: Bytes) -> io::Result<()> {
         (**self).write_block(block)
     }
+    fn write_blocks(&mut self, blocks: &[Bytes]) -> io::Result<()> {
+        (**self).write_blocks(blocks)
+    }
 }
 
 impl BlockRead for Box<dyn BlockRead + Send> {
     fn read_chunks(&mut self, max: usize, out: &mut Vec<Bytes>) -> io::Result<usize> {
         (**self).read_chunks(max, out)
+    }
+    fn read_chunks_min(
+        &mut self,
+        min: usize,
+        max: usize,
+        out: &mut Vec<Bytes>,
+    ) -> io::Result<usize> {
+        (**self).read_chunks_min(min, max, out)
     }
 }
 
@@ -162,12 +207,20 @@ pub struct BlockWriter<W: BlockWrite> {
     inner: W,
     pool: BlockPool,
     buf: BlockBuf,
+    /// Reused staging for vectored runs (`write_blocks`), so a batched
+    /// submit costs no allocation in steady state.
+    run: Vec<Bytes>,
 }
 
 impl<W: BlockWrite> BlockWriter<W> {
     pub fn new(inner: W, pool: BlockPool) -> BlockWriter<W> {
         let buf = pool.checkout();
-        BlockWriter { inner, pool, buf }
+        BlockWriter {
+            inner,
+            pool,
+            buf,
+            run: Vec::new(),
+        }
     }
 
     pub fn get_ref(&self) -> &W {
@@ -218,6 +271,36 @@ impl<W: BlockWrite> BlockWrite for BlockWriter<W> {
             self.buf.extend_from_slice(&block);
             Ok(())
         }
+    }
+
+    /// Vectored submit: the same buffering decisions as `write_block` per
+    /// element (identical byte stream), but every block the run produces —
+    /// frozen coalescing buffers and passthrough blocks alike — goes to the
+    /// inner sink in ONE `write_blocks` call, so consecutive frames share
+    /// one simulated-socket submission.
+    fn write_blocks(&mut self, blocks: &[Bytes]) -> io::Result<()> {
+        let cap = self.pool.block_size();
+        let mut run = std::mem::take(&mut self.run);
+        debug_assert!(run.is_empty());
+        for block in blocks {
+            if self.buf.len() + block.len() > cap && !self.buf.is_empty() {
+                let full = std::mem::replace(&mut self.buf, self.pool.checkout());
+                run.push(full.freeze());
+            }
+            if block.len() >= cap {
+                run.push(block.clone());
+            } else {
+                self.buf.extend_from_slice(block);
+            }
+        }
+        let r = if run.is_empty() {
+            Ok(())
+        } else {
+            self.inner.write_blocks(&run)
+        };
+        run.clear();
+        self.run = run;
+        r
     }
 }
 
@@ -304,6 +387,26 @@ impl<R: BlockRead> BlockRead for BlockReader<R> {
             }
         }
         Ok(taken)
+    }
+
+    fn read_chunks_min(
+        &mut self,
+        min: usize,
+        max: usize,
+        out: &mut Vec<Bytes>,
+    ) -> io::Result<usize> {
+        // Serve what is buffered, then state the remaining demand to the
+        // source in one call (not a per-chunk loop) so a demand-aware
+        // source can satisfy it with a single parked wait.
+        let mut got = 0;
+        if self.avail > 0 {
+            got = self.read_chunks(max.max(min), out)?;
+            if got >= min {
+                return Ok(got);
+            }
+        }
+        let n = self.inner.read_chunks_min(min - got, max, out)?;
+        Ok(got + n)
     }
 }
 

@@ -139,6 +139,19 @@ impl BlockWrite for RawLink {
             RawLink::Routed(s) => s.write_all(&block),
         }
     }
+    fn write_blocks(&mut self, blocks: &[Bytes]) -> io::Result<()> {
+        match self {
+            // One vectored submit: the whole run enters the simulated send
+            // queue under a single parked wait.
+            RawLink::Tcp(s) => s.write_all_blocks(blocks),
+            RawLink::Routed(s) => {
+                for b in blocks {
+                    s.write_all(b)?;
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 impl BlockRead for RawLink {
@@ -146,6 +159,29 @@ impl BlockRead for RawLink {
         match self {
             RawLink::Tcp(s) => s.read_chunks(max, out),
             RawLink::Routed(s) => copy_read_chunks(s, max, out),
+        }
+    }
+    fn read_chunks_min(
+        &mut self,
+        min: usize,
+        max: usize,
+        out: &mut Vec<Bytes>,
+    ) -> io::Result<usize> {
+        match self {
+            // Demand-aware drain: the socket parks once and is serviced at
+            // event time until `min` bytes (or EOF) accumulated.
+            RawLink::Tcp(s) => s.read_chunks_min(min, max, out),
+            RawLink::Routed(s) => {
+                let mut got = 0;
+                while got < min {
+                    let n = copy_read_chunks(s, (min - got).max(max), out)?;
+                    if n == 0 {
+                        break;
+                    }
+                    got += n;
+                }
+                Ok(got)
+            }
         }
     }
 }
@@ -316,6 +352,17 @@ impl BlockWrite for WireStream {
             WireStream::Secure(s) => s.write_all(&block),
         }
     }
+    fn write_blocks(&mut self, blocks: &[Bytes]) -> io::Result<()> {
+        match self {
+            WireStream::Plain(s) => s.write_blocks(blocks),
+            WireStream::Secure(s) => {
+                for b in blocks {
+                    s.write_all(b)?;
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 impl BlockRead for WireStream {
@@ -323,6 +370,27 @@ impl BlockRead for WireStream {
         match self {
             WireStream::Plain(s) => s.read_chunks(max, out),
             WireStream::Secure(s) => copy_read_chunks(s, max, out),
+        }
+    }
+    fn read_chunks_min(
+        &mut self,
+        min: usize,
+        max: usize,
+        out: &mut Vec<Bytes>,
+    ) -> io::Result<usize> {
+        match self {
+            WireStream::Plain(s) => s.read_chunks_min(min, max, out),
+            WireStream::Secure(s) => {
+                let mut got = 0;
+                while got < min {
+                    let n = copy_read_chunks(s, (min - got).max(max), out)?;
+                    if n == 0 {
+                        break;
+                    }
+                    got += n;
+                }
+                Ok(got)
+            }
         }
     }
 }

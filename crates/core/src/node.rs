@@ -739,17 +739,25 @@ impl GridNode {
         let seq = c.chan.retain(payload);
         loop {
             let seen = c.link.incarnation();
-            let wrote = {
+            let (wrote, contended) = {
                 let mut io = c.link.io();
                 if c.chan.wire_seq() > seq {
                     // A recovery replayed this message while we waited on
                     // the gate.
                     return Ok(());
                 }
-                io.healthy() && io.write_msg(c.chan.channel, payload).is_ok()
+                let ok = io.healthy() && io.write_msg(c.chan.channel, payload).is_ok();
+                (ok, c.link.io_contended())
             };
             if wrote {
                 c.chan.advance_wire(seq + 1);
+                if contended {
+                    // Releasing the gate wakes the front waiter, but the
+                    // wake is an event: without yielding here, the next
+                    // send_on call re-locks the free gate first and a
+                    // queued OPEN starves behind the entire data run.
+                    gridsim_net::ctx::yield_now();
+                }
                 return Ok(());
             }
             self.recover_link(&c.link, seen)?;

@@ -17,7 +17,7 @@ use gridsim_net::{SchedHandle, SimQueue};
 use gridzip::varint;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io::{self, Read};
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -490,6 +490,111 @@ struct LiveChan {
     inner: Option<Arc<ReceivePortInner>>,
 }
 
+/// Demand-stating parse cursor over the assembled receiver stack:
+/// refcounted chunks buffered in front, [`BlockRead::read_chunks_min`]
+/// behind. Each shortfall crosses the stack as ONE call stating the real
+/// byte demand, so a demand-aware source (the simulated TCP socket) parks
+/// once and is serviced at event time until the demand is met. Read-ahead
+/// past the demand is capped at the stack's block size — the same fill
+/// granularity the byte-oriented parser had through `BlockReader`, so
+/// socket drain sizes (and hence window-update acks and wire traces) are
+/// unchanged.
+///
+/// [`BlockRead::read_chunks_min`]: crate::drivers::BlockRead::read_chunks_min
+struct ChunkCursor {
+    stack: ReceiverStack,
+    chunks: std::collections::VecDeque<Bytes>,
+    /// Total bytes buffered in `chunks`.
+    avail: usize,
+    /// Read-ahead unit (the stack's block size).
+    cap: usize,
+    /// Reused landing pad for `read_chunks_min`, drained into `chunks`.
+    scratch: Vec<Bytes>,
+}
+
+impl ChunkCursor {
+    fn new(stack: ReceiverStack, cap: usize) -> ChunkCursor {
+        ChunkCursor {
+            stack,
+            chunks: std::collections::VecDeque::new(),
+            avail: 0,
+            cap: cap.max(1),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Buffer at least `need` bytes; `false` means EOF or a read error
+    /// intervened first (the pump treats both as end-of-stream, exactly as
+    /// the old `read_exact`-based parser did).
+    fn ensure(&mut self, need: usize) -> bool {
+        if self.avail >= need {
+            return true;
+        }
+        let want = need - self.avail;
+        let got = match self
+            .stack
+            .read_chunks_min(want, self.cap, &mut self.scratch)
+        {
+            Ok(got) => got,
+            // Data handed out before the error still counts; the error
+            // itself ends the stream below.
+            Err(_) => self.scratch.iter().map(|c| c.len()).sum(),
+        };
+        self.avail += got;
+        self.chunks.extend(self.scratch.drain(..));
+        self.avail >= need
+    }
+
+    fn pop_u8(&mut self) -> u8 {
+        let front = self.chunks.front_mut().expect("ensured");
+        let b = front[0];
+        if front.len() == 1 {
+            self.chunks.pop_front();
+        } else {
+            front.split_to(1);
+        }
+        self.avail -= 1;
+        b
+    }
+
+    /// Decode one varint; `None` on end-of-stream or an overlong encoding
+    /// (both end the pump loop, like the old `while let Ok(..)`).
+    fn read_varint(&mut self) -> Option<u64> {
+        let mut v = 0u64;
+        for i in 0..10 {
+            if !self.ensure(1) {
+                return None;
+            }
+            let b = self.pop_u8();
+            v |= u64::from(b & 0x7f) << (7 * i);
+            if b & 0x80 == 0 {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Pull exactly `len` bytes as an owned buffer; `None` on early EOF.
+    fn read_exact_vec(&mut self, len: usize) -> Option<Vec<u8>> {
+        if !self.ensure(len) {
+            return None;
+        }
+        let mut data = Vec::with_capacity(len);
+        while data.len() < len {
+            let front = self.chunks.front_mut().expect("ensured");
+            let take = front.len().min(len - data.len());
+            data.extend_from_slice(&front[..take]);
+            if take == front.len() {
+                self.chunks.pop_front();
+            } else {
+                front.split_to(take);
+            }
+            self.avail -= take;
+        }
+        Some(data)
+    }
+}
+
 impl ReceivePortInner {
     pub(crate) fn new(
         name: String,
@@ -665,14 +770,21 @@ impl ReceivePortInner {
     /// format (anchor channel implicit) unless the link resumed
     /// multiplexed; a [`mux::SENTINEL`] length escapes into tagged frames,
     /// after which OPEN/CLOSE manage the channel set dynamically.
+    ///
+    /// Parsing runs over a [`ChunkCursor`], which states the whole-message
+    /// byte demand to the stack in one `read_chunks_min` call: the
+    /// simulated socket parks once per message and is serviced at event
+    /// time, so one wakeup drains everything available instead of the pump
+    /// waking per delivered segment.
     fn pump(
         self: &Arc<Self>,
-        mut stack: ReceiverStack,
+        stack: ReceiverStack,
         probes: Vec<RawLink>,
         init: Vec<(u64, u64, Option<Arc<ReceivePortInner>>)>,
         muxed_start: bool,
         resolve: PortResolver,
     ) {
+        let mut cur = ChunkCursor::new(stack, self.spec.block_size as usize);
         let anchor = init[0].0;
         let mut live: HashMap<u64, LiveChan> = HashMap::new();
         {
@@ -684,7 +796,7 @@ impl ReceivePortInner {
         }
         let mut muxed = muxed_start;
         // Loop runs until EOF (read error) or a corrupt frame.
-        while let Ok(first) = varint::read_from(&mut stack) {
+        while let Some(first) = cur.read_varint() {
             let (ch, len) = if !muxed {
                 if first == mux::SENTINEL {
                     muxed = true;
@@ -697,10 +809,10 @@ impl ReceivePortInner {
             } else {
                 match first {
                     mux::MSG => {
-                        let Ok(ch) = varint::read_from(&mut stack) else {
+                        let Some(ch) = cur.read_varint() else {
                             break;
                         };
-                        let Ok(len) = varint::read_from(&mut stack) else {
+                        let Some(len) = cur.read_varint() else {
                             break;
                         };
                         if len > MAX_MESSAGE {
@@ -709,19 +821,18 @@ impl ReceivePortInner {
                         (ch, len as usize)
                     }
                     mux::OPEN => {
-                        let Ok(ch) = varint::read_from(&mut stack) else {
+                        let Some(ch) = cur.read_varint() else {
                             break;
                         };
-                        let Ok(name_len) = varint::read_from(&mut stack) else {
+                        let Some(name_len) = cur.read_varint() else {
                             break;
                         };
                         if name_len > 4096 {
                             break;
                         }
-                        let mut name = vec![0u8; name_len as usize];
-                        if stack.read_exact(&mut name).is_err() {
+                        let Some(name) = cur.read_exact_vec(name_len as usize) else {
                             break;
-                        }
+                        };
                         let Ok(name) = String::from_utf8(name) else {
                             break;
                         };
@@ -741,7 +852,7 @@ impl ReceivePortInner {
                         continue;
                     }
                     mux::CLOSE => {
-                        let Ok(ch) = varint::read_from(&mut stack) else {
+                        let Some(ch) = cur.read_varint() else {
                             break;
                         };
                         if live.remove(&ch).is_some() {
@@ -752,10 +863,9 @@ impl ReceivePortInner {
                     _ => break, // corrupt tag
                 }
             };
-            let mut data = vec![0u8; len];
-            if stack.read_exact(&mut data).is_err() {
+            let Some(data) = cur.read_exact_vec(len) else {
                 break;
-            }
+            };
             let Some(lc) = live.get_mut(&ch) else {
                 break; // MSG on a channel never opened: corrupt
             };

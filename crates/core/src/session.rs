@@ -204,14 +204,21 @@ impl LinkIo {
 
     /// Frame and flush one message payload down the shared stack. Legacy
     /// format while `mux` is off; tagged [`mux::MSG`] frame after.
+    ///
+    /// The header is encoded on the stack (no per-frame Vec) and coalesces
+    /// with the payload in the stack's aggregation buffer; the sink-call
+    /// sequence below it is left untouched, because merging the header and
+    /// body submissions would move a segment boundary whenever the flight
+    /// is empty (Nagle emits sub-MSS segments then) and change wire traces.
     pub fn write_msg(&mut self, channel: u64, payload: &Bytes) -> io::Result<()> {
-        let mut hdr = Vec::with_capacity(20);
+        let mut hdr = [0u8; 30];
+        let mut n = 0;
         if self.mux {
-            varint::put(&mut hdr, mux::MSG);
-            varint::put(&mut hdr, channel);
+            n += varint::put_slice(&mut hdr[n..], mux::MSG);
+            n += varint::put_slice(&mut hdr[n..], channel);
         }
-        varint::put(&mut hdr, payload.len() as u64);
-        self.writer.write_all(&hdr)?;
+        n += varint::put_slice(&mut hdr[n..], payload.len() as u64);
+        self.writer.write_all(&hdr[..n])?;
         // Refcounted handoff: group communication clones the handle, not
         // the payload, and block-aligned stacks slice it straight onto the
         // wire.
@@ -226,23 +233,27 @@ impl LinkIo {
         if self.mux {
             return Ok(());
         }
-        let mut hdr = Vec::with_capacity(10);
-        varint::put(&mut hdr, mux::SENTINEL);
-        self.writer.write_all(&hdr)?;
+        let mut hdr = [0u8; 10];
+        let n = varint::put_slice(&mut hdr, mux::SENTINEL);
+        self.writer.write_all(&hdr[..n])?;
         self.mux = true;
         Ok(())
     }
 
     /// Announce a channel joining the link, upgrading to tagged framing
-    /// first if this is the second channel.
+    /// first if this is the second channel. Control frames never sit in a
+    /// deferred batch: the trailing flush pushes them (and anything
+    /// coalesced ahead of them) to the socket immediately, so channel
+    /// setup is not delayed behind large data runs.
     pub fn write_open(&mut self, channel: u64, port_name: &str) -> io::Result<()> {
         self.upgrade_mux()?;
-        let mut hdr = Vec::with_capacity(24 + port_name.len());
-        varint::put(&mut hdr, mux::OPEN);
-        varint::put(&mut hdr, channel);
-        varint::put(&mut hdr, port_name.len() as u64);
-        hdr.extend_from_slice(port_name.as_bytes());
-        self.writer.write_all(&hdr)?;
+        let mut hdr = [0u8; 30];
+        let mut n = 0;
+        n += varint::put_slice(&mut hdr[n..], mux::OPEN);
+        n += varint::put_slice(&mut hdr[n..], channel);
+        n += varint::put_slice(&mut hdr[n..], port_name.len() as u64);
+        self.writer.write_all(&hdr[..n])?;
+        self.writer.write_all(port_name.as_bytes())?;
         self.writer.flush()
     }
 
@@ -250,10 +261,11 @@ impl LinkIo {
     /// Only meaningful in tagged framing — a legacy link closes by EOF.
     pub fn write_close(&mut self, channel: u64) -> io::Result<()> {
         debug_assert!(self.mux, "CLOSE frames exist only in mux framing");
-        let mut hdr = Vec::with_capacity(12);
-        varint::put(&mut hdr, mux::CLOSE);
-        varint::put(&mut hdr, channel);
-        self.writer.write_all(&hdr)?;
+        let mut hdr = [0u8; 20];
+        let mut n = 0;
+        n += varint::put_slice(&mut hdr[n..], mux::CLOSE);
+        n += varint::put_slice(&mut hdr[n..], channel);
+        self.writer.write_all(&hdr[..n])?;
         self.writer.flush()
     }
 }
@@ -344,6 +356,14 @@ impl SharedLink {
     /// writers and recovery line up in arrival order.
     pub fn io(&self) -> SimMutexGuard<'_, LinkIo> {
         self.io.lock()
+    }
+
+    /// Are tasks parked on the write gate? A sender in a tight
+    /// send/release loop checks this before dropping its guard and yields
+    /// the slice, so a queued OPEN or peer-channel message gets the gate
+    /// at message granularity instead of starving behind the whole run.
+    pub fn io_contended(&self) -> bool {
+        self.io.has_waiters()
     }
 
     /// Attach a channel; fails when the link is already tearing down.

@@ -95,9 +95,9 @@ impl FrameWriter {
 
     /// Write the frame (`[varint len][payload]`) to `w` and flush.
     pub fn send<W: Write>(self, w: &mut W) -> io::Result<()> {
-        let mut hdr = Vec::with_capacity(4);
-        varint::put(&mut hdr, self.buf.len() as u64);
-        w.write_all(&hdr)?;
+        let mut hdr = [0u8; 10];
+        let n = varint::put_slice(&mut hdr, self.buf.len() as u64);
+        w.write_all(&hdr[..n])?;
         w.write_all(&self.buf)?;
         w.flush()
     }

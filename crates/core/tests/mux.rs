@@ -478,3 +478,123 @@ proptest! {
         prop_assert!(send.is_finished(), "sender wedged");
     }
 }
+
+/// Batched frame coalescing must not hold mux control frames hostage to a
+/// bulk data run: a channel OPEN is flushed the moment it is written
+/// (DESIGN.md §5c), so late-joining channels finish setup while a large
+/// run from another channel is still on the wire. Regression test for the
+/// 64-channel setup outlier: with OPENs deferred behind the run, the late
+/// channels would only complete after the bulk transfer drains.
+#[test]
+fn opens_not_delayed_behind_bulk_data_run() {
+    const BULK_MSGS: u64 = 256;
+    const BULK_LEN: usize = 32 * 1024; // 8 MiB total: several sim-seconds of run
+    const LATE_CH: u64 = 8;
+    const LATE_AT_MS: u64 = 1_500;
+    let sim = Sim::new(seed(86));
+    let (env, ha, hb) = world(&sim);
+
+    let t_ctl: Arc<parking_lot::Mutex<Option<u64>>> = Arc::new(parking_lot::Mutex::new(None));
+    let t_bulk: Arc<parking_lot::Mutex<Option<u64>>> = Arc::new(parking_lot::Mutex::new(None));
+    let rx_cell: Arc<parking_lot::Mutex<Option<GridNode>>> =
+        Arc::new(parking_lot::Mutex::new(None));
+
+    let env_b = env.clone();
+    let rxc = Arc::clone(&rx_cell);
+    sim.spawn("rx-join", move || {
+        let node = GridNode::join(&env_b, hb, "rx", ConnectivityProfile::open()).unwrap();
+        *rxc.lock() = Some(node);
+    });
+    let rxc = Arc::clone(&rx_cell);
+    let tb = Arc::clone(&t_bulk);
+    let rx_bulk = sim.spawn("rx-bulk", move || {
+        gridsim_net::ctx::sleep(Duration::from_millis(300));
+        let node = rxc.lock().clone().expect("rx node joined");
+        let rp = node
+            .create_receive_port("bulk-bg", StackSpec::plain())
+            .unwrap();
+        for _ in 0..BULK_MSGS {
+            rp.receive().unwrap();
+        }
+        *tb.lock() = Some(gridsim_net::ctx::now().0);
+    });
+    let rxc = Arc::clone(&rx_cell);
+    let tc = Arc::clone(&t_ctl);
+    let rx_ctl = sim.spawn("rx-ctl", move || {
+        gridsim_net::ctx::sleep(Duration::from_millis(300));
+        let node = rxc.lock().clone().expect("rx node joined");
+        let rp = node
+            .create_receive_port("late-ctl", StackSpec::plain())
+            .unwrap();
+        let expect: HashMap<u64, u64> = (0..LATE_CH).map(|t| (t, 1)).collect();
+        assert_tagged_fifo(&rp, &expect);
+        *tc.lock() = Some(gridsim_net::ctx::now().0);
+    });
+
+    let tx_cell: Arc<parking_lot::Mutex<Option<GridNode>>> =
+        Arc::new(parking_lot::Mutex::new(None));
+    let env_a = env.clone();
+    let txc = Arc::clone(&tx_cell);
+    sim.spawn("tx-join", move || {
+        gridsim_net::ctx::sleep(Duration::from_millis(200));
+        let node = GridNode::join(&env_a, ha, "tx", ConnectivityProfile::open()).unwrap();
+        *txc.lock() = Some(node);
+    });
+    let txc = Arc::clone(&tx_cell);
+    let tx_bulk = sim.spawn("tx-bulk", move || {
+        gridsim_net::ctx::sleep(Duration::from_millis(500));
+        let node = txc.lock().clone().expect("tx node joined");
+        let mut sp = node.create_send_port();
+        sp.connect("bulk-bg").unwrap();
+        let body = vec![0x5au8; BULK_LEN];
+        for _ in 0..BULK_MSGS {
+            let mut m = sp.message();
+            m.write_bytes(&body);
+            m.finish().unwrap();
+        }
+        sp.close().unwrap();
+    });
+    let txc = Arc::clone(&tx_cell);
+    let tx_late = sim.spawn("tx-late", move || {
+        gridsim_net::ctx::sleep(Duration::from_millis(LATE_AT_MS));
+        let node = txc.lock().clone().expect("tx node joined");
+        let mut ports: Vec<SendPort> = Vec::new();
+        for tag in 0..LATE_CH {
+            let mut sp = node.create_send_port();
+            sp.connect("late-ctl").unwrap();
+            send_tagged(&mut sp, tag, 0);
+            ports.push(sp);
+        }
+        assert_eq!(
+            node.data_link_count(),
+            1,
+            "late channels opened a second link"
+        );
+        for sp in ports.drain(..) {
+            sp.close().unwrap();
+        }
+    });
+
+    sim.run();
+    assert!(rx_bulk.is_finished(), "bulk receiver wedged");
+    assert!(rx_ctl.is_finished(), "ctl receiver wedged");
+    assert!(tx_bulk.is_finished(), "bulk sender wedged");
+    assert!(tx_late.is_finished(), "late sender wedged");
+    let t_ctl = t_ctl.lock().expect("ctl time recorded");
+    let t_bulk = t_bulk.lock().expect("bulk time recorded");
+    assert!(
+        t_ctl < t_bulk,
+        "late channels only finished after the bulk run ({t_ctl} ns vs {t_bulk} ns)"
+    );
+    // The 8 late setups ride message-granularity gaps in the run: they
+    // must complete in well under half the remaining bulk time, not at
+    // its tail.
+    let late_ns = LATE_AT_MS * 1_000_000;
+    assert!(
+        (t_ctl - late_ns) * 2 < t_bulk - late_ns,
+        "late setup took {} ms of the {} ms the bulk run had left — OPENs were \
+         delayed behind the data run",
+        (t_ctl - late_ns) / 1_000_000,
+        (t_bulk - late_ns) / 1_000_000
+    );
+}

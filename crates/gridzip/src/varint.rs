@@ -16,6 +16,23 @@ pub fn put(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
+/// Encode `v` into the front of `buf` (which must hold at least 10 bytes);
+/// returns the encoded length. The allocation-free form of [`put`] for
+/// per-frame headers built on the stack.
+pub fn put_slice(buf: &mut [u8], mut v: u64) -> usize {
+    let mut n = 0;
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf[n] = b;
+            return n + 1;
+        }
+        buf[n] = b | 0x80;
+        n += 1;
+    }
+}
+
 /// Decode a varint from the front of `buf`; returns (value, bytes consumed).
 pub fn get(buf: &[u8]) -> Option<(u64, usize)> {
     let mut v = 0u64;
@@ -64,6 +81,9 @@ mod tests {
             let (got, used) = get(&buf).unwrap();
             assert_eq!(got, v);
             assert_eq!(used, buf.len());
+            let mut arr = [0u8; 10];
+            let n = put_slice(&mut arr, v);
+            assert_eq!(&arr[..n], &buf[..], "put_slice matches put for {v}");
         }
     }
 

@@ -28,6 +28,10 @@ pub trait Payload: Any + Send + Sync + fmt::Debug {
     fn wire_len(&self) -> u32;
     /// Downcast support.
     fn as_any(&self) -> &dyn Any;
+    /// Owned downcast support: lets a consumer reclaim the payload box
+    /// (protocol stacks pool segment boxes to keep the hot path
+    /// allocation-free).
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
 }
 
 /// A simulated IP packet.
@@ -58,6 +62,12 @@ impl Packet {
     pub fn payload_as<T: Payload>(&self) -> Option<&T> {
         self.payload.as_any().downcast_ref::<T>()
     }
+
+    /// Consume the packet and take its payload box if it is a `T`, so the
+    /// allocation can be reused for a future send.
+    pub fn take_payload<T: Payload>(self) -> Option<Box<T>> {
+        self.payload.into_any().downcast::<T>().ok()
+    }
 }
 
 /// A plain byte payload, useful for tests and simple protocols.
@@ -69,6 +79,9 @@ impl Payload for RawBytes {
         self.0.len() as u32
     }
     fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
     }
 }

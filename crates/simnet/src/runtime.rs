@@ -30,6 +30,8 @@ use crate::time::SimTime;
 /// Purely observational (benchmarks, tuning); they never affect simulation.
 static HOST_SLICES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 static HOST_EVENTS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static HOST_SLICE_NS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static HOST_EVENT_NS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 /// (task slices granted, events dispatched) since process start — host-side
 /// cost counters for benchmarking the scheduler itself.
@@ -38,6 +40,41 @@ pub fn host_work_counters() -> (u64, u64) {
         HOST_SLICES.load(Ordering::Relaxed),
         HOST_EVENTS.load(Ordering::Relaxed),
     )
+}
+
+/// Host nanoseconds spent (granting task slices — handoff plus the slice
+/// body, dispatching events) since process start. Splits the scheduler's
+/// wall clock into its two cost centers for the datapath benchmarks.
+pub fn host_work_ns() -> (u64, u64) {
+    (
+        HOST_SLICE_NS.load(Ordering::Relaxed),
+        HOST_EVENT_NS.load(Ordering::Relaxed),
+    )
+}
+
+/// Park-reason histogram: how many times tasks actually parked (wake-token
+/// misses only), keyed by the `ctx::park` reason string. Observational —
+/// the profiling side of the slice counters: each entry is a task handoff
+/// round trip, the dominant host cost of the simulator on small-core
+/// machines, attributed to the wait that caused it.
+static PARK_STATS: Mutex<Option<HashMap<&'static str, u64>>> = Mutex::new(None);
+
+fn note_park(reason: &'static str) {
+    let mut g = PARK_STATS.lock();
+    *g.get_or_insert_with(HashMap::new)
+        .entry(reason)
+        .or_insert(0) += 1;
+}
+
+/// Snapshot of the park-reason histogram, sorted by descending count.
+pub fn park_stats() -> Vec<(&'static str, u64)> {
+    let g = PARK_STATS.lock();
+    let mut v: Vec<_> = g
+        .as_ref()
+        .map(|m| m.iter().map(|(k, c)| (*k, *c)).collect())
+        .unwrap_or_default();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    v
 }
 
 /// Identifier of a simulated process.
@@ -50,7 +87,19 @@ enum EventAction {
     WakeTask(TaskId),
     /// Run an arbitrary closure on the scheduler thread.
     Call(Box<dyn FnOnce() + Send>),
+    /// Invoke a pre-registered recurring callback ([`SchedHandle::
+    /// register_hook`]). Unlike `Call`, the event itself carries no
+    /// allocation — the hot packet-delivery path schedules one of these
+    /// per hop instead of boxing a closure.
+    Hook(usize),
 }
+
+/// Handle to a recurring callback registered with
+/// [`SchedHandle::register_hook`]; pass it to
+/// [`SchedHandle::call_hook_at`] to fire it without a per-event
+/// allocation.
+#[derive(Clone, Copy, Debug)]
+pub struct HookId(usize);
 
 struct EventEntry {
     at: SimTime,
@@ -116,19 +165,71 @@ const BATON_YIELDED: u32 = 2;
 /// Task thread finished (or panicked).
 const BATON_DONE: u32 = 3;
 
-/// Spin iterations before yielding: the multi-core fast path. On a
-/// single-core host the partner cannot run while we spin (each `pause` is
-/// tens of nanoseconds of pure loss), so the spin phase is skipped entirely.
-fn baton_spins() -> u32 {
-    static SPINS: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
-    *SPINS.get_or_init(|| match std::thread::available_parallelism() {
-        Ok(n) if n.get() > 1 => 60,
-        _ => 0,
+/// Baton spin windows, calibrated once at startup.
+///
+/// The two sides of a handoff have very different wait profiles, so they
+/// get different spin budgets:
+///
+/// * `sched`: the scheduler in `grant_and_wait`, waiting for the running
+///   task to yield back. While it spins, exactly one other thread (the
+///   task) is doing real work, so the spin never oversubscribes a ≥2-core
+///   host. The window is sized to cover a typical task slice plus the
+///   futex wake latency of a task that had gone to sleep (~5–25 µs), so
+///   the yield-back lands in the spin phase as a ~100 ns cache-line
+///   transfer instead of a sched_yield/futex round trip (~10–25 µs on
+///   older or throttled kernels).
+/// * `task`: a task in `yield_and_wait`/`wait_first`, waiting for its next
+///   grant. That grant may be far away (the task is parked on I/O), and
+///   meanwhile another task plus the scheduler may both be active, so a
+///   long spin here *steals* a core from the thread doing real work. The
+///   short window only covers the common immediate re-grant (scheduler
+///   pops a delivery event and grants the same task again within a few
+///   µs), then the thread goes straight to the futex.
+///
+/// `pause` latency spans 2–50 ns across x86/ARM generations, so iteration
+/// counts are calibrated from a timed burst rather than hard-coded. On a
+/// single-core host both windows are zero (the partner cannot run while we
+/// spin) and the yield phase below is the fast path.
+struct SpinCfg {
+    sched: u32,
+    task: u32,
+    yields: u32,
+}
+
+fn spin_cfg() -> &'static SpinCfg {
+    static CFG: std::sync::OnceLock<SpinCfg> = std::sync::OnceLock::new();
+    CFG.get_or_init(|| {
+        let multi = std::thread::available_parallelism().is_ok_and(|n| n.get() > 1);
+        if !multi {
+            return SpinCfg {
+                sched: 0,
+                task: 0,
+                yields: 200,
+            };
+        }
+        // Time a burst of pauses to convert "µs of patience" into
+        // iterations. Clamp defensively: a preemption mid-burst inflates
+        // the measurement, which would only make us spin less, not more.
+        const BURST: u32 = 10_000;
+        let t0 = std::time::Instant::now();
+        for _ in 0..BURST {
+            std::hint::spin_loop();
+        }
+        let per_iter_ns = (t0.elapsed().as_nanos() as f64 / BURST as f64).clamp(0.5, 100.0);
+        let iters = |us: f64| ((us * 1000.0 / per_iter_ns) as u32).max(64);
+        let env_us = |key: &str, default: f64| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(default)
+        };
+        SpinCfg {
+            sched: iters(env_us("NETGRID_SPIN_SCHED_US", 40.0)),
+            task: iters(env_us("NETGRID_SPIN_TASK_US", 15.0)),
+            yields: 0,
+        }
     })
 }
-/// `yield_now` calls before sleeping: the single-core fast path — donating
-/// the core lets the partner finish its slice without a futex sleep/wake.
-const BATON_YIELDS: u32 = 200;
 
 impl Baton {
     fn new() -> Arc<Self> {
@@ -141,8 +242,8 @@ impl Baton {
 
     /// Spin briefly, then yield the core, then park, until `state` is
     /// something other than `not`.
-    fn await_change(&self, not: u32) -> u32 {
-        let spins = baton_spins();
+    fn await_change(&self, not: u32, spins: u32) -> u32 {
+        let yields = spin_cfg().yields;
         let mut tries = 0u32;
         loop {
             let s = self.state.load(Ordering::Acquire);
@@ -151,7 +252,7 @@ impl Baton {
             }
             if tries < spins {
                 std::hint::spin_loop();
-            } else if tries < spins + BATON_YIELDS {
+            } else if tries < spins + yields {
                 std::thread::yield_now();
             } else {
                 std::thread::park();
@@ -167,7 +268,7 @@ impl Baton {
         if let Some(t) = self.task_thread.lock().as_ref() {
             t.unpark();
         }
-        self.await_change(BATON_GO)
+        self.await_change(BATON_GO, spin_cfg().sched)
     }
 
     /// Task side: give the baton back and wait for the next grant.
@@ -176,13 +277,13 @@ impl Baton {
         if let Some(t) = self.sched_thread.lock().as_ref() {
             t.unpark();
         }
-        self.await_change(BATON_YIELDED);
+        self.await_change(BATON_YIELDED, spin_cfg().task);
     }
 
     /// Task side: wait for the first grant (start of the task body).
     fn wait_first(&self) {
         *self.task_thread.lock() = Some(std::thread::current());
-        self.await_change(BATON_HELD);
+        self.await_change(BATON_HELD, spin_cfg().task);
     }
 
     /// Task side: mark the task done and release the scheduler.
@@ -222,9 +323,17 @@ struct SchedState {
     panic: Option<Box<dyn std::any::Any + Send>>,
 }
 
+/// A registered recurring callback; the slot is `None` while it runs.
+type HookSlot = Option<Box<dyn FnMut() + Send>>;
+
 /// Shared core of the scheduler; cheap to clone via [`SchedHandle`].
 pub struct SchedCore {
     state: Mutex<SchedState>,
+    /// Recurring callbacks fired by `EventAction::Hook` events. Kept
+    /// outside `state` so a running hook can schedule further events; the
+    /// slot is taken for the duration of the call (hooks never re-enter
+    /// themselves — events only fire from the scheduler loop).
+    hooks: Mutex<Vec<HookSlot>>,
 }
 
 /// A cloneable handle to the scheduler, used to schedule events and wake
@@ -299,6 +408,7 @@ impl Scheduler {
                     live_tasks: 0,
                     panic: None,
                 }),
+                hooks: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -351,7 +461,9 @@ impl Scheduler {
                     }
                 };
                 HOST_SLICES.fetch_add(1, Ordering::Relaxed);
+                let t0 = std::time::Instant::now();
                 let end = baton.grant_and_wait();
+                HOST_SLICE_NS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 if end == BATON_DONE {
                     self.finish_task(tid);
                 }
@@ -387,10 +499,17 @@ impl Scheduler {
                 }
             };
             HOST_EVENTS.fetch_add(1, Ordering::Relaxed);
+            let t0 = std::time::Instant::now();
             match action {
                 EventAction::WakeTask(tid) => self.handle().wake_task(tid),
                 EventAction::Call(f) => f(),
+                EventAction::Hook(i) => {
+                    let mut f = self.core.hooks.lock()[i].take().expect("hook in use");
+                    f();
+                    self.core.hooks.lock()[i] = Some(f);
+                }
             }
+            HOST_EVENT_NS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
     }
 
@@ -459,6 +578,30 @@ impl SchedHandle {
     pub fn call_after(&self, d: Duration, f: impl FnOnce() + Send + 'static) {
         let now = self.now();
         self.call_at(now + d, f);
+    }
+
+    /// Register a recurring callback and get a handle for scheduling it.
+    /// The callback stays registered for the scheduler's lifetime.
+    pub fn register_hook(&self, f: impl FnMut() + Send + 'static) -> HookId {
+        let mut hooks = self.core.hooks.lock();
+        hooks.push(Some(Box::new(f)));
+        HookId(hooks.len() - 1)
+    }
+
+    /// Schedule a registered hook to fire at absolute time `at` (clamped
+    /// to be no earlier than now). Allocation-free apart from amortized
+    /// event-heap growth; ties with other events break in schedule order,
+    /// exactly like `call_at`.
+    pub fn call_hook_at(&self, at: SimTime, hook: HookId) {
+        let mut st = self.core.state.lock();
+        let at = at.max(st.now);
+        let seq = st.seq;
+        st.seq += 1;
+        st.events.push(EventEntry {
+            at,
+            seq,
+            action: EventAction::Hook(hook.0),
+        });
     }
 
     /// Wake `tid` per unpark semantics.
@@ -671,6 +814,7 @@ pub mod ctx {
         if proceed {
             return;
         }
+        super::note_park(reason);
         baton.yield_and_wait();
         with_current(|h, tid| {
             let mut st = h.core.state.lock();

@@ -81,6 +81,15 @@ impl<T: ?Sized> SimMutex<T> {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
 
+    /// Are any tasks parked waiting for this lock? Release wakes the
+    /// front waiter, but the wake is a scheduled event — a running task
+    /// that releases and immediately re-acquires barges past it. Callers
+    /// in such loops poll this (before dropping their guard) and yield
+    /// the slice so the waiter actually gets its turn.
+    pub fn has_waiters(&self) -> bool {
+        !self.inner.ctl.lock().waiters.is_empty()
+    }
+
     /// Try to acquire without parking.
     pub fn try_lock(&self) -> Option<SimMutexGuard<'_, T>> {
         let mut ctl = self.inner.ctl.lock();

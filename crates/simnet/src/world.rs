@@ -18,8 +18,9 @@ use crate::firewall::{Direction, Firewall, FirewallPolicy, Verdict};
 use crate::link::{LinkDir, LinkDirId, LinkParams, LinkStats};
 use crate::nat::{Nat, NatKind};
 use crate::packet::Packet;
-use crate::runtime::SchedHandle;
+use crate::runtime::{HookId, SchedHandle};
 use crate::time::SimTime;
+use std::collections::BinaryHeap;
 
 /// Identifier of a node in the world.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -124,12 +125,56 @@ type ProtoDispatch = Arc<dyn Fn(&mut World, NodeId, Packet) + Send + Sync>;
 pub struct World {
     sched: SchedHandle,
     self_ref: Weak<Mutex<World>>,
+    /// In-flight packets ordered by (arrival time, schedule order). Each
+    /// entry is paired with one `Hook` event in the scheduler, so pops
+    /// track event firings one-to-one; keeping the packets here instead
+    /// of inside boxed event closures makes the per-hop cost a heap push.
+    deliveries: BinaryHeap<PendingDelivery>,
+    delivery_seq: u64,
+    delivery_hook: HookId,
     nodes: Vec<NodeState>,
     links: Vec<LinkDir>,
     dispatch: HashMap<u8, ProtoDispatch>,
     rng: StdRng,
     pub stats: WorldStats,
     tracer: Option<Tracer>,
+}
+
+/// Where an in-flight packet lands when its delivery event fires.
+enum Delivery {
+    /// Came over a link: run gateway processing, then deliver or forward.
+    Arrive { node: NodeId, iface: usize },
+    /// Loopback / own-address send: skip the forwarding engine.
+    Local { node: NodeId },
+}
+
+/// One in-flight packet, ordered like the scheduler's event heap:
+/// earliest arrival first, schedule order breaking ties — so popping the
+/// minimum on each hook firing dispatches exactly the packet that event
+/// was scheduled for.
+struct PendingDelivery {
+    at: SimTime,
+    seq: u64,
+    to: Delivery,
+    pkt: Packet,
+}
+
+impl PartialEq for PendingDelivery {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for PendingDelivery {}
+impl PartialOrd for PendingDelivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingDelivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Inverted: BinaryHeap is a max-heap, we pop the earliest.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
 }
 
 /// Shared handle to the world plus its scheduler: the object every socket,
@@ -144,9 +189,24 @@ impl Net {
     /// Create an empty world bound to a scheduler.
     pub fn new(sched: SchedHandle, seed: u64) -> Net {
         let world = Arc::new_cyclic(|weak: &Weak<Mutex<World>>| {
+            let hook_ref = weak.clone();
+            let delivery_hook = sched.register_hook(move || {
+                if let Some(m) = hook_ref.upgrade() {
+                    let mut w = m.lock();
+                    if let Some(pd) = w.deliveries.pop() {
+                        match pd.to {
+                            Delivery::Arrive { node, iface } => w.arrive(node, iface, pd.pkt),
+                            Delivery::Local { node } => w.local_deliver(node, pd.pkt),
+                        }
+                    }
+                }
+            });
             Mutex::new(World {
                 sched: sched.clone(),
                 self_ref: weak.clone(),
+                deliveries: BinaryHeap::new(),
+                delivery_seq: 0,
+                delivery_hook,
                 nodes: Vec::new(),
                 links: Vec::new(),
                 dispatch: HashMap::new(),
@@ -489,6 +549,17 @@ impl World {
         self.schedule_at(self.sched.now() + d, f);
     }
 
+    /// Queue `pkt` for dispatch at `at` (≥ now). The paired hook event
+    /// shares the scheduler's tie-break sequence, so delivery order is
+    /// identical to scheduling a closure per hop — without the per-hop
+    /// allocation.
+    fn push_delivery(&mut self, at: SimTime, to: Delivery, pkt: Packet) {
+        let seq = self.delivery_seq;
+        self.delivery_seq += 1;
+        self.deliveries.push(PendingDelivery { at, seq, to, pkt });
+        self.sched.call_hook_at(at, self.delivery_hook);
+    }
+
     fn trace(&self, kind: TraceKind, pkt: &Packet) {
         if let Some(t) = &self.tracer {
             t(self.sched.now(), kind, pkt);
@@ -504,7 +575,7 @@ impl World {
         // Local delivery (loopback or own address).
         if self.nodes[node.0].owns(pkt.dst.ip) {
             let at = self.sched.now();
-            self.schedule_at(at, move |w| w.local_deliver(node, pkt));
+            self.push_delivery(at, Delivery::Local { node }, pkt);
             return;
         }
         self.emit(node, pkt);
@@ -543,7 +614,14 @@ impl World {
             let l = &self.links[link_id.0];
             (l.to_node, l.to_iface)
         };
-        self.schedule_at(deliver_at, move |w| w.arrive(to_node, to_iface, pkt));
+        self.push_delivery(
+            deliver_at,
+            Delivery::Arrive {
+                node: to_node,
+                iface: to_iface,
+            },
+            pkt,
+        );
     }
 
     /// A packet arrived at `node` on interface `iface`.

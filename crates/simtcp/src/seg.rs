@@ -118,6 +118,9 @@ impl Payload for Segment {
     fn as_any(&self) -> &dyn Any {
         self
     }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
 }
 
 #[cfg(test)]

@@ -279,12 +279,20 @@ impl TcpStream {
 
     /// Blocking vectored write of whole blocks, zero-copy. Consecutive
     /// blocks are appended under a single stack lock while send-buffer
-    /// space lasts; the call parks only when the buffer fills.
+    /// space lasts. When the buffer fills, the remainder is *staged* on
+    /// the TCB: ACK processing refills the queue at event time and this
+    /// call parks just once, waking when every byte is queued (or the
+    /// connection dies) instead of once per ACK.
     pub fn write_all_blocks(&self, blocks: &[Bytes]) -> io::Result<()> {
+        enum Next {
+            Done(io::Result<()>),
+            Staged,
+            LegacyPark,
+        }
         let mut idx = 0;
         // Remainder of blocks[idx] not yet accepted.
         let mut rest: Option<Bytes> = None;
-        while idx < blocks.len() {
+        loop {
             let r = self.with_tcb(|tcb, now| {
                 while idx < blocks.len() {
                     let cur = rest.take().unwrap_or_else(|| blocks[idx].clone());
@@ -296,43 +304,120 @@ impl TcpStream {
                         Ok(WriteOutcome::Wrote(n)) if n == cur.len() => idx += 1,
                         Ok(WriteOutcome::Wrote(n)) => rest = Some(cur.slice(n..)),
                         Ok(WriteOutcome::Full) => {
+                            if tcb.write_stage_free() {
+                                let mut staged =
+                                    std::collections::VecDeque::with_capacity(blocks.len() - idx);
+                                staged.push_back(cur);
+                                staged.extend(blocks[idx + 1..].iter().cloned());
+                                let ok = tcb.stage_write(staged, ctx::waker());
+                                debug_assert!(ok);
+                                return Next::Staged;
+                            }
+                            // Another task's write is staged on this
+                            // connection: fall back to waker-parking.
                             rest = Some(cur);
                             tcb.write_wakers.push(ctx::waker());
-                            return None;
+                            return Next::LegacyPark;
                         }
-                        Err(e) => return Some(Err(e)),
+                        Err(e) => return Next::Done(Err(e)),
                     }
                 }
-                Some(Ok(()))
+                Next::Done(Ok(()))
             })?;
             match r {
-                Some(r) => r?,
-                None => ctx::park("tcp write"),
+                Next::Done(r) => return r,
+                Next::LegacyPark => ctx::park("tcp write"),
+                Next::Staged => loop {
+                    ctx::park("tcp write");
+                    if let Some(r) = self.with_tcb(|tcb, now| tcb.collect_staged_write(now))? {
+                        return r;
+                    }
+                },
             }
         }
-        Ok(())
     }
 
     /// Blocking read handing out up to `max` bytes as zero-copy chunks
     /// (slices of received segment buffers) appended to `out`. Returns the
     /// byte count; `Ok(0)` means EOF.
     pub fn read_chunks(&self, max: usize, out: &mut Vec<Bytes>) -> io::Result<usize> {
-        if max == 0 {
+        self.read_chunks_min(1, max, out)
+    }
+
+    /// Blocking read of at least `min` bytes (unless EOF intervenes),
+    /// appended to `out` as zero-copy chunks. Each drain call consumes up
+    /// to `max(remaining, max)` bytes — the same granularity as a
+    /// BufReader with capacity `max` doing large-read bypass — so the
+    /// result may exceed `min` by up to `max` bytes of read-ahead. While
+    /// short of `min`, the demand is staged on the TCB: arriving segments
+    /// are moved into the result at delivery time and this call parks just
+    /// once, waking when the demand is met — one wakeup drains everything
+    /// available instead of one wakeup per delivered segment.
+    ///
+    /// Returns the byte count appended; `< min` only at EOF, `0` = EOF
+    /// before any byte. Buffered data is always delivered before an error
+    /// is surfaced (the error resurfaces on the next call).
+    pub fn read_chunks_min(
+        &self,
+        min: usize,
+        max: usize,
+        out: &mut Vec<Bytes>,
+    ) -> io::Result<usize> {
+        if max == 0 || min == 0 {
             return Ok(0);
         }
+        enum Next {
+            Ret(io::Result<usize>),
+            Staged,
+            LegacyPark,
+        }
+        let mut got = 0usize;
         loop {
-            let r = self.with_tcb(|tcb, now| match tcb.try_read_chunks(now, max, out) {
-                Ok(ReadOutcome::Read(n)) => Some(Ok(n)),
-                Ok(ReadOutcome::Eof) => Some(Ok(0)),
-                Ok(ReadOutcome::Empty) => {
-                    tcb.read_wakers.push(ctx::waker());
-                    None
+            let r = self.with_tcb(|tcb, now| {
+                while got < min {
+                    // Same per-call cap policy as the staged service pass
+                    // (see `Tcb::service_pending_read`): `max(remaining,
+                    // max)` keeps consumption granularity — and thus ACK
+                    // emission — identical to the BufReader-style loop
+                    // this replaces.
+                    let cap = (min - got).max(max);
+                    match tcb.try_read_chunks(now, cap, out) {
+                        Ok(ReadOutcome::Read(n)) => got += n,
+                        Ok(ReadOutcome::Empty) => {
+                            return if tcb.stage_read(min - got, max, ctx::waker()) {
+                                Next::Staged
+                            } else {
+                                // Another task's read is staged here: fall
+                                // back to waker-parking.
+                                tcb.read_wakers.push(ctx::waker());
+                                Next::LegacyPark
+                            };
+                        }
+                        Ok(ReadOutcome::Eof) => return Next::Ret(Ok(got)),
+                        Err(e) => {
+                            return Next::Ret(if got > 0 { Ok(got) } else { Err(e) });
+                        }
+                    }
                 }
-                Err(e) => Some(Err(e)),
+                Next::Ret(Ok(got))
             })?;
             match r {
-                Some(r) => return r,
-                None => ctx::park("tcp read"),
+                Next::Ret(r) => return r,
+                Next::LegacyPark => ctx::park("tcp read"),
+                Next::Staged => loop {
+                    ctx::park("tcp read");
+                    let picked = self.with_tcb(|tcb, now| tcb.collect_staged_read(now))?;
+                    match picked {
+                        None => continue, // spurious wake; demand still staged
+                        Some(Ok((chunks, n, _eof))) => {
+                            out.extend(chunks);
+                            return Ok(got + n);
+                        }
+                        Some(Err(e)) => {
+                            return if got > 0 { Ok(got) } else { Err(e) };
+                        }
+                    }
+                },
             }
         }
     }
@@ -393,7 +478,9 @@ impl TcpStream {
                 if tcb.error().is_some() || tcb.send_space() == tcb.cfg.send_buf as usize {
                     true
                 } else {
-                    tcb.write_wakers.push(ctx::waker());
+                    // Dedicated list: woken once when the queue empties,
+                    // not on every ACK like `write_wakers`.
+                    tcb.drain_wakers.push(ctx::waker());
                     false
                 }
             })?;

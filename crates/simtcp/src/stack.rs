@@ -40,6 +40,17 @@ pub struct TcpHost {
     by_tuple: HashMap<(SockAddr, SockAddr), ConnId>,
     pub listeners: HashMap<u16, ListenerState>,
     bound_ports: HashSet<u16>,
+    /// Recycled segment boxes: every received packet returns its payload
+    /// box here, and every emitted segment takes one, so at steady state
+    /// the data/ACK round trip allocates nothing. Bounded so a one-off
+    /// burst cannot pin memory forever. The boxes themselves are the
+    /// pooled resource — they become `Packet` payloads as-is — so
+    /// flattening to `Vec<Segment>` would defeat the recycling.
+    #[allow(clippy::vec_box)]
+    seg_pool: Vec<Box<Segment>>,
+    /// Scratch buffer for draining `Tcb::out` without reallocating the
+    /// per-connection vector on every flush.
+    out_scratch: Vec<Segment>,
 }
 
 impl TcpHost {
@@ -54,6 +65,28 @@ impl TcpHost {
             by_tuple: HashMap::new(),
             listeners: HashMap::new(),
             bound_ports: HashSet::new(),
+            seg_pool: Vec::new(),
+            out_scratch: Vec::new(),
+        }
+    }
+
+    /// Box `seg`, reusing a pooled allocation when one is available.
+    fn boxed_seg(&mut self, seg: Segment) -> Box<Segment> {
+        match self.seg_pool.pop() {
+            Some(mut b) => {
+                *b = seg;
+                b
+            }
+            None => Box::new(seg),
+        }
+    }
+
+    /// Return a payload box to the pool (best effort, bounded).
+    fn recycle(&mut self, pkt: Packet) {
+        if self.seg_pool.len() < 4096 {
+            if let Some(b) = pkt.take_payload::<Segment>() {
+                self.seg_pool.push(b);
+            }
         }
     }
 
@@ -181,6 +214,7 @@ impl TcpHost {
         let seg = seg.clone();
         let local = pkt.dst;
         let remote = pkt.src;
+        self.recycle(pkt);
         // Exact tuple match first; then a wildcard-bound local IP.
         let id = self
             .by_tuple
@@ -229,7 +263,7 @@ impl TcpHost {
         }
         // Closed port: answer with RST (unless the packet is itself a RST).
         if !seg.flags.rst {
-            let rst = Segment {
+            let rst: Segment = Segment {
                 flags: if seg.flags.ack {
                     Flags::RST
                 } else {
@@ -244,10 +278,8 @@ impl TcpHost {
                 wnd: 0,
                 data: Bytes::new(),
             };
-            w.send_from(
-                self.node,
-                Packet::new(local, remote, proto::TCP, Box::new(rst)),
-            );
+            let b = self.boxed_seg(rst);
+            w.send_from(self.node, Packet::new(local, remote, proto::TCP, b));
         }
     }
 
@@ -265,18 +297,32 @@ impl TcpHost {
 
     /// Emit queued segments and sync timers for one connection.
     pub fn flush_conn(&mut self, w: &mut World, id: ConnId) {
+        let now = w.sched().now();
+        let mut out = std::mem::take(&mut self.out_scratch);
         let Some(tcb) = self.conns.get_mut(&id) else {
+            self.out_scratch = out;
             return;
         };
+        // Service staged I/O *before* draining `out`: freed window space is
+        // refilled and arrived bytes handed to a parked reader at event
+        // time, so any segments they generate leave in this same flush,
+        // after the event's own segments — exactly the order the legacy
+        // woken-task path produced with per-ACK/per-segment wakeups.
+        tcb.service_pending(now);
         let (local, remote) = (tcb.local, tcb.remote);
         let node = self.node;
-        for seg in tcb.take_out() {
-            w.send_from(node, Packet::new(local, remote, proto::TCP, Box::new(seg)));
+        tcb.drain_out_into(&mut out);
+        for seg in out.drain(..) {
+            let b = self.boxed_seg(seg);
+            w.send_from(node, Packet::new(local, remote, proto::TCP, b));
         }
+        self.out_scratch = out;
         // Timer sync: make sure an event exists at or before each armed
         // deadline. A deadline moved later rides the already-outstanding
         // event, which lazily reschedules itself on firing.
-        let now = w.sched().now();
+        let Some(tcb) = self.conns.get_mut(&id) else {
+            return;
+        };
         for which in [Timer::Rtx, Timer::Persist, Timer::TimeWait] {
             let slot = match which {
                 Timer::Rtx => &mut tcb.rtx_timer,

@@ -290,6 +290,44 @@ impl TimerSlot {
     }
 }
 
+/// A vectored write parked in `TcpStream::write_all_blocks` with its
+/// un-queued remainder staged on the TCB. While staged, every
+/// [`Tcb::service_pending`] pass (run from `flush_conn` after each stack
+/// mutation) refills freed send-buffer space *at event time*, under the
+/// same lock that processed the ACK — the segments it generates leave in
+/// the same flush, in the same order the woken-task path would produce.
+/// The writer task itself is woken only once everything is queued or the
+/// connection dies, instead of once per ACK.
+pub(crate) struct PendingWrite {
+    /// Blocks not yet fully accepted; the front may be a partial remainder.
+    blocks: VecDeque<Bytes>,
+    /// Every byte queued: the staged write awaits pickup by its task.
+    done: bool,
+    err: Option<io::ErrorKind>,
+    waker: Waker,
+}
+
+/// A blocking chunk read parked in `TcpStream::read_chunks_min` with its
+/// demand staged on the TCB: arriving segments are drained into `out` at
+/// delivery time (same `try_read_chunks(max)` call sequence the woken task
+/// would issue, so window-update ACKs keep identical emission points and
+/// `wnd` values) and the reader wakes once `min` bytes are buffered, EOF
+/// is reached, or the connection errors.
+pub(crate) struct PendingRead {
+    /// Wake once this many bytes have been collected.
+    min: usize,
+    /// Per-call drain cap; must match the cap the task-side path uses so
+    /// consumption granularity (and thus ACK timing) is identical.
+    max: usize,
+    out: Vec<Bytes>,
+    got: usize,
+    eof: bool,
+    /// Demand satisfied (or terminated); awaiting pickup by the task.
+    ready: bool,
+    err: Option<io::ErrorKind>,
+    waker: Waker,
+}
+
 /// Result of an application write attempt.
 #[derive(Debug, PartialEq, Eq)]
 pub enum WriteOutcome {
@@ -370,6 +408,14 @@ pub struct Tcb {
     pub read_wakers: Vec<Waker>,
     pub write_wakers: Vec<Waker>,
     pub conn_wakers: Vec<Waker>,
+    /// Waiters in `drain()`: woken only when the send queue fully empties
+    /// (or the connection errors), not on every advancing ACK — a settle
+    /// over a full window would otherwise take one host slice per ACK.
+    pub drain_wakers: Vec<Waker>,
+    /// Staged vectored write serviced at event time (see [`PendingWrite`]).
+    pending_write: Option<PendingWrite>,
+    /// Staged chunk-read demand serviced at event time ([`PendingRead`]).
+    pending_read: Option<PendingRead>,
     became_established: bool,
     error: Option<io::ErrorKind>,
     /// Set when the owning socket handle has been dropped: the stack may
@@ -420,6 +466,9 @@ impl Tcb {
             read_wakers: Vec::new(),
             write_wakers: Vec::new(),
             conn_wakers: Vec::new(),
+            drain_wakers: Vec::new(),
+            pending_write: None,
+            pending_read: None,
             became_established: false,
             error: None,
             detached: false,
@@ -497,6 +546,12 @@ impl Tcb {
         std::mem::take(&mut self.out)
     }
 
+    /// Drain queued segments into `out`, keeping this Tcb's buffer (and
+    /// its capacity) for the next flush.
+    pub fn drain_out_into(&mut self, out: &mut Vec<Segment>) {
+        out.append(&mut self.out);
+    }
+
     /// One-shot flag: did this call chain establish the connection?
     pub fn take_established(&mut self) -> bool {
         std::mem::take(&mut self.became_established)
@@ -564,6 +619,16 @@ impl Tcb {
         Self::wake(&mut self.read_wakers);
         Self::wake(&mut self.write_wakers);
         Self::wake(&mut self.conn_wakers);
+        Self::wake(&mut self.drain_wakers);
+        // Staged I/O holders observe the state change on pickup (their
+        // collect call re-runs a service pass, which surfaces the error or
+        // EOF); waking is spurious-safe.
+        if let Some(pw) = &self.pending_write {
+            pw.waker.wake();
+        }
+        if let Some(pr) = &self.pending_read {
+            pr.waker.wake();
+        }
     }
 
     fn fail(&mut self, kind: io::ErrorKind) {
@@ -727,6 +792,188 @@ impl Tcb {
             self.send_ack();
         }
         Ok(ReadOutcome::Read(n))
+    }
+
+    // ---------------- staged (event-time serviced) I/O ----------------
+    //
+    // A task that would park per-ACK (writer) or per-segment (reader)
+    // instead stages its remaining work on the TCB and parks once. Every
+    // `flush_conn` runs [`Tcb::service_pending`] *before* draining `out`,
+    // so the try_write/try_read calls the woken task would have made happen
+    // at the same simulated instant, under the same lock, producing the
+    // same segments in the same order — the wire is byte-identical while
+    // task wakes collapse from per-segment to per-completion.
+
+    /// Is the staged-write slot free? Callers check before building the
+    /// staged deque so a partial remainder is never lost to a failed stage.
+    pub fn write_stage_free(&self) -> bool {
+        self.pending_write.is_none()
+    }
+
+    /// Park a vectored write: hand the un-queued remainder to the TCB.
+    /// Returns `false` when another task's staged write already occupies
+    /// the slot (the caller falls back to waker-parking).
+    pub fn stage_write(&mut self, blocks: VecDeque<Bytes>, waker: Waker) -> bool {
+        if self.pending_write.is_some() {
+            return false;
+        }
+        self.pending_write = Some(PendingWrite {
+            blocks,
+            done: false,
+            err: None,
+            waker,
+        });
+        true
+    }
+
+    /// Park a chunk read: stage a demand for `min` bytes, drained in
+    /// `max`-capped calls. Returns `false` when another task's staged read
+    /// already occupies the slot.
+    pub fn stage_read(&mut self, min: usize, max: usize, waker: Waker) -> bool {
+        if self.pending_read.is_some() {
+            return false;
+        }
+        self.pending_read = Some(PendingRead {
+            min: min.max(1),
+            max: max.max(1),
+            out: Vec::new(),
+            got: 0,
+            eof: false,
+            ready: false,
+            err: None,
+            waker,
+        });
+        true
+    }
+
+    /// Service staged I/O at event time. Write side first, matching the
+    /// legacy wake order (`process_ack` wakes writers before `process_data`
+    /// wakes readers), so segments generated by a refill precede any
+    /// window-update ACK from the drain within one flush.
+    pub fn service_pending(&mut self, now: SimTime) {
+        if self.pending_write.is_some() {
+            self.service_pending_write(now);
+        }
+        if self.pending_read.is_some() {
+            self.service_pending_read(now);
+        }
+    }
+
+    fn service_pending_write(&mut self, now: SimTime) {
+        let Some(mut pw) = self.pending_write.take() else {
+            return;
+        };
+        if !pw.done && pw.err.is_none() {
+            loop {
+                let Some(cur) = pw.blocks.front_mut() else {
+                    pw.done = true;
+                    break;
+                };
+                if cur.is_empty() {
+                    pw.blocks.pop_front();
+                    continue;
+                }
+                match self.try_write_bytes(now, cur) {
+                    Ok(WriteOutcome::Wrote(n)) if n == cur.len() => {
+                        pw.blocks.pop_front();
+                    }
+                    Ok(WriteOutcome::Wrote(n)) => {
+                        let rest = cur.slice(n..);
+                        *cur = rest;
+                    }
+                    Ok(WriteOutcome::Full) => break,
+                    Err(e) => {
+                        pw.err = Some(e.kind());
+                        break;
+                    }
+                }
+            }
+            if pw.done || pw.err.is_some() {
+                pw.waker.wake();
+            }
+        }
+        self.pending_write = Some(pw);
+    }
+
+    fn service_pending_read(&mut self, now: SimTime) {
+        let Some(mut pr) = self.pending_read.take() else {
+            return;
+        };
+        if !pr.ready {
+            while pr.got < pr.min {
+                // Per-call drain cap `max(remaining, max)`: mirrors the
+                // BufReader-style consumer this replaces — reads for at
+                // least `max` bytes pass through at full size (shrinking
+                // as data arrives), smaller tails still drain up to `max`
+                // into the caller's buffer. Keeping the legacy per-call
+                // consumption sizes keeps window-update ACK points and
+                // advertised-window values byte-identical on the wire.
+                let cap = (pr.min - pr.got).max(pr.max);
+                match self.try_read_chunks(now, cap, &mut pr.out) {
+                    Ok(ReadOutcome::Read(n)) => pr.got += n,
+                    Ok(ReadOutcome::Empty) => break,
+                    Ok(ReadOutcome::Eof) => {
+                        pr.eof = true;
+                        break;
+                    }
+                    Err(e) => {
+                        pr.err = Some(e.kind());
+                        break;
+                    }
+                }
+            }
+            if pr.got >= pr.min || pr.eof || pr.err.is_some() {
+                pr.ready = true;
+                pr.waker.wake();
+            }
+        }
+        self.pending_read = Some(pr);
+    }
+
+    /// Task-side pickup of a staged write after a wake. Runs a service pass
+    /// first (so wakes racing ahead of the next flush still progress), then
+    /// reports `None` = still waiting (re-park) or `Some(result)` with the
+    /// write unstaged.
+    pub fn collect_staged_write(&mut self, now: SimTime) -> Option<io::Result<()>> {
+        self.service_pending_write(now);
+        let finished = self
+            .pending_write
+            .as_ref()
+            .is_some_and(|pw| pw.done || pw.err.is_some());
+        if !finished {
+            return None;
+        }
+        let pw = self.pending_write.take().expect("checked above");
+        Some(match pw.err {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        })
+    }
+
+    /// Task-side pickup of a staged read after a wake. `None` = re-park;
+    /// `Some(Ok((chunks, n, eof)))` hands out the collected chunks. Errors
+    /// follow `try_read_chunks` semantics: surfaced only with no data in
+    /// hand (buffered bytes are delivered first; the error resurfaces on
+    /// the next call).
+    #[allow(clippy::type_complexity)]
+    pub fn collect_staged_read(
+        &mut self,
+        now: SimTime,
+    ) -> Option<io::Result<(Vec<Bytes>, usize, bool)>> {
+        self.service_pending_read(now);
+        let finished = self.pending_read.as_ref().is_some_and(|pr| pr.ready);
+        if !finished {
+            return None;
+        }
+        let pr = self.pending_read.take().expect("checked above");
+        Some(if pr.got == 0 {
+            match pr.err {
+                Some(e) => Err(e.into()),
+                None => Ok((pr.out, 0, true)),
+            }
+        } else {
+            Ok((pr.out, pr.got, pr.eof))
+        })
     }
 
     /// Graceful close: send FIN once queued data drains.
@@ -1149,6 +1396,9 @@ impl Tcb {
                 }
             }
             Self::wake(&mut self.write_wakers);
+            if self.send_q.is_empty() {
+                Self::wake(&mut self.drain_wakers);
+            }
             self.transmit(now);
         } else if ack == self.snd_una {
             // Window update or duplicate ACK.

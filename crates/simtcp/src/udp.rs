@@ -21,6 +21,9 @@ impl Payload for Datagram {
     fn as_any(&self) -> &dyn Any {
         self
     }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
 }
 
 struct SockState {
