@@ -6,9 +6,11 @@
 #   4. golden wire-trace gate: re-run the traced scenarios and byte-diff
 #      their digests against tests/golden/*.trace. `./ci.sh --bless`
 #      regenerates the snapshots instead of failing (commit the diff).
-#   5. quick bench-regression gate: bench_datapath --quick and
-#      bench_faults --quick vs the committed BENCH_*.json baselines via
-#      check_bench (loose tolerance — quick runs are noisier).
+#   5. quick bench-regression gate: bench_datapath / bench_faults /
+#      bench_mux / bench_storm --quick vs the committed BENCH_*.json
+#      baselines via check_bench (loose tolerance — quick runs are
+#      noisier; the mux links/walks and storm walks==pairs invariants
+#      stay exact regardless).
 #   6. fault-matrix smoke + proptests under three fixed RNG seeds
 #      (NETGRID_TEST_SEED shifts every Sim seed; the seed is printed on
 #      failure so the exact run can be replayed).
@@ -75,14 +77,17 @@ echo "=== quick bench-regression gate ==="
 "$BIN/bench_datapath" --quick --out "$FRESH/BENCH_datapath_quick.json" > /dev/null 2>&1
 "$BIN/bench_faults" --quick --out "$FRESH/BENCH_faults_quick.json" > /dev/null
 "$BIN/bench_mux" --quick --out "$FRESH/BENCH_mux_quick.json" > /dev/null
+"$BIN/bench_storm" --quick --out "$FRESH/BENCH_storm_quick.json" > /dev/null
 # Quick runs shorten criterion measurement time only, so medians are
 # comparable — but noisier, and host speed varies: use a loose tolerance.
 # run_benches.sh applies the strict 20% gate on full runs. The mux gate's
-# links/walks==1 invariant is exact regardless of tolerance.
+# links/walks==1 invariant and the storm gate's walks==pairs invariant
+# are exact regardless of tolerance.
 "$BIN/check_bench" \
   --datapath "$FRESH/BENCH_datapath_quick.json" \
   --faults "$FRESH/BENCH_faults_quick.json" \
   --mux "$FRESH/BENCH_mux_quick.json" \
+  --storm "$FRESH/BENCH_storm_quick.json" \
   --tolerance 0.35
 
 echo "=== fault-matrix smoke + proptests, 3 fixed seeds ==="

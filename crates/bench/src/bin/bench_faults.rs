@@ -102,7 +102,17 @@ fn run_one(down_ms: u64) -> RunOut {
         MSGS,
         "transfer did not complete (outcome {outcome:?}, down {down_ms} ms)"
     );
-    let total_ms = times.last().unwrap().since(times[0]).as_secs_f64() * 1e3;
+    // An empty round list (MSGS filtered to 0) delivers nothing: report a
+    // zero row instead of panicking on `times.last()`.
+    let (Some(first), Some(last)) = (times.first(), times.last()) else {
+        return RunOut {
+            bytes: 0,
+            total_ms: 0.0,
+            stall_ms: 0.0,
+            recovery_ms: 0.0,
+        };
+    };
+    let total_ms = last.since(*first).as_secs_f64() * 1e3;
     let stall_ms = times
         .windows(2)
         .map(|w| w[1].since(w[0]).as_secs_f64() * 1e3)

@@ -6,9 +6,10 @@
 //!   check_bench [--datapath fresh.json] [--base-datapath BENCH_datapath.json]
 //!               [--faults fresh.json]   [--base-faults BENCH_faults.json]
 //!               [--mux fresh.json]      [--base-mux BENCH_mux.json]
+//!               [--storm fresh.json]    [--base-storm BENCH_storm.json]
 //!               [--tolerance 0.2]
 //!
-//! Rules (per scenario, matched by `id` / `down_ms` / `channels`):
+//! Rules (per scenario, matched by `id` / `down_ms` / `channels` / `nodes`):
 //!   * datapath: fresh `mb_per_sec` below `(1 - tolerance) x` baseline fails;
 //!     fresh `allocs_per_block` above `(1 + tolerance) x baseline + 1` fails.
 //!   * faults: fresh `recovery_ms` above `2 x baseline + 50 ms` fails
@@ -18,10 +19,16 @@
 //!     same-spec channels must share ONE link found by ONE walk — no
 //!     baseline involved); fresh `setup_ms` or `recovery_ms` above
 //!     `2 x baseline + 50 ms` fails.
+//!   * storm: `walks` other than exactly `pairs` fails unconditionally (one
+//!     Figure-4 walk per distinct sender→peer pair, no more — the
+//!     single-flight dedupe — and no fewer); fresh aggregate `setup_ms`
+//!     above `2 x baseline + 50 ms` fails.
 //!
 //! Baselines are host-speed sensitive, so the default tolerance is loose;
 //! quick CI runs pass `--tolerance 0.3`. The JSON is the flat array of
-//! flat objects our bench binaries emit — parsed by hand, no serde.
+//! flat objects our bench binaries emit — parsed by hand, no serde. A
+//! truncated or malformed file (an interrupted `run_benches.sh`) is a
+//! named-file diagnostic and a nonzero exit, never a panic.
 
 use netgrid_bench::*;
 use std::collections::HashMap;
@@ -30,20 +37,20 @@ type Obj = HashMap<String, String>;
 
 /// Parse a `[ {..}, {..} ]` array of flat objects with string/number
 /// values (no nesting, no commas inside values — the shape our benches
-/// write).
-fn parse_objects(src: &str, path: &str) -> Vec<Obj> {
+/// write). Malformed input names the offending file in the error.
+fn parse_objects(src: &str, path: &str) -> Result<Vec<Obj>, String> {
     let mut out = Vec::new();
     let mut rest = src;
     while let Some(start) = rest.find('{') {
         let end = rest[start..]
             .find('}')
-            .unwrap_or_else(|| panic!("{path}: unterminated object"))
+            .ok_or_else(|| format!("{path}: unterminated object (truncated bench file?)"))?
             + start;
         let mut map = Obj::new();
         for field in rest[start + 1..end].split(',') {
             let (k, v) = field
                 .split_once(':')
-                .unwrap_or_else(|| panic!("{path}: malformed field {field:?}"));
+                .ok_or_else(|| format!("{path}: malformed field {field:?}"))?;
             map.insert(
                 k.trim().trim_matches('"').to_string(),
                 v.trim().trim_matches('"').to_string(),
@@ -52,13 +59,21 @@ fn parse_objects(src: &str, path: &str) -> Vec<Obj> {
         out.push(map);
         rest = &rest[end + 1..];
     }
-    assert!(!out.is_empty(), "{path}: no objects found");
-    out
+    if out.is_empty() {
+        return Err(format!("{path}: no objects found (empty bench file?)"));
+    }
+    Ok(out)
 }
 
+/// Load a bench file or exit(2) with a diagnostic naming it. Distinct from
+/// exit(1), which means "parsed fine, found regressions".
 fn load(path: &str) -> Vec<Obj> {
-    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
-    parse_objects(&src, path)
+    let fail = |msg: String| -> ! {
+        eprintln!("check_bench: {msg}");
+        std::process::exit(2);
+    };
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("read {path}: {e}")));
+    parse_objects(&src, path).unwrap_or_else(|e| fail(e))
 }
 
 fn num(o: &Obj, key: &str, path: &str) -> f64 {
@@ -207,6 +222,44 @@ fn check_mux(fresh_path: &str, base_path: &str, failures: &mut Vec<String>) {
     }
 }
 
+fn check_storm(fresh_path: &str, base_path: &str, failures: &mut Vec<String>) {
+    let fresh = load(fresh_path);
+    let base = load(base_path);
+    // Invariant gate first: one establishment walk per distinct
+    // sender→peer pair, exactly — more means single-flight dedupe broke
+    // under the storm, fewer means connects silently failed.
+    for f in &fresh {
+        let n = &f["nodes"];
+        let pairs = num(f, "pairs", fresh_path);
+        let walks = num(f, "walks", fresh_path);
+        if walks != pairs {
+            failures.push(format!(
+                "storm nodes={n}: walks = {walks} but distinct pairs = {pairs} (must match exactly)"
+            ));
+        }
+    }
+    let fresh_by_n = index(&fresh, "nodes", fresh_path);
+    for b in &base {
+        let n = &b["nodes"];
+        let Some(f) = fresh_by_n.get(n) else {
+            // Quick runs cover a subset of the storm matrix.
+            continue;
+        };
+        let base_v = num(b, "setup_ms", base_path);
+        let fresh_v = num(f, "setup_ms", fresh_path);
+        let ceil = base_v * 2.0 + 50.0;
+        let verdict = if fresh_v > ceil { "FAIL" } else { "ok" };
+        println!(
+            "storm nodes={n:>3} setup: {fresh_v:>8.1} ms vs baseline {base_v:>8.1} (ceil {ceil:>8.1})  {verdict}"
+        );
+        if fresh_v > ceil {
+            failures.push(format!(
+                "storm nodes={n}: aggregate setup {fresh_v:.1} ms more than doubled baseline {base_v:.1} ms"
+            ));
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let tolerance: f64 = arg_value(&args, "--tolerance")
@@ -215,9 +268,10 @@ fn main() {
     let datapath = arg_value(&args, "--datapath");
     let faults = arg_value(&args, "--faults");
     let mux = arg_value(&args, "--mux");
+    let storm = arg_value(&args, "--storm");
     assert!(
-        datapath.is_some() || faults.is_some() || mux.is_some(),
-        "nothing to check: pass --datapath, --faults and/or --mux"
+        datapath.is_some() || faults.is_some() || mux.is_some() || storm.is_some(),
+        "nothing to check: pass --datapath, --faults, --mux and/or --storm"
     );
 
     let mut failures = Vec::new();
@@ -234,6 +288,10 @@ fn main() {
         let base = arg_value(&args, "--base-mux").unwrap_or_else(|| "BENCH_mux.json".into());
         check_mux(&fresh, &base, &mut failures);
     }
+    if let Some(fresh) = storm {
+        let base = arg_value(&args, "--base-storm").unwrap_or_else(|| "BENCH_storm.json".into());
+        check_storm(&fresh, &base, &mut failures);
+    }
     if failures.is_empty() {
         println!("check_bench: no regressions");
     } else {
@@ -242,5 +300,53 @@ fn main() {
             eprintln!("  {f}");
         }
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_objects;
+
+    #[test]
+    fn well_formed_array_parses() {
+        let src = "[\n  {\"channels\": 1, \"setup_ms\": 93.0},\n  {\"channels\": 8, \"setup_ms\": 95.0}\n]\n";
+        let rows = parse_objects(src, "BENCH_mux.json").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0]["channels"], "1");
+        assert_eq!(rows[1]["setup_ms"], "95.0");
+    }
+
+    #[test]
+    fn truncated_object_is_a_named_error_not_a_panic() {
+        // An interrupted run_benches.sh leaves a file cut mid-object.
+        let src = "[\n  {\"channels\": 1, \"setup_ms\": 93.0},\n  {\"channels\": 8, \"set";
+        let err = parse_objects(src, "BENCH_mux.json").unwrap_err();
+        assert!(
+            err.contains("BENCH_mux.json"),
+            "error must name the file: {err}"
+        );
+        assert!(
+            err.contains("unterminated"),
+            "error must say what is wrong: {err}"
+        );
+    }
+
+    #[test]
+    fn malformed_field_is_a_named_error() {
+        let src = "[{\"channels\" 1}]";
+        let err = parse_objects(src, "fresh.json").unwrap_err();
+        assert!(
+            err.contains("fresh.json") && err.contains("malformed field"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        let err = parse_objects("[]\n", "empty.json").unwrap_err();
+        assert!(
+            err.contains("empty.json") && err.contains("no objects"),
+            "{err}"
+        );
     }
 }

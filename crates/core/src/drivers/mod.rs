@@ -402,6 +402,29 @@ pub type SenderStack = Box<dyn BlockWrite + Send>;
 /// The assembled receiver side of a connection.
 pub type ReceiverStack = Box<dyn BlockRead + Send>;
 
+/// One stream's GTLS handshake. Stream index `i` salts the handshake RNG
+/// so parallel handshakes stay deterministic per stream regardless of
+/// completion order.
+fn secure_handshake(
+    link: RawLink,
+    i: usize,
+    config: &SecureConfig,
+    seed: u64,
+    cpu: &HostCpu,
+    is_initiator: bool,
+) -> io::Result<WireStream> {
+    // Handshake cost: two X25519 ops + hashes, ≈ a few ms of 2004
+    // CPU; charged as 64 KiB of crypto work.
+    cpu.consume(64 * 1024, cpu.rates.crypt);
+    let mut rng = StdRng::seed_from_u64(seed ^ (i as u64) << 32 | is_initiator as u64);
+    let s = if is_initiator {
+        SecureStream::client(link, config, &mut rng)?
+    } else {
+        SecureStream::server(link, config, &mut rng)?
+    };
+    Ok(WireStream::Secure(Box::new(s)))
+}
+
 fn secure_wires(
     links: Vec<RawLink>,
     spec: &StackSpec,
@@ -409,30 +432,41 @@ fn secure_wires(
     sec: Option<&SecurityContext>,
     is_initiator: bool,
 ) -> io::Result<Vec<WireStream>> {
-    let mut wires = Vec::with_capacity(links.len());
-    for (i, link) in links.into_iter().enumerate() {
-        if spec.secure {
-            let sc = sec.ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    "stack requires a security context",
-                )
-            })?;
-            // Handshake cost: two X25519 ops + hashes, ≈ a few ms of 2004
-            // CPU; charged as 64 KiB of crypto work.
-            cpu.consume(64 * 1024, cpu.rates.crypt);
-            let mut rng = StdRng::seed_from_u64(sc.seed ^ (i as u64) << 32 | is_initiator as u64);
-            let s = if is_initiator {
-                SecureStream::client(link, &sc.config, &mut rng)?
-            } else {
-                SecureStream::server(link, &sc.config, &mut rng)?
-            };
-            wires.push(WireStream::Secure(Box::new(s)));
-        } else {
-            wires.push(WireStream::Plain(link));
-        }
+    if !spec.secure {
+        return Ok(links.into_iter().map(WireStream::Plain).collect());
     }
-    Ok(wires)
+    let sc = sec.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "stack requires a security context",
+        )
+    })?;
+    if links.len() <= 1 {
+        return links
+            .into_iter()
+            .enumerate()
+            .map(|(i, link)| secure_handshake(link, i, &sc.config, sc.seed, cpu, is_initiator))
+            .collect();
+    }
+    // Multi-stream: pipeline the handshakes instead of serializing them.
+    // Each stream's handshake is an independent RTT + crypto exchange on
+    // its own socket, so they overlap; link setup pays ~one handshake of
+    // latency instead of `streams` of them. Collected in stream order, so
+    // the assembled stack is identical to the sequential build.
+    let sched = gridsim_net::ctx::handle();
+    let handles: Vec<_> = links
+        .into_iter()
+        .enumerate()
+        .map(|(i, link)| {
+            let config = sc.config.clone();
+            let seed = sc.seed;
+            let cpu = cpu.clone();
+            sched.spawn(format!("gtls-hs-{i}"), move || {
+                secure_handshake(link, i, &config, seed, &cpu, is_initiator)
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join()).collect()
 }
 
 /// Assemble the sender stack over established raw links.

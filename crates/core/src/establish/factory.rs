@@ -16,8 +16,32 @@
 use gridsim_net::SockAddr;
 use gridsim_tcp::{SimHost, TcpStream};
 use std::io;
+use std::time::Duration;
 
 use crate::socks::socks_connect;
+
+/// Retry budget for transient local dial failures (`AddrInUse`: the
+/// ephemeral port space is momentarily exhausted during a connection
+/// storm). Ports recycle as in-flight connects finish, so a short backoff
+/// and retry degrades gracefully where the node used to fall over.
+const DIAL_RETRIES: u32 = 8;
+const DIAL_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Run `dial` with a bounded retry on [`io::ErrorKind::AddrInUse`]. Every
+/// other error — and exhaustion that outlives the budget — propagates.
+pub(crate) fn retry_addr_in_use<T>(mut dial: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut last = None;
+    for _ in 0..=DIAL_RETRIES {
+        match dial() {
+            Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+                last = Some(e);
+                gridsim_net::ctx::sleep(DIAL_BACKOFF);
+            }
+            r => return r,
+        }
+    }
+    Err(last.expect("retry loop ran at least once"))
+}
 
 /// Builds bootstrap connections: direct TCP when the site allows outbound,
 /// through the configured SOCKS proxy otherwise.
@@ -42,11 +66,13 @@ impl BootstrapSocketFactory {
         self.via_proxy.is_some()
     }
 
-    /// Open a bootstrap connection to a public service.
+    /// Open a bootstrap connection to a public service. A storm of
+    /// concurrent dials can transiently exhaust the ephemeral port space;
+    /// that surfaces as `AddrInUse` and is retried after a short backoff.
     pub fn connect(&self, addr: SockAddr) -> io::Result<TcpStream> {
-        match self.via_proxy {
+        retry_addr_in_use(|| match self.via_proxy {
             Some(proxy) => socks_connect(&self.host, proxy, addr),
             None => self.host.connect(addr),
-        }
+        })
     }
 }

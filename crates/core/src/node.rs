@@ -211,6 +211,9 @@ pub(crate) struct NodeInner {
     /// The session layer's cache of established data links (at most one
     /// per peer + stack spec).
     links: LinkTable,
+    /// OPEN / OPEN_BATCH control frames this node has written — the
+    /// batching probe: a batch of N attaches must cost one frame, not N.
+    open_frames: AtomicU64,
     /// Receive-side per-channel state shared across this node's receive
     /// ports (delivered watermarks + ack bookkeeping): mux links can carry
     /// channels of several ports, and a resume can re-anchor a channel on
@@ -317,6 +320,7 @@ impl GridNode {
             pending_splices: Mutex::new(HashMap::new()),
             ack_cells: Mutex::new(HashMap::new()),
             links: LinkTable::new(),
+            open_frames: AtomicU64::new(0),
             rx: RxShared::new(),
         });
         let node = GridNode { inner };
@@ -382,6 +386,14 @@ impl GridNode {
         self.inner.links.recoveries()
     }
 
+    /// OPEN / OPEN_BATCH control frames written by this node's senders —
+    /// the batching probe. A fresh link's anchor channel rides the stream
+    /// preamble (no frame); each later single attach costs one OPEN; a
+    /// batch of N extras costs exactly one OPEN_BATCH.
+    pub fn open_control_frames(&self) -> u64 {
+        self.inner.open_frames.load(Ordering::Relaxed)
+    }
+
     fn ctx(&self) -> NodeCtx {
         let weak = Arc::downgrade(&self.inner);
         NodeCtx {
@@ -400,9 +412,23 @@ impl GridNode {
         (self.inner.id << 24) | self.inner.next_channel.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Run `f` while holding the NAT gate (no-op on un-NATted nodes).
+    /// Does this node need the NAT gate at all? Only symmetric NATs
+    /// allocate one external port per *flow*, so only they make port
+    /// predictions order-sensitive. A cone NAT maps per internal endpoint:
+    /// concurrent flows cannot shift each other's mappings, so gating them
+    /// would only serialize a connection storm for nothing — walks to
+    /// unrelated peers run concurrently (single-flight stays per-LinkKey).
+    fn nat_serializes(&self) -> bool {
+        matches!(
+            self.inner.profile.nat,
+            Some(NatClass::SymmetricPredictable | NatClass::SymmetricRandom)
+        )
+    }
+
+    /// Run `f` while holding the NAT gate (no-op unless the node's NAT
+    /// makes mapping creation order-sensitive — see [`Self::nat_serializes`]).
     fn nat_gated<R>(&self, f: impl FnOnce() -> R) -> R {
-        if self.inner.profile.nat.is_some() {
+        if self.nat_serializes() {
             self.inner.nat_gate.acquire();
             let r = f();
             self.inner.nat_gate.release();
@@ -536,6 +562,128 @@ impl GridNode {
         Ok(conn)
     }
 
+    /// Open `count` channels to the named receive port in one batch,
+    /// returning one single-connection [`SendPort`] per channel —
+    /// semantically identical to `count` separate `connect()`s, but the
+    /// whole batch pays ONE name-service lookup, ONE link claim (a single
+    /// Figure-4 walk when the link is fresh) and ONE `OPEN_BATCH` control
+    /// frame, where sequential connects pay a lookup round trip and an
+    /// OPEN frame per channel.
+    pub fn connect_batch(&self, port_name: &str, count: usize) -> io::Result<Vec<SendPort>> {
+        let conns = self.establish_connections_batch(port_name, None, count)?;
+        let mut cells = self.inner.ack_cells.lock();
+        for conn in &conns {
+            cells.insert(conn.chan.channel, Arc::clone(&conn.chan.acked));
+        }
+        drop(cells);
+        Ok(conns
+            .into_iter()
+            .map(|conn| SendPort::with_connection(self.clone(), conn))
+            .collect())
+    }
+
+    /// Batched form of [`Self::establish_channel`]: resolve the peer once,
+    /// claim the link once, attach every channel, announce the batch.
+    fn establish_connections_batch(
+        &self,
+        port_name: &str,
+        streams_override: Option<u16>,
+        count: usize,
+    ) -> io::Result<Vec<SendConnection>> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let (rec, peer_profile, _peer_name) =
+            self.nat_gated(|| self.inner.ns.lookup_port(port_name))?;
+        let mut spec = StackSpec::decode(&rec.stack)?;
+        if let Some(n) = streams_override {
+            spec.streams = n.max(1);
+        }
+        let key = LinkKey::new(rec.owner, &spec);
+        let channels: Vec<u64> = (0..count).map(|_| self.alloc_channel()).collect();
+        let new_chan =
+            |ch: u64| Arc::new(Channel::new(ch, port_name, self.inner.env.resend_budget));
+        loop {
+            match self.inner.links.claim(&key) {
+                Claim::Ready(link) => {
+                    let chans: Vec<Arc<Channel>> = channels.iter().copied().map(new_chan).collect();
+                    let attached = chans
+                        .iter()
+                        .take_while(|c| link.attach(Arc::clone(c)))
+                        .count();
+                    if attached < chans.len() {
+                        // The link is tearing down; undo the partial batch,
+                        // GC the stale entry and re-claim (next round
+                        // establishes fresh).
+                        for c in &chans[..attached] {
+                            link.detach(c.channel);
+                        }
+                        self.inner.links.remove(&key, &link);
+                        continue;
+                    }
+                    if let Err(e) = self.open_batch_on_link(&link, &chans) {
+                        for c in &chans {
+                            link.detach(c.channel);
+                        }
+                        self.gc_link_if_empty(&key, &link);
+                        return Err(e);
+                    }
+                    return Ok(chans
+                        .into_iter()
+                        .map(|chan| SendConnection {
+                            link: Arc::clone(&link),
+                            chan,
+                        })
+                        .collect());
+                }
+                Claim::Mine => {
+                    // The first channel anchors the walk (announced by the
+                    // stream preamble itself); the rest of the batch rides
+                    // one OPEN_BATCH frame behind it.
+                    let result = self.establish_link(
+                        &key,
+                        &rec,
+                        &peer_profile,
+                        &spec,
+                        channels[0],
+                        port_name,
+                    );
+                    self.inner.links.walk_done();
+                    let anchor = match result {
+                        Ok(conn) => {
+                            self.inner.links.fulfill(&key, &conn.link);
+                            conn
+                        }
+                        Err(e) => {
+                            self.inner.links.abandon(&key);
+                            return Err(e);
+                        }
+                    };
+                    let link = Arc::clone(&anchor.link);
+                    let extras: Vec<Arc<Channel>> =
+                        channels[1..].iter().copied().map(new_chan).collect();
+                    // A just-established link still holds its anchor, so it
+                    // cannot be closing: attach cannot fail here.
+                    for c in &extras {
+                        assert!(link.attach(Arc::clone(c)), "fresh link refused attach");
+                    }
+                    if let Err(e) = self.open_batch_on_link(&link, &extras) {
+                        for c in &extras {
+                            link.detach(c.channel);
+                        }
+                        return Err(e);
+                    }
+                    let mut conns = vec![anchor];
+                    conns.extend(extras.into_iter().map(|chan| SendConnection {
+                        link: Arc::clone(&link),
+                        chan,
+                    }));
+                    return Ok(conns);
+                }
+            }
+        }
+    }
+
     /// Unregister a closed channel's ack watermark.
     pub(crate) fn release_channel(&self, channel: u64) {
         self.inner.ack_cells.lock().remove(&channel);
@@ -578,14 +726,10 @@ impl GridNode {
                     return Ok(SendConnection { link, chan });
                 }
                 Claim::Mine => {
-                    return match self.establish_link(
-                        &key,
-                        &rec,
-                        &peer_profile,
-                        &spec,
-                        channel,
-                        port_name,
-                    ) {
+                    let result =
+                        self.establish_link(&key, &rec, &peer_profile, &spec, channel, port_name);
+                    self.inner.links.walk_done();
+                    return match result {
                         Ok(conn) => {
                             self.inner.links.fulfill(&key, &conn.link);
                             Ok(conn)
@@ -616,6 +760,38 @@ impl GridNode {
                 }
             };
             if wrote {
+                self.inner.open_frames.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            self.recover_link(link, seen)?;
+        }
+    }
+
+    /// Announce a batch of channels joining an established link with ONE
+    /// `OPEN_BATCH` control frame. Same recovery contract as
+    /// [`Self::open_on_link`]: the whole batch is rewritten after any
+    /// recovery observed mid-open — the receiver treats every entry
+    /// idempotently, so always-rewrite is safe.
+    fn open_batch_on_link(&self, link: &Arc<SharedLink>, chans: &[Arc<Channel>]) -> io::Result<()> {
+        if chans.is_empty() {
+            return Ok(());
+        }
+        let entries: Vec<(u64, &str)> = chans
+            .iter()
+            .map(|c| (c.channel, c.peer_port.as_str()))
+            .collect();
+        loop {
+            let seen = link.incarnation();
+            let wrote = {
+                let mut io = link.io();
+                if io.healthy() {
+                    io.write_open_batch(&entries).is_ok()
+                } else {
+                    false
+                }
+            };
+            if wrote {
+                self.inner.open_frames.fetch_add(1, Ordering::Relaxed);
                 return Ok(());
             }
             self.recover_link(link, seen)?;
@@ -1000,7 +1176,12 @@ impl GridNode {
                 })?;
                 let mut links = Vec::with_capacity(spec.streams as usize);
                 for idx in 0..spec.streams {
-                    let s = self.nat_gated(|| self.inner.host.connect(listener))?;
+                    // Storm hardening: transient ephemeral-port exhaustion
+                    // (AddrInUse) retries outside the NAT gate, so a
+                    // symmetric-NAT node never sleeps while holding it.
+                    let s = crate::establish::factory::retry_addr_in_use(|| {
+                        self.nat_gated(|| self.inner.host.connect(listener))
+                    })?;
                     self.send_preamble(&s, channel, idx, spec.streams, resume)?;
                     links.push(RawLink::Tcp(s));
                 }
@@ -1204,7 +1385,7 @@ impl GridNode {
         let peer_eps: Vec<SockAddr> = (0..n).map(|_| r.addr()).collect::<io::Result<_>>()?;
 
         // 2. Predict and emit SYNs under the NAT gate.
-        let natted = self.inner.profile.nat.is_some();
+        let natted = self.nat_serializes();
         if natted {
             self.inner.nat_gate.acquire();
         }
@@ -1303,7 +1484,7 @@ impl GridNode {
                 self.inner.nat_gate.release();
             }
         }
-        let natted = self.inner.profile.nat.is_some();
+        let natted = self.nat_serializes();
         if natted {
             self.inner.nat_gate.acquire();
         }

@@ -281,6 +281,16 @@ impl SendPort {
         }
     }
 
+    /// A port born already connected — one element of a
+    /// [`GridNode::connect_batch`] result.
+    pub(crate) fn with_connection(node: GridNode, conn: SendConnection) -> SendPort {
+        SendPort {
+            node,
+            conns: vec![conn],
+            msg_pool: BlockPool::new(MSG_POOL_BLOCK),
+        }
+    }
+
     /// Connect to the named receive port. If the session layer already
     /// holds an established link to that peer with the same stack spec,
     /// the new channel attaches to it (no new establishment); otherwise
@@ -820,34 +830,59 @@ impl ReceivePortInner {
                         }
                         (ch, len as usize)
                     }
-                    mux::OPEN => {
-                        let Some(ch) = cur.read_varint() else {
-                            break;
-                        };
-                        let Some(name_len) = cur.read_varint() else {
-                            break;
-                        };
-                        if name_len > 4096 {
-                            break;
-                        }
-                        let Some(name) = cur.read_exact_vec(name_len as usize) else {
-                            break;
-                        };
-                        let Ok(name) = String::from_utf8(name) else {
-                            break;
-                        };
-                        // Idempotent: a recovery replays OPENs for channels
-                        // whose announcement the flap may have eaten.
-                        if let std::collections::hash_map::Entry::Vacant(slot) = live.entry(ch) {
-                            let seq = {
-                                let mut st = self.rx.ack_state.lock();
-                                st.entry(ch).or_default().pumps += 1;
-                                *self.rx.delivered.lock().entry(ch).or_insert(0)
+                    mux::OPEN | mux::OPEN_BATCH => {
+                        // OPEN carries one (channel, name) entry; OPEN_BATCH
+                        // prefixes a count and carries `n` of them (the
+                        // RESUME preamble's extras encoding).
+                        let n = if first == mux::OPEN_BATCH {
+                            let Some(n) = cur.read_varint() else {
+                                break;
                             };
-                            slot.insert(LiveChan {
-                                seq,
-                                inner: resolve(&name),
-                            });
+                            if n > 4096 {
+                                break; // corrupt count
+                            }
+                            n
+                        } else {
+                            1
+                        };
+                        let mut ok = true;
+                        for _ in 0..n {
+                            let (Some(ch), Some(name_len)) = (cur.read_varint(), cur.read_varint())
+                            else {
+                                ok = false;
+                                break;
+                            };
+                            if name_len > 4096 {
+                                ok = false;
+                                break;
+                            }
+                            let Some(name) = cur.read_exact_vec(name_len as usize) else {
+                                ok = false;
+                                break;
+                            };
+                            let Ok(name) = String::from_utf8(name) else {
+                                ok = false;
+                                break;
+                            };
+                            // Idempotent: a recovery replays OPENs for
+                            // channels whose announcement the flap may have
+                            // eaten, and a recovered batch is rewritten
+                            // wholesale.
+                            if let std::collections::hash_map::Entry::Vacant(slot) = live.entry(ch)
+                            {
+                                let seq = {
+                                    let mut st = self.rx.ack_state.lock();
+                                    st.entry(ch).or_default().pumps += 1;
+                                    *self.rx.delivered.lock().entry(ch).or_insert(0)
+                                };
+                                slot.insert(LiveChan {
+                                    seq,
+                                    inner: resolve(&name),
+                                });
+                            }
+                        }
+                        if !ok {
+                            break;
                         }
                         continue;
                     }

@@ -213,6 +213,9 @@ struct RcInner {
 const RECONNECT_ATTEMPTS: u32 = 6;
 const RECONNECT_BASE: std::time::Duration = std::time::Duration::from_millis(100);
 const RECONNECT_CAP: std::time::Duration = std::time::Duration::from_secs(2);
+/// Initial-connect sweeps over the relay list before `join` gives up.
+const HELLO_SWEEPS: u32 = 3;
+const HELLO_SWEEP_BACKOFF: std::time::Duration = std::time::Duration::from_millis(100);
 /// In-flight service requests failed by a relay loss are retried for this
 /// long (spanning the redial backoff) before the error surfaces.
 const SVC_RETRY_WINDOW: std::time::Duration = std::time::Duration::from_secs(6);
@@ -254,13 +257,23 @@ impl RelayClient {
         let factory = BootstrapSocketFactory::new(host.clone(), via_proxy);
         let mut dialed = None;
         let mut last_err: io::Error = io::ErrorKind::AddrNotAvailable.into();
-        for (idx, &addr) in relay_addrs.iter().enumerate() {
-            match Self::dial_hello(&factory, addr, id) {
-                Ok(stream) => {
-                    dialed = Some((stream, idx));
-                    break;
+        // A login storm can transiently refuse dials (relay accept backlog
+        // full) even though the relay is healthy; sweep the ordered list a
+        // few times with a short backoff before declaring failure. Local
+        // ephemeral-port exhaustion is retried below this, inside
+        // `factory.connect`.
+        'sweep: for round in 0..HELLO_SWEEPS {
+            if round > 0 {
+                gridsim_net::ctx::sleep(HELLO_SWEEP_BACKOFF);
+            }
+            for (idx, &addr) in relay_addrs.iter().enumerate() {
+                match Self::dial_hello(&factory, addr, id) {
+                    Ok(stream) => {
+                        dialed = Some((stream, idx));
+                        break 'sweep;
+                    }
+                    Err(e) => last_err = e,
                 }
-                Err(e) => last_err = e,
             }
         }
         let Some((stream, idx)) = dialed else {

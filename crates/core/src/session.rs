@@ -257,6 +257,33 @@ impl LinkIo {
         self.writer.flush()
     }
 
+    /// Announce a batch of channels joining the link in ONE control frame
+    /// (and one flush): `OPEN_BATCH [n][(channel, name)]*`, reusing the
+    /// RESUME preamble's extras encoding. Semantically identical to N
+    /// sequential OPENs — the receiver treats every entry idempotently —
+    /// but a storm of attaches costs one frame instead of N. Batches of
+    /// one fall back to the singular OPEN so existing traces hold.
+    pub fn write_open_batch(&mut self, chans: &[(u64, &str)]) -> io::Result<()> {
+        if let [(channel, name)] = chans {
+            return self.write_open(*channel, name);
+        }
+        self.upgrade_mux()?;
+        let mut hdr = [0u8; 20];
+        let mut n = 0;
+        n += varint::put_slice(&mut hdr[n..], mux::OPEN_BATCH);
+        n += varint::put_slice(&mut hdr[n..], chans.len() as u64);
+        self.writer.write_all(&hdr[..n])?;
+        for (channel, name) in chans {
+            let mut ent = [0u8; 20];
+            let mut m = 0;
+            m += varint::put_slice(&mut ent[m..], *channel);
+            m += varint::put_slice(&mut ent[m..], name.len() as u64);
+            self.writer.write_all(&ent[..m])?;
+            self.writer.write_all(name.as_bytes())?;
+        }
+        self.writer.flush()
+    }
+
     /// Announce a clean per-channel close (the link itself stays up).
     /// Only meaningful in tagged framing — a legacy link closes by EOF.
     pub fn write_close(&mut self, channel: u64) -> io::Result<()> {
@@ -508,6 +535,26 @@ pub(crate) struct LinkTable {
     recoveries: AtomicU64,
 }
 
+/// Process-wide walk concurrency gauge, across every node in the
+/// simulation: single-flight is per-`LinkKey`, so walks to *different*
+/// peers run concurrently, and a storm bench proves it by watching the
+/// peak here. Purely observational — never read by protocol code.
+static WALKS_IN_FLIGHT: AtomicU64 = AtomicU64::new(0);
+static WALKS_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// Reset the process-wide walk concurrency gauge (call between storm
+/// scenarios sharing one process).
+pub fn walk_gauge_reset() {
+    WALKS_IN_FLIGHT.store(0, Ordering::Relaxed);
+    WALKS_PEAK.store(0, Ordering::Relaxed);
+}
+
+/// Highest number of Figure-4 walks in flight at once since the last
+/// [`walk_gauge_reset`], across all nodes.
+pub fn walk_gauge_peak() -> u64 {
+    WALKS_PEAK.load(Ordering::Relaxed)
+}
+
 impl LinkTable {
     pub fn new() -> LinkTable {
         LinkTable {
@@ -573,6 +620,17 @@ impl LinkTable {
 
     pub fn note_walk(&self) {
         self.walks.fetch_add(1, Ordering::Relaxed);
+        let now = WALKS_IN_FLIGHT.fetch_add(1, Ordering::Relaxed) + 1;
+        WALKS_PEAK.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// The walk counted by the matching [`note_walk`] finished (either
+    /// way); keeps the concurrency gauge honest.
+    pub fn walk_done(&self) {
+        // Saturating: a reset mid-walk must not wrap the gauge.
+        let _ = WALKS_IN_FLIGHT.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
     }
 
     pub fn walks(&self) -> u64 {

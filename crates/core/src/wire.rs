@@ -36,6 +36,10 @@ pub(crate) mod mux {
     pub const OPEN: u64 = 1;
     /// A channel closed cleanly; the link itself stays up.
     pub const CLOSE: u64 = 2;
+    /// A batch of channels joins the link in one control frame:
+    /// `[n][(channel, name)]*` — the RESUME preamble's extras encoding.
+    /// Semantically N OPENs; the receiver handles each idempotently.
+    pub const OPEN_BATCH: u64 = 3;
 }
 
 /// An encoder for one frame.

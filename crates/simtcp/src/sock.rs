@@ -604,7 +604,7 @@ impl SimHost {
                 let src_ip = w.source_ip_for(h.node, remote.ip);
                 let port = match opts.local_port {
                     Some(p) => p,
-                    None => h.alloc_ephemeral(src_ip),
+                    None => h.alloc_ephemeral(src_ip)?,
                 };
                 let local = SockAddr::new(src_ip, port);
                 let id = h.start_connect(w, cfg, local, remote)?;

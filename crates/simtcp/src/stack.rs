@@ -114,8 +114,10 @@ impl TcpHost {
     }
 
     /// Allocate an ephemeral port not currently bound or in use towards any
-    /// peer.
-    pub fn alloc_ephemeral(&mut self, local_ip: Ip) -> u16 {
+    /// peer. Exhaustion is a retryable condition, not a crash: a connection
+    /// storm that burns through the span gets `AddrInUse` and can back off
+    /// until closes recycle ports.
+    pub fn alloc_ephemeral(&mut self, local_ip: Ip) -> io::Result<u16> {
         for _ in 0..EPHEMERAL_SPAN {
             let p = self.next_ephemeral;
             self.next_ephemeral = if self.next_ephemeral >= EPHEMERAL_BASE + EPHEMERAL_SPAN - 1 {
@@ -129,10 +131,13 @@ impl TcpHost {
                     .keys()
                     .any(|(l, _)| l.port == p && (l.ip == local_ip || l.ip.is_unspecified()));
             if !used {
-                return p;
+                return Ok(p);
             }
         }
-        panic!("ephemeral port space exhausted on node {:?}", self.node);
+        Err(io::Error::new(
+            io::ErrorKind::AddrInUse,
+            format!("ephemeral port space exhausted on node {:?}", self.node),
+        ))
     }
 
     /// Bind a specific port (for listeners and spliced connects).
@@ -464,4 +469,38 @@ pub fn with_host<R>(
     let r = f(&mut boxed, w);
     w.put_proto_state(node, proto::TCP, boxed);
     r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhausting the ephemeral span must surface a retryable `AddrInUse`
+    /// (not a panic), and releasing ports must make allocation work again.
+    #[test]
+    fn ephemeral_exhaustion_is_retryable_and_recycles() {
+        let mut h = TcpHost::new(NodeId(0));
+        let ip = Ip(0x0a00_0001);
+        for p in EPHEMERAL_BASE..EPHEMERAL_BASE + EPHEMERAL_SPAN {
+            h.bind_port(p).unwrap();
+        }
+        let err = h.alloc_ephemeral(ip).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
+        // A second attempt fails the same way — the allocator must not
+        // corrupt its cursor while exhausted.
+        assert_eq!(
+            h.alloc_ephemeral(ip).unwrap_err().kind(),
+            io::ErrorKind::AddrInUse
+        );
+        // Recycle a few ports: allocation succeeds again and hands back
+        // ports from the freed set.
+        for p in [EPHEMERAL_BASE + 7, EPHEMERAL_BASE + 8] {
+            h.release_port(p);
+        }
+        let a = h.alloc_ephemeral(ip).unwrap();
+        h.bind_port(a).unwrap();
+        let b = h.alloc_ephemeral(ip).unwrap();
+        assert_ne!(a, b);
+        assert!((a == EPHEMERAL_BASE + 7 || a == EPHEMERAL_BASE + 8) && b != a);
+    }
 }

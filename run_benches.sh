@@ -1,9 +1,10 @@
 #!/bin/bash
 # Regenerates every table and figure (see EXPERIMENTS.md). ~15-30 min.
 # Also refreshes the committed bench baselines (BENCH_datapath.json,
-# BENCH_faults.json, BENCH_mux.json) and gates the fresh numbers against
-# the previous ones with check_bench (strict 20% throughput / 2x recovery
-# rule, plus the exact one-link-per-peer mux invariant).
+# BENCH_faults.json, BENCH_mux.json, BENCH_storm.json) and gates the
+# fresh numbers against the previous ones with check_bench (strict 20%
+# throughput / 2x recovery rule, plus the exact one-link-per-peer mux
+# invariant and the exact walks==pairs storm invariant).
 set -u
 cd "$(dirname "$0")"
 BIN=./target/release
@@ -24,6 +25,7 @@ mkdir -p target
 cp BENCH_datapath.json target/BENCH_datapath.baseline.json
 cp BENCH_faults.json target/BENCH_faults.baseline.json
 cp BENCH_mux.json target/BENCH_mux.baseline.json
+cp BENCH_storm.json target/BENCH_storm.baseline.json
 
 echo "################################################################"
 echo "### bench_datapath (writes BENCH_datapath.json)"
@@ -44,10 +46,17 @@ echo "################################################################"
 echo
 
 echo "################################################################"
+echo "### bench_storm (writes BENCH_storm.json)"
+echo "################################################################"
+"$BIN/bench_storm"
+echo
+
+echo "################################################################"
 echo "### check_bench (fresh full runs vs previous baselines)"
 echo "################################################################"
 "$BIN/check_bench" \
   --datapath BENCH_datapath.json --base-datapath target/BENCH_datapath.baseline.json \
   --faults BENCH_faults.json --base-faults target/BENCH_faults.baseline.json \
   --mux BENCH_mux.json --base-mux target/BENCH_mux.baseline.json \
+  --storm BENCH_storm.json --base-storm target/BENCH_storm.baseline.json \
   --tolerance 0.2
