@@ -1,106 +1,166 @@
 #!/bin/bash
-# Repo gate. Stages:
-#   1. cargo fmt --check
-#   2. cargo clippy --workspace -D warnings
-#   3. release build (bench bins are used by later stages)
-#   4. golden wire-trace gate: re-run the traced scenarios and byte-diff
-#      their digests against tests/golden/*.trace. `./ci.sh --bless`
-#      regenerates the snapshots instead of failing (commit the diff).
-#   5. quick bench-regression gate: bench_datapath / bench_faults /
-#      bench_mux / bench_storm --quick vs the committed BENCH_*.json
-#      baselines via check_bench (loose tolerance — quick runs are
-#      noisier; the mux links/walks and storm walks==pairs invariants
-#      stay exact regardless).
-#   6. fault-matrix smoke + proptests under three fixed RNG seeds
-#      (NETGRID_TEST_SEED shifts every Sim seed; the seed is printed on
-#      failure so the exact run can be replayed).
-#   7. full workspace test suite.
+# Repo gate, organized as named stages:
+#
+#   fmt     cargo fmt --check
+#   clippy  cargo clippy --workspace -D warnings
+#   golden  golden wire-trace gate: re-run the traced scenarios and
+#           byte-diff their digests against tests/golden/*.trace.
+#           `./ci.sh --bless` (or `--stage golden --bless`) regenerates
+#           the snapshots instead of failing (commit the diff).
+#   bench   quick bench-regression gate: every bench with a committed
+#           BENCH_*.json baseline runs --quick, then check_bench --all
+#           verifies the fresh set matches the baseline set one-to-one
+#           (a bench missing from this stage is itself a failure) and
+#           applies each suite's typed gates (loose tolerance — quick
+#           runs are noisier; the structural invariants stay exact:
+#           mux links/walks==1, storm walks==pairs, relaymesh 4-relay
+#           scaling >= 2x + BUSY engagement + failover FIFO).
+#   faults  fault-matrix smoke under three fixed RNG seeds, over the
+#           faults, storm and relay_mesh suites (NETGRID_TEST_SEED
+#           shifts every Sim seed; the replay command is printed on
+#           failure).
+#   test    full workspace test suite.
+#
+# `./ci.sh` runs everything in the order above (golden and bench build
+# the release workspace first). `./ci.sh --stage bench` runs one stage;
+# repeat or comma-separate to pick several (`--stage fmt,clippy`).
+# Every run ends with a per-stage wall-clock summary.
 # run_benches.sh covers the full (slow) perf side separately.
 set -eu
 cd "$(dirname "$0")"
 
 BLESS=0
-for a in "$@"; do
-  [ "$a" = "--bless" ] && BLESS=1
+STAGES=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --bless) BLESS=1 ;;
+    --stage) shift; STAGES="$STAGES ${1//,/ }" ;;
+    --stage=*) a=${1#--stage=}; STAGES="$STAGES ${a//,/ }" ;;
+    *) echo "ci.sh: unknown argument $1 (try --stage fmt|clippy|golden|bench|faults|test, --bless)"; exit 2 ;;
+  esac
+  shift
 done
-
-echo "=== cargo fmt --check ==="
-cargo fmt --check
-
-echo "=== cargo clippy --workspace -- -D warnings ==="
-cargo clippy --workspace -- -D warnings
-
-echo "=== cargo build --release --workspace ==="
-cargo build --release --workspace
+[ -z "$STAGES" ] && STAGES="fmt clippy golden bench faults test"
+for s in $STAGES; do
+  case "$s" in
+    fmt|clippy|golden|bench|faults|test) ;;
+    *) echo "ci.sh: unknown stage '$s' (fmt|clippy|golden|bench|faults|test)"; exit 2 ;;
+  esac
+done
 
 BIN=./target/release
 GOLD=tests/golden
 FRESH=target/golden
 mkdir -p "$FRESH"
 
-echo "=== golden wire-trace gate ==="
-# Each entry: trace-name :: command. The digest file hashes every packet
-# event of every run in the binary, so any wire-level divergence fails.
-run_trace() { # name cmd...
-  local name=$1; shift
-  echo "--- $name: $*"
-  NETGRID_TRACE="$FRESH/$name.trace" "$@" > /dev/null
+# The release workspace build backs the golden and bench stages; run it
+# once per invocation, only when a stage needs the bins.
+BUILT=0
+ensure_build() {
+  if [ "$BUILT" = 0 ]; then
+    echo "--- cargo build --release --workspace"
+    cargo build --release --workspace
+    BUILT=1
+  fi
 }
-run_trace fig9_quick "$BIN/fig9_amsterdam_rennes" --quick
-run_trace dbg_bw "$BIN/dbg_bw" --total 2097152
-run_trace mux_pair "$BIN/bench_mux" --pair
-# table1's golden is the binary's full stdout (method matrix + establishment
-# outcomes), which pins the same simulations at the application level.
-echo "--- table1: $BIN/table1_matrix (stdout snapshot)"
-"$BIN/table1_matrix" > "$FRESH/table1.trace"
 
-fail=0
-for t in fig9_quick dbg_bw mux_pair table1; do
-  if [ "$BLESS" = 1 ]; then
-    cp "$FRESH/$t.trace" "$GOLD/$t.trace"
-    echo "blessed $GOLD/$t.trace"
-  elif ! cmp -s "$GOLD/$t.trace" "$FRESH/$t.trace"; then
-    echo "GOLDEN TRACE DIFF: $t"
-    diff "$GOLD/$t.trace" "$FRESH/$t.trace" | head -20 || true
-    fail=1
-  else
-    echo "golden $t: identical"
+stage_fmt() {
+  cargo fmt --check
+}
+
+stage_clippy() {
+  cargo clippy --workspace -- -D warnings
+}
+
+stage_golden() {
+  ensure_build
+  # Each entry: trace-name :: command. The digest file hashes every packet
+  # event of every run in the binary, so any wire-level divergence fails.
+  run_trace() { # name cmd...
+    local name=$1; shift
+    echo "--- $name: $*"
+    NETGRID_TRACE="$FRESH/$name.trace" "$@" > /dev/null
+  }
+  run_trace fig9_quick "$BIN/fig9_amsterdam_rennes" --quick
+  run_trace dbg_bw "$BIN/dbg_bw" --total 2097152
+  run_trace mux_pair "$BIN/bench_mux" --pair
+  # table1's golden is the binary's full stdout (method matrix +
+  # establishment outcomes), which pins the same simulations at the
+  # application level.
+  echo "--- table1: $BIN/table1_matrix (stdout snapshot)"
+  "$BIN/table1_matrix" > "$FRESH/table1.trace"
+
+  local fail=0 t
+  for t in fig9_quick dbg_bw mux_pair table1; do
+    if [ "$BLESS" = 1 ]; then
+      cp "$FRESH/$t.trace" "$GOLD/$t.trace"
+      echo "blessed $GOLD/$t.trace"
+    elif ! cmp -s "$GOLD/$t.trace" "$FRESH/$t.trace"; then
+      echo "GOLDEN TRACE DIFF: $t"
+      diff "$GOLD/$t.trace" "$FRESH/$t.trace" | head -20 || true
+      fail=1
+    else
+      echo "golden $t: identical"
+    fi
+  done
+  if [ "$fail" = 1 ]; then
+    echo "wire traces diverged from tests/golden/. If the change is intended,"
+    echo "re-run './ci.sh --bless' and commit the updated snapshots."
+    return 1
   fi
-done
-if [ "$fail" = 1 ]; then
-  echo "wire traces diverged from tests/golden/. If the change is intended,"
-  echo "re-run './ci.sh --bless' and commit the updated snapshots."
-  exit 1
-fi
+}
 
-echo "=== quick bench-regression gate ==="
-"$BIN/bench_datapath" --quick --out "$FRESH/BENCH_datapath_quick.json" > /dev/null 2>&1
-"$BIN/bench_faults" --quick --out "$FRESH/BENCH_faults_quick.json" > /dev/null
-"$BIN/bench_mux" --quick --out "$FRESH/BENCH_mux_quick.json" > /dev/null
-"$BIN/bench_storm" --quick --out "$FRESH/BENCH_storm_quick.json" > /dev/null
-# Quick runs shorten criterion measurement time only, so medians are
-# comparable — but noisier, and host speed varies: use a loose tolerance.
-# run_benches.sh applies the strict 20% gate on full runs. The mux gate's
-# links/walks==1 invariant and the storm gate's walks==pairs invariant
-# are exact regardless of tolerance.
-"$BIN/check_bench" \
-  --datapath "$FRESH/BENCH_datapath_quick.json" \
-  --faults "$FRESH/BENCH_faults_quick.json" \
-  --mux "$FRESH/BENCH_mux_quick.json" \
-  --storm "$FRESH/BENCH_storm_quick.json" \
-  --tolerance 0.35
+stage_bench() {
+  ensure_build
+  # Fresh quick runs land in their own dir under the baseline names, so
+  # check_bench --all can pair them with the repo-root BENCH_*.json set
+  # and fail (exit 2) on any bench missing from this stage.
+  local QUICK="$FRESH/bench"
+  rm -rf "$QUICK" && mkdir -p "$QUICK"
+  "$BIN/bench_datapath" --quick --out "$QUICK/BENCH_datapath.json" > /dev/null 2>&1
+  "$BIN/bench_faults" --quick --out "$QUICK/BENCH_faults.json" > /dev/null
+  "$BIN/bench_mux" --quick --out "$QUICK/BENCH_mux.json" > /dev/null
+  "$BIN/bench_storm" --quick --out "$QUICK/BENCH_storm.json" > /dev/null
+  "$BIN/bench_relay_mesh" --quick --out "$QUICK/BENCH_relaymesh.json" > /dev/null
+  # Quick runs shorten the workload only, so structural gates hold; host
+  # speed varies, so the drift tolerance is loose. run_benches.sh applies
+  # the strict 20% gate on full runs.
+  "$BIN/check_bench" --all --fresh-dir "$QUICK" --tolerance 0.35
+}
 
-echo "=== fault-matrix smoke + proptests, 3 fixed seeds ==="
-for seed in 0 7 13; do
-  echo "--- NETGRID_TEST_SEED=$seed"
-  if ! NETGRID_TEST_SEED=$seed cargo test -q -p netgrid --test faults --release; then
-    echo "FAULT MATRIX FAILED under NETGRID_TEST_SEED=$seed"
-    echo "replay with: NETGRID_TEST_SEED=$seed cargo test -p netgrid --test faults"
-    exit 1
+stage_faults() {
+  local seed suite
+  for seed in 0 7 13; do
+    for suite in faults storm relay_mesh; do
+      echo "--- NETGRID_TEST_SEED=$seed --test $suite"
+      if ! NETGRID_TEST_SEED=$seed cargo test -q -p netgrid --test "$suite" --release; then
+        echo "FAULT MATRIX FAILED: suite $suite under NETGRID_TEST_SEED=$seed"
+        echo "replay with: NETGRID_TEST_SEED=$seed cargo test -p netgrid --test $suite"
+        return 1
+      fi
+    done
+  done
+}
+
+stage_test() {
+  cargo test -q --workspace
+}
+
+SUMMARY=""
+t_total=$SECONDS
+for s in $STAGES; do
+  echo "=== stage $s ==="
+  t0=$SECONDS
+  rc=0
+  "stage_$s" || rc=$?
+  dt=$((SECONDS - t0))
+  if [ "$rc" != 0 ]; then
+    SUMMARY="$SUMMARY$(printf '  %-8s %5ss  FAILED' "$s" "$dt")\n"
+    printf 'ci summary (wall clock):\n%b' "$SUMMARY"
+    exit "$rc"
   fi
+  SUMMARY="$SUMMARY$(printf '  %-8s %5ss  ok' "$s" "$dt")\n"
 done
-
-echo "=== cargo test -q --workspace ==="
-cargo test -q --workspace
-
-echo "ci: all checks passed"
+printf 'ci summary (wall clock):\n%b' "$SUMMARY"
+printf '  %-8s %5ss\n' total $((SECONDS - t_total))
+echo "ci: all stages passed"

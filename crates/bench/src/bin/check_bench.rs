@@ -3,11 +3,18 @@
 //! regressions.
 //!
 //! Usage:
-//!   check_bench [--datapath fresh.json] [--base-datapath BENCH_datapath.json]
-//!               [--faults fresh.json]   [--base-faults BENCH_faults.json]
-//!               [--mux fresh.json]      [--base-mux BENCH_mux.json]
-//!               [--storm fresh.json]    [--base-storm BENCH_storm.json]
+//!   check_bench [--datapath fresh.json]  [--base-datapath BENCH_datapath.json]
+//!               [--faults fresh.json]    [--base-faults BENCH_faults.json]
+//!               [--mux fresh.json]       [--base-mux BENCH_mux.json]
+//!               [--storm fresh.json]     [--base-storm BENCH_storm.json]
+//!               [--relaymesh fresh.json] [--base-relaymesh BENCH_relaymesh.json]
+//!               [--all [--fresh-dir DIR]]
 //!               [--tolerance 0.2]
+//!
+//! `--all` discovers every `BENCH_*.json` baseline at the repo root and
+//! requires a same-named fresh run in `--fresh-dir`: a baseline with no
+//! fresh run (a bench not wired into the quick gate) or a fresh file with
+//! no committed baseline is exit 2, naming the file.
 //!
 //! Rules (per scenario, matched by `id` / `down_ms` / `channels` / `nodes`):
 //!   * datapath: fresh `mb_per_sec` below `(1 - tolerance) x` baseline fails;
@@ -23,6 +30,12 @@
 //!     Figure-4 walk per distinct sender→peer pair, no more — the
 //!     single-flight dedupe — and no fewer); fresh aggregate `setup_ms`
 //!     above `2 x baseline + 50 ms` fails.
+//!   * relaymesh: structural gates on the fresh run — 4-relay spread
+//!     aggregate below `2 x` the 1-relay aggregate fails (the mesh must
+//!     scale), skew `busy_throttles` of zero fails (typed backpressure
+//!     must engage under one-hot load), kill `fifo_ok != 1` fails
+//!     (exactly-once FIFO across relay failover) — plus the usual
+//!     tolerance floor on spread `mb_s` against the baseline.
 //!
 //! Baselines are host-speed sensitive, so the default tolerance is loose;
 //! quick CI runs pass `--tolerance 0.3`. The JSON is the flat array of
@@ -260,6 +273,161 @@ fn check_storm(fresh_path: &str, base_path: &str, failures: &mut Vec<String>) {
     }
 }
 
+fn check_relaymesh(fresh_path: &str, base_path: &str, tolerance: f64, failures: &mut Vec<String>) {
+    let fresh = load(fresh_path);
+    let base = load(base_path);
+    // Structural gates first, on the FRESH run alone — these hold at any
+    // host speed and any quick/full matrix size.
+    let mut spread: HashMap<String, f64> = HashMap::new();
+    for f in &fresh {
+        let round = f.get("round").cloned().unwrap_or_default();
+        match round.as_str() {
+            "spread" => {
+                spread.insert(f["relays"].clone(), num(f, "mb_s", fresh_path));
+            }
+            "skew" => {
+                let busy = num(f, "busy_throttles", fresh_path);
+                let verdict = if busy >= 1.0 { "ok" } else { "FAIL" };
+                println!("relaymesh skew: busy_throttles = {busy}  {verdict}");
+                if busy < 1.0 {
+                    failures.push(
+                        "relaymesh skew: busy_throttles = 0 (one-hot overload drew no typed \
+                         backpressure — sharded plane not throttling)"
+                            .into(),
+                    );
+                }
+            }
+            "kill" => {
+                let ok = num(f, "fifo_ok", fresh_path);
+                let verdict = if ok == 1.0 { "ok" } else { "FAIL" };
+                println!("relaymesh kill: fifo_ok = {ok}  {verdict}");
+                if ok != 1.0 {
+                    failures.push(
+                        "relaymesh kill: transfer across a mid-stream relay kill was not \
+                         exactly-once FIFO"
+                            .into(),
+                    );
+                }
+            }
+            _ => failures.push(format!(
+                "relaymesh: unknown round {round:?} in {fresh_path}"
+            )),
+        }
+    }
+    match (spread.get("1"), spread.get("4")) {
+        (Some(&one), Some(&four)) => {
+            let ratio = four / one;
+            let verdict = if ratio >= 2.0 { "ok" } else { "FAIL" };
+            println!(
+                "relaymesh spread: 4-relay {four:.2} MB/s / 1-relay {one:.2} MB/s = {ratio:.2}x (need >= 2.0x)  {verdict}"
+            );
+            if ratio < 2.0 {
+                failures.push(format!(
+                    "relaymesh spread: aggregate throughput scaled only {ratio:.2}x from 1 to 4 \
+                     relays (mesh must buy at least 2x)"
+                ));
+            }
+        }
+        _ => failures.push(format!(
+            "relaymesh: {fresh_path} lacks spread rows for relays=1 and relays=4"
+        )),
+    }
+    // Baseline drift on the spread rows. Keyed by relays AND pairs: the
+    // quick matrix runs fewer pairs than the committed full baseline, and
+    // aggregate MB/s is workload-shaped, so only identical points compare
+    // (rows in just one file are skipped, like the other suites).
+    let keyed = |rows: &[Obj]| -> HashMap<String, Obj> {
+        rows.iter()
+            .filter(|r| r.get("round").map(String::as_str) == Some("spread"))
+            .map(|r| (format!("{} pairs={}", r["relays"], r["pairs"]), r.clone()))
+            .collect()
+    };
+    let fresh_by_k = keyed(&fresh);
+    for (k, b) in keyed(&base) {
+        let Some(f) = fresh_by_k.get(&k) else {
+            continue;
+        };
+        let base_mb = num(&b, "mb_s", base_path);
+        let fresh_mb = num(f, "mb_s", fresh_path);
+        let floor = base_mb * (1.0 - tolerance);
+        let verdict = if fresh_mb < floor { "FAIL" } else { "ok" };
+        println!(
+            "relaymesh spread relays={k}: {fresh_mb:>7.2} MB/s vs baseline {base_mb:>7.2} (floor {floor:>7.2})  {verdict}"
+        );
+        if fresh_mb < floor {
+            failures.push(format!(
+                "relaymesh spread relays={k}: {fresh_mb:.2} MB/s regressed more than {:.0}% below baseline {base_mb:.2}",
+                tolerance * 100.0
+            ));
+        }
+    }
+}
+
+/// `BENCH_*.json` filenames in `dir`, sorted.
+fn discover(dir: &str) -> Vec<String> {
+    let mut out: Vec<String> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| {
+            eprintln!("check_bench: read dir {dir}: {e}");
+            std::process::exit(2);
+        })
+        .filter_map(|ent| {
+            let name = ent.ok()?.file_name().into_string().ok()?;
+            (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(name)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// `--all`: every committed repo-root baseline must have a fresh
+/// counterpart in `fresh_dir` (and nothing unaccounted-for the other way),
+/// each must parse, and known suites get their typed gate. A missing or
+/// extra file is a coverage hole in the bench harness itself — exit 2,
+/// naming it — not a perf regression.
+fn check_all(fresh_dir: &str, tolerance: f64, failures: &mut Vec<String>) {
+    let base_files = discover(".");
+    let fresh_files = discover(fresh_dir);
+    if base_files.is_empty() {
+        eprintln!("check_bench: no BENCH_*.json baselines in the current directory");
+        std::process::exit(2);
+    }
+    let missing: Vec<&String> = base_files
+        .iter()
+        .filter(|f| !fresh_files.contains(f))
+        .collect();
+    let extra: Vec<&String> = fresh_files
+        .iter()
+        .filter(|f| !base_files.contains(f))
+        .collect();
+    if !missing.is_empty() || !extra.is_empty() {
+        for f in &missing {
+            eprintln!("check_bench: baseline {f} has no fresh run in {fresh_dir} (bench not wired into the quick gate?)");
+        }
+        for f in &extra {
+            eprintln!("check_bench: fresh {fresh_dir}/{f} has no committed repo-root baseline (run the full suite and commit it)");
+        }
+        std::process::exit(2);
+    }
+    for name in &base_files {
+        let fresh = format!("{fresh_dir}/{name}");
+        println!("--- {name}");
+        match name.as_str() {
+            "BENCH_datapath.json" => check_datapath(&fresh, name, tolerance, failures),
+            "BENCH_faults.json" => check_faults(&fresh, name, tolerance, failures),
+            "BENCH_mux.json" => check_mux(&fresh, name, failures),
+            "BENCH_storm.json" => check_storm(&fresh, name, failures),
+            "BENCH_relaymesh.json" => check_relaymesh(&fresh, name, tolerance, failures),
+            _ => {
+                // Unknown suite: no typed gate yet, but both sides must at
+                // least be well-formed bench output.
+                load(&fresh);
+                load(name);
+                println!("{name}: parses on both sides (no typed gate for this suite)");
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let tolerance: f64 = arg_value(&args, "--tolerance")
@@ -269,12 +437,22 @@ fn main() {
     let faults = arg_value(&args, "--faults");
     let mux = arg_value(&args, "--mux");
     let storm = arg_value(&args, "--storm");
+    let relaymesh = arg_value(&args, "--relaymesh");
+    let all = has_flag(&args, "--all");
     assert!(
-        datapath.is_some() || faults.is_some() || mux.is_some() || storm.is_some(),
-        "nothing to check: pass --datapath, --faults, --mux and/or --storm"
+        all || datapath.is_some()
+            || faults.is_some()
+            || mux.is_some()
+            || storm.is_some()
+            || relaymesh.is_some(),
+        "nothing to check: pass --datapath, --faults, --mux, --storm, --relaymesh and/or --all"
     );
 
     let mut failures = Vec::new();
+    if all {
+        let fresh_dir = arg_value(&args, "--fresh-dir").unwrap_or_else(|| ".".into());
+        check_all(&fresh_dir, tolerance, &mut failures);
+    }
     if let Some(fresh) = datapath {
         let base =
             arg_value(&args, "--base-datapath").unwrap_or_else(|| "BENCH_datapath.json".into());
@@ -291,6 +469,11 @@ fn main() {
     if let Some(fresh) = storm {
         let base = arg_value(&args, "--base-storm").unwrap_or_else(|| "BENCH_storm.json".into());
         check_storm(&fresh, &base, &mut failures);
+    }
+    if let Some(fresh) = relaymesh {
+        let base =
+            arg_value(&args, "--base-relaymesh").unwrap_or_else(|| "BENCH_relaymesh.json".into());
+        check_relaymesh(&fresh, &base, tolerance, &mut failures);
     }
     if failures.is_empty() {
         println!("check_bench: no regressions");

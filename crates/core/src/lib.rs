@@ -92,7 +92,9 @@ pub use node::{GridEnv, GridNode};
 pub use pool::{BlockBuf, BlockPool, PoolStats};
 pub use port::{ReadMessage, ReceivePort, ResendOverflow, SendPort, WriteMessage};
 pub use profile::{ConnectivityProfile, FirewallClass, NatClass};
-pub use relay::{spawn_relay, RelayClient, RelayDelegate, RoutedStream};
+pub use relay::{
+    spawn_relay, spawn_relay_mesh, RelayClient, RelayConfig, RelayDelegate, RoutedStream,
+};
 pub use rpc::RpcClient;
 pub use session::{walk_gauge_peak, walk_gauge_reset};
 pub use socks::{socks_connect, spawn_proxy};

@@ -129,6 +129,14 @@ impl GridEnv {
 
     /// Configure an ordered relay list: the first is the primary every
     /// node dials at join; the rest are failover targets.
+    ///
+    /// With legacy relays ([`crate::spawn_relay`]) every node must share
+    /// the same order, so failed-over peers converge on one relay. Meshed
+    /// relays ([`crate::spawn_relay_mesh`]) lift that: nodes may home at
+    /// different relays (or permute the list for load spreading), and a
+    /// node that fails over to its backup is route-around-able by live
+    /// senders through the mesh routing table — their channels stay up and
+    /// recover in place rather than tearing down.
     pub fn with_relays(mut self, relays: &[SockAddr]) -> Self {
         self.relay_addr = relays.first().copied();
         self.relay_fallbacks = relays.get(1..).unwrap_or_default().to_vec();
@@ -384,6 +392,12 @@ impl GridNode {
     /// link and replayed every channel attached to it.
     pub fn link_recoveries(&self) -> u64 {
         self.inner.links.recoveries()
+    }
+
+    /// Times a sharded relay BUSY-throttled this node's routed writes —
+    /// the typed-backpressure probe (always 0 against a legacy relay).
+    pub fn relay_busy_throttles(&self) -> u64 {
+        self.inner.relay.as_ref().map_or(0, |r| r.busy_throttles())
     }
 
     /// OPEN / OPEN_BATCH control frames written by this node's senders —

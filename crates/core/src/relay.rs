@@ -37,6 +37,32 @@ mod relay_op {
     pub const SEND: u8 = 2;
     pub const RECV: u8 = 3;
     pub const NOPEER: u8 = 4;
+    // Sharded/mesh extensions (DESIGN.md §10). A legacy client never sees
+    // BUSY/READY unless it talks to a sharded relay; the relay-to-relay ops
+    // only ever appear on PEER_HELLO'd connections.
+    /// relay → client `{peer}`: `peer`'s receive queue is running hot —
+    /// pause DATA towards it until READY.
+    pub const BUSY: u8 = 5;
+    /// relay → client `{peer}`: `peer`'s queue drained — resume.
+    pub const READY: u8 = 6;
+    /// relay ↔ relay `{mesh_id}`: first frame both ways on a mesh link.
+    pub const PEER_HELLO: u8 = 7;
+    /// relay → relay `{node, epoch}`: `node` is registered locally at the
+    /// sending relay since `epoch` (sim-time ns; ties break on mesh id).
+    pub const ROUTE_ADD: u8 = 8;
+    /// relay → relay `{node, epoch}`: that registration ended.
+    pub const ROUTE_DEL: u8 = 9;
+    /// relay → relay `{node}`: pull — "is `node` registered with you?"
+    pub const ROUTE_QUERY: u8 = 10;
+    /// relay → relay `{node, found, epoch}`: answer, from local state only.
+    pub const ROUTE_RSP: u8 = 11;
+    /// relay → relay `{from, to, inner}`: forward one client frame to the
+    /// relay currently homing `to`. Never re-forwarded (no mesh loops).
+    pub const FWD: u8 = 12;
+    /// relay → relay `{from, to, inner}`: a FWD bounced — `to` is not (or
+    /// no longer) local at the receiving relay. The origin invalidates its
+    /// route entry and re-resolves.
+    pub const FWD_FAIL: u8 = 13;
 }
 
 mod inner_op {
@@ -156,6 +182,840 @@ fn serve_relay_conn(
     result
 }
 
+// ------------------------------------------------------ sharded mesh relay
+
+/// Bounded frames per recipient shard queue before senders park.
+const MESH_QUEUE_FRAMES: usize = 64;
+/// Frames parked per unresolved route pull before overflow is bounced.
+const ROUTE_WAIT_CAP: usize = 256;
+/// A route pull that no peer answers within this window fails its parked
+/// frames with NOPEER.
+const ROUTE_QUERY_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(500);
+/// Mesh peer redial backoff (a peer relay may restart at any time).
+const PEER_DIAL_BASE: std::time::Duration = std::time::Duration::from_millis(200);
+const PEER_DIAL_CAP: std::time::Duration = std::time::Duration::from_secs(2);
+/// Consecutive failed dials before a mesh peer is declared gone for good.
+const PEER_DIAL_STRIKES: u32 = 10;
+
+/// Configuration for [`spawn_relay_mesh`]: a sharded relay that may peer
+/// with other relays into a routed overlay.
+#[derive(Clone, Debug)]
+pub struct RelayConfig {
+    /// Unique id of this relay in the mesh. Routing-table ties (two relays
+    /// claiming the same node at the same sim instant) break towards the
+    /// higher `(epoch, mesh_id)`.
+    pub mesh_id: u64,
+    /// Peer relay addresses this relay dials into the mesh. Route pulls
+    /// only ask direct peers, so deployments should form a full mesh: every
+    /// relay lists every other.
+    pub peers: Vec<SockAddr>,
+    /// Capacity of each recipient's shard queue, in frames.
+    pub queue_frames: usize,
+}
+
+impl Default for RelayConfig {
+    fn default() -> RelayConfig {
+        RelayConfig {
+            mesh_id: 0,
+            peers: Vec::new(),
+            queue_frames: MESH_QUEUE_FRAMES,
+        }
+    }
+}
+
+/// Spawn a sharded relay on `host:port`, optionally meshed with peers.
+///
+/// Unlike the legacy [`spawn_relay`] — one serve loop forwarding
+/// synchronously, so one slow receiver head-of-line-blocks every sender —
+/// each registered recipient gets a bounded queue drained by its own
+/// worker task. A sender filling a hot queue is told with a typed BUSY
+/// frame (and parks only when the queue is entirely full); DATA frames are
+/// never dropped, so per-sender FIFO holds. With `cfg.peers`, relays
+/// exchange a node-id → home-relay routing table (pushed on every
+/// register/unregister, pulled on miss) and forward frames relay-to-relay,
+/// so a client registered at relay A reaches a peer registered at relay B.
+///
+/// The client-facing wire protocol is a superset of the legacy relay's:
+/// legacy clients work unmodified (they just never get BUSY/READY).
+pub fn spawn_relay_mesh(host: &SimHost, port: u16, cfg: RelayConfig) -> io::Result<()> {
+    let listener = host.listen(port)?;
+    let relay = Arc::new(MeshRelay {
+        cfg: cfg.clone(),
+        sched: host.net().sched().clone(),
+        local: Mutex::new(HashMap::new()),
+        remote: Mutex::new(HashMap::new()),
+        peers: Mutex::new(HashMap::new()),
+        waiting: Mutex::new(HashMap::new()),
+    });
+    let sched = host.net().sched().clone();
+    let sched2 = sched.clone();
+    let accept_relay = Arc::clone(&relay);
+    sched.spawn_daemon("mesh-relay-accept", move || loop {
+        let Ok(conn) = listener.accept() else { break };
+        let r = Arc::clone(&accept_relay);
+        sched2.spawn_daemon("mesh-relay-conn", move || {
+            let _ = r.serve_conn(conn);
+        });
+    });
+    for addr in cfg.peers {
+        let r = Arc::clone(&relay);
+        let h = host.clone();
+        host.net()
+            .sched()
+            .spawn_daemon(format!("mesh-peer-dial-{addr}"), move || {
+                r.peer_dial_loop(&h, addr)
+            });
+    }
+    Ok(())
+}
+
+/// Who a shard queue delivers to.
+#[derive(Clone, Copy)]
+enum Owner {
+    Client(GridId),
+    Peer(u64),
+}
+
+/// Where a frame entered this relay, deciding how a failure is reported:
+/// local senders get NOPEER on their own connection, peer relays get
+/// FWD_FAIL so the origin can re-resolve.
+#[derive(Clone, Copy)]
+enum Origin {
+    Local,
+    Peer(u64),
+}
+
+enum OutItem {
+    /// Pre-encoded relay-to-relay payload (FWD / ROUTE_*). Dropped — after
+    /// FWD frames are re-resolved — when the connection dies.
+    Frame(Vec<u8>),
+    /// A client delivery, kept unencoded so queue leftovers can be
+    /// re-routed (or NOPEER'd) when the registration dies or moves.
+    Deliver { from: GridId, inner: Vec<u8> },
+}
+
+/// One shard: a bounded queue plus the throttle set of senders that were
+/// told BUSY and are owed a READY when the queue drains.
+#[derive(Clone)]
+struct OutQueue {
+    q: SimQueue<OutItem>,
+    throttled: Arc<Mutex<std::collections::HashSet<GridId>>>,
+    /// Set when the registration this queue fed was superseded or died:
+    /// the worker stops writing and re-routes what is left.
+    dead: Arc<std::sync::atomic::AtomicBool>,
+    cap: usize,
+}
+
+impl OutQueue {
+    fn new(cap: usize) -> OutQueue {
+        OutQueue {
+            q: SimQueue::bounded(cap.max(2)),
+            throttled: Arc::new(Mutex::new(std::collections::HashSet::new())),
+            dead: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            cap: cap.max(2),
+        }
+    }
+    /// Identity: is this handle the same shard as `other`? Guards registry
+    /// removal the same way the legacy relay's `SimMutex::ptr_eq` does.
+    fn same(&self, other: &OutQueue) -> bool {
+        Arc::ptr_eq(&self.dead, &other.dead)
+    }
+    fn kill(&self) {
+        self.dead.store(true, Ordering::Relaxed);
+        self.q.close();
+    }
+}
+
+struct LocalEntry {
+    q: OutQueue,
+    /// Control writer for synchronous BUSY/READY/NOPEER towards this
+    /// client, shared (under the lock) with the shard worker's RECVs.
+    ctl: SimMutex<TcpStream>,
+    /// Registration epoch: sim-time ns when this client HELLO'd, globally
+    /// ordered across relays because sim time is.
+    epoch: u64,
+}
+
+#[derive(Clone, Copy)]
+struct RemoteEntry {
+    relay: u64,
+    epoch: u64,
+}
+
+/// Frames parked on an outstanding route pull.
+struct PendingRoute {
+    frames: Vec<(GridId, Vec<u8>)>,
+    /// Peer answers still expected; the entry resolves on the first
+    /// positive one, fails when all are negative (or on timeout).
+    outstanding: usize,
+}
+
+struct MeshRelay {
+    cfg: RelayConfig,
+    sched: SchedHandle,
+    /// Clients registered HERE: the authoritative shard table.
+    local: Mutex<HashMap<GridId, LocalEntry>>,
+    /// Everyone else: node id → home relay, learned by push and pull.
+    remote: Mutex<HashMap<GridId, RemoteEntry>>,
+    /// Live mesh links by peer mesh id.
+    peers: Mutex<HashMap<u64, OutQueue>>,
+    waiting: Mutex<HashMap<GridId, PendingRoute>>,
+}
+
+impl MeshRelay {
+    fn now_epoch(&self) -> u64 {
+        self.sched.now().as_nanos()
+    }
+
+    // -------------------------------------------------------- connections
+
+    fn serve_conn(self: &Arc<Self>, conn: TcpStream) -> io::Result<()> {
+        let mut reader = conn.clone();
+        let first = read_frame(&mut reader)?;
+        let mut r = FrameReader::new(&first);
+        match r.u8()? {
+            relay_op::HELLO => {
+                let id = r.u64()?;
+                let (q, ctl) = self.register_local(id, conn);
+                let res = self.serve_client(id, &q, &ctl, reader);
+                self.client_conn_dead(id, &q);
+                res
+            }
+            relay_op::PEER_HELLO => {
+                let pid = r.u64()?;
+                let mut w = conn.clone();
+                FrameWriter::new()
+                    .u8(relay_op::PEER_HELLO)
+                    .u64(self.cfg.mesh_id)
+                    .send(&mut w)?;
+                let q = self.register_peer(pid, conn);
+                let res = self.serve_peer(pid, reader);
+                self.peer_conn_dead(pid, &q);
+                res
+            }
+            _ => Err(io::ErrorKind::InvalidData.into()),
+        }
+    }
+
+    fn serve_client(
+        self: &Arc<Self>,
+        id: GridId,
+        q: &OutQueue,
+        ctl: &SimMutex<TcpStream>,
+        mut reader: TcpStream,
+    ) -> io::Result<()> {
+        loop {
+            let frame = read_frame(&mut reader)?;
+            let mut r = FrameReader::new(&frame);
+            match r.u8()? {
+                relay_op::SEND => {
+                    let to = r.u64()?;
+                    let inner = r.bytes()?.to_vec();
+                    self.handle_send(id, to, inner, Origin::Local, false);
+                }
+                relay_op::HELLO => {
+                    // Re-HELLO probe: re-assert the registration (it may
+                    // have been evicted towards this still-live connection)
+                    // and re-push the route so the mesh heals with it.
+                    let _ = r.u64()?;
+                    self.assert_local(id, q, ctl);
+                }
+                _ => return Err(io::ErrorKind::InvalidData.into()),
+            }
+        }
+    }
+
+    fn register_local(
+        self: &Arc<Self>,
+        id: GridId,
+        conn: TcpStream,
+    ) -> (OutQueue, SimMutex<TcpStream>) {
+        let q = OutQueue::new(self.cfg.queue_frames);
+        let ctl = SimMutex::new(conn.clone());
+        let me = Arc::clone(self);
+        let q2 = q.clone();
+        let ctl2 = ctl.clone();
+        self.sched
+            .spawn_daemon(format!("mesh-shard-{id}"), move || {
+                me.out_worker(Owner::Client(id), q2, Some(ctl2), conn)
+            });
+        self.assert_local(id, &q, &ctl);
+        (q, ctl)
+    }
+
+    /// (Re-)register `id` as homed here on `q`/`ctl`, superseding any
+    /// older registration, and push the route to the mesh.
+    fn assert_local(self: &Arc<Self>, id: GridId, q: &OutQueue, ctl: &SimMutex<TcpStream>) {
+        let epoch = self.now_epoch();
+        let old = self.local.lock().insert(
+            id,
+            LocalEntry {
+                q: q.clone(),
+                ctl: ctl.clone(),
+                epoch,
+            },
+        );
+        if let Some(old) = old {
+            if !old.q.same(q) {
+                // The superseded shard's worker re-routes its leftovers —
+                // which now resolve to this fresh registration.
+                old.q.kill();
+            }
+        }
+        self.remote.lock().remove(&id);
+        self.broadcast_route(relay_op::ROUTE_ADD, id, epoch);
+        self.flush_waiting(id);
+    }
+
+    fn client_conn_dead(self: &Arc<Self>, id: GridId, q: &OutQueue) {
+        let removed_epoch = {
+            let mut l = self.local.lock();
+            if l.get(&id).is_some_and(|e| e.q.same(q)) {
+                l.remove(&id).map(|e| e.epoch)
+            } else {
+                None
+            }
+        };
+        q.kill();
+        while let Some(item) = q.q.try_pop() {
+            self.reroute_item(&Owner::Client(id), item);
+        }
+        if let Some(epoch) = removed_epoch {
+            self.broadcast_route(relay_op::ROUTE_DEL, id, epoch);
+        }
+    }
+
+    fn peer_dial_loop(self: &Arc<Self>, host: &SimHost, addr: SockAddr) {
+        let mut delay = PEER_DIAL_BASE;
+        let mut strikes = 0u32;
+        loop {
+            if self.peer_dial_once(host, addr).is_ok() {
+                delay = PEER_DIAL_BASE;
+                strikes = 0;
+            } else {
+                // A peer dead past the whole backoff ladder is assumed gone
+                // for good (its clients fail over to the survivors); giving
+                // up also lets a simulation with a crashed relay wind down
+                // instead of redialing forever.
+                strikes += 1;
+                if strikes >= PEER_DIAL_STRIKES {
+                    return;
+                }
+            }
+            gridsim_net::ctx::sleep(delay);
+            delay = (delay * 2).min(PEER_DIAL_CAP);
+        }
+    }
+
+    /// Dial one mesh peer, handshake, and serve the link until it dies.
+    fn peer_dial_once(self: &Arc<Self>, host: &SimHost, addr: SockAddr) -> io::Result<()> {
+        let factory = BootstrapSocketFactory::new(host.clone(), None);
+        let conn = factory.connect(addr)?;
+        let mut w = conn.clone();
+        FrameWriter::new()
+            .u8(relay_op::PEER_HELLO)
+            .u64(self.cfg.mesh_id)
+            .send(&mut w)?;
+        let mut reader = conn.clone();
+        let hello = read_frame(&mut reader)?;
+        let mut r = FrameReader::new(&hello);
+        if r.u8()? != relay_op::PEER_HELLO {
+            return Err(io::ErrorKind::InvalidData.into());
+        }
+        let pid = r.u64()?;
+        let q = self.register_peer(pid, conn);
+        let res = self.serve_peer(pid, reader);
+        self.peer_conn_dead(pid, &q);
+        res
+    }
+
+    fn register_peer(self: &Arc<Self>, pid: u64, conn: TcpStream) -> OutQueue {
+        let q = OutQueue::new(self.cfg.queue_frames);
+        let me = Arc::clone(self);
+        let q2 = q.clone();
+        self.sched
+            .spawn_daemon(format!("mesh-peer-out-{pid}"), move || {
+                me.out_worker(Owner::Peer(pid), q2, None, conn)
+            });
+        // Both ends dial, so a pair may hold two links; the latest wins for
+        // sends, the older one keeps draining until its connection dies.
+        self.peers.lock().insert(pid, q.clone());
+        // Push our whole local table — the "push on register" half of the
+        // protocol, batched so a (re)joining peer converges immediately.
+        let table: Vec<(GridId, u64)> = self
+            .local
+            .lock()
+            .iter()
+            .map(|(id, e)| (*id, e.epoch))
+            .collect();
+        for (id, epoch) in table {
+            let f = FrameWriter::new()
+                .u8(relay_op::ROUTE_ADD)
+                .u64(id)
+                .u64(epoch)
+                .into_bytes();
+            let _ = q.q.push(OutItem::Frame(f));
+        }
+        q
+    }
+
+    fn serve_peer(self: &Arc<Self>, pid: u64, mut reader: TcpStream) -> io::Result<()> {
+        loop {
+            let frame = read_frame(&mut reader)?;
+            let mut r = FrameReader::new(&frame);
+            match r.u8()? {
+                relay_op::ROUTE_ADD => {
+                    let node = r.u64()?;
+                    let epoch = r.u64()?;
+                    self.route_add(pid, node, epoch);
+                }
+                relay_op::ROUTE_DEL => {
+                    let node = r.u64()?;
+                    let epoch = r.u64()?;
+                    let mut rt = self.remote.lock();
+                    if rt
+                        .get(&node)
+                        .is_some_and(|e| e.relay == pid && e.epoch <= epoch)
+                    {
+                        rt.remove(&node);
+                    }
+                }
+                relay_op::ROUTE_QUERY => {
+                    let node = r.u64()?;
+                    let ans = self.local.lock().get(&node).map(|e| e.epoch);
+                    let f = FrameWriter::new()
+                        .u8(relay_op::ROUTE_RSP)
+                        .u64(node)
+                        .u8(ans.is_some() as u8)
+                        .u64(ans.unwrap_or(0))
+                        .into_bytes();
+                    self.frame_to_peer(pid, f);
+                }
+                relay_op::ROUTE_RSP => {
+                    let node = r.u64()?;
+                    let found = r.u8()? == 1;
+                    let epoch = r.u64()?;
+                    self.route_rsp(pid, node, found, epoch);
+                }
+                relay_op::FWD => {
+                    let from = r.u64()?;
+                    let to = r.u64()?;
+                    let inner = r.bytes()?.to_vec();
+                    self.handle_send(from, to, inner, Origin::Peer(pid), false);
+                }
+                relay_op::FWD_FAIL => {
+                    let from = r.u64()?;
+                    let to = r.u64()?;
+                    let inner = r.bytes()?.to_vec();
+                    // Our route was stale: drop it and re-resolve — the
+                    // node may have re-registered at a third relay (or back
+                    // here) between our FWD and the bounce.
+                    {
+                        let mut rt = self.remote.lock();
+                        if rt.get(&to).is_some_and(|e| e.relay == pid) {
+                            rt.remove(&to);
+                        }
+                    }
+                    self.handle_send(from, to, inner, Origin::Local, false);
+                }
+                _ => return Err(io::ErrorKind::InvalidData.into()),
+            }
+        }
+    }
+
+    fn peer_conn_dead(self: &Arc<Self>, pid: u64, q: &OutQueue) {
+        {
+            let mut p = self.peers.lock();
+            if p.get(&pid).is_some_and(|cur| cur.same(q)) {
+                p.remove(&pid);
+            }
+        }
+        q.kill();
+        while let Some(item) = q.q.try_pop() {
+            self.reroute_item(&Owner::Peer(pid), item);
+        }
+    }
+
+    // ------------------------------------------------------------ routing
+
+    fn route_add(self: &Arc<Self>, pid: u64, node: GridId, epoch: u64) {
+        // Conflict with a local registration: the newer (epoch, mesh-id)
+        // wins; the loser's shard is killed so nothing more is delivered to
+        // the stale registration.
+        let evicted = {
+            let mut l = self.local.lock();
+            match l.get(&node) {
+                Some(e) if (epoch, pid) > (e.epoch, self.cfg.mesh_id) => l.remove(&node),
+                Some(_) => return, // ours is newer; peer learns from our ADD
+                None => None,
+            }
+        };
+        if let Some(e) = evicted {
+            e.q.kill();
+        }
+        {
+            let mut rt = self.remote.lock();
+            match rt.get(&node) {
+                Some(e) if (e.epoch, e.relay) >= (epoch, pid) => {}
+                _ => {
+                    rt.insert(node, RemoteEntry { relay: pid, epoch });
+                }
+            }
+        }
+        self.flush_waiting(node);
+    }
+
+    fn route_rsp(self: &Arc<Self>, pid: u64, node: GridId, found: bool, epoch: u64) {
+        if found {
+            {
+                let mut rt = self.remote.lock();
+                match rt.get(&node) {
+                    Some(e) if (e.epoch, e.relay) >= (epoch, pid) => {}
+                    _ => {
+                        rt.insert(node, RemoteEntry { relay: pid, epoch });
+                    }
+                }
+            }
+            self.flush_waiting(node);
+        } else {
+            let drained = {
+                let mut w = self.waiting.lock();
+                if let Some(p) = w.get_mut(&node) {
+                    p.outstanding = p.outstanding.saturating_sub(1);
+                    if p.outstanding == 0 {
+                        w.remove(&node)
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                }
+            };
+            if let Some(p) = drained {
+                for (from, inner) in p.frames {
+                    self.undeliverable(from, node, inner, Origin::Local);
+                }
+            }
+        }
+    }
+
+    /// Pull: park the frame, ask every peer, resolve on the first positive
+    /// answer, NOPEER when all deny or the window closes.
+    fn query_route(self: &Arc<Self>, to: GridId, from: GridId, inner: Vec<u8>) {
+        let peer_qs: Vec<OutQueue> = self.peers.lock().values().cloned().collect();
+        if peer_qs.is_empty() {
+            self.undeliverable(from, to, inner, Origin::Local);
+            return;
+        }
+        let fresh = {
+            let mut w = self.waiting.lock();
+            match w.get_mut(&to) {
+                Some(p) => {
+                    if p.frames.len() >= ROUTE_WAIT_CAP {
+                        drop(w);
+                        self.undeliverable(from, to, inner, Origin::Local);
+                        return;
+                    }
+                    p.frames.push((from, inner));
+                    false
+                }
+                None => {
+                    w.insert(
+                        to,
+                        PendingRoute {
+                            frames: vec![(from, inner)],
+                            outstanding: peer_qs.len(),
+                        },
+                    );
+                    true
+                }
+            }
+        };
+        if !fresh {
+            return;
+        }
+        let weak = Arc::downgrade(self);
+        self.sched
+            .call_at(self.sched.now() + ROUTE_QUERY_TIMEOUT, move || {
+                let Some(me) = weak.upgrade() else { return };
+                if me.waiting.lock().contains_key(&to) {
+                    // Drain in a task: NOPEER writes may park.
+                    me.sched.clone().spawn_daemon("route-timeout", move || {
+                        let Some(p) = me.waiting.lock().remove(&to) else {
+                            return;
+                        };
+                        for (from, inner) in p.frames {
+                            me.undeliverable(from, to, inner, Origin::Local);
+                        }
+                    });
+                }
+            });
+        let f = FrameWriter::new()
+            .u8(relay_op::ROUTE_QUERY)
+            .u64(to)
+            .into_bytes();
+        for pq in peer_qs {
+            let _ = pq.q.push(OutItem::Frame(f.clone()));
+        }
+    }
+
+    /// Re-resolve frames parked for `node` (route learned, or the node
+    /// registered here).
+    fn flush_waiting(self: &Arc<Self>, node: GridId) {
+        let pend = self.waiting.lock().remove(&node);
+        if let Some(p) = pend {
+            for (from, inner) in p.frames {
+                self.handle_send(from, node, inner, Origin::Local, false);
+            }
+        }
+    }
+
+    fn broadcast_route(self: &Arc<Self>, op: u8, node: GridId, epoch: u64) {
+        let peer_qs: Vec<OutQueue> = self.peers.lock().values().cloned().collect();
+        if peer_qs.is_empty() {
+            return;
+        }
+        let f = FrameWriter::new().u8(op).u64(node).u64(epoch).into_bytes();
+        for pq in peer_qs {
+            let _ = pq.q.push(OutItem::Frame(f.clone()));
+        }
+    }
+
+    // --------------------------------------------------------- forwarding
+
+    /// Route one client frame: local shard, known remote relay, or pull.
+    /// `retried` bounds the one re-lookup allowed when a registration
+    /// churns between lookup and enqueue.
+    fn handle_send(
+        self: &Arc<Self>,
+        from: GridId,
+        to: GridId,
+        inner: Vec<u8>,
+        origin: Origin,
+        retried: bool,
+    ) {
+        let shard = self.local.lock().get(&to).map(|e| e.q.clone());
+        if let Some(q) = shard {
+            match self.deliver_local(&q, from, to, inner) {
+                Ok(()) => return,
+                Err(inner) => {
+                    // Shard closed under us: the registration died or moved
+                    // this instant. Re-resolve once, then give up.
+                    if !retried {
+                        return self.handle_send(from, to, inner, origin, true);
+                    }
+                    return self.undeliverable(from, to, inner, origin);
+                }
+            }
+        }
+        match origin {
+            // A FWD is never re-forwarded — the origin re-resolves — so a
+            // stale mesh route can bounce but never loop.
+            Origin::Peer(_) => self.undeliverable(from, to, inner, origin),
+            Origin::Local => {
+                let hop = self.remote.lock().get(&to).map(|e| e.relay);
+                if let Some(relay) = hop {
+                    let pq = self.peers.lock().get(&relay).cloned();
+                    if let Some(pq) = pq {
+                        let f = FrameWriter::new()
+                            .u8(relay_op::FWD)
+                            .u64(from)
+                            .u64(to)
+                            .bytes(&inner)
+                            .into_bytes();
+                        if pq.q.push(OutItem::Frame(f)).is_ok() {
+                            return;
+                        }
+                    }
+                }
+                self.query_route(to, from, inner);
+            }
+        }
+    }
+
+    /// Enqueue into a recipient shard with typed backpressure: BUSY at the
+    /// high watermark, a parked push (never a drop — per-sender FIFO) when
+    /// full. `Err(inner)` when the shard closed.
+    fn deliver_local(
+        self: &Arc<Self>,
+        q: &OutQueue,
+        from: GridId,
+        to: GridId,
+        inner: Vec<u8>,
+    ) -> Result<(), Vec<u8>> {
+        let is_data = inner.first() == Some(&inner_op::DATA);
+        match q.q.try_push(OutItem::Deliver { from, inner }) {
+            Ok(()) => {
+                if is_data && q.q.len() >= q.cap - q.cap / 4 {
+                    self.throttle(from, to, q);
+                }
+                Ok(())
+            }
+            Err(OutItem::Deliver { from, inner }) => {
+                if q.q.is_closed() {
+                    return Err(inner);
+                }
+                if is_data {
+                    self.throttle(from, to, q);
+                }
+                match q.q.push(OutItem::Deliver { from, inner }) {
+                    Ok(()) => Ok(()),
+                    Err(OutItem::Deliver { inner, .. }) => Err(inner),
+                    Err(OutItem::Frame(_)) => unreachable!(),
+                }
+            }
+            Err(OutItem::Frame(_)) => unreachable!(),
+        }
+    }
+
+    /// Tell a (local) sender that `to` is running hot. Senders that came
+    /// in over the mesh are backpressured by the FWD path instead.
+    fn throttle(self: &Arc<Self>, from: GridId, to: GridId, q: &OutQueue) {
+        if q.throttled.lock().insert(from) {
+            let f = FrameWriter::new().u8(relay_op::BUSY).u64(to).into_bytes();
+            self.ctl_to_local(from, &f);
+        }
+    }
+
+    /// Failure report for an undeliverable frame, shaped by where it came
+    /// from: NOPEER with the echoed inner frame towards a local sender,
+    /// FWD_FAIL back to the origin relay otherwise. A non-local sender on
+    /// the Local path (a re-routed leftover) has nowhere to report to; the
+    /// sender's own timeout/stream-teardown machinery recovers.
+    fn undeliverable(self: &Arc<Self>, from: GridId, to: GridId, inner: Vec<u8>, origin: Origin) {
+        match origin {
+            Origin::Local => {
+                let f = FrameWriter::new()
+                    .u8(relay_op::NOPEER)
+                    .u64(to)
+                    .bytes(&inner)
+                    .into_bytes();
+                self.ctl_to_local(from, &f);
+            }
+            Origin::Peer(pid) => {
+                let f = FrameWriter::new()
+                    .u8(relay_op::FWD_FAIL)
+                    .u64(from)
+                    .u64(to)
+                    .bytes(&inner)
+                    .into_bytes();
+                self.frame_to_peer(pid, f);
+            }
+        }
+    }
+
+    /// Synchronous control write (BUSY/READY/NOPEER) to a local client,
+    /// bypassing its shard queue — these must not sit behind the very
+    /// backlog they report on.
+    fn ctl_to_local(&self, to: GridId, payload: &[u8]) {
+        let ctl = self.local.lock().get(&to).map(|e| e.ctl.clone());
+        if let Some(ctl) = ctl {
+            let mut w = ctl.lock();
+            let _ = crate::wire::write_frame(&mut *w, payload);
+        }
+    }
+
+    fn frame_to_peer(&self, pid: u64, payload: Vec<u8>) {
+        let pq = self.peers.lock().get(&pid).cloned();
+        if let Some(pq) = pq {
+            let _ = pq.q.push(OutItem::Frame(payload));
+        }
+    }
+
+    /// Shard worker: drain one queue into one connection. On death or
+    /// supersession, leftovers are re-resolved through the routing table —
+    /// a moved node's frames follow it to its new home relay.
+    fn out_worker(
+        self: Arc<Self>,
+        owner: Owner,
+        q: OutQueue,
+        ctl: Option<SimMutex<TcpStream>>,
+        conn: TcpStream,
+    ) {
+        let mut plain = conn;
+        let mut broken = false;
+        while let Some(item) = q.q.pop() {
+            if broken || q.dead.load(Ordering::Relaxed) {
+                self.reroute_item(&owner, item);
+                continue;
+            }
+            let res = match (&item, &ctl) {
+                (OutItem::Frame(payload), _) => crate::wire::write_frame(&mut plain, payload),
+                (OutItem::Deliver { from, inner }, Some(ctl)) => {
+                    // Shares the control writer so RECVs and control frames
+                    // never interleave mid-frame.
+                    let mut w = ctl.lock();
+                    FrameWriter::new()
+                        .u8(relay_op::RECV)
+                        .u64(*from)
+                        .bytes(inner)
+                        .send(&mut *w)
+                }
+                (OutItem::Deliver { from, inner }, None) => FrameWriter::new()
+                    .u8(relay_op::RECV)
+                    .u64(*from)
+                    .bytes(inner)
+                    .send(&mut plain),
+            };
+            if res.is_err() {
+                broken = true;
+                match owner {
+                    Owner::Client(id) => self.client_conn_dead(id, &q),
+                    Owner::Peer(pid) => self.peer_conn_dead(pid, &q),
+                }
+                self.reroute_item(&owner, item);
+                continue;
+            }
+            if q.q.len() <= q.cap / 4 {
+                self.release_throttled(&owner, &q);
+            }
+        }
+        // Whatever ends this shard, parked senders must not stay throttled
+        // forever: their next DATA will fail fast through the normal
+        // NOPEER/teardown path instead.
+        self.release_throttled(&owner, &q);
+    }
+
+    fn release_throttled(&self, owner: &Owner, q: &OutQueue) {
+        let drained: Vec<GridId> = {
+            let mut t = q.throttled.lock();
+            if t.is_empty() {
+                return;
+            }
+            t.drain().collect()
+        };
+        if let Owner::Client(id) = owner {
+            let f = FrameWriter::new().u8(relay_op::READY).u64(*id).into_bytes();
+            for s in drained {
+                self.ctl_to_local(s, &f);
+            }
+        }
+    }
+
+    /// Re-resolve a queue leftover after its connection died or moved.
+    fn reroute_item(self: &Arc<Self>, owner: &Owner, item: OutItem) {
+        match (owner, item) {
+            (Owner::Client(id), OutItem::Deliver { from, inner }) => {
+                self.handle_send(from, *id, inner, Origin::Local, false);
+            }
+            (Owner::Peer(_), OutItem::Frame(payload)) => {
+                // Undelivered FWDs chase the recipient through whatever
+                // route resolution finds now that this mesh link is gone.
+                let mut r = FrameReader::new(&payload);
+                if r.u8().ok() == Some(relay_op::FWD) {
+                    if let (Ok(from), Ok(to), Ok(inner)) = (r.u64(), r.u64(), r.bytes()) {
+                        let inner = inner.to_vec();
+                        self.handle_send(from, to, inner, Origin::Local, false);
+                    }
+                }
+            }
+            // Control frames towards a dead client, or deliveries riding a
+            // peer queue (never queued): nothing to save.
+            _ => {}
+        }
+    }
+}
+
 // ---------------------------------------------------------------- client
 
 /// Callbacks from the relay client into the node runtime.
@@ -196,6 +1056,11 @@ struct RcInner {
     /// Streams we opened, keyed by (peer, our sid).
     outbound: Mutex<HashMap<(GridId, u64), RoutedStream>>,
     delegate: Mutex<Option<Arc<dyn RelayDelegate>>>,
+    /// Peers a sharded relay flagged BUSY: DATA writes towards them park
+    /// here until the READY, with the wakers to release.
+    congested: Mutex<HashMap<GridId, Vec<gridsim_net::Waker>>>,
+    /// Times this client was BUSY-throttled (observability + bench probe).
+    busy_throttles: AtomicU64,
     sched: SchedHandle,
     /// Redial state so the pump can reconnect after a relay restart.
     host: SimHost,
@@ -289,6 +1154,8 @@ impl RelayClient {
             inbound: Mutex::new(HashMap::new()),
             outbound: Mutex::new(HashMap::new()),
             delegate: Mutex::new(None),
+            congested: Mutex::new(HashMap::new()),
+            busy_throttles: AtomicU64::new(0),
             sched: host.net().sched().clone(),
             host: host.clone(),
             relay_addrs,
@@ -540,6 +1407,12 @@ impl RelayClient {
                 w.wake();
             }
         }
+        // Congestion gates die with the connection that asserted them.
+        for (_, wakers) in self.inner.congested.lock().drain() {
+            for w in wakers {
+                w.wake();
+            }
+        }
         // Routed streams are not resumable across a relay restart: close and
         // forget them so post-reconnect traffic cannot hit a stale stream.
         for (_, s) in self.inner.inbound.lock().drain() {
@@ -604,8 +1477,46 @@ impl RelayClient {
                 let inner = r.bytes()?;
                 self.dispatch_inner(from, inner)
             }
+            relay_op::BUSY => {
+                // A sharded relay says this recipient's queue is hot: gate
+                // further DATA towards it until the READY.
+                let peer = r.u64()?;
+                self.inner.busy_throttles.fetch_add(1, Ordering::Relaxed);
+                self.inner.congested.lock().entry(peer).or_default();
+                Ok(())
+            }
+            relay_op::READY => {
+                let peer = r.u64()?;
+                if let Some(wakers) = self.inner.congested.lock().remove(&peer) {
+                    for w in wakers {
+                        w.wake();
+                    }
+                }
+                Ok(())
+            }
             _ => Err(io::ErrorKind::InvalidData.into()),
         }
+    }
+
+    /// Park while the relay holds `to` BUSY. A lost READY cannot strand the
+    /// caller: the relay re-READYs when the shard drains or dies, and a
+    /// relay-connection loss clears the whole map via `fail_inflight`.
+    fn wait_ready(&self, to: GridId) {
+        loop {
+            {
+                let mut c = self.inner.congested.lock();
+                match c.get_mut(&to) {
+                    None => return,
+                    Some(wakers) => wakers.push(gridsim_net::ctx::waker()),
+                }
+            }
+            gridsim_net::ctx::park("relay peer busy");
+        }
+    }
+
+    /// Times the relay BUSY-throttled this client (monotonic).
+    pub fn busy_throttles(&self) -> u64 {
+        self.inner.busy_throttles.load(Ordering::Relaxed)
     }
 
     /// Fail exactly the request the echoed inner frame belonged to. Returns
@@ -824,6 +1735,20 @@ impl RelayClient {
                     // and therefore the relay TCP connection. Crude but
                     // faithful to a single multiplexed relay link.
                     let _ = s.inner.rx.push(chunk);
+                } else {
+                    // DATA for a stream we no longer know: our state was
+                    // reset (relay failover) while the peer kept writing
+                    // through its own still-healthy relay. Answer FIN so
+                    // its write side closes and its session layer recovers,
+                    // instead of silently eating the bytes. FIN for an
+                    // unknown stream is a no-op on the peer, so this cannot
+                    // loop.
+                    let fin = FrameWriter::new()
+                        .u8(inner_op::FIN)
+                        .u8((!opened_by_sender) as u8)
+                        .u64(sid)
+                        .into_bytes();
+                    let _ = self.send_inner(from, fin);
                 }
                 Ok(())
             }
@@ -968,6 +1893,14 @@ impl Read for RoutedStream {
 impl Write for RoutedStream {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         for chunk in buf.chunks(ROUTED_CHUNK) {
+            // An abortive teardown (relay loss, dead peer, reply-FIN from a
+            // failed-over peer) must fail the writer — otherwise a zombie
+            // stream keeps pumping DATA into the relay after a redial. A
+            // graceful peer FIN keeps the legacy fire-and-forget behaviour.
+            if self.inner.rx.is_closed() && !self.fin_received() {
+                return Err(io::ErrorKind::ConnectionReset.into());
+            }
+            self.inner.client.wait_ready(self.inner.peer);
             let frame = FrameWriter::new()
                 .u8(inner_op::DATA)
                 .u8(self.inner.opener as u8)

@@ -113,6 +113,16 @@ impl FrameWriter {
 }
 
 /// Read one length-prefixed frame.
+/// Write one length-prefixed frame from an already-encoded payload (a
+/// [`FrameWriter::into_bytes`] result queued for later delivery).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let mut hdr = [0u8; 10];
+    let n = varint::put_slice(&mut hdr, payload.len() as u64);
+    w.write_all(&hdr[..n])?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
     let len = varint::read_from(r)? as usize;
     if len > MAX_FRAME {

@@ -6,8 +6,8 @@ use gridsim_net::{topology, FaultPlan, LinkParams, NatKind, Sim, SockAddr};
 use gridsim_tcp::{crash_node, SimHost, TcpConfig};
 use netgrid::wire::{read_frame, FrameReader, FrameWriter};
 use netgrid::{
-    spawn_name_service, spawn_proxy, spawn_relay, ConnectivityProfile, EstablishMethod, GridNode,
-    RelayClient, RelayDelegate, StackSpec,
+    spawn_name_service, spawn_proxy, spawn_relay, spawn_relay_mesh, ConnectivityProfile,
+    EstablishMethod, GridNode, RelayClient, RelayConfig, RelayDelegate, StackSpec,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -316,6 +316,119 @@ fn relay_stale_connection_does_not_unregister_successor() {
     });
     sim.run();
     assert!(done.is_finished(), "raw relay scenario wedged");
+}
+
+/// Registry churn across a two-relay mesh: the same GridId rapidly
+/// registers, unregisters, and re-registers while bouncing between both
+/// relays. Epoch-guarded routing (DESIGN.md §10) must converge on the
+/// LATEST registration — stale connections, whether still open
+/// (superseded) or closed mid-churn, must never be delivered to.
+#[test]
+fn relay_mesh_churn_never_delivers_to_stale_registration() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let sim = Sim::new(seed(38));
+    let net = sim.net();
+    let (srv1, srv2, a) = net.with(|w| {
+        let mut grid = topology::Grid::build(w, &[topology::SiteSpec::open("site-a", 1, wan())]);
+        let (srv1, _) = grid.add_public_host(w, "relay1");
+        let (srv2, _) = grid.add_public_host(w, "relay2");
+        (srv1, srv2, grid.sites[0].hosts[0])
+    });
+    let h1 = SimHost::new(&net, srv1);
+    let h2 = SimHost::new(&net, srv2);
+    let ha = SimHost::new(&net, a);
+    let r1 = SockAddr::new(h1.ip(), RELAY_PORT);
+    let r2 = SockAddr::new(h2.ip(), RELAY_PORT);
+    let (h1b, h2b) = (h1.clone(), h2.clone());
+    sim.spawn("relays", move || {
+        spawn_relay_mesh(
+            &h1b,
+            RELAY_PORT,
+            RelayConfig {
+                mesh_id: 1,
+                peers: vec![r2],
+                queue_frames: 64,
+            },
+        )
+        .unwrap();
+        spawn_relay_mesh(
+            &h2b,
+            RELAY_PORT,
+            RelayConfig {
+                mesh_id: 2,
+                peers: vec![r1],
+                queue_frames: 64,
+            },
+        )
+        .unwrap();
+    });
+    sim.run();
+
+    let stale_got = Arc::new(AtomicBool::new(false));
+    let flag = stale_got.clone();
+    let sched = net.sched().clone();
+    let done = sim.spawn("churn", move || {
+        let hello = |s: &gridsim_tcp::TcpStream, id: u64| {
+            FrameWriter::new()
+                .u8(OP_HELLO)
+                .u64(id)
+                .send(&mut s.clone())
+                .unwrap();
+        };
+        // Any frame arriving on a superseded connection is a correctness
+        // bug; park a reader on each one we leave behind.
+        let watch_stale = |s: gridsim_tcp::TcpStream, tag: usize| {
+            let flag = flag.clone();
+            sched.spawn_daemon(format!("stale-{tag}"), move || {
+                while let Ok(frame) = read_frame(&mut s.clone()) {
+                    if frame.first() == Some(&OP_RECV) {
+                        eprintln!("stale registration #{tag} got a delivery");
+                        flag.store(true, Ordering::SeqCst);
+                    }
+                }
+            });
+        };
+        // Churn id=7 across both relays: odd rounds home at r2, even at
+        // r1. Half the stale conns are killed (unregister), half stay
+        // open (supersede-in-place).
+        let mut cur = ha.connect(r1).unwrap();
+        hello(&cur, 7);
+        for round in 1..=5usize {
+            gridsim_net::ctx::sleep(Duration::from_millis(30));
+            let next = ha.connect(if round % 2 == 1 { r2 } else { r1 }).unwrap();
+            hello(&next, 7);
+            let prev = std::mem::replace(&mut cur, next);
+            if round % 2 == 0 {
+                prev.shutdown_write().unwrap();
+            } else {
+                watch_stale(prev, round);
+            }
+        }
+        // Let routes settle, then send from a client homed at r1; the
+        // final registration lives at r2, so this crosses the mesh.
+        gridsim_net::ctx::sleep(Duration::from_millis(200));
+        let cs = ha.connect(r1).unwrap();
+        hello(&cs, 9);
+        FrameWriter::new()
+            .u8(OP_SEND)
+            .u64(7)
+            .bytes(b"fresh")
+            .send(&mut cs.clone())
+            .unwrap();
+        let frame = read_frame(&mut cur.clone()).unwrap();
+        let mut r = FrameReader::new(&frame);
+        assert_eq!(r.u8().unwrap(), OP_RECV, "expected delivery, got NOPEER");
+        assert_eq!(r.u64().unwrap(), 9);
+        assert_eq!(r.bytes().unwrap(), b"fresh");
+        // Give any mis-routed duplicate time to surface before judging.
+        gridsim_net::ctx::sleep(Duration::from_millis(300));
+    });
+    sim.run();
+    assert!(done.is_finished(), "mesh churn scenario wedged");
+    assert!(
+        !stale_got.load(std::sync::atomic::Ordering::SeqCst),
+        "a stale registration received a delivery after being superseded"
+    );
 }
 
 /// Immediate echo for a service delegate.

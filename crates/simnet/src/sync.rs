@@ -200,6 +200,21 @@ impl<T> SimQueue<T> {
         }
     }
 
+    /// Non-blocking push. `Err(item)` when the queue is full or closed;
+    /// callers that must not drop fall back to the parking [`push`](Self::push)
+    /// after signalling backpressure out-of-band.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut st = self.inner.state.lock();
+        if st.closed || st.items.len() >= st.capacity {
+            return Err(item);
+        }
+        st.items.push_back(item);
+        if let Some(w) = st.pop_waiters.pop_front() {
+            w.wake();
+        }
+        Ok(())
+    }
+
     // Helper so `push` can retry without re-borrowing issues.
     fn try_reclaim(&self, item: T) -> Result<(), T> {
         let mut st = self.inner.state.lock();
@@ -355,6 +370,25 @@ mod tests {
             sched.spawn("closer", move || {
                 ctx::sleep(Duration::from_millis(1));
                 q.close();
+            });
+        }
+        sched.run();
+    }
+
+    #[test]
+    fn try_push_refuses_full_or_closed_without_parking() {
+        let sched = Scheduler::new();
+        let q: SimQueue<u8> = SimQueue::bounded(2);
+        {
+            let q = q.clone();
+            sched.spawn("t", move || {
+                assert!(q.try_push(1).is_ok());
+                assert!(q.try_push(2).is_ok());
+                assert_eq!(q.try_push(3), Err(3), "full queue refuses");
+                assert_eq!(q.pop(), Some(1));
+                assert!(q.try_push(3).is_ok(), "room again after pop");
+                q.close();
+                assert_eq!(q.try_push(4), Err(4), "closed queue refuses");
             });
         }
         sched.run();

@@ -1,10 +1,12 @@
 #!/bin/bash
 # Regenerates every table and figure (see EXPERIMENTS.md). ~15-30 min.
 # Also refreshes the committed bench baselines (BENCH_datapath.json,
-# BENCH_faults.json, BENCH_mux.json, BENCH_storm.json) and gates the
-# fresh numbers against the previous ones with check_bench (strict 20%
-# throughput / 2x recovery rule, plus the exact one-link-per-peer mux
-# invariant and the exact walks==pairs storm invariant).
+# BENCH_faults.json, BENCH_mux.json, BENCH_storm.json,
+# BENCH_relaymesh.json) and gates the fresh numbers against the previous
+# ones with check_bench (strict 20% throughput / 2x recovery rule, plus
+# the exact invariants: one-link-per-peer mux, walks==pairs storm, and
+# the relaymesh structural gates — 4-relay scaling >= 2x, BUSY
+# engagement under skew, exactly-once FIFO across a relay kill).
 set -u
 cd "$(dirname "$0")"
 BIN=./target/release
@@ -26,6 +28,7 @@ cp BENCH_datapath.json target/BENCH_datapath.baseline.json
 cp BENCH_faults.json target/BENCH_faults.baseline.json
 cp BENCH_mux.json target/BENCH_mux.baseline.json
 cp BENCH_storm.json target/BENCH_storm.baseline.json
+cp BENCH_relaymesh.json target/BENCH_relaymesh.baseline.json
 
 echo "################################################################"
 echo "### bench_datapath (writes BENCH_datapath.json)"
@@ -52,6 +55,12 @@ echo "################################################################"
 echo
 
 echo "################################################################"
+echo "### bench_relay_mesh (writes BENCH_relaymesh.json)"
+echo "################################################################"
+"$BIN/bench_relay_mesh"
+echo
+
+echo "################################################################"
 echo "### check_bench (fresh full runs vs previous baselines)"
 echo "################################################################"
 "$BIN/check_bench" \
@@ -59,4 +68,5 @@ echo "################################################################"
   --faults BENCH_faults.json --base-faults target/BENCH_faults.baseline.json \
   --mux BENCH_mux.json --base-mux target/BENCH_mux.baseline.json \
   --storm BENCH_storm.json --base-storm target/BENCH_storm.baseline.json \
+  --relaymesh BENCH_relaymesh.json --base-relaymesh target/BENCH_relaymesh.baseline.json \
   --tolerance 0.2
