@@ -16,14 +16,15 @@
 #           mux links/walks==1, storm walks==pairs, relaymesh 4-relay
 #           scaling >= 2x + BUSY engagement + failover FIFO).
 #   faults  fault-matrix smoke under three fixed RNG seeds, over the
-#           faults, storm and relay_mesh suites (NETGRID_TEST_SEED
-#           shifts every Sim seed; the replay command is printed on
-#           failure).
+#           faults, storm, relay_mesh and adaptive suites
+#           (NETGRID_TEST_SEED shifts every Sim seed; the replay
+#           command is printed on failure).
 #   test    full workspace test suite.
 #
 # `./ci.sh` runs everything in the order above (golden and bench build
 # the release workspace first). `./ci.sh --stage bench` runs one stage;
-# repeat or comma-separate to pick several (`--stage fmt,clippy`).
+# repeat or comma-separate to pick several (`--stage fmt,clippy`);
+# `./ci.sh --stage list` prints the stage names and exits.
 # Every run ends with a per-stage wall-clock summary.
 # run_benches.sh covers the full (slow) perf side separately.
 set -eu
@@ -40,11 +41,13 @@ while [ $# -gt 0 ]; do
   esac
   shift
 done
-[ -z "$STAGES" ] && STAGES="fmt clippy golden bench faults test"
+ALL_STAGES="fmt clippy golden bench faults test"
+[ -z "$STAGES" ] && STAGES="$ALL_STAGES"
 for s in $STAGES; do
   case "$s" in
     fmt|clippy|golden|bench|faults|test) ;;
-    *) echo "ci.sh: unknown stage '$s' (fmt|clippy|golden|bench|faults|test)"; exit 2 ;;
+    list) for n in $ALL_STAGES; do echo "$n"; done; exit 0 ;;
+    *) echo "ci.sh: unknown stage '$s' (fmt|clippy|golden|bench|faults|test, or 'list' to print them)"; exit 2 ;;
   esac
 done
 
@@ -122,6 +125,7 @@ stage_bench() {
   "$BIN/bench_mux" --quick --out "$QUICK/BENCH_mux.json" > /dev/null
   "$BIN/bench_storm" --quick --out "$QUICK/BENCH_storm.json" > /dev/null
   "$BIN/bench_relay_mesh" --quick --out "$QUICK/BENCH_relaymesh.json" > /dev/null
+  "$BIN/bench_adaptive" --quick --out "$QUICK/BENCH_adaptive.json" > /dev/null
   # Quick runs shorten the workload only, so structural gates hold; host
   # speed varies, so the drift tolerance is loose. run_benches.sh applies
   # the strict 20% gate on full runs.
@@ -131,7 +135,7 @@ stage_bench() {
 stage_faults() {
   local seed suite
   for seed in 0 7 13; do
-    for suite in faults storm relay_mesh; do
+    for suite in faults storm relay_mesh adaptive; do
       echo "--- NETGRID_TEST_SEED=$seed --test $suite"
       if ! NETGRID_TEST_SEED=$seed cargo test -q -p netgrid --test "$suite" --release; then
         echo "FAULT MATRIX FAILED: suite $suite under NETGRID_TEST_SEED=$seed"

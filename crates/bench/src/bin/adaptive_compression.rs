@@ -1,14 +1,29 @@
 //! **Extension (paper §8 future work)**: adaptive compression — "the
 //! dynamic enabling or disabling of compression will then become possible".
 //!
-//! Runs plain TCP, fixed level-1 compression, and the adaptive driver on
-//! both of the paper's WANs. The adaptive driver should track the better
-//! fixed choice on each link: compression on the slow Amsterdam—Rennes
-//! path, plain on a fast path (where fixed compression is CPU-bound).
+//! Offline counterpart of the live `PathController`'s CPU-shed policy
+//! (DESIGN.md §11): measures every rung of the controller's compression
+//! ladder (`tune::COMPRESSION_LADDER`) on a slow and a fast WAN, selects
+//! with the shared `tune::pick_best` rule, and compares the in-driver
+//! adaptive compressor against that offline optimum. The adaptive driver
+//! should track the pick on each link: compression on the slow
+//! Amsterdam—Rennes path, plain on a fast path (where fixed compression
+//! is CPU-bound).
 
-use netgrid::StackSpec;
+use netgrid::tune::{pick_best, COMPRESSION_LADDER};
+use netgrid::{PathParams, StackSpec};
 use netgrid_bench::*;
 use std::time::Duration;
+
+/// Probe-gain margin shared with the live controller's default.
+const GAIN_PCT: u64 = 8;
+
+fn level_name(level: Option<u8>) -> String {
+    match level {
+        None => "plain TCP".into(),
+        Some(l) => format!("fixed compression({l})"),
+    }
+}
 
 fn main() {
     let fast = Wan {
@@ -30,30 +45,53 @@ fn main() {
             wan.capacity / 1e6,
             wan.rtt.as_millis()
         );
-        let mut results = Vec::new();
-        for (label, spec) in [
-            ("plain TCP", StackSpec::plain()),
-            (
-                "fixed compression(1)",
-                StackSpec::plain().with_compression(1),
-            ),
-            (
-                "adaptive compression(1)",
-                StackSpec::plain().with_adaptive_compression(1),
-            ),
-        ] {
+        let mut results: Vec<(PathParams, u64)> = Vec::new();
+        for &level in &COMPRESSION_LADDER {
+            let spec = match level {
+                None => StackSpec::plain(),
+                Some(l) => StackSpec::plain().with_compression(l),
+            };
+            let params = PathParams {
+                compression_level: level,
+                ..PathParams::default()
+            };
             let mut run = BwRun::new(wan.clone(), spec, 1 << 20);
             run.total_bytes = 12 << 20;
             let p = measure_bandwidth(&run);
-            println!("  {label:<28} {:>7} MB/s", fmt_mb(p.bandwidth));
-            results.push(p.bandwidth);
+            println!(
+                "  {:<28} {:>7} MB/s",
+                level_name(level),
+                fmt_mb(p.bandwidth)
+            );
+            results.push((params, p.bandwidth as u64));
         }
-        let best_fixed = results[0].max(results[1]);
+        let chosen = pick_best(&results, GAIN_PCT).expect("non-empty sweep");
+        let best_rate = results
+            .iter()
+            .find(|(p, _)| *p == chosen)
+            .map(|&(_, r)| r)
+            .unwrap();
         println!(
-            "  adaptive reaches {:.0}% of the better fixed choice",
-            100.0 * results[2] / best_fixed
+            "  pick_best({GAIN_PCT}%): {} — cheapest within the probe-gain margin",
+            level_name(chosen.compression_level)
+        );
+
+        let mut run = BwRun::new(
+            wan.clone(),
+            StackSpec::plain().with_adaptive_compression(1),
+            1 << 20,
+        );
+        run.total_bytes = 12 << 20;
+        let adaptive = measure_bandwidth(&run);
+        println!(
+            "  {:<28} {:>7} MB/s — {:.0}% of the offline pick",
+            "adaptive compression(1)",
+            fmt_mb(adaptive.bandwidth),
+            100.0 * adaptive.bandwidth / best_rate as f64
         );
     }
     println!();
-    println!("expected: adaptive ~ compression on the slow link, ~ plain on the fast one");
+    println!("expected: adaptive ~ compression on the slow link, ~ plain on the fast one;");
+    println!("the live controller sheds compression the same way, from telemetry instead");
+    println!("of in-driver probing (GridEnv::with_path_control).");
 }

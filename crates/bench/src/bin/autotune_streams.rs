@@ -2,25 +2,33 @@
 //! selection of the optimal number of parallel TCP streams \[20\] ... will
 //! then become possible."
 //!
-//! Sweeps the parallel-stream count on both of the paper's WANs (using
-//! `SendPort::connect_with_streams`, which overrides the receiver's
-//! registered count) and reports the measured optimum. The shape to expect:
-//! on the low-BDP Amsterdam—Rennes link a few streams suffice (they only
-//! mask loss); on the high-BDP Delft—Sophia link throughput climbs until
-//! the aggregate windows cover the path, then flattens — adding more
-//! streams past the optimum buys nothing and eventually hurts (queue
-//! contention).
+//! Offline counterpart of the live `PathController` (DESIGN.md §11):
+//! measures every rung of the controller's stripe ladder
+//! (`tune::STRIPE_LADDER`) on both of the paper's WANs and selects with
+//! the same `tune::pick_best` rule the controller's probe policy encodes
+//! — the cheapest configuration within the probe-gain margin of the best
+//! rate. The shape to expect: on the low-BDP Amsterdam—Rennes link a few
+//! streams suffice (they only mask loss); on the high-BDP Delft—Sophia
+//! link throughput climbs until the aggregate windows cover the path,
+//! then flattens — `pick_best` refuses the flat tail that raw argmax
+//! would buy CPU for.
 
-use netgrid::StackSpec;
+use netgrid::tune::{pick_best, STRIPE_LADDER};
+use netgrid::{PathParams, StackSpec};
 use netgrid_bench::*;
+
+/// Probe-gain margin shared with the live controller's default
+/// (`PathControlConfig::probe_gain_pct`): a costlier rung must beat the
+/// cheaper one by this much to be worth keeping.
+const GAIN_PCT: u64 = 8;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = has_flag(&args, "--quick");
-    let counts: &[u16] = if quick {
-        &[1, 4, 8]
+    let counts: Vec<u16> = if quick {
+        vec![1, 4, 8]
     } else {
-        &[1, 2, 4, 6, 8, 12, 16]
+        STRIPE_LADDER.to_vec()
     };
     println!("Parallel-stream autotuning sweep (64 KiB OS windows)");
     println!("{}", "=".repeat(64));
@@ -32,32 +40,39 @@ fn main() {
             wan.rtt.as_millis(),
             wan.loss * 100.0
         );
-        let mut best = (0u16, 0f64);
-        for &n in counts {
+        let mut results: Vec<(PathParams, u64)> = Vec::new();
+        for &n in &counts {
             let spec = if n == 1 {
                 StackSpec::plain()
             } else {
                 StackSpec::plain().with_streams(n)
             };
+            let params = PathParams {
+                stripes: n,
+                ..PathParams::default()
+            };
             let mut run = BwRun::new(wan.clone(), spec, 512 * 1024);
             run.total_bytes = if quick { 8 << 20 } else { 24 << 20 };
             let p = measure_bandwidth(&run);
-            let marker = if p.bandwidth > best.1 {
-                best = (n, p.bandwidth);
-                " <-"
-            } else {
-                ""
-            };
-            println!("  {n:>3} streams: {:>7} MB/s{marker}", fmt_mb(p.bandwidth));
+            println!("  {n:>3} streams: {:>7} MB/s", fmt_mb(p.bandwidth));
+            results.push((params, p.bandwidth as u64));
         }
+        let chosen = pick_best(&results, GAIN_PCT).expect("non-empty sweep");
+        let rate = results
+            .iter()
+            .find(|(p, _)| *p == chosen)
+            .map(|&(_, r)| r)
+            .unwrap();
         println!(
-            "  optimum: {} streams at {} MB/s ({:.0}% of capacity)",
-            best.0,
-            fmt_mb(best.1),
-            100.0 * best.1 / wan.capacity
+            "  pick_best({GAIN_PCT}%): {} streams at {} MB/s ({:.0}% of capacity) — \
+             cheapest within the probe-gain margin",
+            chosen.stripes,
+            fmt_mb(rate as f64),
+            100.0 * rate as f64 / wan.capacity
         );
     }
     println!();
     println!("paper [20] (Vazhkudai et al.) predicted transfer parameters offline; here the");
-    println!("runtime can simply measure — the receive port accepts any stream count.");
+    println!("runtime can simply measure — the same ladder and selection rule drive the live");
+    println!("session-layer controller (GridEnv::with_path_control).");
 }

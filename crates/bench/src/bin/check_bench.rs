@@ -8,6 +8,7 @@
 //!               [--mux fresh.json]       [--base-mux BENCH_mux.json]
 //!               [--storm fresh.json]     [--base-storm BENCH_storm.json]
 //!               [--relaymesh fresh.json] [--base-relaymesh BENCH_relaymesh.json]
+//!               [--adaptive fresh.json]  [--base-adaptive BENCH_adaptive.json]
 //!               [--all [--fresh-dir DIR]]
 //!               [--tolerance 0.2]
 //!
@@ -36,6 +37,11 @@
 //!     must engage under one-hot load), kill `fifo_ok != 1` fails
 //!     (exactly-once FIFO across relay failover) — plus the usual
 //!     tolerance floor on spread `mb_s` against the baseline.
+//!   * adaptive: structural gates on the fresh run — the controller row's
+//!     `mb_s` below `0.9 x` the best static row fails (the control loop
+//!     stopped tracking the capacity ramp), below `1.5 x` the worst
+//!     static row fails (adaptation buys nothing) — plus the tolerance
+//!     floor on the controller row against the baseline.
 //!
 //! Baselines are host-speed sensitive, so the default tolerance is loose;
 //! quick CI runs pass `--tolerance 0.3`. The JSON is the flat array of
@@ -273,6 +279,83 @@ fn check_storm(fresh_path: &str, base_path: &str, failures: &mut Vec<String>) {
     }
 }
 
+fn check_adaptive(fresh_path: &str, base_path: &str, tolerance: f64, failures: &mut Vec<String>) {
+    let fresh = load(fresh_path);
+    let base = load(base_path);
+    // Structural gate on the FRESH run alone: the controller must land
+    // within 0.9x of the best static configuration (adaptation is nearly
+    // free) and at least 1.5x above the worst (adaptation actually pays
+    // on the ramp). Host-speed independent — the simulation clock is
+    // deterministic.
+    let ctl = fresh
+        .iter()
+        .find(|r| r.get("id").map(String::as_str) == Some("controller"));
+    let statics: Vec<f64> = fresh
+        .iter()
+        .filter(|r| r.get("id").map(String::as_str) != Some("controller"))
+        .map(|r| num(r, "mb_s", fresh_path))
+        .collect();
+    match (ctl, statics.is_empty()) {
+        (Some(c), false) => {
+            let ctl_mb = num(c, "mb_s", fresh_path);
+            let best = statics.iter().cloned().fold(f64::MIN, f64::max);
+            let worst = statics.iter().cloned().fold(f64::MAX, f64::min);
+            let floor_best = best * 0.9;
+            let floor_worst = worst * 1.5;
+            let verdict = if ctl_mb >= floor_best { "ok" } else { "FAIL" };
+            println!(
+                "adaptive controller: {ctl_mb:>6.2} MB/s vs static best {best:>6.2} (floor {floor_best:>6.2})  {verdict}"
+            );
+            if ctl_mb < floor_best {
+                failures.push(format!(
+                    "adaptive: controller {ctl_mb:.2} MB/s below 0.9x static best {best:.2} \
+                     (control loop not tracking the ramp)"
+                ));
+            }
+            let verdict = if ctl_mb >= floor_worst { "ok" } else { "FAIL" };
+            println!(
+                "adaptive controller: {ctl_mb:>6.2} MB/s vs static worst {worst:>6.2} (need {floor_worst:>6.2})  {verdict}"
+            );
+            if ctl_mb < floor_worst {
+                failures.push(format!(
+                    "adaptive: controller {ctl_mb:.2} MB/s under 1.5x static worst {worst:.2} \
+                     (adaptation buys nothing over a bad static pick)"
+                ));
+            }
+        }
+        _ => failures.push(format!(
+            "adaptive: {fresh_path} lacks a controller row and/or static rows"
+        )),
+    }
+    // Baseline drift, per configuration id. Quick runs use a shorter ramp
+    // schedule than the committed full baseline, so absolute MB/s differ
+    // by workload shape — only the controller row compares, and with the
+    // loose stage tolerance.
+    let fresh_by_id = index(&fresh, "id", fresh_path);
+    for b in &base {
+        let id = &b["id"];
+        if id != "controller" {
+            continue;
+        }
+        let Some(f) = fresh_by_id.get(id) else {
+            continue;
+        };
+        let base_mb = num(b, "mb_s", base_path);
+        let fresh_mb = num(f, "mb_s", fresh_path);
+        let floor = base_mb * (1.0 - tolerance);
+        let verdict = if fresh_mb < floor { "FAIL" } else { "ok" };
+        println!(
+            "adaptive {id:>16}: {fresh_mb:>6.2} MB/s vs baseline {base_mb:>6.2} (floor {floor:>6.2})  {verdict}"
+        );
+        if fresh_mb < floor {
+            failures.push(format!(
+                "adaptive {id:?}: {fresh_mb:.2} MB/s regressed more than {:.0}% below baseline {base_mb:.2}",
+                tolerance * 100.0
+            ));
+        }
+    }
+}
+
 fn check_relaymesh(fresh_path: &str, base_path: &str, tolerance: f64, failures: &mut Vec<String>) {
     let fresh = load(fresh_path);
     let base = load(base_path);
@@ -417,6 +500,7 @@ fn check_all(fresh_dir: &str, tolerance: f64, failures: &mut Vec<String>) {
             "BENCH_mux.json" => check_mux(&fresh, name, failures),
             "BENCH_storm.json" => check_storm(&fresh, name, failures),
             "BENCH_relaymesh.json" => check_relaymesh(&fresh, name, tolerance, failures),
+            "BENCH_adaptive.json" => check_adaptive(&fresh, name, tolerance, failures),
             _ => {
                 // Unknown suite: no typed gate yet, but both sides must at
                 // least be well-formed bench output.
@@ -438,14 +522,16 @@ fn main() {
     let mux = arg_value(&args, "--mux");
     let storm = arg_value(&args, "--storm");
     let relaymesh = arg_value(&args, "--relaymesh");
+    let adaptive = arg_value(&args, "--adaptive");
     let all = has_flag(&args, "--all");
     assert!(
         all || datapath.is_some()
             || faults.is_some()
             || mux.is_some()
             || storm.is_some()
-            || relaymesh.is_some(),
-        "nothing to check: pass --datapath, --faults, --mux, --storm, --relaymesh and/or --all"
+            || relaymesh.is_some()
+            || adaptive.is_some(),
+        "nothing to check: pass --datapath, --faults, --mux, --storm, --relaymesh, --adaptive and/or --all"
     );
 
     let mut failures = Vec::new();
@@ -474,6 +560,11 @@ fn main() {
         let base =
             arg_value(&args, "--base-relaymesh").unwrap_or_else(|| "BENCH_relaymesh.json".into());
         check_relaymesh(&fresh, &base, tolerance, &mut failures);
+    }
+    if let Some(fresh) = adaptive {
+        let base =
+            arg_value(&args, "--base-adaptive").unwrap_or_else(|| "BENCH_adaptive.json".into());
+        check_adaptive(&fresh, &base, tolerance, &mut failures);
     }
     if failures.is_empty() {
         println!("check_bench: no regressions");

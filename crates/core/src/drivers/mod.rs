@@ -40,7 +40,7 @@ pub use adaptive::{AdaptiveCompressWriter, AdaptiveStats};
 pub use blockio::{
     copy_read_chunks, BlockRead, BlockReader, BlockWrite, BlockWriter, CpuRead, CpuWrite,
 };
-pub use stripe::{StripeReader, StripeWriter};
+pub use stripe::{StripeQuiesce, StripeReader, StripeTerminator, StripeWriter};
 
 /// A raw, established link: either a native TCP socket (client/server,
 /// spliced, or proxied — Table 1's "native TCP" rows) or a relay-routed
@@ -104,6 +104,24 @@ impl RawLink {
         match self {
             RawLink::Tcp(s) => s.health().is_none(),
             RawLink::Routed(s) => s.fin_received(),
+        }
+    }
+
+    /// Transport counters for the path controller's telemetry sample.
+    /// Relay-routed links have no TCP state of their own; they report
+    /// `None` and the sample falls back to session-level counters.
+    pub fn conn_stats(&self) -> Option<gridsim_tcp::ConnStats> {
+        match self {
+            RawLink::Tcp(s) => s.stats().ok(),
+            RawLink::Routed(_) => None,
+        }
+    }
+
+    /// Unacknowledged bytes sitting in the transport's send buffer.
+    pub fn tx_backlog(&self) -> usize {
+        match self {
+            RawLink::Tcp(s) => s.tx_backlog().unwrap_or(0),
+            RawLink::Routed(_) => 0,
         }
     }
 }
@@ -186,18 +204,57 @@ impl BlockRead for RawLink {
     }
 }
 
+/// The runtime-tunable half of a [`StackSpec`]: the knobs a live
+/// `RECONFIG` exchange may change mid-connection. Everything else on the
+/// spec (security, adaptive mode) is fixed at establishment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PathParams {
+    /// Number of parallel TCP streams (1 = plain).
+    pub stripes: u16,
+    /// Aggregation block size for TCP_Block and the striping unit.
+    pub block_size: u32,
+    /// Compression filter with this gridzip level (`None` = no compressor).
+    pub compression_level: Option<u8>,
+}
+
+impl Default for PathParams {
+    fn default() -> Self {
+        PathParams {
+            stripes: 1,
+            block_size: 32 * 1024,
+            compression_level: None,
+        }
+    }
+}
+
+impl PathParams {
+    /// Are these parameters usable for a stack over `avail` raw links?
+    pub fn valid_for(&self, avail: usize) -> bool {
+        self.stripes >= 1 && (self.stripes as usize) <= avail && self.block_size > 0
+    }
+
+    /// Short description, e.g. `"4x64KiB+z1"`.
+    pub fn describe(&self) -> String {
+        let mut s = format!("{}x{}B", self.stripes, self.block_size);
+        if let Some(l) = self.compression_level {
+            s.push_str(&format!("+z{l}"));
+        }
+        s
+    }
+}
+
 /// Configuration of a driver stack — what NetIbis reads from its
 /// configuration file / runtime properties. The receive port declares it;
 /// senders learn it from the name service, so both endpoints always
 /// assemble matching stacks (the paper's "driver assembly consistency").
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// The tunable knobs (stripe count, block size, compression level) live in
+/// the embedded [`PathParams`]; `adaptive`/`secure` are establishment-time
+/// properties a live reconfiguration never changes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StackSpec {
-    /// Number of parallel TCP streams (1 = plain).
-    pub streams: u16,
-    /// Aggregation block size for TCP_Block and the striping unit.
-    pub block_size: u32,
-    /// Compression filter with this gridzip level.
-    pub compress: Option<u8>,
+    /// Tunable path parameters (stripes, block size, compression level).
+    pub path: PathParams,
     /// Adaptive compression (paper §8 future work): toggle the compressor
     /// on and off at runtime depending on where the bottleneck is.
     pub adaptive: bool,
@@ -205,37 +262,40 @@ pub struct StackSpec {
     pub secure: bool,
 }
 
-impl Default for StackSpec {
-    fn default() -> Self {
-        StackSpec {
-            streams: 1,
-            block_size: 32 * 1024,
-            compress: None,
-            adaptive: false,
-            secure: false,
-        }
-    }
-}
-
 impl StackSpec {
     pub fn plain() -> StackSpec {
         StackSpec::default()
     }
 
+    /// Number of parallel TCP streams (1 = plain).
+    pub fn streams(&self) -> u16 {
+        self.path.stripes
+    }
+
+    /// Aggregation block size for TCP_Block and the striping unit.
+    pub fn block_size(&self) -> u32 {
+        self.path.block_size
+    }
+
+    /// Compression filter level, if any.
+    pub fn compress(&self) -> Option<u8> {
+        self.path.compression_level
+    }
+
     pub fn with_streams(mut self, n: u16) -> Self {
         assert!(n >= 1, "at least one stream");
-        self.streams = n;
+        self.path.stripes = n;
         self
     }
 
     pub fn with_compression(mut self, level: u8) -> Self {
-        self.compress = Some(level.clamp(1, 9));
+        self.path.compression_level = Some(level.clamp(1, 9));
         self
     }
 
     /// Compression that turns itself off when CPU-bound (AdOC-style).
     pub fn with_adaptive_compression(mut self, level: u8) -> Self {
-        self.compress = Some(level.clamp(1, 9));
+        self.path.compression_level = Some(level.clamp(1, 9));
         self.adaptive = true;
         self
     }
@@ -247,18 +307,27 @@ impl StackSpec {
 
     pub fn with_block_size(mut self, bytes: u32) -> Self {
         assert!(bytes > 0);
-        self.block_size = bytes;
+        self.path.block_size = bytes;
         self
+    }
+
+    /// The spec that results from applying live `params` to this
+    /// establishment spec: tunables swap, `adaptive`/`secure` persist.
+    pub fn with_path(&self, params: PathParams) -> StackSpec {
+        StackSpec {
+            path: params,
+            ..self.clone()
+        }
     }
 
     /// Short description, e.g. `"4 streams + zlib(1) + gtls"`.
     pub fn describe(&self) -> String {
-        let mut parts = vec![if self.streams == 1 {
+        let mut parts = vec![if self.streams() == 1 {
             "plain TCP".to_string()
         } else {
-            format!("{} streams", self.streams)
+            format!("{} streams", self.streams())
         }];
-        if let Some(l) = self.compress {
+        if let Some(l) = self.compress() {
             if self.adaptive {
                 parts.push(format!("adaptive compression(level {l})"));
             } else {
@@ -273,9 +342,9 @@ impl StackSpec {
 
     pub fn encode(&self) -> Vec<u8> {
         FrameWriter::new()
-            .u64(self.streams as u64)
-            .u64(self.block_size as u64)
-            .u8(self.compress.map(|l| l + 1).unwrap_or(0))
+            .u64(self.streams() as u64)
+            .u64(self.block_size() as u64)
+            .u8(self.compress().map(|l| l + 1).unwrap_or(0))
             .u8(self.secure as u8)
             .u8(self.adaptive as u8)
             .into_bytes()
@@ -295,9 +364,11 @@ impl StackSpec {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "bad stack spec"));
         }
         Ok(StackSpec {
-            streams,
-            block_size,
-            compress,
+            path: PathParams {
+                stripes: streams,
+                block_size,
+                compression_level: compress,
+            },
             adaptive,
             secure,
         })
@@ -470,7 +541,7 @@ fn secure_wires(
 }
 
 /// Assemble the sender stack over established raw links.
-/// `links.len()` must equal `spec.streams`.
+/// `links.len()` must equal `spec.streams()`.
 ///
 /// Also returns the [`BlockPool`] the stack's aggregation/striping layers
 /// draw their staging buffers from, so callers can surface pool hit/miss
@@ -481,16 +552,30 @@ pub fn build_sender(
     cpu: HostCpu,
     sec: Option<&SecurityContext>,
 ) -> io::Result<(SenderStack, BlockPool)> {
+    build_sender_parts(links, spec, cpu, sec).map(|(s, p, _)| (s, p))
+}
+
+/// [`build_sender`] variant that also hands back the striped layer's
+/// segment-terminator handle (None for single-stream stacks). The session
+/// layer uses it during a live reconfiguration to end the stripe segment
+/// in-band, so the receiver's pump tasks exit before the stack swap.
+pub fn build_sender_parts(
+    links: Vec<RawLink>,
+    spec: &StackSpec,
+    cpu: HostCpu,
+    sec: Option<&SecurityContext>,
+) -> io::Result<(SenderStack, BlockPool, Option<stripe::StripeTerminator>)> {
     assert_eq!(
         links.len(),
-        spec.streams as usize,
-        "link count must match spec.streams"
+        spec.streams() as usize,
+        "link count must match spec.streams()"
     );
-    let block = spec.block_size as usize;
+    let block = spec.block_size() as usize;
     let pool = BlockPool::new(block);
     let mut wires = secure_wires(links, spec, &cpu, sec, true)?;
     // Per-stream crypto cost wrapper.
     let crypt_rate = cpu.rates.crypt;
+    let mut term = None;
     let base: Box<dyn BlockWrite + Send> = if wires.len() == 1 {
         let w = wires.pop().unwrap();
         let w: Box<dyn BlockWrite + Send> = if spec.secure {
@@ -511,15 +596,17 @@ pub fn build_sender(
                 }
             })
             .collect();
-        Box::new(StripeWriter::with_pool(
+        let sw = StripeWriter::with_pool(
             wires,
             pool.clone(),
             cpu.clone(),
             cpu.rates.copy,
             &gridsim_net::ctx::handle(),
-        ))
+        );
+        term = Some(sw.terminator());
+        Box::new(sw)
     };
-    let stack: SenderStack = match spec.compress {
+    let stack: SenderStack = match spec.compress() {
         Some(level) if spec.adaptive => {
             let rate = cpu.rates.compress_at_level(level);
             Box::new(AdaptiveCompressWriter::new(base, level, block, cpu, rate))
@@ -531,7 +618,7 @@ pub fn build_sender(
         }
         None => base,
     };
-    Ok((stack, pool))
+    Ok((stack, pool, term))
 }
 
 /// Assemble the receiver stack over accepted raw links (same order as the
@@ -543,14 +630,29 @@ pub fn build_receiver(
     sec: Option<&SecurityContext>,
     sched: &gridsim_net::SchedHandle,
 ) -> io::Result<ReceiverStack> {
+    build_receiver_parts(links, spec, cpu, sec, sched).map(|(s, _)| s)
+}
+
+/// [`build_receiver`] variant that also hands back the striped layer's
+/// quiesce handle (None for single-stream stacks). The pump holds it so a
+/// live reconfiguration can wait for the retired stack's reader tasks to
+/// exit before a replacement stack reads the same sockets.
+pub fn build_receiver_parts(
+    links: Vec<RawLink>,
+    spec: &StackSpec,
+    cpu: HostCpu,
+    sec: Option<&SecurityContext>,
+    sched: &gridsim_net::SchedHandle,
+) -> io::Result<(ReceiverStack, Option<stripe::StripeQuiesce>)> {
     assert_eq!(
         links.len(),
-        spec.streams as usize,
-        "link count must match spec.streams"
+        spec.streams() as usize,
+        "link count must match spec.streams()"
     );
-    let block = spec.block_size as usize;
+    let block = spec.block_size() as usize;
     let mut wires = secure_wires(links, spec, &cpu, sec, false)?;
     let crypt_rate = cpu.rates.crypt;
+    let mut quiesce = None;
     let base: Box<dyn BlockRead + Send> = if wires.len() == 1 {
         let w = wires.pop().unwrap();
         let w: Box<dyn BlockRead + Send> = if spec.secure {
@@ -570,16 +672,19 @@ pub fn build_receiver(
                 }
             })
             .collect();
-        Box::new(StripeReader::new(wires, sched))
+        let sr = StripeReader::new(wires, sched);
+        quiesce = Some(sr.quiesce());
+        Box::new(sr)
     };
-    match spec.compress {
+    let stack: ReceiverStack = match spec.compress() {
         Some(_) => {
             let rate = cpu.rates.decompress;
             let cr = CpuRead::new(ReadAdapter(base), cpu, rate);
-            Ok(Box::new(gridzip::DecompressReader::new(cr)))
+            Box::new(gridzip::DecompressReader::new(cr))
         }
-        None => Ok(base),
-    }
+        None => base,
+    };
+    Ok((stack, quiesce))
 }
 
 /// Newtype so the boxed stack itself implements `Read` by value.

@@ -115,6 +115,15 @@ impl StripeWriter {
         }
     }
 
+    /// A handle for terminating the reader pumps on the far side: clones
+    /// of the per-stream queues, usable while the writer itself is borrowed
+    /// elsewhere (the session layer holds it inside the boxed stack).
+    pub fn terminator(&self) -> StripeTerminator {
+        StripeTerminator {
+            queues: self.queues.clone(),
+        }
+    }
+
     /// Hand one assembled block to the round-robin target stream. The block
     /// may be a zero-copy slice of a caller buffer; the user-space copy the
     /// real striping driver pays is still charged to the simulated CPU
@@ -195,6 +204,34 @@ impl BlockWrite for StripeWriter {
     }
 }
 
+/// Sender-side handle that ends the current striping *segment*: one
+/// zero-length block — the in-band terminator — is queued on every stream,
+/// strictly after every data block already submitted (queue FIFO order).
+/// The receiver's per-stream pumps exit cleanly when they read it, which
+/// is what makes a live path reconfiguration safe: the old [`StripeReader`]
+/// can be quiesced before a replacement stack starts reading the same
+/// sockets. Writers never emit zero-length data blocks, so the terminator
+/// is unambiguous on the wire.
+pub struct StripeTerminator {
+    queues: Vec<gridsim_net::SimQueue<Bytes>>,
+}
+
+impl StripeTerminator {
+    /// Queue the terminator on every stream. Fails if a stream pump
+    /// already died (its queue is closed).
+    pub fn terminate(&self) -> io::Result<()> {
+        for q in &self.queues {
+            if q.push(Bytes::new()).is_err() {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "stripe stream closed",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The receiver half: per-stream pump tasks drain the TCP streams eagerly
 /// into bounded block queues (keeping every stream's receive window open —
 /// NetIbis used one thread per connection the same way), while `read`
@@ -248,6 +285,16 @@ impl StripeReader {
         }
     }
 
+    /// A handle for waiting out the pump tasks after this reader is
+    /// retired: clones of the per-stream queues, so the session layer can
+    /// confirm every pump exited before a replacement stack reads the same
+    /// sockets.
+    pub fn quiesce(&self) -> StripeQuiesce {
+        StripeQuiesce {
+            queues: self.queues.clone(),
+        }
+    }
+
     /// Pop blocks in round-robin order until `current` is non-empty;
     /// `Ok(false)` on EOF.
     fn refill(&mut self) -> io::Result<bool> {
@@ -268,9 +315,32 @@ impl StripeReader {
     }
 }
 
+/// Receiver-side handle paired with a retired [`StripeReader`]: waiting on
+/// it parks until every pump task consumed its segment terminator (or hit
+/// a stream error) and closed its queue. Until that point the pumps are
+/// still entitled to read from the underlying sockets, so a live
+/// reconfiguration must wait here before acking the sender — otherwise a
+/// zombie pump would steal the first new-format bytes.
+pub struct StripeQuiesce {
+    queues: Vec<gridsim_net::SimQueue<io::Result<Bytes>>>,
+}
+
+impl StripeQuiesce {
+    /// Park until every pump exited, discarding any residual blocks or
+    /// errors (by the reconfiguration protocol there are none: the
+    /// terminator is the last thing the sender wrote in the old format).
+    pub fn wait(self) {
+        for q in &self.queues {
+            while q.pop().is_some() {}
+        }
+    }
+}
+
 /// Read one `[varint len][bytes]` block; `Ok(None)` on clean EOF at a block
-/// boundary. The one copy of the stripe receive path lives here (the block
-/// must be contiguous to frame); consumers downstream share it by refcount.
+/// boundary or on the in-band segment terminator (a zero-length block —
+/// see [`StripeTerminator`]; data blocks are never empty). The one copy of
+/// the stripe receive path lives here (the block must be contiguous to
+/// frame); consumers downstream share it by refcount.
 fn read_block<R: Read>(s: &mut R) -> io::Result<Option<Bytes>> {
     let mut len: u64 = 0;
     let mut shift = 0u32;
@@ -299,6 +369,11 @@ fn read_block<R: Read>(s: &mut R) -> io::Result<Option<Bytes>> {
                 "stripe header overflow",
             ));
         }
+    }
+    if len == 0 {
+        // Segment terminator: the sender retired this stripe layout (live
+        // reconfiguration). Clean end-of-segment, same as EOF.
+        return Ok(None);
     }
     if len > (64 << 20) {
         return Err(io::Error::new(

@@ -82,10 +82,11 @@ pub mod relay;
 pub mod rpc;
 pub(crate) mod session;
 pub mod socks;
+pub mod tune;
 pub mod wire;
 
 pub use cpu::{CpuModel, CpuRates, HostCpu};
-pub use drivers::{RawLink, StackSpec};
+pub use drivers::{PathParams, RawLink, StackSpec};
 pub use establish::{choose_methods, EstablishMethod, LinkPurpose};
 pub use nameservice::{spawn_name_service, GridId, NsClient};
 pub use node::{GridEnv, GridNode};
@@ -98,3 +99,4 @@ pub use relay::{
 pub use rpc::RpcClient;
 pub use session::{walk_gauge_peak, walk_gauge_reset};
 pub use socks::{socks_connect, spawn_proxy};
+pub use tune::{PathControlConfig, PathController, PathStats};

@@ -22,7 +22,7 @@ use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use crate::cpu::{CpuModel, CpuRates, HostCpu};
-use crate::drivers::{build_sender, RawLink, SecurityContext, StackSpec};
+use crate::drivers::{build_sender_parts, PathParams, RawLink, SecurityContext, StackSpec};
 use crate::establish::{choose_methods, EstablishMethod, LinkKey, LinkPurpose};
 use crate::nameservice::{GridId, NsClient, PortRecord};
 use crate::port::{
@@ -33,6 +33,7 @@ use crate::profile::{ConnectivityProfile, FirewallClass, NatClass};
 use crate::relay::{RelayClient, RelayDelegate, RoutedStream};
 use crate::session::{Channel, Claim, LinkIo, LinkTable, RecoveryRole, SharedLink};
 use crate::socks::socks_connect;
+use crate::tune::{PathControlConfig, PathController};
 use crate::wire::{read_frame, FrameReader, FrameWriter};
 
 /// High bit of the stream preamble's channel field: set when the
@@ -105,6 +106,11 @@ pub struct GridEnv {
     /// Receiver cumulative-ack cadence: one CACK service frame per this
     /// many delivered bytes. `usize::MAX` disables the ack protocol.
     pub ack_bytes: usize,
+    /// When set, every established data link gets a [`PathController`]
+    /// daemon sampling its transport telemetry and issuing live RECONFIGs
+    /// (DESIGN.md §11). Off by default: fault-free wire traces stay
+    /// byte-identical unless a deployment opts in.
+    pub path_control: Option<PathControlConfig>,
 }
 
 impl GridEnv {
@@ -119,6 +125,7 @@ impl GridEnv {
             rates: CpuRates::default(),
             resend_budget: crate::port::RESEND_BUDGET,
             ack_bytes: crate::port::ACK_BYTES_DEFAULT,
+            path_control: None,
         }
     }
 
@@ -169,9 +176,18 @@ impl GridEnv {
         self.ack_bytes = bytes.max(1);
         self
     }
+
+    /// Enable the session-layer path control loop: each data link gets a
+    /// deterministic [`PathController`] that samples transport telemetry
+    /// and reconfigures stripe count, block size and compression live.
+    pub fn with_path_control(mut self, cfg: PathControlConfig) -> Self {
+        self.path_control = Some(cfg);
+        self
+    }
 }
 
 /// Handed to receive ports so their accept paths can build stacks.
+#[derive(Clone)]
 pub struct NodeCtx {
     pub cpu: HostCpu,
     pub sched: SchedHandle,
@@ -611,7 +627,7 @@ impl GridNode {
             self.nat_gated(|| self.inner.ns.lookup_port(port_name))?;
         let mut spec = StackSpec::decode(&rec.stack)?;
         if let Some(n) = streams_override {
-            spec.streams = n.max(1);
+            spec.path.stripes = n.max(1);
         }
         let key = LinkKey::new(rec.owner, &spec);
         let channels: Vec<u64> = (0..count).map(|_| self.alloc_channel()).collect();
@@ -715,7 +731,7 @@ impl GridNode {
             self.nat_gated(|| self.inner.ns.lookup_port(port_name))?;
         let mut spec = StackSpec::decode(&rec.stack)?;
         if let Some(n) = streams_override {
-            spec.streams = n.max(1);
+            spec.path.stripes = n.max(1);
         }
         let key = LinkKey::new(rec.owner, &spec);
         loop {
@@ -846,6 +862,7 @@ impl GridNode {
                             channel,
                         ));
                         link.attach(Arc::clone(&chan));
+                        self.spawn_path_controller(&link);
                         return Ok(SendConnection { link, chan });
                     }
                     Err(e) => {
@@ -899,23 +916,170 @@ impl GridNode {
         } else {
             Vec::new()
         };
-        let spec_eff = StackSpec {
-            streams: total,
-            ..spec.clone()
-        };
+        let spec_eff = spec.clone().with_streams(total.max(1));
         let ctx = self.ctx();
         let sec = ctx.security(&spec_eff);
         let probes = links.clone();
-        let (writer, pool) = build_sender(links, &spec_eff, self.inner.cpu.clone(), sec.as_ref())?;
+        let (writer, pool, term) =
+            build_sender_parts(links, &spec_eff, self.inner.cpu.clone(), sec.as_ref())?;
         Ok((
             LinkIo {
                 writer,
                 pool,
+                active: probes.len(),
                 links: probes,
+                term,
                 mux: false,
             },
             deliveries,
         ))
+    }
+
+    // -------------------------------------------- live reconfiguration
+
+    /// Switch a link's path parameters live (DESIGN.md §11): flush the
+    /// current stack to a frame boundary, tell the receiver with a
+    /// `RECONFIG` frame, wait for its delivered-watermark ack, and rebuild
+    /// the sender stack from the new parameters — all without tearing the
+    /// raw connections down. Returns `false` if the link already runs
+    /// `params` (no wire traffic).
+    ///
+    /// On any wire failure mid-exchange the two ends may disagree about
+    /// the committed format, so the error path funnels into link
+    /// recovery: a full re-establishment resynchronizes both sides at the
+    /// establishment spec (exactly-once delivery preserved by the resume
+    /// replay), and the caller may retry later.
+    pub(crate) fn reconfigure_link(
+        &self,
+        link: &Arc<SharedLink>,
+        params: PathParams,
+    ) -> io::Result<bool> {
+        let seen = link.incarnation();
+        match self.try_reconfigure(link, params) {
+            Ok(done) => Ok(done),
+            // Parameter validation failed before anything hit the wire.
+            Err(e) if e.kind() == io::ErrorKind::InvalidInput => Err(e),
+            Err(e) => {
+                let _ = self.recover_link(link, seen);
+                Err(e)
+            }
+        }
+    }
+
+    /// One reconfiguration attempt, entirely under the write gate so no
+    /// channel writer can interleave a message between the old and new
+    /// stack formats.
+    fn try_reconfigure(&self, link: &Arc<SharedLink>, params: PathParams) -> io::Result<bool> {
+        let mut io = link.io();
+        if params == link.path_params() {
+            return Ok(false);
+        }
+        // Stripes can only be spread over connections establishment
+        // actually dialed; parked spares beyond `active` are reusable.
+        if !params.valid_for(io.links.len()) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "reconfig {} invalid for {} raw link(s)",
+                    params.describe(),
+                    io.links.len()
+                ),
+            ));
+        }
+        if !io.healthy() {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "link down before reconfig",
+            ));
+        }
+        // The epoch is burned even if this attempt dies: the receiver can
+        // always order frames, and recovery never rewinds it.
+        let epoch = link.next_path_epoch();
+        io.write_reconfig(epoch, params)?;
+        // Block for the receiver's ack (raw on stream 0, reverse — the
+        // resume-reply pattern): it proves the receiver consumed every
+        // old-format byte and swapped. Poll readability first so a link
+        // that dies right here cannot park us forever.
+        let mut l0 = io.links[0].clone();
+        let ready = wait_until(RESUME_REPLY_TIMEOUT, Duration::from_millis(10), || {
+            link_readable(&l0)
+        });
+        if !ready {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "no reconfig ack from receiver",
+            ));
+        }
+        let frame = read_frame(&mut l0)?;
+        let mut fr = FrameReader::new(&frame);
+        let got = fr.u64()?;
+        if got != epoch {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("reconfig ack epoch {got}, expected {epoch}"),
+            ));
+        }
+        // The ack carries the receiver's delivered watermarks — the
+        // exactly-once handshake. Everything we wrote happened-before the
+        // RECONFIG frame, so these cover every sent message; advancing
+        // the ack cells prunes the resend buffers for free.
+        let chans = link.replay_order();
+        let n = fr.u64()? as usize;
+        for _ in 0..n {
+            let ch = fr.u64()?;
+            let delivered = fr.u64()?;
+            if let Some(c) = chans.iter().find(|c| c.channel == ch) {
+                c.acked.advance(delivered);
+            }
+        }
+        // Rebuild the sender stack over the first `stripes` connections;
+        // the rest stay parked (healthy() ignores them). GTLS stacks
+        // re-handshake deterministically from the per-stream salt.
+        let spec_eff = link.spec.clone().with_path(params);
+        let ctx = self.ctx();
+        let sec = ctx.security(&spec_eff);
+        let raw: Vec<RawLink> = io.links[..params.stripes as usize].to_vec();
+        let (writer, pool, term) =
+            build_sender_parts(raw, &spec_eff, self.inner.cpu.clone(), sec.as_ref())?;
+        io.writer = writer;
+        io.pool = pool;
+        io.term = term;
+        io.active = params.stripes as usize;
+        link.set_path_params(params);
+        Ok(true)
+    }
+
+    /// Start the per-link control daemon, if the environment opted in:
+    /// sample transport telemetry every `interval`, feed the deterministic
+    /// [`PathController`], and apply whatever it decides. Exits when the
+    /// last channel detaches from the link.
+    fn spawn_path_controller(&self, link: &Arc<SharedLink>) {
+        let Some(cfg) = self.inner.env.path_control else {
+            return;
+        };
+        let node = self.clone();
+        let weak = Arc::downgrade(link);
+        let sched = self.ctx().sched;
+        sched.spawn_daemon("path-ctl", move || {
+            let mut ctl: Option<PathController> = None;
+            loop {
+                gridsim_net::ctx::sleep(cfg.interval);
+                let Some(link) = weak.upgrade() else { break };
+                if link.channel_count() == 0 {
+                    break;
+                }
+                let now = gridsim_net::ctx::now().as_nanos() / 1_000;
+                let sample = link.sample_stats(now);
+                let ctl = ctl.get_or_insert_with(|| PathController::new(link.path_params(), cfg));
+                // A recovery may have reset the live parameters behind our
+                // back; resync before and after deciding.
+                ctl.applied(link.path_params());
+                if let Some(p) = ctl.on_sample(sample) {
+                    let _ = node.reconfigure_link(&link, p);
+                    ctl.applied(link.path_params());
+                }
+            }
+        });
     }
 
     // ------------------------------------------------- the data path
@@ -1126,9 +1290,19 @@ impl GridNode {
                     }
                 }
                 fatal?;
+                let active = io.active as u16;
                 match self.swap_and_replay(link, io, &chans, &replays) {
                     Ok(()) => {
                         link.set_method(method);
+                        // Live path parameters reset to the establishment
+                        // spec (with the stripe count the method actually
+                        // delivered — routed links carry one stream). The
+                        // epoch is NOT rewound; the path controller
+                        // re-issues its tuning from scratch.
+                        link.set_path_params(PathParams {
+                            stripes: active.max(1),
+                            ..link.spec.path
+                        });
                         link.bump_incarnation();
                         return Ok(());
                     }
@@ -1188,18 +1362,18 @@ impl GridNode {
                 let listener = rec.listener.ok_or_else(|| {
                     io::Error::new(io::ErrorKind::AddrNotAvailable, "port has no listener")
                 })?;
-                let mut links = Vec::with_capacity(spec.streams as usize);
-                for idx in 0..spec.streams {
+                let mut links = Vec::with_capacity(spec.streams() as usize);
+                for idx in 0..spec.streams() {
                     // Storm hardening: transient ephemeral-port exhaustion
                     // (AddrInUse) retries outside the NAT gate, so a
                     // symmetric-NAT node never sleeps while holding it.
                     let s = crate::establish::factory::retry_addr_in_use(|| {
                         self.nat_gated(|| self.inner.host.connect(listener))
                     })?;
-                    self.send_preamble(&s, channel, idx, spec.streams, resume)?;
+                    self.send_preamble(&s, channel, idx, spec.streams(), resume)?;
                     links.push(RawLink::Tcp(s));
                 }
-                Ok((links, spec.streams))
+                Ok((links, spec.streams()))
             }
             EstablishMethod::Proxy => {
                 let listener = rec.listener.ok_or_else(|| {
@@ -1215,13 +1389,13 @@ impl GridNode {
                 .ok_or_else(|| {
                     io::Error::new(io::ErrorKind::AddrNotAvailable, "no SOCKS proxy available")
                 })?;
-                let mut links = Vec::with_capacity(spec.streams as usize);
-                for idx in 0..spec.streams {
+                let mut links = Vec::with_capacity(spec.streams() as usize);
+                for idx in 0..spec.streams() {
                     let s = self.nat_gated(|| socks_connect(&self.inner.host, proxy, listener))?;
-                    self.send_preamble(&s, channel, idx, spec.streams, resume)?;
+                    self.send_preamble(&s, channel, idx, spec.streams(), resume)?;
                     links.push(RawLink::Tcp(s));
                 }
-                Ok((links, spec.streams))
+                Ok((links, spec.streams()))
             }
             EstablishMethod::Splicing => {
                 // NAT port prediction races with any concurrent outbound
@@ -1236,7 +1410,7 @@ impl GridNode {
                         gridsim_net::ctx::sleep(stagger);
                     }
                     match self.splice_initiate(rec, spec, channel, resume) {
-                        Ok(links) => return Ok((links, spec.streams)),
+                        Ok(links) => return Ok((links, spec.streams())),
                         Err(e) => last = Some(e),
                     }
                 }
@@ -1369,7 +1543,7 @@ impl GridNode {
         resume: Option<&ResumePlan>,
     ) -> io::Result<Vec<RawLink>> {
         let relay = self.relay()?.clone();
-        let total = spec.streams;
+        let total = spec.streams();
         // During recovery the responder may have died mid-negotiation;
         // bound the brokering round-trips so the tree can fall through.
         let svc_timeout = resume.map(|_| RECOVER_SVC_TIMEOUT);

@@ -22,9 +22,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::drivers::{build_receiver, RawLink, ReceiverStack, StackSpec};
+use crate::drivers::{
+    build_receiver_parts, PathParams, RawLink, ReceiverStack, StackSpec, StripeQuiesce,
+};
 use crate::establish::EstablishMethod;
-use crate::node::{GridNode, NodeCtx, PortResolver};
+use crate::node::{GridNode, NodeCtx};
 use crate::pool::{BlockBuf, BlockPool, PoolStats};
 use crate::relay::RelayClient;
 use crate::session::{Channel, SharedLink};
@@ -336,6 +338,46 @@ impl SendPort {
             .iter()
             .map(|c| (c.chan.peer_port.clone(), c.link.method(), c.chan.channel))
             .collect()
+    }
+
+    /// Live path parameters of connection `i`'s underlying link.
+    pub fn path_params(&self, i: usize) -> Option<PathParams> {
+        self.conns.get(i).map(|c| c.link.path_params())
+    }
+
+    /// Epoch of the last committed RECONFIG on connection `i`'s link
+    /// (0 = never reconfigured; abandoned attempts burn epochs, so gaps
+    /// are normal).
+    pub fn path_epoch(&self, i: usize) -> Option<u64> {
+        self.conns.get(i).map(|c| c.link.path_epoch())
+    }
+
+    /// Telemetry ring of connection `i`'s link, oldest first — the
+    /// samples the session-layer control loop decides from. Empty unless
+    /// path control is on (`GridEnv::with_path_control`) or the caller
+    /// samples by hand.
+    pub fn path_telemetry(&self, i: usize) -> Option<Vec<crate::tune::PathStats>> {
+        self.conns.get(i).map(|c| c.link.stats_ring())
+    }
+
+    /// Reconfigure every distinct underlying link to `params` live
+    /// (DESIGN.md §11): stripe count, block size and compression switch
+    /// at a frame boundary without tearing the connections down, and
+    /// FIFO exactly-once delivery is preserved across the swap. Returns
+    /// whether any link actually changed. The stripe count is limited to
+    /// the connections establishment dialed (the link's stream count).
+    pub fn reconfigure(&mut self, params: PathParams) -> io::Result<bool> {
+        let mut seen: Vec<*const SharedLink> = Vec::new();
+        let mut changed = false;
+        for c in &self.conns {
+            let p = Arc::as_ptr(&c.link);
+            if seen.contains(&p) {
+                continue;
+            }
+            seen.push(p);
+            changed |= self.node.reconfigure_link(&c.link, params)?;
+        }
+        Ok(changed)
     }
 
     /// Resend-buffer usage per connection: `(current_bytes, peak_bytes)`.
@@ -750,14 +792,11 @@ impl ReceivePortInner {
             }
             // Routed links arrive as a single stream regardless of the
             // spec; the preamble's `total` is authoritative.
-            let spec = StackSpec {
-                streams: total,
-                ..self.spec.clone()
-            };
+            let spec = self.spec.clone().with_streams(total.max(1));
             // Health probes for the GC decision at pump exit: clones
             // sharing the underlying sockets, like the sender's.
             let probes = links.clone();
-            let stack = build_receiver(
+            let (stack, quiesce) = build_receiver_parts(
                 links,
                 &spec,
                 ctx.cpu.clone(),
@@ -766,10 +805,10 @@ impl ReceivePortInner {
             )?;
             *self.connections.lock() += 1;
             let me = Arc::clone(self);
-            let resolve = Arc::clone(&ctx.resolve);
+            let pctx = ctx.clone();
             ctx.sched
                 .spawn_daemon(format!("rp-pump-{}-{}", self.name, channel), move || {
-                    me.pump(stack, probes, init, muxed_start, resolve);
+                    me.pump(stack, quiesce, probes, init, muxed_start, pctx);
                 });
         }
         Ok(())
@@ -789,12 +828,18 @@ impl ReceivePortInner {
     fn pump(
         self: &Arc<Self>,
         stack: ReceiverStack,
+        mut quiesce: Option<StripeQuiesce>,
         probes: Vec<RawLink>,
         init: Vec<(u64, u64, Option<Arc<ReceivePortInner>>)>,
         muxed_start: bool,
-        resolve: PortResolver,
+        ctx: NodeCtx,
     ) {
-        let mut cur = ChunkCursor::new(stack, self.spec.block_size as usize);
+        let mut cur = ChunkCursor::new(stack, self.spec.block_size() as usize);
+        // Epoch of the last committed RECONFIG this pump saw. Starts at 0
+        // for every (re-)established pump: the link-level epoch is
+        // monotonic for the link's life, so any epoch > 0 is acceptable
+        // to a fresh pump and stale duplicates are rejected.
+        let mut last_epoch = 0u64;
         let anchor = init[0].0;
         let mut live: HashMap<u64, LiveChan> = HashMap::new();
         {
@@ -877,7 +922,7 @@ impl ReceivePortInner {
                                 };
                                 slot.insert(LiveChan {
                                     seq,
-                                    inner: resolve(&name),
+                                    inner: (ctx.resolve)(&name),
                                 });
                             }
                         }
@@ -893,6 +938,90 @@ impl ReceivePortInner {
                         if live.remove(&ch).is_some() {
                             self.channel_closed(ch);
                         }
+                        continue;
+                    }
+                    mux::RECONFIG => {
+                        // Live path reconfiguration (DESIGN.md §11): the
+                        // sender flushed its stack to this frame boundary
+                        // and is blocked on our ack. Validate, ack with
+                        // the delivered watermarks (exactly-once
+                        // handshake), and rebuild the receiver stack from
+                        // the new parameters over the same connections.
+                        let (Some(epoch), Some(stripes), Some(block), Some(level)) = (
+                            cur.read_varint(),
+                            cur.read_varint(),
+                            cur.read_varint(),
+                            cur.read_varint(),
+                        ) else {
+                            break;
+                        };
+                        // A stale/replayed epoch, impossible parameters,
+                        // or leftover old-format bytes after the frame
+                        // are corrupt: kill the pump. The sender's ack
+                        // wait times out and recovery resynchronizes.
+                        if epoch <= last_epoch
+                            || stripes == 0
+                            || stripes > probes.len() as u64
+                            || block == 0
+                            || block > MAX_MESSAGE
+                            || level > u8::MAX as u64
+                            || cur.avail != 0
+                        {
+                            break;
+                        }
+                        let params = PathParams {
+                            stripes: stripes as u16,
+                            block_size: block as u32,
+                            compression_level: match level {
+                                0 => None,
+                                l => Some((l - 1) as u8),
+                            },
+                        };
+                        // Quiesce the retired stack BEFORE acking: its
+                        // per-stripe pump tasks own socket reads until
+                        // they consume the sender's segment terminator
+                        // (written right after the RECONFIG frame). Ack
+                        // first and a still-parked pump would steal the
+                        // new stack's first bytes.
+                        if let Some(q) = quiesce.take() {
+                            q.wait();
+                        }
+                        // Ack raw on stream 0, reverse direction (the
+                        // resume-reply pattern): `[epoch][n][(channel,
+                        // delivered)]*`, channels ascending.
+                        let mut entries: Vec<(u64, u64)> = {
+                            let d = self.rx.delivered.lock();
+                            live.keys()
+                                .map(|&ch| (ch, d.get(&ch).copied().unwrap_or(0)))
+                                .collect()
+                        };
+                        entries.sort_unstable_by_key(|&(ch, _)| ch);
+                        let mut fw = FrameWriter::new().u64(epoch).u64(entries.len() as u64);
+                        for (ch, w) in &entries {
+                            fw = fw.u64(*ch).u64(*w);
+                        }
+                        let mut w0 = probes[0].clone();
+                        if fw.send(&mut w0).is_err() {
+                            break;
+                        }
+                        // Rebuild over the first `stripes` connections;
+                        // the rest stay parked. GTLS re-handshakes
+                        // deterministically from the per-stream salt.
+                        let spec = self.spec.clone().with_path(params);
+                        let sec = ctx.security(&spec);
+                        let links: Vec<RawLink> = probes[..params.stripes as usize].to_vec();
+                        let Ok((stack, q)) = build_receiver_parts(
+                            links,
+                            &spec,
+                            ctx.cpu.clone(),
+                            sec.as_ref(),
+                            &ctx.sched,
+                        ) else {
+                            break;
+                        };
+                        quiesce = q;
+                        cur = ChunkCursor::new(stack, spec.block_size() as usize);
+                        last_epoch = epoch;
                         continue;
                     }
                     _ => break, // corrupt tag

@@ -667,6 +667,15 @@ impl MeshRelay {
 
     fn route_rsp(self: &Arc<Self>, pid: u64, node: GridId, found: bool, epoch: u64) {
         if found {
+            // Only act on a reply we are still waiting for. A reply that
+            // straggles in after the query window closed (frames already
+            // NOPEER'd) or was never solicited must not install a route:
+            // the answering relay's registration may have moved since, and
+            // unsolicited learning goes through ADD broadcasts, which
+            // carry eviction semantics this path lacks.
+            if !self.waiting.lock().contains_key(&node) {
+                return;
+            }
             {
                 let mut rt = self.remote.lock();
                 match rt.get(&node) {
@@ -1306,7 +1315,14 @@ impl RelayClient {
         loop {
             {
                 let mut p = self.inner.pending.lock();
-                let slot = p.get_mut(&req_id).expect("pending slot");
+                // The slot can vanish under us (relay supervision pruning
+                // in-flight state across a redial): retryable, not a bug.
+                let Some(slot) = p.get_mut(&req_id) else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "relay request dropped during reconnect",
+                    ));
+                };
                 if let Some(result) = slot.result.take() {
                     p.remove(&req_id);
                     return result;
@@ -1345,7 +1361,15 @@ impl RelayClient {
         loop {
             {
                 let mut ow = self.inner.open_waits.lock();
-                let slot = ow.get_mut(&sid).expect("open wait slot");
+                // Same supervision race as the service-call wait: a pruned
+                // slot means the relay connection churned — retryable.
+                let Some(slot) = ow.get_mut(&sid) else {
+                    self.inner.outbound.lock().remove(&(to, sid));
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "relay open dropped during reconnect",
+                    ));
+                };
                 if let Some(result) = slot.result.take() {
                     ow.remove(&sid);
                     return match result {

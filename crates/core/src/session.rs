@@ -27,10 +27,11 @@ use std::io::{self, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::drivers::{RawLink, SenderStack, StackSpec};
+use crate::drivers::{PathParams, RawLink, SenderStack, StackSpec, StripeTerminator};
 use crate::establish::{EstablishMethod, LinkKey};
 use crate::pool::BlockPool;
 use crate::port::{AckCell, ResendOverflow};
+use crate::tune::PathStats;
 use crate::wire::mux;
 
 // ------------------------------------------------------------- channels
@@ -177,8 +178,19 @@ pub(crate) struct LinkIo {
     pub writer: SenderStack,
     /// The stack's block pool (aggregation/striping staging buffers).
     pub pool: BlockPool,
-    /// Raw links under the stack, cloned for health probes.
+    /// Raw links under the stack, cloned for health probes. A live
+    /// reconfiguration may leave more links here than the current stack
+    /// uses — only the first [`LinkIo::active`] carry data.
     pub links: Vec<RawLink>,
+    /// How many of `links` the CURRENT stack stripes over. Health checks
+    /// cover only these: a parked spare stripe dying must not trigger a
+    /// recovery of a healthy narrower stack.
+    pub active: usize,
+    /// Segment-terminator handle into the current stack's striped layer
+    /// (None when single-stream). [`write_reconfig`](Self::write_reconfig)
+    /// uses it to end the stripe segment in-band so the receiver's pump
+    /// tasks exit before both ends swap stacks.
+    pub term: Option<StripeTerminator>,
     /// Tagged (multiplexed) framing is active. Starts false: a link speaks
     /// the legacy single-channel byte format until a second channel
     /// attaches, so single-channel wire traces stay byte-identical.
@@ -187,12 +199,12 @@ pub(crate) struct LinkIo {
 
 impl LinkIo {
     pub fn healthy(&self) -> bool {
-        self.links.iter().all(RawLink::is_healthy)
+        self.links[..self.active].iter().all(RawLink::is_healthy)
     }
 
     /// Wait until queued bytes left the host and check the links survived.
     pub fn settle(&self) -> io::Result<()> {
-        for l in &self.links {
+        for l in &self.links[..self.active] {
             l.drain()?;
         }
         if self.healthy() {
@@ -284,6 +296,42 @@ impl LinkIo {
         self.writer.flush()
     }
 
+    /// Announce a live path reconfiguration: flush the current stack to a
+    /// block boundary and write `RECONFIG [epoch][stripes][block_size]
+    /// [level+1]` through it, then terminate the stripe segment (striped
+    /// stacks only). The caller holds the write gate across the whole
+    /// exchange (frame → ack → stack swap), so no message bytes can
+    /// interleave with the epoch switch. Reconfiguration always upgrades
+    /// to tagged framing first — the receiver needs the tag to tell the
+    /// frame from a legacy length.
+    ///
+    /// The terminator matters for exactly-once delivery: a striped
+    /// receiver drains each socket from its own eager pump task, and a
+    /// pump parked in a socket read survives its stack being dropped — it
+    /// would steal the first bytes the NEW stack sends. The in-band
+    /// terminator (a zero-length block on every stream, queued after
+    /// everything this stack ever wrote) makes each pump exit cleanly, and
+    /// the receiver acks only after all of them are gone.
+    pub fn write_reconfig(&mut self, epoch: u64, params: PathParams) -> io::Result<()> {
+        self.upgrade_mux()?;
+        let mut hdr = [0u8; 40];
+        let mut n = 0;
+        n += varint::put_slice(&mut hdr[n..], mux::RECONFIG);
+        n += varint::put_slice(&mut hdr[n..], epoch);
+        n += varint::put_slice(&mut hdr[n..], params.stripes as u64);
+        n += varint::put_slice(&mut hdr[n..], params.block_size as u64);
+        n += varint::put_slice(
+            &mut hdr[n..],
+            params.compression_level.map(|l| l as u64 + 1).unwrap_or(0),
+        );
+        self.writer.write_all(&hdr[..n])?;
+        self.writer.flush()?;
+        if let Some(t) = &self.term {
+            t.terminate()?;
+        }
+        Ok(())
+    }
+
     /// Announce a clean per-channel close (the link itself stays up).
     /// Only meaningful in tagged framing — a legacy link closes by EOF.
     pub fn write_close(&mut self, channel: u64) -> io::Result<()> {
@@ -348,7 +396,19 @@ pub(crate) struct SharedLink {
     incarnation: AtomicU64,
     method: Mutex<EstablishMethod>,
     recovery: Mutex<RecoveryCtl>,
+    /// Live path state: the epoch of the last committed RECONFIG and the
+    /// parameters the current stack was built from. The epoch is monotonic
+    /// for the life of the link (recovery resets the *parameters* to the
+    /// establishment spec but never rewinds the epoch, so a receiver can
+    /// always reject stale frames).
+    path: Mutex<(u64, PathParams)>,
+    /// Telemetry ring: transport-level samples ([`PathStats`]) pushed by
+    /// the session-layer sampler, read by the path controller.
+    stats: Mutex<VecDeque<PathStats>>,
 }
+
+/// Capacity of the per-link [`PathStats`] ring.
+const PATH_STATS_RING: usize = 64;
 
 impl SharedLink {
     pub fn new(
@@ -358,6 +418,7 @@ impl SharedLink {
         io: LinkIo,
         anchor_channel: u64,
     ) -> SharedLink {
+        let path = spec.path;
         SharedLink {
             key,
             spec,
@@ -376,7 +437,78 @@ impl SharedLink {
                 last_err: None,
                 waiters: Vec::new(),
             }),
+            path: Mutex::new((0, path)),
+            stats: Mutex::new(VecDeque::with_capacity(PATH_STATS_RING)),
         }
+    }
+
+    // ----------------------------------------------- live path state
+
+    /// The parameters the current stack was built from.
+    pub fn path_params(&self) -> PathParams {
+        self.path.lock().1
+    }
+
+    /// Epoch of the last committed RECONFIG (0 = never reconfigured).
+    pub fn path_epoch(&self) -> u64 {
+        self.path.lock().0
+    }
+
+    /// Reserve the next reconfiguration epoch (monotonic, never reused —
+    /// an abandoned attempt burns its epoch so the receiver can always
+    /// order frames).
+    pub fn next_path_epoch(&self) -> u64 {
+        let mut p = self.path.lock();
+        p.0 += 1;
+        p.0
+    }
+
+    /// Record a committed reconfiguration.
+    pub fn set_path_params(&self, params: PathParams) {
+        self.path.lock().1 = params;
+    }
+
+    /// Sample the transport counters of the active stripes into the
+    /// telemetry ring and return the sample. Takes the write gate briefly
+    /// (the raw-link set may be swapped by a concurrent recovery).
+    pub fn sample_stats(&self, at_micros: u64) -> PathStats {
+        let (agg, stripes) = {
+            let io = self.io.lock();
+            let mut agg = PathStats {
+                at_micros,
+                ..PathStats::default()
+            };
+            let mut srtt_sum = 0u64;
+            let mut srtt_n = 0u64;
+            for l in &io.links[..io.active] {
+                if let Some(cs) = l.conn_stats() {
+                    agg.bytes_sent += cs.bytes_sent;
+                    agg.rtx_timeouts += cs.rtx_timeouts;
+                    agg.fast_retransmits += cs.fast_retransmits;
+                    if let Some(srtt) = cs.srtt {
+                        srtt_sum += srtt.as_micros() as u64;
+                        srtt_n += 1;
+                    }
+                }
+                agg.tx_backlog += l.tx_backlog() as u64;
+            }
+            agg.srtt_micros = srtt_sum.checked_div(srtt_n).unwrap_or(0);
+            (agg, io.active as u16)
+        };
+        let mut sample = agg;
+        sample.stripes = stripes;
+        sample.params = self.path_params();
+        let mut ring = self.stats.lock();
+        if ring.len() == PATH_STATS_RING {
+            ring.pop_front();
+        }
+        ring.push_back(sample);
+        sample
+    }
+
+    /// Snapshot of the telemetry ring, oldest first.
+    pub fn stats_ring(&self) -> Vec<PathStats> {
+        self.stats.lock().iter().copied().collect()
     }
 
     /// Acquire the write gate. FIFO and sim-aware: contending channel

@@ -40,6 +40,15 @@ pub(crate) mod mux {
     /// `[n][(channel, name)]*` — the RESUME preamble's extras encoding.
     /// Semantically N OPENs; the receiver handles each idempotently.
     pub const OPEN_BATCH: u64 = 3;
+    /// Live path reconfiguration (DESIGN.md §11):
+    /// `[tag=4][varint epoch][varint stripes][varint block_size][varint level+1]`.
+    /// The sender flushes its current stack to a block boundary, writes
+    /// this frame, and BLOCKS until the receiver's ack. The receiver
+    /// tears its stack down at the frame boundary, replies raw on stream
+    /// 0 (reverse direction) with `[epoch][n][(channel, delivered)]*` —
+    /// its delivered watermarks, the exactly-once handshake — and both
+    /// ends rebuild their driver stacks from the new parameters.
+    pub const RECONFIG: u64 = 4;
 }
 
 /// An encoder for one frame.

@@ -3,7 +3,7 @@
 //! route-around after a mid-transfer relay kill, and the sharded
 //! forwarding plane's typed backpressure isolating a slow receiver.
 
-use gridsim_net::{topology, LinkParams, NatKind, Sim, SockAddr};
+use gridsim_net::{topology, FaultPlan, LinkParams, NatKind, Sim, SockAddr};
 use gridsim_tcp::{crash_node, SimHost, TcpConfig};
 use netgrid::{
     spawn_name_service, spawn_relay_mesh, ConnectivityProfile, EstablishMethod, GridNode,
@@ -70,6 +70,34 @@ fn mesh_world(
     Vec<SimHost>,
     Vec<SimHost>,
 ) {
+    mesh_world_cfg(
+        sim,
+        n_relays,
+        hosts_per_site,
+        queue_frames,
+        Some(fast_abort()),
+    )
+}
+
+/// [`mesh_world`] with an explicit relay-host TCP config. `None` keeps the
+/// default (patient) config, so a mesh-path flap delays peer traffic by
+/// retransmission instead of killing the peer links — the regime where a
+/// ROUTE_QUERY can time out and its reply straggle in late.
+#[allow(clippy::type_complexity)]
+fn mesh_world_cfg(
+    sim: &Sim,
+    n_relays: usize,
+    hosts_per_site: usize,
+    queue_frames: usize,
+    relay_tcp: Option<TcpConfig>,
+) -> (
+    gridsim_net::Net,
+    SockAddr,
+    Vec<SockAddr>,
+    Vec<gridsim_net::NodeId>,
+    Vec<SimHost>,
+    Vec<SimHost>,
+) {
     let net = sim.net();
     let (srv, relay_nodes, senders, receivers) = net.with(|w| {
         let mut grid = topology::Grid::build(
@@ -101,8 +129,10 @@ fn mesh_world(
         .iter()
         .map(|h| SockAddr::new(h.ip(), RELAY_PORT))
         .collect();
-    for h in &relay_hosts {
-        h.set_tcp_config(fast_abort());
+    if let Some(cfg) = relay_tcp {
+        for h in &relay_hosts {
+            h.set_tcp_config(cfg.clone());
+        }
     }
     let ns_addr = SockAddr::new(hsrv.ip(), NS_PORT);
     let hsrv2 = hsrv.clone();
@@ -357,5 +387,142 @@ fn mesh_slow_receiver_does_not_block_fast_pair() {
     assert!(
         fast_t < slow_t,
         "fast pair ({fast_t:?}) must not be head-of-line-blocked behind the slow pair ({slow_t:?})"
+    );
+}
+
+/// ROUTE_QUERY where every peer denies: the receiver is homed at relay 1
+/// ONLY (no fallbacks) and its relay is crashed, so once the peers prune
+/// the dead relay's routes, the sender's pulls come back all-deny and each
+/// connect attempt fails with a retryable error — never a panic, never a
+/// wedge, and no ghost route resurrects the dead registration.
+#[test]
+fn mesh_route_query_miss_all_deny() {
+    let sim = Sim::new(seed(64));
+    let (net, ns_addr, relays, relay_nodes, hsend, hrecv) = mesh_world(&sim, 3, 1, 64);
+    let env_a = env_homed(&net, ns_addr, &relays, 0);
+    // The receiver gets NO fallback relays: when its home dies it can
+    // never re-register, so the mesh has genuinely lost the route.
+    let env_b = netgrid::GridEnv::new(net.clone(), ns_addr).with_relays(&relays[1..2]);
+    let (pa, pb) = routed_profiles();
+    let victim = relay_nodes[1];
+    net.with(|w| {
+        w.schedule_after(Duration::from_millis(900), move |w| crash_node(w, victim));
+    });
+    let hb = hrecv[0].clone();
+    sim.spawn("receiver", move || {
+        let node = GridNode::join(&env_b, hb, "lost-recv", pb).unwrap();
+        let rp = node
+            .create_receive_port("lost", StackSpec::plain())
+            .unwrap();
+        // Stay registered until well after the crash, then bow out: the
+        // name-service record survives, so the sender's connects resolve
+        // the port and fail at the ROUTING layer — the pull path under
+        // test. Holding the port open forever would park this task and
+        // trip the sim's deadlock detector instead.
+        gridsim_net::ctx::sleep(Duration::from_millis(2000));
+        drop(rp);
+    });
+    let ha = hsend[0].clone();
+    let errors = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let errs = Arc::clone(&errors);
+    let send = sim.spawn("sender", move || {
+        // Join after the peers declared the dead relay gone (fast-abort
+        // detection plus pruning), so every attempt exercises the pull
+        // path: no route locally, ROUTE_QUERY out, all peers deny.
+        gridsim_net::ctx::sleep(Duration::from_millis(2500));
+        let node = GridNode::join(&env_a, ha, "lost-send", pa).unwrap();
+        for _ in 0..3 {
+            let mut sp = node.create_send_port();
+            match sp.connect("lost") {
+                Ok(_) => errs.lock().push(None),
+                Err(e) => errs.lock().push(Some(e.kind())),
+            }
+            gridsim_net::ctx::sleep(Duration::from_millis(400));
+        }
+    });
+    sim.run();
+    assert!(send.is_finished(), "sender wedged on all-deny route query");
+    let errors = errors.lock();
+    assert_eq!(errors.len(), 3);
+    for e in errors.iter() {
+        let kind = e.expect("connect to an unroutable node must fail");
+        assert!(
+            matches!(
+                kind,
+                std::io::ErrorKind::ConnectionRefused
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::TimedOut
+            ),
+            "all-deny must surface a retryable error, got {kind:?}"
+        );
+    }
+}
+
+/// ROUTE_QUERY that outlives its window: a mesh-path flap (relays keep the
+/// patient default TCP config, so the peer links survive by
+/// retransmission) delays the query past ROUTE_QUERY_TIMEOUT — the sender
+/// sees a retryable NOPEER — and the positive reply straggles in after
+/// the window closed. The late reply must not panic the relay or install
+/// a route nobody asked for; once the path heals, a retry connects and a
+/// sequenced transfer completes exactly-once.
+#[test]
+fn mesh_route_query_timeout_late_reply() {
+    let sim = Sim::new(seed(65));
+    let (net, ns_addr, relays, relay_nodes, hsend, hrecv) = mesh_world_cfg(&sim, 2, 1, 64, None);
+    let env_a = env_homed(&net, ns_addr, &relays, 0);
+    let env_b = env_homed(&net, ns_addr, &relays, 1);
+    let (pa, pb) = routed_profiles();
+    // Flap ONLY the relay-to-relay path: registrations and client traffic
+    // to each home relay stay clean; what is delayed is the ADD broadcast
+    // and the query/reply exchange between the relays.
+    let links = net.with(|w| w.path_links(relay_nodes[0], relay_nodes[1]));
+    let plan = links.iter().fold(FaultPlan::new(), |p, &l| {
+        p.flap(Duration::from_millis(300), l, Duration::from_millis(1500))
+    });
+    net.with(|w| w.install_faults(plan));
+    const MSGS: u64 = 20;
+    let recv = sim.spawn("receiver", move || {
+        // Register at relay 1 while the mesh path is down: the ADD
+        // broadcast towards relay 0 is stuck in retransmission.
+        gridsim_net::ctx::sleep(Duration::from_millis(400));
+        let node = GridNode::join(&env_b, hrecv[0].clone(), "late-recv", pb).unwrap();
+        let rp = node
+            .create_receive_port("late", StackSpec::plain())
+            .unwrap();
+        for i in 0..MSGS {
+            let mut m = rp.receive().unwrap();
+            assert_eq!(m.read_u64().unwrap(), i, "exactly-once FIFO violated");
+        }
+    });
+    let failures = Arc::new(parking_lot::Mutex::new(0u32));
+    let fails = Arc::clone(&failures);
+    let send = sim.spawn("sender", move || {
+        // Connect mid-flap: relay 0 has no route yet, so it pulls — and
+        // the query cannot round-trip before the window closes.
+        gridsim_net::ctx::sleep(Duration::from_millis(800));
+        let node = GridNode::join(&env_a, hsend[0].clone(), "late-send", pa).unwrap();
+        let mut sp = loop {
+            let mut sp = node.create_send_port();
+            match sp.connect("late") {
+                Ok(_) => break sp,
+                Err(_) => {
+                    *fails.lock() += 1;
+                    gridsim_net::ctx::sleep(Duration::from_millis(400));
+                }
+            }
+        };
+        for i in 0..MSGS {
+            let mut m = sp.message();
+            m.write_u64(i);
+            m.finish().unwrap();
+        }
+        sp.close().unwrap();
+    });
+    sim.run();
+    assert!(recv.is_finished(), "receiver wedged after late route reply");
+    assert!(send.is_finished(), "sender wedged after late route reply");
+    assert!(
+        *failures.lock() >= 1,
+        "the mid-flap connect should have timed out at least once"
     );
 }

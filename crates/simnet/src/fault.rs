@@ -68,6 +68,30 @@ enum FaultEvent {
         node: NodeId,
         down_for: Duration,
     },
+    BandwidthStep {
+        at: Duration,
+        link: LinkDirId,
+        bps: f64,
+    },
+    DelayStep {
+        at: Duration,
+        link: LinkDirId,
+        delay: Duration,
+    },
+    BandwidthRamp {
+        at: Duration,
+        link: LinkDirId,
+        to_bps: f64,
+        duration: Duration,
+        steps: u32,
+    },
+    DelayRamp {
+        at: Duration,
+        link: LinkDirId,
+        to_delay: Duration,
+        duration: Duration,
+        steps: u32,
+    },
 }
 
 /// A deterministic schedule of network faults (see module docs).
@@ -141,6 +165,71 @@ impl FaultPlan {
         self
     }
 
+    /// Set one link direction's capacity to `bps` at `at` and leave it
+    /// there (a persistent capacity change, not a burst).
+    pub fn bandwidth_step(mut self, at: Duration, link: LinkDirId, bps: f64) -> FaultPlan {
+        assert!(bps > 0.0, "bandwidth must be positive");
+        self.events
+            .push(FaultEvent::BandwidthStep { at, link, bps });
+        self
+    }
+
+    /// Set one link direction's propagation delay to `delay` at `at` and
+    /// leave it there.
+    pub fn delay_step(mut self, at: Duration, link: LinkDirId, delay: Duration) -> FaultPlan {
+        self.events.push(FaultEvent::DelayStep { at, link, delay });
+        self
+    }
+
+    /// Linearly ramp one link direction's capacity from whatever it is at
+    /// `at` to `to_bps` over `duration`, in `steps` discrete moves. The
+    /// starting capacity is sampled when the ramp begins, so ramps compose
+    /// with earlier steps on the same link. The final step lands exactly on
+    /// `to_bps` at `at + duration`.
+    pub fn bandwidth_ramp(
+        mut self,
+        at: Duration,
+        link: LinkDirId,
+        to_bps: f64,
+        duration: Duration,
+        steps: u32,
+    ) -> FaultPlan {
+        assert!(to_bps > 0.0, "bandwidth must be positive");
+        assert!(steps > 0, "ramp needs at least one step");
+        self.events.push(FaultEvent::BandwidthRamp {
+            at,
+            link,
+            to_bps,
+            duration,
+            steps,
+        });
+        self
+    }
+
+    /// Linearly ramp one link direction's propagation delay to `to_delay`
+    /// over `duration`, in `steps` discrete moves (see [`bandwidth_ramp`]
+    /// for sampling semantics).
+    ///
+    /// [`bandwidth_ramp`]: FaultPlan::bandwidth_ramp
+    pub fn delay_ramp(
+        mut self,
+        at: Duration,
+        link: LinkDirId,
+        to_delay: Duration,
+        duration: Duration,
+        steps: u32,
+    ) -> FaultPlan {
+        assert!(steps > 0, "ramp needs at least one step");
+        self.events.push(FaultEvent::DelayRamp {
+            at,
+            link,
+            to_delay,
+            duration,
+            steps,
+        });
+        self
+    }
+
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
@@ -192,6 +281,58 @@ impl FaultPlan {
                     w.schedule_after(at, move |w| {
                         w.set_node_up(node, false);
                         w.schedule_after(down_for, move |w| w.set_node_up(node, true));
+                    });
+                }
+                FaultEvent::BandwidthStep { at, link, bps } => {
+                    w.schedule_after(at, move |w| {
+                        w.link_mut(link).params.bandwidth_bps = bps;
+                    });
+                }
+                FaultEvent::DelayStep { at, link, delay } => {
+                    w.schedule_after(at, move |w| {
+                        w.link_mut(link).params.delay = delay;
+                    });
+                }
+                FaultEvent::BandwidthRamp {
+                    at,
+                    link,
+                    to_bps,
+                    duration,
+                    steps,
+                } => {
+                    w.schedule_after(at, move |w| {
+                        let from = w.link_mut(link).params.bandwidth_bps;
+                        for i in 1..=steps {
+                            let frac = f64::from(i) / f64::from(steps);
+                            let bps = from + (to_bps - from) * frac;
+                            let when = duration.mul_f64(frac);
+                            w.schedule_after(when, move |w| {
+                                w.link_mut(link).params.bandwidth_bps = bps;
+                            });
+                        }
+                    });
+                }
+                FaultEvent::DelayRamp {
+                    at,
+                    link,
+                    to_delay,
+                    duration,
+                    steps,
+                } => {
+                    w.schedule_after(at, move |w| {
+                        let from = w.link_mut(link).params.delay;
+                        for i in 1..=steps {
+                            let frac = f64::from(i) / f64::from(steps);
+                            let d = if to_delay >= from {
+                                from + (to_delay - from).mul_f64(frac)
+                            } else {
+                                from - (from - to_delay).mul_f64(frac)
+                            };
+                            let when = duration.mul_f64(frac);
+                            w.schedule_after(when, move |w| {
+                                w.link_mut(link).params.delay = d;
+                            });
+                        }
                     });
                 }
             }
@@ -300,6 +441,65 @@ mod tests {
         net.with(|w| {
             assert_eq!(w.stats.drop_link_down, 1);
             assert!(w.link_up(LinkDirId(0)) && w.link_up(LinkDirId(1)));
+        });
+    }
+
+    #[test]
+    fn bandwidth_ramp_reaches_target_through_midpoint() {
+        let (sched, net, _a, _delivered) = two_hosts();
+        // 1 MB/s -> 5 MB/s over 40ms in 4 steps, starting at t=10ms.
+        let plan = FaultPlan::new().bandwidth_ramp(
+            Duration::from_millis(10),
+            LinkDirId(0),
+            5e6,
+            Duration::from_millis(40),
+            4,
+        );
+        net.with(|w| w.install_faults(plan));
+        // Halfway through the ramp (after step 2 of 4 at t=30ms).
+        sched.run_until(crate::SimTime::ZERO + Duration::from_millis(31));
+        net.with(|w| {
+            let bw = w.link_mut(LinkDirId(0)).params.bandwidth_bps;
+            assert!((bw - 3e6).abs() < 1.0, "midpoint bandwidth {bw}");
+        });
+        sched.run();
+        net.with(|w| {
+            let bw = w.link_mut(LinkDirId(0)).params.bandwidth_bps;
+            assert!((bw - 5e6).abs() < 1.0, "final bandwidth {bw}");
+        });
+    }
+
+    #[test]
+    fn delay_step_and_ramp_apply() {
+        let (sched, net, _a, _delivered) = two_hosts();
+        let plan = FaultPlan::new()
+            .delay_step(
+                Duration::from_millis(5),
+                LinkDirId(0),
+                Duration::from_millis(20),
+            )
+            .delay_ramp(
+                Duration::from_millis(10),
+                LinkDirId(0),
+                Duration::from_millis(4),
+                Duration::from_millis(16),
+                4,
+            );
+        net.with(|w| w.install_faults(plan));
+        sched.run_until(crate::SimTime::ZERO + Duration::from_millis(6));
+        net.with(|w| {
+            assert_eq!(
+                w.link_mut(LinkDirId(0)).params.delay,
+                Duration::from_millis(20)
+            );
+        });
+        sched.run();
+        // Ramp down from 20ms (sampled at t=10ms) to 4ms.
+        net.with(|w| {
+            assert_eq!(
+                w.link_mut(LinkDirId(0)).params.delay,
+                Duration::from_millis(4)
+            );
         });
     }
 

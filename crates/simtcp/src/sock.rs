@@ -448,6 +448,14 @@ impl TcpStream {
         self.with_tcb(|tcb, _| tcb.stats)
     }
 
+    /// Bytes written by the application but not yet acknowledged by the
+    /// peer (send-buffer occupancy). A persistently near-zero backlog
+    /// means the sender can't fill the pipe — the application, not the
+    /// network, is the bottleneck. Never blocks.
+    pub fn tx_backlog(&self) -> io::Result<usize> {
+        self.with_tcb(|tcb, _| tcb.cfg.send_buf as usize - tcb.send_space())
+    }
+
     /// Health probe for supervision code: `Some(kind)` if the connection
     /// has failed (reset, dead-peer timeout, crashed stack), `None` while
     /// it is usable. Never blocks.

@@ -126,6 +126,8 @@ pub struct ConnStats {
     /// writes, segment carves that straddle buffer chunks, and reads
     /// copied out to a caller's buffer. Zero-copy handoffs don't count.
     pub bytes_copied: u64,
+    /// Smoothed round-trip estimate, `None` until the first sample.
+    pub srtt: Option<Duration>,
 }
 
 /// Byte queue stored as a deque of refcounted [`Bytes`] chunks.
@@ -1518,6 +1520,7 @@ impl Tcb {
             }
         }
         let srtt = self.srtt.unwrap();
+        self.stats.srtt = self.srtt;
         self.rto = (srtt + (self.rttvar * 4).max(Duration::from_millis(1)))
             .clamp(self.cfg.min_rto, self.cfg.max_rto);
     }

@@ -2,11 +2,12 @@
 # Regenerates every table and figure (see EXPERIMENTS.md). ~15-30 min.
 # Also refreshes the committed bench baselines (BENCH_datapath.json,
 # BENCH_faults.json, BENCH_mux.json, BENCH_storm.json,
-# BENCH_relaymesh.json) and gates the fresh numbers against the previous
-# ones with check_bench (strict 20% throughput / 2x recovery rule, plus
-# the exact invariants: one-link-per-peer mux, walks==pairs storm, and
-# the relaymesh structural gates — 4-relay scaling >= 2x, BUSY
-# engagement under skew, exactly-once FIFO across a relay kill).
+# BENCH_relaymesh.json, BENCH_adaptive.json) and gates the fresh numbers
+# against the previous ones with check_bench (strict 20% throughput / 2x
+# recovery rule, plus the exact invariants: one-link-per-peer mux,
+# walks==pairs storm, the relaymesh structural gates — 4-relay scaling
+# >= 2x, BUSY engagement under skew, exactly-once FIFO across a relay
+# kill — and the adaptive controller-vs-static floors).
 set -u
 cd "$(dirname "$0")"
 BIN=./target/release
@@ -29,6 +30,7 @@ cp BENCH_faults.json target/BENCH_faults.baseline.json
 cp BENCH_mux.json target/BENCH_mux.baseline.json
 cp BENCH_storm.json target/BENCH_storm.baseline.json
 cp BENCH_relaymesh.json target/BENCH_relaymesh.baseline.json
+cp BENCH_adaptive.json target/BENCH_adaptive.baseline.json
 
 echo "################################################################"
 echo "### bench_datapath (writes BENCH_datapath.json)"
@@ -61,6 +63,12 @@ echo "################################################################"
 echo
 
 echo "################################################################"
+echo "### bench_adaptive (writes BENCH_adaptive.json)"
+echo "################################################################"
+"$BIN/bench_adaptive"
+echo
+
+echo "################################################################"
 echo "### check_bench (fresh full runs vs previous baselines)"
 echo "################################################################"
 "$BIN/check_bench" \
@@ -69,4 +77,5 @@ echo "################################################################"
   --mux BENCH_mux.json --base-mux target/BENCH_mux.baseline.json \
   --storm BENCH_storm.json --base-storm target/BENCH_storm.baseline.json \
   --relaymesh BENCH_relaymesh.json --base-relaymesh target/BENCH_relaymesh.baseline.json \
+  --adaptive BENCH_adaptive.json --base-adaptive target/BENCH_adaptive.baseline.json \
   --tolerance 0.2
